@@ -1,0 +1,128 @@
+(* Benchmark harness.
+
+   Usage:  dune exec bench/main.exe -- [--scale full|quick|smoke] [targets]
+
+   Targets are the paper's evaluation artefacts: fig3 fig4a fig4b fig5 fig6
+   fig7 fig8 abort-rate (see DESIGN.md §3 for the mapping), plus `micro`
+   (Bechamel micro-benchmarks of the core data structures).  With no target,
+   everything runs.  Absolute throughput is simulator throughput; the shapes
+   (orderings, ratios, crossovers) are what EXPERIMENTS.md compares against
+   the paper. *)
+
+open Sss_experiments.Experiments
+
+(* ---------- micro benchmarks (Bechamel) ---------- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let open Sss_data in
+  let n = 20 in
+  let rng = Sss_sim.Prng.create ~seed:1 in
+  let vc1 = Vclock.of_array (Array.init n (fun i -> i * 3)) in
+  let vc2 = Vclock.of_array (Array.init n (fun i -> 50 - i)) in
+  let zipf = Sss_workload.Zipf.create ~n:5000 ~theta:0.99 in
+  let squeue = Squeue.create () in
+  for i = 0 to 15 do
+    Squeue.insert_read squeue ~txn:{ Ids.node = i mod 4; local = i } ~sid:(i * 7)
+  done;
+  let nlog = Nlog.create ~nodes:n ~node:0 in
+  for i = 1 to 1000 do
+    let vc = Vclock.set (Vclock.of_array (Array.init n (fun w -> i - (w mod 3)))) 0 i in
+    Nlog.add nlog ~txn:{ Ids.node = 0; local = i } ~vc ~ws:[ i mod 50 ] ~at:(float_of_int i)
+  done;
+  let has_read = Array.make n false in
+  has_read.(3) <- true;
+  let bound = Vclock.of_array (Array.make n 500) in
+  let store = Mvstore.create ~nodes:n in
+  Mvstore.init_key store 1 ~value:"v0";
+  for i = 1 to 32 do
+    Mvstore.install store 1 ~value:"v"
+      ~vc:(Vclock.set (Vclock.zero n) 0 i)
+      ~writer:{ Ids.node = 0; local = i }
+  done;
+  [
+    Test.make ~name:"vclock.max" (Staged.stage (fun () -> Vclock.max vc1 vc2));
+    Test.make ~name:"vclock.leq" (Staged.stage (fun () -> Vclock.leq vc1 vc2));
+    Test.make ~name:"zipf.sample" (Staged.stage (fun () -> Sss_workload.Zipf.sample zipf rng));
+    Test.make ~name:"squeue.blocks_writer"
+      (Staged.stage (fun () -> Squeue.blocks_writer squeue ~sid:60));
+    Test.make ~name:"nlog.visible_max(unconstrained)"
+      (Staged.stage (fun () ->
+           Nlog.visible_max nlog ~has_read:(Array.make n false) ~bound ~cutoff:max_int));
+    Test.make ~name:"nlog.visible_max(constrained)"
+      (Staged.stage (fun () -> Nlog.visible_max nlog ~has_read ~bound ~cutoff:max_int));
+    Test.make ~name:"mvstore.select"
+      (Staged.stage (fun () ->
+           Mvstore.select store 1 ~skip:(fun v -> Vclock.get v.Mvstore.vc 0 > 16)));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  Printf.printf "\n== Micro-benchmarks (core data structures) ==\n%!";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let tests = Test.make_grouped ~name:"micro" ~fmt:"%s %s" (micro_tests ()) in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    Analyze.merge ols instances (List.map (fun i -> Analyze.all ols i raw) instances)
+  in
+  Hashtbl.iter
+    (fun _metric tbl ->
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-42s %10.1f ns/op\n" name est
+          | _ -> Printf.printf "  %-42s (no estimate)\n" name)
+        tbl)
+    results;
+  print_newline ()
+
+(* ---------- dispatch ---------- *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let scale = ref Full in
+  let targets = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: s :: rest ->
+        (scale :=
+           match s with
+           | "full" -> Full
+           | "quick" -> Quick
+           | "smoke" -> Smoke
+           | _ -> failwith ("unknown scale " ^ s));
+        parse rest
+    | t :: rest ->
+        targets := t :: !targets;
+        parse rest
+  in
+  parse args;
+  let targets =
+    match List.rev !targets with
+    | [] -> [ "fig3"; "fig4a"; "fig4b"; "fig5"; "fig6"; "fig7"; "fig8"; "abort-rate"; "ablation"; "skewed"; "micro" ]
+    | ts -> ts
+  in
+  let scale = !scale in
+  Printf.printf "SSS reproduction benchmarks (scale: %s)\n"
+    (match scale with Full -> "full" | Quick -> "quick" | Smoke -> "smoke");
+  List.iter
+    (fun t ->
+      match t with
+      | "fig3" -> fig3 scale
+      | "fig4a" -> fig4a scale
+      | "fig4b" -> fig4b scale
+      | "fig5" -> fig5 scale
+      | "fig6" -> fig6 scale
+      | "fig7" -> fig7 scale
+      | "fig8" -> fig8 scale
+      | "abort-rate" -> abort_rate scale
+      | "ablation" -> ablation scale
+      | "skewed" -> skewed scale
+      | "all" -> all scale
+      | "micro" -> run_micro ()
+      | other -> Printf.eprintf "unknown target %s (skipped)\n" other)
+    targets

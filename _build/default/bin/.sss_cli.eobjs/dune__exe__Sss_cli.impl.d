@@ -1,0 +1,1 @@
+bin/sss_cli.ml: Arg Checker Cmd Cmdliner Format List Printf Rococo_kv Sim Sss_consistency Sss_experiments Sss_kv Sss_sim Sss_workload String Term Twopc_kv Walter_kv

@@ -1,0 +1,1 @@
+bin/sss_cli.mli:

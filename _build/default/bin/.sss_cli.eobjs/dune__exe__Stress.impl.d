@@ -1,0 +1,1 @@
+bin/stress.ml: Checker Config Kv List Printf Replication Rococo_kv Sim Sss_consistency Sss_data Sss_kv Sss_sim Sss_workload State Twopc_kv Walter_kv

@@ -1,0 +1,268 @@
+(* Command-line interface to the SSS reproduction.
+
+   sss-cli point   -- run one experiment point (any system, any parameters)
+   sss-cli figure  -- regenerate one of the paper's figures
+   sss-cli verify  -- run a recorded workload and check consistency
+
+   Examples:
+     dune exec bin/sss_cli.exe -- point --system sss --nodes 10 --ro 0.8
+     dune exec bin/sss_cli.exe -- figure fig3 --scale quick
+     dune exec bin/sss_cli.exe -- verify --nodes 4 --keys 24 --seed 7 *)
+
+open Cmdliner
+open Sss_experiments.Experiments
+
+let system_conv =
+  let parse = function
+    | "sss" -> Ok Sss
+    | "walter" -> Ok Walter
+    | "2pc" | "twopc" -> Ok Twopc
+    | "rococo" -> Ok Rococo
+    | s -> Error (`Msg (Printf.sprintf "unknown system %S (sss|walter|2pc|rococo)" s))
+  in
+  let print fmt s = Format.pp_print_string fmt (String.lowercase_ascii (system_name s)) in
+  Arg.conv (parse, print)
+
+let scale_conv =
+  let parse = function
+    | "full" -> Ok Full
+    | "quick" -> Ok Quick
+    | "smoke" -> Ok Smoke
+    | s -> Error (`Msg (Printf.sprintf "unknown scale %S (full|quick|smoke)" s))
+  in
+  let print fmt s =
+    Format.pp_print_string fmt
+      (match s with Full -> "full" | Quick -> "quick" | Smoke -> "smoke")
+  in
+  Arg.conv (parse, print)
+
+let system_t =
+  Arg.(value & opt system_conv Sss & info [ "system" ] ~docv:"SYSTEM" ~doc:"sss, walter, 2pc or rococo")
+
+let nodes_t = Arg.(value & opt int 5 & info [ "nodes" ] ~doc:"cluster size")
+let degree_t = Arg.(value & opt int 2 & info [ "degree" ] ~doc:"replication degree")
+let keys_t = Arg.(value & opt int 5000 & info [ "keys" ] ~doc:"key-space size")
+let ro_t = Arg.(value & opt float 0.5 & info [ "ro" ] ~doc:"read-only transaction ratio")
+let ro_ops_t = Arg.(value & opt int 2 & info [ "ro-ops" ] ~doc:"reads per read-only transaction")
+let locality_t = Arg.(value & opt float 0.0 & info [ "locality" ] ~doc:"node-local key probability")
+let clients_t = Arg.(value & opt int 10 & info [ "clients" ] ~doc:"closed-loop clients per node")
+let duration_t = Arg.(value & opt float 0.04 & info [ "duration" ] ~doc:"measured window (virtual seconds)")
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed")
+let scale_t = Arg.(value & opt scale_conv Quick & info [ "scale" ] ~doc:"full, quick or smoke")
+
+let strict_t =
+  Arg.(value & flag & info [ "strict" ] ~doc:"SSS hardened external-commit ordering")
+
+let point_cmd =
+  let run_point system nodes degree keys ro ro_ops locality clients duration seed strict =
+    let o =
+      run
+        {
+          system;
+          nodes;
+          degree;
+          keys;
+          ro_ratio = ro;
+          ro_ops;
+          locality;
+          clients;
+          warmup = duration /. 4.0;
+          duration;
+          seed;
+          strict;
+          priority_network = true;
+          compress = true;
+          zipf = None;
+        }
+    in
+    Printf.printf "system      : %s\n" (system_name system);
+    Printf.printf "throughput  : %.1f KTxs/sec\n" (o.throughput /. 1000.);
+    Printf.printf "committed   : %d\n" o.committed;
+    Printf.printf "aborted     : %d (%.1f%%)\n" o.aborted (o.abort_rate *. 100.);
+    Printf.printf "latency     : mean %.3f ms, p99 %.3f ms\n" (o.mean_latency *. 1e3)
+      (o.p99_latency *. 1e3);
+    Printf.printf "  update    : mean %.3f ms\n" (o.mean_update_latency *. 1e3);
+    Printf.printf "  read-only : mean %.3f ms\n" (o.mean_ro_latency *. 1e3);
+    (match (o.sss_internal, o.sss_wait) with
+    | Some i, Some w ->
+        Printf.printf "  SSS breakdown: internal %.3f ms + snapshot-queue wait %.3f ms (%.0f%%)\n"
+          (i *. 1e3) (w *. 1e3)
+          (100. *. w /. (i +. w))
+    | _ -> ());
+    if o.wait_covered_timeouts > 0 then
+      Printf.printf "  WARNING: %d covered-wait timeouts\n" o.wait_covered_timeouts
+  in
+  let term =
+    Term.(
+      const run_point $ system_t $ nodes_t $ degree_t $ keys_t $ ro_t $ ro_ops_t $ locality_t
+      $ clients_t $ duration_t $ seed_t $ strict_t)
+  in
+  Cmd.v (Cmd.info "point" ~doc:"Run a single experiment point") term
+
+let figure_cmd =
+  let figure_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FIGURE" ~doc:"fig3 fig4a fig4b fig5 fig6 fig7 fig8 abort-rate all")
+  in
+  let run_figure name scale =
+    match name with
+    | "fig3" -> fig3 scale
+    | "fig4a" -> fig4a scale
+    | "fig4b" -> fig4b scale
+    | "fig5" -> fig5 scale
+    | "fig6" -> fig6 scale
+    | "fig7" -> fig7 scale
+    | "fig8" -> fig8 scale
+    | "abort-rate" -> abort_rate scale
+    | "ablation" -> ablation scale
+    | "skewed" -> skewed scale
+    | "all" -> all scale
+    | other -> Printf.eprintf "unknown figure %s\n" other
+  in
+  let term = Term.(const run_figure $ figure_t $ scale_t) in
+  Cmd.v (Cmd.info "figure" ~doc:"Regenerate one of the paper's figures") term
+
+let verify_cmd =
+  let run_verify system nodes degree keys ro clients duration seed dot =
+    let open Sss_sim in
+    let open Sss_consistency in
+    let sim = Sim.create () in
+    let config =
+      {
+        Sss_kv.Config.default with
+        nodes;
+        replication_degree = degree;
+        total_keys = keys;
+        seed;
+      }
+    in
+    let profile = Sss_workload.Driver.paper_profile ~read_only_ratio:ro in
+    let load =
+      {
+        Sss_workload.Driver.default_load with
+        clients_per_node = clients;
+        warmup = duration /. 4.0;
+        duration;
+        seed;
+      }
+    in
+    let history, extra =
+      match system with
+      | Sss ->
+          let cl = Sss_kv.Kv.create sim config in
+          let ops =
+            {
+              Sss_workload.Driver.begin_txn =
+                (fun ~node ~read_only -> Sss_kv.Kv.begin_txn cl ~node ~read_only);
+              read = Sss_kv.Kv.read;
+              write = Sss_kv.Kv.write;
+              commit = Sss_kv.Kv.commit;
+            }
+          in
+          let _ =
+            Sss_workload.Driver.run sim ~nodes ~total_keys:keys
+              ~local_keys:(fun _ -> [||])
+              ~profile ~load ~ops
+          in
+          (Sss_kv.Kv.history cl, [ ("quiescent", Sss_kv.Kv.quiescent cl) ])
+      | Twopc ->
+          let cl = Twopc_kv.Twopc.create sim config in
+          let ops =
+            {
+              Sss_workload.Driver.begin_txn =
+                (fun ~node ~read_only -> Twopc_kv.Twopc.begin_txn cl ~node ~read_only);
+              read = Twopc_kv.Twopc.read;
+              write = Twopc_kv.Twopc.write;
+              commit = Twopc_kv.Twopc.commit;
+            }
+          in
+          let _ =
+            Sss_workload.Driver.run sim ~nodes ~total_keys:keys
+              ~local_keys:(fun _ -> [||])
+              ~profile ~load ~ops
+          in
+          (Twopc_kv.Twopc.history cl, [ ("quiescent", Twopc_kv.Twopc.quiescent cl) ])
+      | Walter ->
+          let cl = Walter_kv.Walter.create sim config in
+          let ops =
+            {
+              Sss_workload.Driver.begin_txn =
+                (fun ~node ~read_only -> Walter_kv.Walter.begin_txn cl ~node ~read_only);
+              read = Walter_kv.Walter.read;
+              write = Walter_kv.Walter.write;
+              commit = Walter_kv.Walter.commit;
+            }
+          in
+          let _ =
+            Sss_workload.Driver.run sim ~nodes ~total_keys:keys
+              ~local_keys:(fun _ -> [||])
+              ~profile ~load ~ops
+          in
+          (Walter_kv.Walter.history cl, [ ("quiescent", Walter_kv.Walter.quiescent cl) ])
+      | Rococo ->
+          let cl = Rococo_kv.Rococo.create sim config in
+          let ops =
+            {
+              Sss_workload.Driver.begin_txn =
+                (fun ~node ~read_only -> Rococo_kv.Rococo.begin_txn cl ~node ~read_only);
+              read = Rococo_kv.Rococo.read;
+              write = Rococo_kv.Rococo.write;
+              commit = Rococo_kv.Rococo.commit;
+            }
+          in
+          let _ =
+            Sss_workload.Driver.run sim ~nodes ~total_keys:keys
+              ~local_keys:(fun _ -> [||])
+              ~profile ~load ~ops
+          in
+          (Rococo_kv.Rococo.history cl, [ ("quiescent", Rococo_kv.Rococo.quiescent cl) ])
+    in
+    Printf.printf "transactions: %d committed, %d aborted\n"
+      (Checker.committed_count history)
+      (Checker.aborted_count history);
+    let checks =
+      [
+        ("external consistency (session)", Checker.external_consistency history);
+        ("serializability", Checker.serializability history);
+        ("no lost updates", Checker.no_lost_updates history);
+        ("read-only abort-free", Checker.read_only_abort_free history);
+      ]
+      @ extra
+    in
+    List.iter
+      (fun (name, res) ->
+        match res with
+        | Ok () -> Printf.printf "  %-34s PASS\n" name
+        | Error msg -> Printf.printf "  %-34s FAIL: %s\n" name msg)
+      checks;
+    match dot with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Checker.to_dot history);
+        close_out oc;
+        Printf.printf "dependency graph written to %s\n" path
+  in
+  let duration_t =
+    Arg.(value & opt float 0.05 & info [ "duration" ] ~doc:"measured window (virtual seconds)")
+  in
+  let keys_t = Arg.(value & opt int 64 & info [ "keys" ] ~doc:"key-space size") in
+  let clients_t = Arg.(value & opt int 4 & info [ "clients" ] ~doc:"clients per node") in
+  let nodes_t = Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"cluster size") in
+  let dot_t =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~doc:"write the dependency graph (Graphviz)")
+  in
+  let term =
+    Term.(
+      const run_verify $ system_t $ nodes_t $ degree_t $ keys_t $ ro_t $ clients_t $ duration_t
+      $ seed_t $ dot_t)
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Run a recorded workload and check consistency properties")
+    term
+
+let () =
+  let info = Cmd.info "sss-cli" ~doc:"SSS (ICDCS'19) reproduction toolkit" in
+  exit (Cmd.eval (Cmd.group info [ point_cmd; figure_cmd; verify_cmd ]))

@@ -1,0 +1,271 @@
+(* Seed/configuration sweep for the SSS checker properties.  Exits non-zero
+   on the first violation, printing the offending configuration. *)
+
+open Sss_sim
+open Sss_data
+open Sss_kv
+open Sss_consistency
+
+let run_one ?(strict = true) ~nodes ~degree ~keys ~ro ~seed ~duration ~clients () =
+  let sim = Sim.create () in
+  let config =
+    { Config.default with nodes; replication_degree = degree; total_keys = keys; seed;
+      strict_order = strict }
+  in
+  let cl = Kv.create sim config in
+  let ops =
+    {
+      Sss_workload.Driver.begin_txn = (fun ~node ~read_only -> Kv.begin_txn cl ~node ~read_only);
+      read = Kv.read;
+      write = Kv.write;
+      commit = Kv.commit;
+    }
+  in
+  let result =
+    Sss_workload.Driver.run sim ~nodes ~total_keys:keys
+      ~local_keys:(fun n -> Replication.keys_at cl.State.repl n)
+      ~profile:(Sss_workload.Driver.paper_profile ~read_only_ratio:ro)
+      ~load:
+        {
+          Sss_workload.Driver.default_load with
+          clients_per_node = clients;
+          warmup = 0.005;
+          duration;
+          seed;
+        }
+      ~ops
+  in
+  let h = Kv.history cl in
+  let checks =
+    [
+      ("external-consistency", Checker.external_consistency h);
+      ("serializability", Checker.serializability h);
+      ("no-lost-updates", Checker.no_lost_updates h);
+      ("ro-abort-free", Checker.read_only_abort_free h);
+      ("quiescent", Kv.quiescent cl);
+    ]
+  in
+  (result.Sss_workload.Driver.committed, checks)
+
+(* generic driver over any store exposing the ops quadruple *)
+let drive_any sim ~nodes ~keys ~ro ~seed ~clients ~ops ~history ~extra_checks ~kind =
+  let result =
+    Sss_workload.Driver.run sim ~nodes ~total_keys:keys
+      ~local_keys:(fun _ -> [||])
+      ~profile:(Sss_workload.Driver.paper_profile ~read_only_ratio:ro)
+      ~load:
+        {
+          Sss_workload.Driver.default_load with
+          clients_per_node = clients;
+          warmup = 0.005;
+          duration = 0.04;
+          seed;
+        }
+      ~ops
+  in
+  ignore kind;
+  (result.Sss_workload.Driver.committed, extra_checks history)
+
+let baseline_sweep () =
+  let failures = ref 0 in
+  let runs = ref 0 in
+  for seed = 1 to 8 do
+    (* 2PC-baseline: must be externally consistent and lost-update free *)
+    incr runs;
+    let sim = Sim.create () in
+    let config =
+      { Sss_kv.Config.default with nodes = 4; replication_degree = 2; total_keys = 24; seed }
+    in
+    let cl = Twopc_kv.Twopc.create sim config in
+    let _, checks =
+      drive_any sim ~nodes:4 ~keys:24 ~ro:0.5 ~seed ~clients:4 ~kind:"2pc"
+        ~ops:
+          {
+            Sss_workload.Driver.begin_txn =
+              (fun ~node ~read_only -> Twopc_kv.Twopc.begin_txn cl ~node ~read_only);
+            read = Twopc_kv.Twopc.read;
+            write = Twopc_kv.Twopc.write;
+            commit = Twopc_kv.Twopc.commit;
+          }
+        ~history:(Twopc_kv.Twopc.history cl)
+        ~extra_checks:(fun h ->
+          [
+            ("2pc external-consistency", Checker.external_consistency h);
+            ("2pc no-lost-updates", Checker.no_lost_updates h);
+            ("2pc quiescent", Twopc_kv.Twopc.quiescent cl);
+          ])
+    in
+    List.iter
+      (fun (name, res) ->
+        match res with
+        | Ok () -> ()
+        | Error msg ->
+            incr failures;
+            Printf.printf "FAIL %s seed=%d: %s
+%!" name seed msg)
+      checks;
+    (* ROCOCO: serializable, updates never abort *)
+    incr runs;
+    let sim = Sim.create () in
+    let config =
+      { Sss_kv.Config.default with nodes = 4; replication_degree = 1; total_keys = 24; seed }
+    in
+    let cl = Rococo_kv.Rococo.create sim config in
+    let _, checks =
+      drive_any sim ~nodes:4 ~keys:24 ~ro:0.5 ~seed ~clients:4 ~kind:"rococo"
+        ~ops:
+          {
+            Sss_workload.Driver.begin_txn =
+              (fun ~node ~read_only -> Rococo_kv.Rococo.begin_txn cl ~node ~read_only);
+            read = Rococo_kv.Rococo.read;
+            write = Rococo_kv.Rococo.write;
+            commit = Rococo_kv.Rococo.commit;
+          }
+        ~history:(Rococo_kv.Rococo.history cl)
+        ~extra_checks:(fun h ->
+          [
+            ("rococo serializability", Checker.serializability h);
+            ("rococo no-lost-updates", Checker.no_lost_updates h);
+            ("rococo quiescent", Rococo_kv.Rococo.quiescent cl);
+          ])
+    in
+    List.iter
+      (fun (name, res) ->
+        match res with
+        | Ok () -> ()
+        | Error msg ->
+            incr failures;
+            Printf.printf "FAIL %s seed=%d: %s
+%!" name seed msg)
+      checks;
+    (* Walter: PSI-level properties only *)
+    incr runs;
+    let sim = Sim.create () in
+    let config =
+      { Sss_kv.Config.default with nodes = 4; replication_degree = 2; total_keys = 24; seed }
+    in
+    let cl = Walter_kv.Walter.create sim config in
+    let _, checks =
+      drive_any sim ~nodes:4 ~keys:24 ~ro:0.5 ~seed ~clients:4 ~kind:"walter"
+        ~ops:
+          {
+            Sss_workload.Driver.begin_txn =
+              (fun ~node ~read_only -> Walter_kv.Walter.begin_txn cl ~node ~read_only);
+            read = Walter_kv.Walter.read;
+            write = Walter_kv.Walter.write;
+            commit = Walter_kv.Walter.commit;
+          }
+        ~history:(Walter_kv.Walter.history cl)
+        ~extra_checks:(fun h ->
+          [
+            ("walter no-lost-updates", Checker.no_lost_updates h);
+            ("walter ro-abort-free", Checker.read_only_abort_free h);
+            ("walter quiescent", Walter_kv.Walter.quiescent cl);
+          ])
+    in
+    List.iter
+      (fun (name, res) ->
+        match res with
+        | Ok () -> ()
+        | Error msg ->
+            incr failures;
+            Printf.printf "FAIL %s seed=%d: %s
+%!" name seed msg)
+      checks
+  done;
+  Printf.printf "baselines: %d runs, %d failures
+%!" !runs !failures;
+  !failures
+
+let () =
+  let failures = ref 0 in
+  let total = ref 0 in
+  (* Contention here is measured in keys per client; the paper's evaluation
+     never goes below 5000/200 = 25.  Our matrix reaches ratio ~1 — still
+     an order of magnitude hotter — and must be violation-free. *)
+  let configs =
+    [
+      (2, 1, 8, 0.5, 4);
+      (3, 1, 24, 0.5, 4);
+      (4, 2, 24, 0.5, 4);
+      (4, 2, 32, 0.2, 6);
+      (5, 3, 16, 0.8, 4);
+      (6, 2, 48, 0.8, 6);
+      (8, 2, 64, 0.5, 4);
+    ]
+  in
+  List.iter
+    (fun (nodes, degree, keys, ro, clients) ->
+      for seed = 1 to 12 do
+        incr total;
+        let committed, checks =
+          run_one ~nodes ~degree ~keys ~ro ~seed ~duration:0.04 ~clients ()
+        in
+        List.iter
+          (fun (name, res) ->
+            match res with
+            | Ok () -> ()
+            | Error msg ->
+                incr failures;
+                Printf.printf
+                  "FAIL %s: nodes=%d degree=%d keys=%d ro=%.1f seed=%d (%d committed): %s\n%!"
+                  name nodes degree keys ro seed committed msg)
+          checks
+      done;
+      Printf.printf "config nodes=%d degree=%d keys=%d ro=%.1f done\n%!" nodes degree keys ro)
+    configs;
+  (* Torture mode: keys-per-client ratio 0.5, ~50x hotter than anything the
+     paper evaluates.  Rare Adya divergences between concurrent writers are
+     still reachable here (see DESIGN.md "Known gap"); we report the rate
+     rather than assert zero.  Liveness and the per-transaction properties
+     must still hold. *)
+  let torture_div = ref 0 and torture_runs = ref 0 and torture_committed = ref 0 in
+  for seed = 1 to 12 do
+    incr torture_runs;
+    let committed, checks =
+      run_one ~nodes:4 ~degree:2 ~keys:8 ~ro:0.5 ~seed ~duration:0.04 ~clients:4 ()
+    in
+    torture_committed := !torture_committed + committed;
+    List.iter
+      (fun (name, res) ->
+        match (name, res) with
+        | ("external-consistency" | "serializability"), Error _ -> incr torture_div
+        | _, Ok () -> ()
+        | _, Error msg ->
+            incr failures;
+            Printf.printf "FAIL torture %s seed=%d: %s\n%!" name seed msg)
+      checks
+  done;
+  Printf.printf
+    "torture (keys/client=0.5): %d runs, %d committed, %d divergence reports\n" !torture_runs
+    !torture_committed !torture_div;
+  (* Paper mode across the same matrix: violations are the documented
+     finding (DESIGN.md §8), so they are counted and reported, not
+     asserted.  Liveness and per-transaction properties must still hold. *)
+  let pm_runs = ref 0 and pm_div = ref 0 and pm_committed = ref 0 in
+  List.iter
+    (fun (nodes, degree, keys, ro, clients) ->
+      for seed = 1 to 6 do
+        incr pm_runs;
+        let committed, checks =
+          run_one ~strict:false ~nodes ~degree ~keys ~ro ~seed ~duration:0.04 ~clients ()
+        in
+        pm_committed := !pm_committed + committed;
+        List.iter
+          (fun (name, res) ->
+            match (name, res) with
+            | ("external-consistency" | "serializability"), Error _ -> incr pm_div
+            | _, Ok () -> ()
+            | _, Error msg ->
+                incr failures;
+                Printf.printf "FAIL paper-mode %s nodes=%d keys=%d seed=%d: %s\n%!" name
+                  nodes keys seed msg)
+          checks
+      done)
+    configs;
+  Printf.printf
+    "paper mode: %d runs, %d committed, %d divergence reports (the documented §8 finding)\n"
+    !pm_runs !pm_committed !pm_div;
+  failures := !failures + baseline_sweep ();
+  Printf.printf "stress: %d runs, %d failures\n" !total !failures;
+  exit (if !failures > 0 then 1 else 0)

@@ -1,0 +1,1 @@
+examples/analytics.ml: Option Printf Prng Sim Sss_kv Sss_sim String Twopc_kv

@@ -1,0 +1,1 @@
+examples/bank.ml: Config Kv Printf Prng Sim Sss_consistency Sss_kv Sss_sim

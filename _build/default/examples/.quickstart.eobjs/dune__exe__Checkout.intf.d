@@ -1,0 +1,1 @@
+examples/checkout.mli:

@@ -1,0 +1,1 @@
+examples/document_sync.ml: Printf Sim Sss_kv Sss_sim Walter_kv

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Kv Printf Sim Sss_consistency Sss_kv Sss_sim

@@ -1,0 +1,87 @@
+(* Bank transfers with a concurrent auditor.
+
+   Accounts hold integer balances (encoded as strings).  Transfer
+   transactions move money between random accounts; an auditor repeatedly
+   runs a read-only transaction summing every balance.  Because SSS
+   read-only transactions see a consistent snapshot, every audit observes
+   exactly the invariant total — while transfers race underneath.
+
+   Run with:  dune exec examples/bank.exe *)
+
+open Sss_sim
+open Sss_kv
+
+let accounts = 20
+let initial_balance = 100
+let total = accounts * initial_balance
+let audits = 25
+let tellers = 5
+
+let () =
+  let sim = Sim.create () in
+  let config =
+    { Config.default with nodes = 4; replication_degree = 2; total_keys = accounts }
+  in
+  let cluster = Kv.create sim config in
+
+  (* fund the accounts *)
+  let funded = ref false in
+  Sim.spawn sim (fun () ->
+      let t = Kv.begin_txn cluster ~node:0 ~read_only:false in
+      for a = 0 to accounts - 1 do
+        Kv.write t a (string_of_int initial_balance)
+      done;
+      ignore (Kv.commit t);
+      funded := true);
+  Sim.run sim;
+  assert !funded;
+
+  let stop = ref false in
+  let transfers = ref 0 in
+  let failed_audits = ref 0 in
+  let done_audits = ref 0 in
+
+  (* tellers: transfer a random amount between two random accounts *)
+  for i = 1 to tellers do
+    Sim.spawn sim (fun () ->
+        let rng = Prng.create ~seed:i in
+        while not !stop do
+          let from_a = Prng.int rng accounts in
+          let to_a = (from_a + 1 + Prng.int rng (accounts - 1)) mod accounts in
+          let amount = 1 + Prng.int rng 10 in
+          let t = Kv.begin_txn cluster ~node:(i mod 4) ~read_only:false in
+          let b1 = int_of_string (Kv.read t from_a) in
+          let b2 = int_of_string (Kv.read t to_a) in
+          Kv.write t from_a (string_of_int (b1 - amount));
+          Kv.write t to_a (string_of_int (b2 + amount));
+          if Kv.commit t then incr transfers;
+          Sim.sleep sim 30e-6
+        done)
+  done;
+
+  (* the auditor: one read-only transaction summing all balances *)
+  Sim.spawn sim (fun () ->
+      for _ = 1 to audits do
+        let t = Kv.begin_txn cluster ~node:3 ~read_only:true in
+        let sum = ref 0 in
+        for a = 0 to accounts - 1 do
+          sum := !sum + int_of_string (Kv.read t a)
+        done;
+        ignore (Kv.commit t);
+        incr done_audits;
+        if !sum <> total then begin
+          incr failed_audits;
+          Printf.printf "audit %d saw TOTAL %d (expected %d)!\n" !done_audits !sum total
+        end
+      done;
+      stop := true);
+
+  Sim.run sim;
+  Printf.printf "%d transfers committed; %d/%d audits saw exactly %d\n" !transfers
+    (!done_audits - !failed_audits)
+    !done_audits total;
+  (match Sss_consistency.Checker.external_consistency (Kv.history cluster) with
+  | Ok () -> print_endline "history externally consistent"
+  | Error m -> Printf.printf "VIOLATION: %s\n" m);
+  if !failed_audits = 0 then print_endline "invariant held in every audit"
+  else Printf.printf "%d audits saw a broken invariant!\n" !failed_audits

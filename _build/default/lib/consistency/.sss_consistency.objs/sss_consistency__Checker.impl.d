@@ -1,0 +1,1 @@
+lib/consistency/checker.ml: Array Buffer Hashtbl History Ids Int List Map Option Printf Sss_data Stdlib String

@@ -1,0 +1,1 @@
+lib/consistency/checker.mli: History Ids Sss_data

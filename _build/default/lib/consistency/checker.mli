@@ -1,0 +1,75 @@
+(** Offline consistency checking over recorded histories.
+
+    The checker rebuilds Adya's Direct Serialization Graph (DSG) from a
+    {!History.t}: nodes are transactions; edges are read-dependencies
+    (wr), write-dependencies (ww), anti-dependencies (rw) and — for
+    external consistency — real-time precedence: an edge from every
+    transaction whose client response happened before another transaction
+    began.  A history is external consistent iff this graph is acyclic;
+    dropping the real-time edges yields plain (conflict-) serializability.
+
+    Note on the paper's phrasing: §IV describes an edge whenever [Ti]
+    externally commits before [Tj] does, i.e. a total completion order.
+    Taken literally that contradicts the protocol itself: SSS deliberately
+    lets transactions read a pre-commit-held write (progress, §I), so a
+    fresh read-only transaction can observe a writer's value and reply to
+    its client before that writer's delayed external commit — serializing
+    after it while completing first.  The guarantee the protocol actually
+    enforces (and what external consistency means in Gifford's and
+    Spanner's sense) is strict serializability: the serial order never
+    contradicts the order of {e non-overlapping} transactions, which is
+    what we check.  The real-time relation is encoded with an auxiliary
+    commit-time chain, keeping the graph linear in the history size.
+
+    Aborted transactions are excluded.  Transactions included are the
+    committed ones plus update transactions whose writes were installed but
+    whose external commit fell outside the recorded window (they constrain
+    the graph but carry no completion edge). *)
+
+open Sss_data
+
+type check_result = (unit, string) result
+(** [Error msg] describes the violation, including a cycle when one was
+    found. *)
+
+val external_consistency : History.t -> check_result
+(** DSG + session real-time order must be acyclic: completion->begin
+    precedence is enforced between transactions of the same node (what a
+    client colocated with a node observes), in addition to all dependency
+    edges.  Cross-node orderings propagate through dependencies (reading a
+    completed transaction's data orders you after it) rather than through
+    wall-clock coincidence. *)
+
+val external_consistency_strict : History.t -> check_result
+(** DSG + global real-time order (Spanner-style strict serializability:
+    completion->begin edges between every pair of transactions, including
+    non-communicating clients on different nodes).  SSS — like any system
+    without synchronized clocks or commit-wait — cannot fully guarantee
+    this under adversarial timing; exposed for experiments and
+    documentation. *)
+
+val serializability : History.t -> check_result
+(** DSG alone must be acyclic. *)
+
+val no_lost_updates : History.t -> check_result
+(** Every committed read-modify-write observed the immediately preceding
+    version of the key it overwrote.  (Holds for snapshot-isolation-class
+    systems like Walter even when serializability does not.) *)
+
+val read_only_abort_free : History.t -> check_result
+(** No transaction that began read-only ever aborted. *)
+
+val committed_count : History.t -> int
+
+val aborted_count : History.t -> int
+
+val txn_count : History.t -> int
+
+(** Exposed for tests: the edges of the dependency graph (without
+    completion edges), as (from, to, label). *)
+val dependency_edges : History.t -> (Ids.txn * Ids.txn * string) list
+
+val to_dot : History.t -> string
+(** Graphviz rendering of the dependency graph (wr/ww/rw edges; read-only
+    transactions as ellipses, updates as boxes) — handy for eyeballing a
+    violation reported by one of the checks. *)

@@ -1,0 +1,37 @@
+open Sss_data
+
+type event =
+  | Begin of { txn : Ids.txn; ro : bool; node : Ids.node }
+  | Read of { txn : Ids.txn; key : Ids.key; writer : Ids.txn }
+  | Install of { txn : Ids.txn; key : Ids.key }
+  | Commit of { txn : Ids.txn }
+  | Abort of { txn : Ids.txn }
+
+type stamped = { at : float; seq : int; event : event }
+
+type t = { mutable events : stamped list; mutable seq : int; enabled : bool }
+
+let create ?(enabled = true) () = { events = []; seq = 0; enabled }
+
+let enabled t = t.enabled
+
+let record t ~at event =
+  if t.enabled then begin
+    t.events <- { at; seq = t.seq; event } :: t.events;
+    t.seq <- t.seq + 1
+  end
+
+let events t = List.rev t.events
+
+let length t = t.seq
+
+let pp_event fmt = function
+  | Begin { txn; ro; node } ->
+      Format.fprintf fmt "begin %a %s @node%d" Ids.pp_txn txn
+        (if ro then "ro" else "up")
+        node
+  | Read { txn; key; writer } ->
+      Format.fprintf fmt "read %a k%d <- %a" Ids.pp_txn txn key Ids.pp_txn writer
+  | Install { txn; key } -> Format.fprintf fmt "install %a k%d" Ids.pp_txn txn key
+  | Commit { txn } -> Format.fprintf fmt "commit %a" Ids.pp_txn txn
+  | Abort { txn } -> Format.fprintf fmt "abort %a" Ids.pp_txn txn

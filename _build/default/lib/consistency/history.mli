@@ -1,0 +1,42 @@
+(** Execution histories.
+
+    Protocol implementations record the externally observable events of
+    every transaction here; the {!Checker} then validates consistency
+    properties offline.  Recording is optional (benchmarks disable it), and
+    cheap: events are consed onto a list.
+
+    Version identity follows Adya: a version of a key is named by the
+    transaction that wrote it, with [Ids.genesis] naming the initial
+    version. *)
+
+open Sss_data
+
+type event =
+  | Begin of { txn : Ids.txn; ro : bool; node : Ids.node }
+  | Read of { txn : Ids.txn; key : Ids.key; writer : Ids.txn }
+      (** [txn] observed the version of [key] written by [writer]. *)
+  | Install of { txn : Ids.txn; key : Ids.key }
+      (** A new version of [key] by [txn] became the newest (recorded once,
+          at the key's primary replica, in application order). *)
+  | Commit of { txn : Ids.txn }
+      (** External commit: the client was informed of success.  For
+          read-only transactions this is their (immediate) commit. *)
+  | Abort of { txn : Ids.txn }
+
+type stamped = { at : float; seq : int; event : event }
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+(** [enabled] defaults to [true]; a disabled recorder drops everything. *)
+
+val enabled : t -> bool
+
+val record : t -> at:float -> event -> unit
+
+val events : t -> stamped list
+(** In recording order ([seq] ascending). *)
+
+val length : t -> int
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,1 @@
+lib/core/client.ml: Array Config Hashtbl History Ids Int List Message Nlog Printf Replication Sim Sss_consistency Sss_data Sss_net Sss_sim State Stdlib Vclock

@@ -1,0 +1,1 @@
+lib/core/kv.ml: Array Client Commitq Hashtbl List Locks Printf Server Squeue Sss_data Sss_net State String

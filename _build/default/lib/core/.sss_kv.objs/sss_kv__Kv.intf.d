@@ -1,0 +1,1 @@
+lib/core/kv.mli: Client Config Ids Sss_consistency Sss_data Sss_net Sss_sim State

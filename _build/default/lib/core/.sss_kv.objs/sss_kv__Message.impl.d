@@ -1,0 +1,1 @@
+lib/core/message.ml: Array Ids List Sss_data String Vclock Vcodec

@@ -1,0 +1,1 @@
+lib/core/server.ml: Array Commitq Config Float Hashtbl History Ids List Locks Message Mvstore Nlog Replication Sim Squeue Sss_consistency Sss_data Sss_net Sss_sim State Stdlib Vclock

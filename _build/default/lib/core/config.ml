@@ -1,0 +1,40 @@
+type t = {
+  nodes : int;
+  replication_degree : int;
+  total_keys : int;
+  network : Sss_net.Network.config;
+  vote_timeout : float;
+  lock_timeout : float;
+  ack_timeout : float;
+  starvation_threshold : float;
+  backoff_initial : float;
+  backoff_max : float;
+  record_history : bool;
+  seed : int;
+  strict_order : bool;
+  gc_horizon : float;
+  chain_keep : int;
+  priority_network : bool;
+  compress_metadata : bool;
+}
+
+let default =
+  {
+    nodes = 4;
+    replication_degree = 2;
+    total_keys = 64;
+    network = Sss_net.Network.default_config;
+    vote_timeout = 1e-3;
+    lock_timeout = 1e-3;
+    ack_timeout = 30.0;
+    starvation_threshold = 5e-3;
+    backoff_initial = 0.5e-3;
+    backoff_max = 8e-3;
+    record_history = true;
+    seed = 1;
+    strict_order = true;
+    gc_horizon = 1.0;
+    chain_keep = 128;
+    priority_network = true;
+    compress_metadata = true;
+  }

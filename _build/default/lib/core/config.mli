@@ -1,0 +1,41 @@
+(** SSS deployment parameters. *)
+
+type t = {
+  nodes : int;  (** cluster size *)
+  replication_degree : int;  (** replicas per key (1 = no replication) *)
+  total_keys : int;  (** size of the key space, pre-populated at start *)
+  network : Sss_net.Network.config;
+  vote_timeout : float;
+      (** how long a 2PC coordinator waits for votes before aborting
+          (the paper uses 1 ms on a 20 µs-latency network) *)
+  lock_timeout : float;  (** prepare-phase lock acquisition timeout *)
+  ack_timeout : float;
+      (** safety net on the external-commit Ack wait; exceeding it is
+          treated as a protocol bug and raises *)
+  starvation_threshold : float;
+      (** a writer parked in a snapshot-queue longer than this triggers
+          admission control on new read-only reads of its keys (§III-E) *)
+  backoff_initial : float;  (** first admission-control delay *)
+  backoff_max : float;  (** exponential back-off cap *)
+  record_history : bool;  (** record events for the consistency checker *)
+  seed : int;  (** PRNG seed for network jitter *)
+  strict_order : bool;
+      (** order external commits per node by commit stamp (see DESIGN.md
+          "hardening"); disable to measure the paper's literal per-key
+          release *)
+  gc_horizon : float;
+      (** node logs are pruned and version chains truncated for state older
+          than this; must exceed the longest transaction lifetime *)
+  chain_keep : int;  (** minimum versions kept per key under GC *)
+  priority_network : bool;
+      (** give protocol-completing messages (Remove, Decide, ...) priority
+          over new work in node ingress queues, as the paper's optimized
+          network component does (§V); disable for the ablation *)
+  compress_metadata : bool;
+      (** account message sizes with varint-compressed vector clocks
+          (§III-A); affects only the byte telemetry, not behaviour *)
+}
+
+val default : t
+(** 4 nodes, replication degree 2, 64 keys, paper-like timeouts; unit tests
+    override fields as needed. *)

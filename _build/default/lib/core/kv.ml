@@ -1,0 +1,71 @@
+open Sss_data
+
+type cluster = State.t
+
+type handle = Client.handle
+
+let create sim config =
+  let t = State.create sim config in
+  Server.install t;
+  t
+
+let begin_txn = Client.begin_txn
+
+let read = Client.read
+
+let write = Client.write
+
+let commit = Client.commit
+
+let abort = Client.abort
+
+let txn_id = Client.txn_id
+
+let with_txn cluster ~node ~read_only ?(max_attempts = 5) f =
+  let rec attempt n =
+    if n = 0 then None
+    else
+      let h = Client.begin_txn cluster ~node ~read_only in
+      match f h with
+      | result -> if Client.commit h then Some result else attempt (n - 1)
+      | exception e ->
+          Client.abort h;
+          raise e
+  in
+  attempt max_attempts
+
+let is_read_only = Client.is_read_only
+
+let history (t : cluster) = t.State.history
+
+let stats (t : cluster) = t.State.stats
+
+let set_collect_latencies (t : cluster) flag = t.State.stats.State.collect_latencies <- flag
+
+let network_stats (t : cluster) = Sss_net.Network.stats t.State.net
+
+let quiescent (t : cluster) =
+  let problems = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  Array.iter
+    (fun (n : State.node) ->
+      Hashtbl.iter
+        (fun key q ->
+          if not (Squeue.is_empty q) then
+            add "node %d: snapshot-queue of key %d not empty (%d entries)" n.State.id key
+              (Squeue.length q))
+        n.State.squeues;
+      if Commitq.length n.State.commitq > 0 then
+        add "node %d: commit queue not empty (%d)" n.State.id (Commitq.length n.State.commitq);
+      if Hashtbl.length n.State.prepared > 0 then
+        add "node %d: %d prepared transactions linger" n.State.id
+          (Hashtbl.length n.State.prepared);
+      if Locks.holder_count n.State.locks > 0 then
+        add "node %d: %d transactions still hold locks" n.State.id
+          (Locks.holder_count n.State.locks);
+      if Hashtbl.length n.State.active > 0 then
+        add "node %d: %d transactions still active" n.State.id (Hashtbl.length n.State.active))
+    t.State.nodes;
+  match !problems with
+  | [] -> Ok ()
+  | ps -> Error (String.concat "; " (List.rev ps))

@@ -1,0 +1,97 @@
+(** SSS — the public key-value store API.
+
+    A cluster is a set of simulated nodes running the SSS concurrency
+    control (vector clocks + snapshot-queuing) over a partially replicated
+    multi-version store.  All operations must be called from inside a
+    simulator fiber ({!Sss_sim.Sim.spawn}); they block the calling fiber
+    until the protocol completes.
+
+    Guarantees (the paper's headline properties):
+    - every committed transaction is {e externally consistent}: the single
+      serialization order matches the order in which clients observe
+      transaction completions;
+    - read-only transactions never abort due to concurrency and never block
+      update transactions (update transactions may instead delay their
+      {e client response} until conflicting readers finish — the
+      Pre-Commit phase).
+
+    {1 Example}
+
+    {[
+      let sim = Sss_sim.Sim.create () in
+      let cluster = Sss_kv.Kv.create sim Sss_kv.Config.default in
+      Sss_sim.Sim.spawn sim (fun () ->
+          let t = Sss_kv.Kv.begin_txn cluster ~node:0 ~read_only:false in
+          let v = Sss_kv.Kv.read t 1 in
+          Sss_kv.Kv.write t 1 (v ^ "!");
+          ignore (Sss_kv.Kv.commit t));
+      Sss_sim.Sim.run sim
+    ]} *)
+
+open Sss_data
+
+type cluster = State.t
+
+type handle = Client.handle
+
+val create : Sss_sim.Sim.t -> Config.t -> cluster
+(** Build a cluster: nodes, network, replica placement, and pre-populated
+    keys ([0 .. total_keys-1], each initialised to ["init:<k>"]). *)
+
+val begin_txn : cluster -> node:Ids.node -> read_only:bool -> handle
+(** Start a transaction whose client is colocated with [node].  SSS
+    requires the programmer to declare read-only transactions (§II). *)
+
+val read : handle -> Ids.key -> string
+(** Transactional read.  Reads the transaction's own buffered write if any;
+    otherwise contacts every replica and returns the fastest consistent
+    answer. *)
+
+val write : handle -> Ids.key -> string -> unit
+(** Buffer a write (visible to this transaction's later reads, installed at
+    commit).  @raise Invalid_argument on a read-only transaction. *)
+
+val commit : handle -> bool
+(** Commit.  Read-only transactions always return [true] immediately (they
+    are abort-free); update transactions run 2PC and return once the
+    transaction is {e externally} committed, or [false] if validation/locking
+    aborted it. *)
+
+val abort : handle -> unit
+(** Voluntarily abandon the transaction (cleans up snapshot-queue entries
+    for read-only transactions). *)
+
+val txn_id : handle -> Ids.txn
+
+val with_txn :
+  cluster ->
+  node:Ids.node ->
+  read_only:bool ->
+  ?max_attempts:int ->
+  (handle -> 'a) ->
+  'a option
+(** [with_txn cluster ~node ~read_only f] runs [f] inside a fresh
+    transaction and commits it, retrying the whole body (new snapshot) if
+    validation aborts it, up to [max_attempts] (default 5) times.
+    Read-only transactions never abort, so they never retry.  Returns the
+    body's result on commit, [None] if every attempt aborted.  Exceptions
+    from [f] abort the transaction and propagate. *)
+
+val is_read_only : handle -> bool
+
+(** {1 Introspection} *)
+
+val history : cluster -> Sss_consistency.History.t
+
+val stats : cluster -> State.stats
+
+val set_collect_latencies : cluster -> bool -> unit
+(** Record (begin, internal-commit, external-commit) timestamps per
+    committed update transaction (Figures 4(b) and 5). *)
+
+val network_stats : cluster -> Sss_net.Network.stats
+
+val quiescent : cluster -> (unit, string) result
+(** At a moment with no in-flight transactions, verify that no residue
+    remains: snapshot-queues and commit queues empty, no locks held, no
+    prepared 2PC state.  Catches protocol leaks in tests. *)

@@ -1,0 +1,109 @@
+(** Wire messages of the SSS protocol.
+
+    Sent over {!Sss_net.Network}; [priority] mirrors the paper's optimized
+    network component (§V): [Remove] messages unblock external commits and
+    therefore jump every queue; 2PC completion traffic ([Decide], [Vote],
+    [Ack]) outranks new work. *)
+
+open Sss_data
+
+type payload =
+  | Read_request of {
+      req : int;
+      txn : Ids.txn;
+      key : Ids.key;
+      vc : Vclock.t;
+      has_read : bool array;
+      is_update : bool;
+    }
+  | Read_return of {
+      req : int;
+      value : string;
+      vc : Vclock.t;
+      writer : Ids.txn;
+      propagated : (Ids.txn * int) list;
+      parked_coord : Ids.node option;
+          (** when the returned version's writer is still parked
+              (internally but not externally committed), its coordinator:
+              the reading update transaction must chain its own client
+              response behind that writer's external commit *)
+    }
+  | Prepare of {
+      txn : Ids.txn;
+      coord : Ids.node;
+      vc : Vclock.t;
+      rs : (Ids.key * Ids.txn) list;
+          (** read keys with the version (writer) observed, for validation *)
+      ws : (Ids.key * string) list;
+      propagated : (Ids.txn * int) list;
+    }
+  | Vote of { txn : Ids.txn; ok : bool; vc : Vclock.t }
+  | Decide of { txn : Ids.txn; vc : Vclock.t; outcome : bool }
+  | Ack of { txn : Ids.txn }
+  | Finalize of { txn : Ids.txn }
+      (** all write replicas acknowledged the pre-commit wait: drop the
+          writer entries (re-checking for newly arrived blocking readers)
+          and confirm, after which the coordinator informs the client *)
+  | Finalize_ack of { txn : Ids.txn }
+  | Remove of { txn : Ids.txn }
+      (** a read-only transaction committed; drop its snapshot-queue
+          entries *)
+  | Forward_remove of { reader : Ids.txn; writer : Ids.txn }
+      (** relay a [Remove] along a propagation chain: [writer]'s
+          coordinator must clean the replicas of [writer]'s write-set *)
+  | Wait_finalized of { writer : Ids.txn; req : int }
+      (** ask [writer]'s coordinator to answer once [writer] has
+          externally committed (immediately if it already has) *)
+  | Finalized of { req : int }
+
+let priority = function
+  | Remove _ | Forward_remove _ | Finalize _ | Finalize_ack _ | Wait_finalized _ | Finalized _ -> 10
+  | Decide _ -> 40
+  | Vote _ | Ack _ -> 60
+  | Read_request _ | Read_return _ | Prepare _ -> 100
+
+(* Wire-size model: 16-byte header, 8 bytes per scalar/txn id, 4 per key,
+   payload strings verbatim; vector clocks either raw (8 bytes/entry) or
+   varint-compressed (§III-A metadata compression). *)
+let vc_size ~compress vc =
+  if compress then
+    2 + Vcodec.size (Vcodec.encode ~base:(Vclock.zero (Vclock.size vc)) vc)
+  else Vcodec.raw_size vc
+
+let wire_size ~compress payload =
+  let header = 16 in
+  let txn = 8 and key = 4 and scalar = 8 in
+  let entries l per = List.fold_left (fun acc x -> acc + per x) 0 l in
+  header
+  +
+  match payload with
+  | Read_request { vc; has_read; _ } ->
+      scalar + txn + key + vc_size ~compress vc + ((Array.length has_read + 7) / 8)
+  | Read_return { value; vc; propagated; _ } ->
+      scalar + txn + String.length value + vc_size ~compress vc
+      + entries propagated (fun _ -> txn + scalar)
+  | Prepare { vc; rs; ws; propagated; _ } ->
+      txn + scalar + vc_size ~compress vc
+      + entries rs (fun _ -> key + txn)
+      + entries ws (fun (_, v) -> key + String.length v)
+      + entries propagated (fun _ -> txn + scalar)
+  | Vote { vc; _ } -> txn + 1 + vc_size ~compress vc
+  | Decide { vc; _ } -> txn + 1 + vc_size ~compress vc
+  | Ack _ | Finalize _ | Finalize_ack _ | Remove _ -> txn
+  | Forward_remove _ -> 2 * txn
+  | Wait_finalized _ -> txn + scalar
+  | Finalized _ -> scalar
+
+let kind_name = function
+  | Read_request _ -> "read_request"
+  | Read_return _ -> "read_return"
+  | Prepare _ -> "prepare"
+  | Vote _ -> "vote"
+  | Decide _ -> "decide"
+  | Ack _ -> "ack"
+  | Finalize _ -> "finalize"
+  | Finalize_ack _ -> "finalize_ack"
+  | Wait_finalized _ -> "wait_finalized"
+  | Finalized _ -> "finalized"
+  | Remove _ -> "remove"
+  | Forward_remove _ -> "forward_remove"

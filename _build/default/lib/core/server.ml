@@ -1,0 +1,484 @@
+(** Participant-side protocol logic: read serving with version selection
+    (Alg. 6), the 2PC participant (Alg. 2), internal commit and the
+    Pre-Commit phase (Alg. 3 and 4), and Remove propagation (§III-C). *)
+
+open Sss_sim
+open Sss_data
+open Sss_consistency
+open State
+
+(* Validation, per the paper's description of Alg. 1 lines 27-33: "checking
+   if the latest version of a key matches the read one".  We compare version
+   identities (the writer transaction) rather than the pseudocode's clock
+   shortcut [k.last.vid[i] > T.VC[i]]: an update transaction's clock can be
+   inflated past a conflicting writer by an unrelated later read served on
+   the same node, which would let a lost update slip through the clock
+   comparison. *)
+let validate node rs =
+  List.for_all
+    (fun (k, observed_writer) ->
+      let last = Mvstore.last node.store k in
+      Ids.equal_txn last.Mvstore.writer observed_writer)
+    rs
+
+(* Admission control (§III-E): if an update transaction has been parked in
+   this key's snapshot-queue beyond the starvation threshold, delay incoming
+   read-only reads that would serialize before it (their bound does not
+   cover it) with exponential back-off so the writer can drain.  Readers
+   whose bound covers the writer never block it and pass straight through. *)
+let admission_control t node key ~bound_local =
+  let cfg = t.config in
+  let old_writer () =
+    List.exists
+      (fun e ->
+        e.Squeue.sid > bound_local
+        &&
+        match Hashtbl.find_opt node.writer_since e.Squeue.txn with
+        | Some since -> now t -. since > cfg.starvation_threshold
+        | None -> false)
+      (Squeue.writers (squeue node key))
+  in
+  (* Bounded: this is a delay to let the writer drain, not a gate — an
+     unbounded loop here turns a transient pile-up into a livelock (the
+     writer waits for existing readers, new readers wait for the writer). *)
+  let rec loop delay budget =
+    if old_writer () && budget > 0.0 then begin
+      Sim.sleep t.sim delay;
+      loop (Float.min (delay *. 2.0) cfg.backoff_max) (budget -. delay)
+    end
+  in
+  if cfg.starvation_threshold > 0.0 then
+    loop cfg.backoff_initial (4.0 *. cfg.backoff_max)
+
+let version_skipper ~has_read ~maxvc ~me ~cutoff v =
+  let n = Array.length has_read in
+  let rec over_bound w =
+    w < n
+    && ((has_read.(w) && Vclock.get v.Mvstore.vc w > Vclock.get maxvc w)
+       || over_bound (w + 1))
+  in
+  over_bound 0 || Vclock.get v.Mvstore.vc me >= cutoff
+
+(* Visibility cutoff for read-only transactions at this node.
+
+   Hardened mode: the smallest stamp among ALL parked (applied but not
+   externally committed) writers — readers see exactly the externally
+   committed prefix of the apply order; a reader whose bound covers a
+   parked writer does not read around it but waits for its (in-flight)
+   finalization instead (see [wait_covered_finalizing]).
+
+   Paper mode (Alg. 6 line 7 literally): only parked writers whose
+   insertion snapshot exceeds the reader's bound are hidden; covered parked
+   writers are read directly.  Covered stamps are all <= the bound < every
+   uncovered stamp, so the result is still a prefix of the apply order. *)
+let parked_cutoff t node ~bound_local =
+  let strict = t.config.Config.strict_order in
+  Hashtbl.fold
+    (fun wtxn _ acc ->
+      match Hashtbl.find_opt node.prepared wtxn with
+      | Some { final_vc = Some fvc; _ } ->
+          let stamp = Vclock.get fvc node.id in
+          if strict || stamp > bound_local then Stdlib.min acc stamp else acc
+      | _ -> acc)
+    node.writer_since max_int
+
+(* Hardened mode: a read-only transaction whose bound covers a parked
+   writer must observe it, and may not observe it while parked — so it
+   waits out the writer's external commit.  Coverage can only arise through
+   finalized state (stable views, committed reads), so the covered writer's
+   Finalize is already under way and the wait is a skew window; a generous
+   timeout backstops the theoretically possible crossed-wait deadlock, and
+   every firing is counted and reported by the experiment harness. *)
+let wait_covered_finalizing t node ~bound_local =
+  if not t.config.Config.strict_order then ()
+  else
+    let covered_parked () =
+      Hashtbl.fold
+        (fun wtxn _ acc ->
+          acc
+          ||
+          match Hashtbl.find_opt node.prepared wtxn with
+          | Some { final_vc = Some fvc; _ } -> Vclock.get fvc node.id <= bound_local
+          | _ -> false)
+        node.writer_since false
+    in
+    let ok =
+      Sim.Cond.await_timeout t.sim node.squeue_changed ~timeout:0.1 (fun () ->
+          not (covered_parked ()))
+    in
+    if not ok then t.stats.wait_covered_timeouts <- t.stats.wait_covered_timeouts + 1
+
+let handle_read t node ~src ~req ~txn ~key ~vc ~has_read ~is_update =
+  t.stats.reads_served <- t.stats.reads_served + 1;
+  let reply ?parked_coord value rvc writer propagated =
+    send t ~src:node.id ~dst:src
+      (Message.Read_return { req; value; vc = rvc; writer; propagated; parked_coord })
+  in
+  if is_update then begin
+    (* Alg. 6 lines 23-27: update transactions read the newest version and
+       collect the key's reader entries as transitive anti-dependencies. *)
+    let q = squeue node key in
+    let props = List.map (fun e -> (e.Squeue.txn, e.Squeue.sid)) (Squeue.readers q) in
+    List.iter (fun (r, _) -> add_forward node ~reader:r ~writer:txn ~coord:src) props;
+    let ver = Mvstore.last node.store key in
+    (* If the version read is still parked (its writer not yet externally
+       committed), this update transaction must not reply to its own client
+       before that writer does: report the writer's coordinator. *)
+    let parked_coord =
+      match Hashtbl.find_opt node.prepared ver.Mvstore.writer with
+      | Some p when Hashtbl.mem node.writer_since ver.Mvstore.writer -> Some p.coord
+      | _ -> None
+    in
+    reply ?parked_coord ver.Mvstore.value (Nlog.most_recent_vc node.nlog) ver.Mvstore.writer
+      props
+  end
+  else begin
+    let me = node.id in
+    if not has_read.(me) then begin
+      (* First contact by this read-only transaction (Alg. 6 lines 4-14).
+         The paper waits for NLog.mostRecentVC[i] >= T.VC[i]; we also wait
+         out any CommitQ entry whose clock entry is within the visibility
+         bound.  Clock entries only grow from prepare to decide and every
+         value is a unique mint, so once no queued entry is at or below the
+         bound, nothing not yet applied here can belong to the reader's
+         snapshot (found by property testing: without this, a value carried
+         by a committed-elsewhere transaction could cover an entry still in
+         this queue). *)
+      let present_on_arrival =
+        if t.config.Config.strict_order then
+          List.map (fun e -> e.Commitq.txn) (Commitq.to_list node.commitq)
+        else []
+      in
+      Sim.Cond.await t.sim node.nlog_changed (fun () ->
+          Nlog.most_recent_local node.nlog >= Vclock.get vc me
+          && (not (Commitq.exists_at_or_below node.commitq ~bound:(Vclock.get vc me)))
+          && not (List.exists (Commitq.mem node.commitq) present_on_arrival));
+      admission_control t node key ~bound_local:(Vclock.get vc me);
+      let q = squeue node key in
+      ignore q;
+      (* ExcludedSet, strengthened from Alg. 6 line 7: a read-only
+         transaction observes a writer only once it is externally
+         committed.  Writers its bound does not cover are excluded (the
+         reader serializes before them; its queue entry holds their
+         external commit).  Writers its bound DOES cover cannot be read
+         around (the bound proves someone already observed them), so the
+         read waits for their — already imminent — finalization.  The wait
+         is bounded: stamps minted for new arrivals always exceed the
+         node's issued values, hence the bound.  (The paper's literal
+         bound-conditional exclusion without the wait lets two readers
+         cover two different parked writers and order them divergently —
+         Adya's anomaly; several variants of this were found by property
+         testing.) *)
+      let bound_local = Vclock.get vc me in
+      wait_covered_finalizing t node ~bound_local;
+      let cutoff = parked_cutoff t node ~bound_local in
+      let maxvc = Nlog.visible_max node.nlog ~has_read ~bound:vc ~cutoff in
+      let sid = Vclock.get maxvc me in
+      (* A slow replica can reach this point after the transaction already
+         committed and its Remove was processed here; the tombstone stops
+         the entry from being resurrected unremovably. *)
+      if not (is_tombstoned node txn) then begin
+        Squeue.insert_read q ~txn ~sid;
+        index_reader node txn key
+      end;
+      let skip = version_skipper ~has_read ~maxvc ~me ~cutoff in
+      let ver = Mvstore.select node.store key ~skip in
+      reply ver.Mvstore.value maxvc ver.Mvstore.writer []
+    end
+    else begin
+      (* Repeat contact (Alg. 6 lines 15-21): the visibility bound is the
+         transaction's own clock; parked writers within the bound are
+         waited out exactly as on first contact (the cutoff only rises, so
+         earlier reads at this node stay valid). *)
+      let maxvc = vc in
+      let bound_local = Vclock.get vc me in
+      wait_covered_finalizing t node ~bound_local;
+      let cutoff = parked_cutoff t node ~bound_local in
+      let sid = Stdlib.min (Vclock.get maxvc me) (cutoff - 1) in
+      if not (is_tombstoned node txn) then begin
+        Squeue.insert_read (squeue node key) ~txn ~sid;
+        index_reader node txn key
+      end;
+      let skip = version_skipper ~has_read ~maxvc ~me ~cutoff in
+      let ver = Mvstore.select node.store key ~skip in
+      reply ver.Mvstore.value maxvc ver.Mvstore.writer []
+    end
+  end
+
+let handle_prepare t node ~txn ~coord ~vc ~rs ~ws ~propagated =
+  let local_rs = List.filter (fun (k, _) -> Replication.is_replica t.repl node.id k) rs in
+  let local_ws = List.filter (fun (k, _) -> Replication.is_replica t.repl node.id k) ws in
+  let got_locks =
+    (not (was_abort_decided node txn))
+    && Locks.acquire_all node.locks txn
+         ~exclusive:(List.map fst local_ws)
+         ~shared:(List.map fst local_rs) ~timeout:t.config.lock_timeout
+  in
+  (* The coordinator's vote timeout can beat a lock wait: its Decide(abort)
+     then overtakes this very Prepare.  A late success here would strand an
+     orphan in the CommitQ, so the abort decision wins. *)
+  let ok = got_locks && validate node local_rs && not (was_abort_decided node txn) in
+  if not ok then begin
+    Locks.release_txn node.locks txn;
+    send t ~src:node.id ~dst:coord (Message.Vote { txn; ok = false; vc })
+  end
+  else begin
+    let prep_vc =
+      if local_ws <> [] then begin
+        let vc = bump_local t node in
+        Commitq.put node.commitq ~txn ~vc;
+        vc
+      end
+      else Nlog.most_recent_vc node.nlog
+    in
+    Hashtbl.replace node.prepared txn
+      { rs_local = local_rs; ws_local = local_ws; prop_set = propagated; coord;
+        final_vc = None; finalizing = false };
+    send t ~src:node.id ~dst:coord (Message.Vote { txn; ok = true; vc = prep_vc })
+  end
+
+(* Alg. 4, strengthened: wait out every reader that must serialize before
+   this writer, then tell the coordinator.  Unlike the per-key pseudocode we
+   do NOT drop the writer entries here — they stay until the coordinator's
+   Finalize (external commit).  Removing them per key as each wait clears
+   would let a fresh reader serialize after the writer through one key and
+   complete while the writer is still held on another key, after which a
+   later-starting reader could still serialize before it: a cycle with the
+   real-time order.  Keeping the entries until external commit makes
+   "serializing after a held writer" possible only for readers whose
+   visibility bound already covers its (equalised) commit clock, which then
+   forces them to wait for its writes on every written key. *)
+let pre_commit_wait t node ~txn ~sid ~keys ~coord =
+  if t.config.Config.strict_order then begin
+    List.iter
+      (fun k ->
+        Sim.Cond.await t.sim node.squeue_changed (fun () ->
+            not (Squeue.blocks_writer (squeue node k) ~sid)))
+      keys;
+    send t ~src:node.id ~dst:coord (Message.Ack { txn })
+  end
+  else begin
+    (* Paper mode: Alg. 4 literally — drop each writer entry as soon as its
+       key's wait first clears; readers arriving later at that key simply
+       observe the version.  Fast, but the per-key staggered release is the
+       source of the anomalies documented in DESIGN.md. *)
+    List.iter
+      (fun k ->
+        Sim.Cond.await t.sim node.squeue_changed (fun () ->
+            not (Squeue.blocks_writer (squeue node k) ~sid));
+        ignore (Squeue.remove (squeue node k) txn);
+        Sim.Cond.broadcast t.sim node.squeue_changed)
+      keys;
+    (match (Hashtbl.find_opt node.prepared txn : prep option) with
+    | Some { final_vc = Some fvc; _ } -> node.stable_vc <- Vclock.max node.stable_vc fvc
+    | _ -> ());
+    Hashtbl.remove node.prepared txn;
+    Hashtbl.remove node.writer_since txn;
+    send t ~src:node.id ~dst:coord (Message.Ack { txn })
+  end
+
+(* Alg. 2 lines 29-36 fused with Alg. 3: commit ready transactions from the
+   head of the CommitQ in the order of this node's clock entry, making the
+   apply and the snapshot-queue insertion atomic (no window in which the
+   version is visible but its writer is not yet parked). *)
+let rec try_drain t node =
+  match Commitq.head node.commitq with
+  | Some { Commitq.txn; vc; status = Ready } ->
+      let prep = Hashtbl.find node.prepared txn in
+      let sid = Vclock.get vc node.id in
+      prep.final_vc <- Some vc;
+      Hashtbl.replace node.writer_since txn (now t);
+      List.iter
+        (fun (k, v) ->
+          Mvstore.install node.store k ~value:v ~vc ~writer:txn;
+          if is_primary t node.id k then record t (History.Install { txn; key = k });
+          let q = squeue node k in
+          Squeue.insert_write q ~txn ~sid;
+          List.iter
+            (fun (r, rsid) ->
+              if not (is_tombstoned node r) then begin
+                Squeue.insert_propagated q ~txn:r ~sid:rsid;
+                index_reader node r k
+              end)
+            prep.prop_set)
+        prep.ws_local;
+      Nlog.add node.nlog ~txn ~vc ~ws:(List.map fst prep.ws_local) ~at:(now t);
+      (* inline garbage collection, amortized over applies *)
+      if Nlog.size node.nlog land 1023 = 0 then
+        Nlog.prune node.nlog ~before:(now t -. t.config.Config.gc_horizon);
+      List.iter
+        (fun (k, _) -> Mvstore.truncate node.store k ~keep:t.config.Config.chain_keep)
+        prep.ws_local;
+      Commitq.remove node.commitq txn;
+      Locks.release_txn node.locks txn;
+      Sim.Cond.broadcast t.sim node.nlog_changed;
+      Sim.Cond.broadcast t.sim node.squeue_changed;
+      let keys = List.map fst prep.ws_local in
+      Sim.spawn t.sim (fun () ->
+          pre_commit_wait t node ~txn ~sid ~keys ~coord:prep.coord);
+      try_drain t node
+  | _ -> ()
+
+(* Every write replica's pre-commit wait cleared once; remove the writer
+   entries so the transaction can externally commit.  New readers may have
+   serialized before it since the Ack (they found the entry still parked),
+   so the wait condition is re-checked — the client is only informed after
+   every replica confirms removal, keeping "parked" synonymous with "not
+   yet externally committed". *)
+let handle_finalize t node ~txn =
+  match Hashtbl.find_opt node.prepared txn with
+  | None -> ()  (* duplicate finalize; the first one answered *)
+  | Some prep ->
+      prep.finalizing <- true;
+      Sim.Cond.broadcast t.sim node.squeue_changed;
+      Sim.spawn t.sim (fun () ->
+          let keys = List.map fst prep.ws_local in
+          let my_sid =
+            match prep.final_vc with Some fvc -> Vclock.get fvc node.id | None -> 0
+          in
+          (* Release strictly in this node's apply (stamp) order so the
+             reader-side cutoff prefix can never hide an already externally
+             committed transaction behind a still-parked earlier one.  The
+             stamp order is global (one minted xactVN per transaction), so
+             the waits are well-founded. *)
+          let earlier_parked () =
+            Hashtbl.fold
+              (fun w _ acc ->
+                acc
+                || (not (Ids.equal_txn w txn))
+                   &&
+                   match Hashtbl.find_opt node.prepared w with
+                   | Some { final_vc = Some fvc; _ } -> Vclock.get fvc node.id < my_sid
+                   | _ -> false)
+              node.writer_since false
+          in
+          Sim.Cond.await t.sim node.squeue_changed (fun () -> not (earlier_parked ()));
+          (* Re-check for readers that serialized below this writer since
+             the Ack: their clients must not be outrun. *)
+          let entry_sid k =
+            List.find_map
+              (fun e -> if Ids.equal_txn e.Squeue.txn txn then Some e.Squeue.sid else None)
+              (Squeue.writers (squeue node k))
+          in
+          List.iter
+            (fun k ->
+              match entry_sid k with
+              | None -> ()
+              | Some sid ->
+                  Sim.Cond.await t.sim node.squeue_changed (fun () ->
+                      not (Squeue.blocks_writer (squeue node k) ~sid)))
+            keys;
+          List.iter (fun k -> ignore (Squeue.remove (squeue node k) txn)) keys;
+          (match prep.final_vc with
+          | Some fvc -> node.stable_vc <- Vclock.max node.stable_vc fvc
+          | None -> ());
+          Hashtbl.remove node.prepared txn;
+          Hashtbl.remove node.writer_since txn;
+          Sim.Cond.broadcast t.sim node.squeue_changed;
+          send t ~src:node.id ~dst:prep.coord (Message.Finalize_ack { txn }))
+
+let handle_decide t node ~txn ~vc ~outcome =
+  match Hashtbl.find_opt node.prepared txn with
+  | None ->
+      (* We voted false (kept nothing), this is a duplicate decide, or our
+         Prepare is still in flight — remember aborts so a late Prepare
+         cannot resurrect the transaction. *)
+      if not outcome then begin
+        note_aborted_decide t node txn;
+        Commitq.remove node.commitq txn;
+        Locks.release_txn node.locks txn;
+        try_drain t node;
+        Sim.Cond.broadcast t.sim node.nlog_changed
+      end
+  | Some prep ->
+      if outcome then begin
+        node.node_vc <- Vclock.max node.node_vc vc;
+        if prep.ws_local <> [] then begin
+          Commitq.update node.commitq ~txn ~vc;
+          try_drain t node;
+          (* Readers waiting on the commit queue re-check: the final clock
+             may have moved this entry out of their visibility bound. *)
+          Sim.Cond.broadcast t.sim node.nlog_changed
+        end
+        else begin
+          Locks.release_txn node.locks txn;
+          Hashtbl.remove node.prepared txn
+        end
+      end
+      else begin
+        Commitq.remove node.commitq txn;
+        Locks.release_txn node.locks txn;
+        Hashtbl.remove node.prepared txn;
+        try_drain t node;
+        Sim.Cond.broadcast t.sim node.nlog_changed
+      end
+
+let handle_remove t node ~reader =
+  add_tombstone t node reader;
+  let keys = take_reader_keys node reader in
+  List.iter (fun k -> ignore (Squeue.remove (squeue node k) reader)) keys;
+  if keys <> [] then Sim.Cond.broadcast t.sim node.squeue_changed;
+  List.iter
+    (fun (writer, coord) ->
+      send t ~src:node.id ~dst:coord (Message.Forward_remove { reader; writer }))
+    (take_forwards node reader)
+
+let handle_forward_remove t node ~reader ~writer =
+  if Hashtbl.mem node.active writer then
+    (* The writer has not prepared yet: make sure it never propagates this
+       reader at all. *)
+    add_cancelled node ~writer ~reader
+  else
+    match find_ws node writer with
+    | Some ws_keys ->
+        send_nodes t ~src:node.id ~dsts:(replica_nodes t ws_keys)
+          (Message.Remove { txn = reader })
+    | None -> ()  (* long finished; its propagated entries are already gone *)
+
+let dispatch t node ~src payload =
+  match payload with
+  | Message.Read_request { req; txn; key; vc; has_read; is_update } ->
+      handle_read t node ~src ~req ~txn ~key ~vc ~has_read ~is_update
+  | Message.Read_return { req; value; vc; writer; propagated; parked_coord } ->
+      Sss_net.Rpc.Pending.resolve t.sim node.pending_reads req
+        { value; vc; writer; propagated; parked_coord; from = src }
+  | Message.Prepare { txn; coord; vc; rs; ws; propagated } ->
+      handle_prepare t node ~txn ~coord ~vc ~rs ~ws ~propagated
+  | Message.Vote { txn; ok; vc } -> (
+      match Hashtbl.find_opt node.vote_boxes txn with
+      | Some box ->
+          box.votes <- (ok, vc) :: box.votes;
+          if not ok then box.any_false <- true;
+          Sim.Cond.broadcast t.sim box.vchanged
+      | None -> () (* the coordinator timed out and moved on *))
+  | Message.Decide { txn; vc; outcome } -> handle_decide t node ~txn ~vc ~outcome
+  | Message.Ack { txn } -> (
+      match Hashtbl.find_opt node.ack_boxes txn with
+      | Some box ->
+          box.ack_count <- box.ack_count + 1;
+          if box.ack_count = box.ack_expect && not (Sim.Ivar.is_filled box.ack_done) then
+            Sim.Ivar.fill t.sim box.ack_done ()
+      | None -> ())
+  | Message.Finalize { txn } -> handle_finalize t node ~txn
+  | Message.Finalize_ack { txn } -> (
+      match Hashtbl.find_opt node.ack_boxes txn with
+      | Some box ->
+          box.ack_count <- box.ack_count + 1;
+          if box.ack_count = box.ack_expect && not (Sim.Ivar.is_filled box.ack_done) then
+            Sim.Ivar.fill t.sim box.ack_done ()
+      | None -> ())
+  | Message.Wait_finalized { writer; req } -> (
+      match Hashtbl.find_opt node.unfinalized writer with
+      | Some waiters ->
+          let reply () = send t ~src:node.id ~dst:src (Message.Finalized { req }) in
+          waiters := reply :: !waiters
+      | None -> send t ~src:node.id ~dst:src (Message.Finalized { req }))
+  | Message.Finalized { req } -> Sss_net.Rpc.Pending.resolve t.sim node.pending_finalized req ()
+  | Message.Remove { txn } -> handle_remove t node ~reader:txn
+  | Message.Forward_remove { reader; writer } -> handle_forward_remove t node ~reader ~writer
+
+let install t =
+  Array.iter
+    (fun n ->
+      Sss_net.Network.set_handler t.net n.id (fun ~src payload -> dispatch t n ~src payload))
+    t.nodes

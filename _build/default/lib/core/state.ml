@@ -1,0 +1,339 @@
+(** Runtime state of an SSS deployment: per-node protocol state plus the
+    cluster-wide wiring (simulator, network, replica map, history).
+
+    This module only holds data and small helpers; the protocol logic lives
+    in {!Server} (participant side) and {!Client} (coordinator side). *)
+
+open Sss_sim
+open Sss_data
+open Sss_net
+open Sss_consistency
+
+(* Response to a read, delivered to the requesting coordinator. *)
+type read_resp = {
+  value : string;
+  vc : Vclock.t;
+  writer : Ids.txn;
+  propagated : (Ids.txn * int) list;
+  parked_coord : Ids.node option;
+  from : Ids.node;
+}
+
+(* Vote collection: unlike a plain Gather, the coordinator wants to stop
+   early on the first negative vote. *)
+type vote_box = {
+  expect : int;
+  mutable votes : (bool * Vclock.t) list;
+  mutable any_false : bool;
+  vchanged : Sim.Cond.t;
+}
+
+type ack_box = { ack_expect : int; mutable ack_count : int; ack_done : unit Sim.Ivar.t }
+
+(* What a participant remembers between Prepare and Finalize. *)
+type prep = {
+  rs_local : (Ids.key * Ids.txn) list;
+  ws_local : (Ids.key * string) list;
+  prop_set : (Ids.txn * int) list;
+  coord : Ids.node;
+  mutable final_vc : Vclock.t option;  (* set when the writes are applied *)
+  mutable finalizing : bool;  (* the coordinator's Finalize has arrived *)
+}
+
+type node = {
+  id : Ids.node;
+  store : Mvstore.t;
+  nlog : Nlog.t;
+  commitq : Commitq.t;
+  locks : Locks.t;
+  squeues : (Ids.key, Squeue.t) Hashtbl.t;
+  mutable node_vc : Vclock.t;
+  (* Entry-wise max over the final clocks of transactions completed at this
+     node (coordinated updates and read-only snapshots).  Folded into new
+     transactions' initial visibility so a client never misses what it was
+     already told committed ("latest committed transaction in Ni", §III-A,
+     includes locally coordinated ones). *)
+  mutable coordinated_max : Vclock.t;
+  (* Like the NLog's most recent clock but restricted to *finalized*
+     (externally committed) transactions.  Read-only transactions start
+     from this: starting from the raw NLog would make them "cover" a
+     writer that is applied locally but still parked in snapshot-queues
+     elsewhere, and two readers covering two different parked writers can
+     order them divergently (Adya's anomaly, found by property testing). *)
+  mutable stable_vc : Vclock.t;
+  (* last clock value minted by this node as a coordinator (see
+     [mint_xact_vn]) *)
+  mutable minted : int;
+  gen : Ids.Gen.t;
+  (* coordinator-side rendezvous *)
+  pending_reads : read_resp Rpc.Pending.t;
+  vote_boxes : (Ids.txn, vote_box) Hashtbl.t;
+  ack_boxes : (Ids.txn, ack_box) Hashtbl.t;
+  (* participant-side 2PC state *)
+  prepared : (Ids.txn, prep) Hashtbl.t;
+  (* abort decisions that may have overtaken their own Prepare *)
+  aborted_decides : (Ids.txn, float) Hashtbl.t;
+  (* Remove propagation machinery *)
+  tombstones : (Ids.txn, float) Hashtbl.t;
+  forwards : (Ids.txn, (Ids.txn * Ids.node) list ref) Hashtbl.t;
+  reader_keys : (Ids.txn, Ids.key list ref) Hashtbl.t;
+  writer_since : (Ids.txn, float) Hashtbl.t;
+  recent_ws : (Ids.txn, Ids.key list * float) Hashtbl.t;
+  cancelled : (Ids.txn, Ids.txn list ref) Hashtbl.t;
+  active : (Ids.txn, unit) Hashtbl.t;  (* txns begun here, not yet finished *)
+  (* update txns coordinated here that are past begin but not yet externally
+     committed, with the reply closures of Wait_finalized requests *)
+  unfinalized : (Ids.txn, (unit -> unit) list ref) Hashtbl.t;
+  pending_finalized : unit Rpc.Pending.t;
+  mutable recent_ws_ops : int;
+  (* wake-ups *)
+  nlog_changed : Sim.Cond.t;
+  squeue_changed : Sim.Cond.t;
+}
+
+type stats = {
+  mutable wait_covered_timeouts : int;
+  mutable committed_update : int;
+  mutable committed_ro : int;
+  mutable aborted : int;
+  mutable reads_served : int;
+  (* (begin, decide-sent, external-commit) per committed update txn *)
+  mutable latencies : (float * float * float) list;
+  mutable collect_latencies : bool;
+}
+
+type t = {
+  sim : Sim.t;
+  config : Config.t;
+  repl : Replication.t;
+  net : Message.payload Network.t;
+  nodes : node array;
+  history : History.t;
+  stats : stats;
+}
+
+let make_node sim ~nodes ~id =
+  {
+    id;
+    store = Mvstore.create ~nodes;
+    nlog = Nlog.create ~nodes ~node:id;
+    commitq = Commitq.create ~node:id;
+    locks = Locks.create sim;
+    squeues = Hashtbl.create 256;
+    node_vc = Vclock.zero nodes;
+    coordinated_max = Vclock.zero nodes;
+    stable_vc = Vclock.zero nodes;
+    minted = 0;
+    gen = Ids.Gen.create id;
+    pending_reads = Rpc.Pending.create ();
+    vote_boxes = Hashtbl.create 64;
+    ack_boxes = Hashtbl.create 64;
+    prepared = Hashtbl.create 64;
+    aborted_decides = Hashtbl.create 64;
+    tombstones = Hashtbl.create 256;
+    forwards = Hashtbl.create 256;
+    reader_keys = Hashtbl.create 256;
+    writer_since = Hashtbl.create 64;
+    recent_ws = Hashtbl.create 1024;
+    cancelled = Hashtbl.create 16;
+    active = Hashtbl.create 64;
+    unfinalized = Hashtbl.create 64;
+    pending_finalized = Rpc.Pending.create ();
+    recent_ws_ops = 0;
+    nlog_changed = Sim.Cond.create ();
+    squeue_changed = Sim.Cond.create ();
+  }
+
+let create sim (config : Config.t) =
+  let repl =
+    Replication.create ~nodes:config.nodes ~degree:config.replication_degree
+      ~total_keys:config.total_keys
+  in
+  let rng = Prng.create ~seed:config.seed in
+  let net =
+    Network.create
+      ~size_of:(Message.wire_size ~compress:config.compress_metadata)
+      sim rng ~nodes:config.nodes ~config:config.network
+  in
+  let nodes = Array.init config.nodes (fun id -> make_node sim ~nodes:config.nodes ~id) in
+  (* Pre-populate every key on its replicas with a genesis version. *)
+  Array.iter
+    (fun node ->
+      Array.iter
+        (fun k -> Mvstore.init_key node.store k ~value:(Printf.sprintf "init:%d" k))
+        (Replication.keys_at repl node.id))
+    nodes;
+  {
+    sim;
+    config;
+    repl;
+    net;
+    nodes;
+    history = History.create ~enabled:config.record_history ();
+    stats =
+      {
+        wait_covered_timeouts = 0;
+        committed_update = 0;
+        committed_ro = 0;
+        aborted = 0;
+        reads_served = 0;
+        latencies = [];
+        collect_latencies = false;
+      };
+  }
+
+let node t i = t.nodes.(i)
+
+let now t = Sim.now t.sim
+
+let squeue node key =
+  match Hashtbl.find_opt node.squeues key with
+  | Some q -> q
+  | None ->
+      let q = Squeue.create () in
+      Hashtbl.replace node.squeues key q;
+      q
+
+let send t ~src ~dst payload =
+  let prio = if t.config.Config.priority_network then Message.priority payload else 100 in
+  Network.send t.net ~prio ~src ~dst payload
+
+let send_nodes t ~src ~dsts payload =
+  List.iter (fun dst -> send t ~src ~dst payload) dsts
+
+(* Nodes storing any key of [keys], deduplicated, ascending. *)
+let replica_nodes t keys =
+  List.sort_uniq Int.compare
+    (List.concat_map (fun k -> Replication.replicas t.repl k) keys)
+
+let record t event = History.record t.history ~at:(now t) event
+
+(* Clock values are [raw * nodes + minting_node]: every value is created by
+   exactly one bump or one xactVN mint, so equal scalars always denote the
+   same transaction.  Without this, two transactions committing through
+   disjoint nodes can end up with the same equalised clock entry at a node
+   (the coordinator's xactVN maximum can resolve to a value imported from
+   the transaction's causal past), and a reader that learned the value from
+   one of them would silently treat the other as covered by its snapshot. *)
+let bump_local t node =
+  let n = t.config.Config.nodes in
+  let current = Vclock.get node.node_vc node.id in
+  let fresh = (((current / n) + 1) * n) + node.id in
+  node.node_vc <- Vclock.set node.node_vc node.id fresh;
+  node.node_vc
+
+let mint_xact_vn t node ~at_least =
+  let n = t.config.Config.nodes in
+  let base = Stdlib.max at_least node.minted in
+  let fresh = (((base / n) + 1) * n) + node.id in
+  node.minted <- fresh;
+  fresh
+
+let is_primary t node_id key =
+  match Replication.replicas t.repl key with
+  | first :: _ -> first = node_id
+  | [] -> false
+
+(* ---- tombstones and recent write-set GC ---- *)
+
+let tombstone_horizon = 10.0
+
+let add_tombstone t node txn =
+  Hashtbl.replace node.tombstones txn (now t);
+  if Hashtbl.length node.tombstones > 20_000 then begin
+    let cutoff = now t -. tombstone_horizon in
+    let stale =
+      Hashtbl.fold (fun k at acc -> if at < cutoff then k :: acc else acc) node.tombstones []
+    in
+    List.iter (Hashtbl.remove node.tombstones) stale
+  end
+
+let is_tombstoned node txn = Hashtbl.mem node.tombstones txn
+
+let note_aborted_decide t node txn =
+  Hashtbl.replace node.aborted_decides txn (now t);
+  if Hashtbl.length node.aborted_decides > 20_000 then begin
+    let cutoff = now t -. tombstone_horizon in
+    let stale =
+      Hashtbl.fold
+        (fun k at acc -> if at < cutoff then k :: acc else acc)
+        node.aborted_decides []
+    in
+    List.iter (Hashtbl.remove node.aborted_decides) stale
+  end
+
+let was_abort_decided node txn = Hashtbl.mem node.aborted_decides txn
+
+let recent_ws_horizon = 5.0
+
+let remember_ws t node txn keys =
+  Hashtbl.replace node.recent_ws txn (keys, now t);
+  node.recent_ws_ops <- node.recent_ws_ops + 1;
+  if node.recent_ws_ops land 4095 = 0 then begin
+    let cutoff = now t -. recent_ws_horizon in
+    let stale =
+      Hashtbl.fold
+        (fun k (_, at) acc -> if at < cutoff then k :: acc else acc)
+        node.recent_ws []
+    in
+    List.iter (Hashtbl.remove node.recent_ws) stale
+  end
+
+let find_ws node txn =
+  Option.map fst (Hashtbl.find_opt node.recent_ws txn)
+
+(* ---- reader entry index (reader txn -> keys with entries on this node) ---- *)
+
+let index_reader node reader key =
+  let keys =
+    match Hashtbl.find_opt node.reader_keys reader with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace node.reader_keys reader r;
+        r
+  in
+  if not (List.mem key !keys) then keys := key :: !keys
+
+let take_reader_keys node reader =
+  match Hashtbl.find_opt node.reader_keys reader with
+  | None -> []
+  | Some r ->
+      Hashtbl.remove node.reader_keys reader;
+      !r
+
+let add_forward node ~reader ~writer ~coord =
+  let l =
+    match Hashtbl.find_opt node.forwards reader with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace node.forwards reader r;
+        r
+  in
+  if not (List.mem (writer, coord) !l) then l := (writer, coord) :: !l
+
+let take_forwards node reader =
+  match Hashtbl.find_opt node.forwards reader with
+  | None -> []
+  | Some r ->
+      Hashtbl.remove node.forwards reader;
+      !r
+
+let add_cancelled node ~writer ~reader =
+  let l =
+    match Hashtbl.find_opt node.cancelled writer with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace node.cancelled writer r;
+        r
+  in
+  if not (List.exists (Ids.equal_txn reader) !l) then l := reader :: !l
+
+let take_cancelled node writer =
+  match Hashtbl.find_opt node.cancelled writer with
+  | None -> []
+  | Some r ->
+      Hashtbl.remove node.cancelled writer;
+      !r

@@ -1,0 +1,1 @@
+lib/data/commitq.ml: Ids Int List Vclock

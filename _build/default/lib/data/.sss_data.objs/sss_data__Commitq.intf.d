@@ -1,0 +1,1 @@
+lib/data/commitq.mli: Ids Vclock

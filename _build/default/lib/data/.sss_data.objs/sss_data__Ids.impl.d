@@ -1,0 +1,1 @@
+lib/data/ids.ml: Format Int Printf

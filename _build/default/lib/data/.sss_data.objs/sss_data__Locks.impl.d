@@ -1,0 +1,1 @@
+lib/data/locks.ml: Hashtbl Ids Int List Sim Sss_sim

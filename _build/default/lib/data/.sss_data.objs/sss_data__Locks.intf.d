@@ -1,0 +1,1 @@
+lib/data/locks.mli: Ids Sss_sim

@@ -1,0 +1,1 @@
+lib/data/mvstore.ml: Hashtbl Ids List Stdlib Vclock

@@ -1,0 +1,1 @@
+lib/data/mvstore.mli: Ids Vclock

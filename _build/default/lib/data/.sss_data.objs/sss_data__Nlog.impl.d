@@ -1,0 +1,1 @@
+lib/data/nlog.ml: Array Ids List Stdlib Vclock

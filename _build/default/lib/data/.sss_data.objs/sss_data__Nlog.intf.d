@@ -1,0 +1,1 @@
+lib/data/nlog.mli: Ids Vclock

@@ -1,0 +1,1 @@
+lib/data/replication.ml: Array Ids Int64 List

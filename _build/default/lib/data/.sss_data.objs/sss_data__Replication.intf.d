@@ -1,0 +1,1 @@
+lib/data/replication.mli: Ids

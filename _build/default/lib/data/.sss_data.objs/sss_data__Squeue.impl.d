@@ -1,0 +1,1 @@
+lib/data/squeue.ml: Bool Format Ids Int List

@@ -1,0 +1,1 @@
+lib/data/squeue.mli: Format Ids

@@ -1,0 +1,1 @@
+lib/data/vclock.ml: Array Format Stdlib String

@@ -1,0 +1,1 @@
+lib/data/vclock.mli: Format

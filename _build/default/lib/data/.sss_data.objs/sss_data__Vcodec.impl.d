@@ -1,0 +1,1 @@
+lib/data/vcodec.ml: Array Buffer Char String Vclock

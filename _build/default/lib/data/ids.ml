@@ -1,0 +1,28 @@
+type node = int
+
+type key = int
+
+type txn = { node : node; local : int }
+
+let genesis = { node = -1; local = 0 }
+
+let compare_txn a b =
+  let c = Int.compare a.node b.node in
+  if c <> 0 then c else Int.compare a.local b.local
+
+let equal_txn a b = compare_txn a b = 0
+
+let txn_to_string t =
+  if t = genesis then "T<genesis>" else Printf.sprintf "T<%d.%d>" t.node t.local
+
+let pp_txn fmt t = Format.pp_print_string fmt (txn_to_string t)
+
+module Gen = struct
+  type nonrec t = { node : node; mutable counter : int }
+
+  let create node = { node; counter = 0 }
+
+  let next t =
+    t.counter <- t.counter + 1;
+    { node = t.node; local = t.counter }
+end

@@ -1,0 +1,32 @@
+(** Identifiers shared across the store: nodes, keys, transactions. *)
+
+type node = int
+(** Nodes are numbered [0 .. n-1]. *)
+
+type key = int
+(** Keys are numbered [0 .. total_keys-1], as in the YCSB port of the
+    paper's evaluation. *)
+
+(** Globally unique transaction identifier: originating node plus a
+    node-local sequence number. *)
+type txn = { node : node; local : int }
+
+val genesis : txn
+(** Pseudo-transaction that wrote the initial version of every key. *)
+
+val compare_txn : txn -> txn -> int
+
+val equal_txn : txn -> txn -> bool
+
+val txn_to_string : txn -> string
+
+val pp_txn : Format.formatter -> txn -> unit
+
+(** Mint node-local transaction identifiers. *)
+module Gen : sig
+  type t
+
+  val create : node -> t
+
+  val next : t -> txn
+end

@@ -1,0 +1,50 @@
+type version = { value : string; vc : Vclock.t; writer : Ids.txn }
+
+type t = { nodes : int; table : (Ids.key, version list ref) Hashtbl.t }
+
+let create ~nodes = { nodes; table = Hashtbl.create 1024 }
+
+let mem t k = Hashtbl.mem t.table k
+
+let init_key t k ~value =
+  if not (mem t k) then
+    let genesis = { value; vc = Vclock.zero t.nodes; writer = Ids.genesis } in
+    Hashtbl.replace t.table k (ref [ genesis ])
+
+let chain_ref t k =
+  match Hashtbl.find_opt t.table k with
+  | Some r -> r
+  | None -> raise Not_found
+
+let last t k =
+  match !(chain_ref t k) with
+  | v :: _ -> v
+  | [] -> assert false
+
+let install t k ~value ~vc ~writer =
+  let r = chain_ref t k in
+  r := { value; vc; writer } :: !r
+
+let chain t k = !(chain_ref t k)
+
+let select t k ~skip =
+  let rec walk = function
+    | [] -> assert false
+    | [ oldest ] -> oldest
+    | v :: rest -> if skip v then walk rest else v
+  in
+  walk !(chain_ref t k)
+
+let truncate t k ~keep =
+  let keep = Stdlib.max keep 1 in
+  let r = chain_ref t k in
+  let rec take n = function
+    | [] -> []
+    | v :: rest -> if n = 0 then [] else v :: take (n - 1) rest
+  in
+  if List.length !r > keep then r := take keep !r
+
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.table []
+
+let version_count t =
+  Hashtbl.fold (fun _ r acc -> acc + List.length !r) t.table 0

@@ -1,0 +1,50 @@
+(** Per-node multi-version key repository.
+
+    Each key holds a chain of versions, newest first.  A version records the
+    value, the commit vector clock of the transaction that produced it, and
+    that transaction's identifier (used by the consistency checker to name
+    versions).  Keys are initialised with a genesis version carrying the
+    all-zero clock. *)
+
+type version = {
+  value : string;
+  vc : Vclock.t;  (** commit vector clock of the writer *)
+  writer : Ids.txn;
+}
+
+type t
+
+val create : nodes:int -> t
+(** [create ~nodes] is an empty store on a cluster of [nodes] nodes (fixes
+    the clock size of genesis versions). *)
+
+val init_key : t -> Ids.key -> value:string -> unit
+(** Install the genesis version for [key]. Idempotent. *)
+
+val mem : t -> Ids.key -> bool
+
+val last : t -> Ids.key -> version
+(** Newest version. @raise Not_found if the key was never initialised. *)
+
+val install : t -> Ids.key -> value:string -> vc:Vclock.t -> writer:Ids.txn -> unit
+(** Prepend a new newest version.  The caller (the CommitQ drain) guarantees
+    installation order follows the node-local commit order. *)
+
+val chain : t -> Ids.key -> version list
+(** All versions, newest first. *)
+
+val select : t -> Ids.key -> skip:(version -> bool) -> version
+(** Walk the chain newest-first and return the first version for which
+    [skip] is false.  The genesis version is never skipped if everything
+    else is (its zero clock satisfies every visibility bound), so [select]
+    always returns. @raise Not_found on unknown key. *)
+
+val truncate : t -> Ids.key -> keep:int -> unit
+(** Garbage-collect a chain down to its [keep] newest versions (but never
+    dropping the last one). *)
+
+val keys : t -> Ids.key list
+
+val version_count : t -> int
+(** Total number of stored versions, across all keys (for tests and GC
+    telemetry). *)

@@ -1,0 +1,153 @@
+type entry = { txn : Ids.txn; vc : Vclock.t; ws : Ids.key list; at : float }
+
+(* Entries are kept in an append-ordered dynamic array (the node-local clock
+   component strictly increases with application order), together with
+   per-prefix entry-wise maxima so that unconstrained visibility queries are
+   a binary search + O(1) lookup instead of a scan. *)
+type t = {
+  node : int;
+  nodes : int;
+  mutable entries : entry array;
+  mutable pmax : int array array;  (* pmax.(i) = entrywise max of entries 0..i *)
+  mutable len : int;
+  mutable most_recent : Vclock.t;
+  mutable committed_max : Vclock.t;
+}
+
+let create ~nodes ~node =
+  let zero = Vclock.zero nodes in
+  let genesis = { txn = Ids.genesis; vc = zero; ws = []; at = 0.0 } in
+  {
+    node;
+    nodes;
+    entries = Array.make 64 genesis;
+    pmax = Array.make 64 (Array.make nodes 0);
+    len = 1;
+    most_recent = zero;
+    committed_max = zero;
+  }
+
+let node t = t.node
+
+let grow t =
+  if t.len = Array.length t.entries then begin
+    let cap = 2 * t.len in
+    let entries = Array.make cap t.entries.(0) in
+    Array.blit t.entries 0 entries 0 t.len;
+    t.entries <- entries;
+    let pmax = Array.make cap t.pmax.(0) in
+    Array.blit t.pmax 0 pmax 0 t.len;
+    t.pmax <- pmax
+  end
+
+let add t ~txn ~vc ~ws ~at =
+  grow t;
+  t.entries.(t.len) <- { txn; vc; ws; at };
+  let prev = t.pmax.(t.len - 1) in
+  let m = Array.init t.nodes (fun w -> Stdlib.max prev.(w) (Vclock.get vc w)) in
+  t.pmax.(t.len) <- m;
+  t.len <- t.len + 1;
+  t.most_recent <- vc;
+  t.committed_max <- Vclock.of_array m
+
+let most_recent_vc t = t.most_recent
+
+let most_recent_local t = Vclock.get t.most_recent t.node
+
+let committed_max t = t.committed_max
+
+(* Largest index whose entry has local component < cutoff (entries are
+   strictly increasing in the local component). *)
+let last_below t cutoff =
+  if cutoff = max_int then t.len - 1
+  else begin
+    let rec search lo hi best =
+      if lo > hi then best
+      else
+        let mid = (lo + hi) / 2 in
+        if Vclock.get t.entries.(mid).vc t.node < cutoff then search (mid + 1) hi mid
+        else search lo (mid - 1) best
+    in
+    search 0 (t.len - 1) (-1)
+  end
+
+let visible_max t ~has_read ~bound ~cutoff =
+  let n = t.nodes in
+  let top = last_below t cutoff in
+  let unconstrained =
+    let rec go w = w >= n || ((not has_read.(w)) && go (w + 1)) in
+    go 0
+  in
+  if top < 0 then Vclock.zero n
+  else if unconstrained then Vclock.of_array t.pmax.(top)
+  else begin
+    (* Ceiling: on already-read nodes we are capped by the bound, elsewhere
+       by the maximum over the cutoff prefix; stop once it is reached. *)
+    let ceiling =
+      Array.init n (fun w ->
+          if has_read.(w) then Stdlib.min (Vclock.get bound w) t.pmax.(top).(w)
+          else t.pmax.(top).(w))
+    in
+    let acc = Array.make n 0 in
+    let reached () =
+      let rec go w = w >= n || (acc.(w) >= ceiling.(w) && go (w + 1)) in
+      go 0
+    in
+    let admissible vc =
+      let rec go w =
+        w >= n || (((not has_read.(w)) || Vclock.get vc w <= Vclock.get bound w) && go (w + 1))
+      in
+      go 0
+    in
+    let i = ref top in
+    let stop = ref false in
+    while (not !stop) && !i >= 0 do
+      let e = t.entries.(!i) in
+      if admissible e.vc then begin
+        for w = 0 to n - 1 do
+          let v = Vclock.get e.vc w in
+          if v > acc.(w) then acc.(w) <- v
+        done;
+        if reached () then stop := true
+      end;
+      decr i
+    done;
+    Vclock.of_array acc
+  end
+
+let size t = t.len
+
+let prune t ~before =
+  (* Keep a contiguous suffix of entries with [at >= before], always keeping
+     at least one entry as the floor. *)
+  let rec first_kept i =
+    if i >= t.len - 1 then t.len - 1
+    else if t.entries.(i).at >= before then i
+    else first_kept (i + 1)
+  in
+  (* keep one older entry as the floor, matching the documented contract *)
+  let from = Stdlib.max 0 (first_kept 0 - 1) in
+  if from > 0 then begin
+    let new_len = t.len - from in
+    let entries = Array.make (Array.length t.entries) t.entries.(0) in
+    Array.blit t.entries from entries 0 new_len;
+    t.entries <- entries;
+    t.len <- new_len;
+    (* Rebuild prefix maxima, seeding with the dropped prefix's maximum so
+       visibility bounds never regress because of garbage collection (the
+       pruned transactions stay inside every later snapshot). *)
+    let seed = t.pmax.(from - 1) in
+    let pmax = Array.make (Array.length t.pmax) t.pmax.(0) in
+    let prev = ref seed in
+    for i = 0 to new_len - 1 do
+      let vc = t.entries.(i).vc in
+      let m = Array.init t.nodes (fun w -> Stdlib.max !prev.(w) (Vclock.get vc w)) in
+      pmax.(i) <- m;
+      prev := m
+    done;
+    t.pmax <- pmax
+  end
+
+let entries t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (t.entries.(i) :: acc) in
+  List.rev (go (t.len - 1) [])

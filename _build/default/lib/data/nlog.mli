@@ -1,0 +1,62 @@
+(** Per-node log of internally-committed transactions (§III-A).
+
+    When an update transaction reaches the head of the CommitQ and applies
+    its writes on node [i], its commit vector clock is appended here.  The
+    log answers the two questions the read protocol asks:
+
+    - [most_recent_vc]: the clock of the latest internally-committed
+      transaction, used to initialise read-only transactions' visibility
+      bounds and to admit first reads (Alg. 6 line 5);
+    - [visible_max]: the entry-wise maximum over the [VisibleSet] of
+      Alg. 6 lines 6–9 — the freshest snapshot compatible with what the
+      reading transaction has already observed.
+
+    The log is seeded with a genesis all-zero entry so the visible set is
+    never empty. *)
+
+type entry = { txn : Ids.txn; vc : Vclock.t; ws : Ids.key list; at : float }
+
+type t
+
+val create : nodes:int -> node:int -> t
+
+val node : t -> int
+
+val add : t -> txn:Ids.txn -> vc:Vclock.t -> ws:Ids.key list -> at:float -> unit
+(** Append an internal commit.  [at] is the virtual time of application,
+    used only for pruning. *)
+
+val most_recent_vc : t -> Vclock.t
+
+val most_recent_local : t -> int
+(** [most_recent_local t] = entry [node t] of {!most_recent_vc}. *)
+
+val committed_max : t -> Vclock.t
+(** Entry-wise maximum over every clock ever logged (survives pruning). *)
+
+val visible_max :
+  t ->
+  has_read:bool array ->
+  bound:Vclock.t ->
+  cutoff:int ->
+  Vclock.t
+(** Entry-wise maximum over logged clocks [vc] such that (a) for every node
+    [w] with [has_read.(w)], [vc.(w) <= bound.(w)], and (b) the entry's
+    local component [vc.(node t)] is strictly below [cutoff].  The cutoff
+    is the smallest insertion snapshot among the snapshot-queue writers the
+    reader must serialize before: a coherent local snapshot is a prefix of
+    this node's apply order, so everything at or after the first invisible
+    writer is invisible too.  Pass [max_int] when nothing is excluded.
+    Scans newest-first and stops early once the accumulated maximum
+    provably cannot grow. *)
+
+val size : t -> int
+
+val prune : t -> before:float -> unit
+(** Drop entries applied strictly before [before], always keeping at least
+    one.  Callers must guarantee no active transaction still needs pruned
+    entries (the experiment harness uses a horizon far larger than any
+    transaction lifetime). *)
+
+val entries : t -> entry list
+(** Newest first (tests only). *)

@@ -1,0 +1,27 @@
+(** Replica placement.
+
+    SSS assumes a general partial replication scheme with a local look-up
+    function mapping keys to the nodes that store them (§II).  We use a
+    deterministic hashed placement: a key's replica group is [degree]
+    consecutive nodes starting at a pseudo-random offset derived from the
+    key, which spreads load uniformly like the paper's YCSB deployment. *)
+
+type t
+
+val create : nodes:int -> degree:int -> total_keys:int -> t
+(** @raise Invalid_argument if [degree] is not within [1 .. nodes]. *)
+
+val nodes : t -> int
+
+val degree : t -> int
+
+val total_keys : t -> int
+
+val replicas : t -> Ids.key -> Ids.node list
+(** The nodes storing the key (constant, length [degree]). *)
+
+val is_replica : t -> Ids.node -> Ids.key -> bool
+
+val keys_at : t -> Ids.node -> Ids.key array
+(** Every key the node stores (precomputed; used to initialise stores and
+    to draw node-local keys for the locality workload of Fig. 7). *)

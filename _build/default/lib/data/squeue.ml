@@ -1,0 +1,74 @@
+type entry = { txn : Ids.txn; sid : int; propagated : bool }
+
+(* Both sequences are sorted by (sid, txn).  Queues stay short in practice
+   (they only contain in-flight transactions touching this key), so sorted
+   lists beat fancier structures here. *)
+type t = { mutable reads : entry list; mutable writes : entry list }
+
+let create () = { reads = []; writes = [] }
+
+let compare_entry a b =
+  let c = Int.compare a.sid b.sid in
+  if c <> 0 then c
+  else
+    let c = Ids.compare_txn a.txn b.txn in
+    if c <> 0 then c else Bool.compare a.propagated b.propagated
+
+let insert_sorted e l =
+  let rec go = function
+    | [] -> [ e ]
+    | x :: rest as all ->
+        let c = compare_entry e x in
+        if c = 0 then all  (* idempotent *)
+        else if c < 0 then e :: all
+        else x :: go rest
+  in
+  go l
+
+let insert_read t ~txn ~sid =
+  t.reads <- insert_sorted { txn; sid; propagated = false } t.reads
+
+let insert_propagated t ~txn ~sid =
+  t.reads <- insert_sorted { txn; sid; propagated = true } t.reads
+
+let insert_write t ~txn ~sid =
+  t.writes <- insert_sorted { txn; sid; propagated = false } t.writes
+
+let remove t txn =
+  let len l = List.length l in
+  let before = len t.reads + len t.writes in
+  let keep e = not (Ids.equal_txn e.txn txn) in
+  t.reads <- List.filter keep t.reads;
+  t.writes <- List.filter keep t.writes;
+  len t.reads + len t.writes < before
+
+let mem t txn =
+  let has l = List.exists (fun e -> Ids.equal_txn e.txn txn) l in
+  has t.reads || has t.writes
+
+let readers t = t.reads
+
+let writers t = t.writes
+
+let exists_read_below t ~sid =
+  List.exists (fun e -> (not e.propagated) && e.sid < sid) t.reads
+
+let blocks_writer t ~sid =
+  List.exists (fun e -> e.propagated || e.sid < sid) t.reads
+
+let min_read_sid t = match t.reads with [] -> None | e :: _ -> Some e.sid
+
+let is_empty t = t.reads = [] && t.writes = []
+
+let length t = List.length t.reads + List.length t.writes
+
+let pp fmt t =
+  let pp_entry kind fmt e =
+    Format.fprintf fmt "<%a,%d,%s%s>" Ids.pp_txn e.txn e.sid kind
+      (if e.propagated then "*" else "")
+  in
+  Format.fprintf fmt "{R:%a W:%a}"
+    (Format.pp_print_list (pp_entry "R"))
+    t.reads
+    (Format.pp_print_list (pp_entry "W"))
+    t.writes

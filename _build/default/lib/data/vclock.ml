@@ -1,0 +1,42 @@
+type t = int array
+
+let zero n = Array.make n 0
+
+let of_array a = Array.copy a
+
+let to_array t = Array.copy t
+
+let size t = Array.length t
+
+let get t i = t.(i)
+
+let set t i v =
+  let c = Array.copy t in
+  c.(i) <- v;
+  c
+
+let bump t i = set t i (t.(i) + 1)
+
+let max a b =
+  assert (Array.length a = Array.length b);
+  Array.init (Array.length a) (fun i -> Stdlib.max a.(i) b.(i))
+
+let leq a b =
+  assert (Array.length a = Array.length b);
+  let rec loop i = i >= Array.length a || (a.(i) <= b.(i) && loop (i + 1)) in
+  loop 0
+
+let equal a b = a = b
+
+let lt a b = leq a b && not (equal a b)
+
+let compare = Stdlib.compare
+
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let to_string t =
+  "["
+  ^ String.concat "," (Array.to_list (Array.map string_of_int t))
+  ^ "]"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,48 @@
+(** Immutable vector clocks.
+
+    SSS associates a vector clock of size [n] (number of nodes) with every
+    transaction, node, and committed version.  All operations are
+    non-destructive; the arrays backing clocks are never shared mutably. *)
+
+type t
+
+val zero : int -> t
+(** [zero n] is the all-zero clock of size [n]. *)
+
+val of_array : int array -> t
+(** Copies its argument. *)
+
+val to_array : t -> int array
+(** Returns a fresh copy. *)
+
+val size : t -> int
+
+val get : t -> int -> int
+
+val set : t -> int -> int -> t
+(** [set vc i v] is a copy of [vc] whose [i]-th entry is [v]. *)
+
+val bump : t -> int -> t
+(** [bump vc i] increments entry [i]. *)
+
+val max : t -> t -> t
+(** Entry-wise maximum. Sizes must agree. *)
+
+val leq : t -> t -> bool
+(** [leq a b] iff every entry of [a] is <= the matching entry of [b]. *)
+
+val lt : t -> t -> bool
+(** [lt a b] iff [leq a b] and they differ somewhere. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order (lexicographic) used only for deterministic tie-breaking;
+    not the causal partial order. *)
+
+val concurrent : t -> t -> bool
+(** Neither [leq a b] nor [leq b a]. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

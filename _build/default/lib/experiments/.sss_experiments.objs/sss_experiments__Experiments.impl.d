@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: List Printf Replication Rococo_kv Sim Sss_data Sss_kv Sss_net Sss_sim Sss_workload Stdlib Twopc_kv Walter_kv

@@ -1,0 +1,480 @@
+open Sss_sim
+open Sss_data
+
+type system = Sss | Walter | Twopc | Rococo
+
+let system_name = function
+  | Sss -> "SSS"
+  | Walter -> "Walter"
+  | Twopc -> "2PC"
+  | Rococo -> "ROCOCO"
+
+type params = {
+  system : system;
+  nodes : int;
+  degree : int;
+  keys : int;
+  ro_ratio : float;
+  ro_ops : int;
+  locality : float;
+  clients : int;
+  warmup : float;
+  duration : float;
+  seed : int;
+  strict : bool;
+      (* SSS only: hardened external-commit ordering (DESIGN.md) instead of
+         the paper's literal per-key release *)
+  priority_network : bool;  (* SSS only: §V's prioritized message queues *)
+  compress : bool;  (* SSS only: §III-A metadata compression (byte telemetry) *)
+  zipf : float option;  (* skewed key popularity instead of uniform *)
+}
+
+let default_params =
+  {
+    system = Sss;
+    nodes = 5;
+    degree = 2;
+    keys = 5000;
+    ro_ratio = 0.5;
+    ro_ops = 2;
+    locality = 0.0;
+    clients = 10;
+    warmup = 0.01;
+    duration = 0.04;
+    seed = 42;
+    strict = false;
+    priority_network = true;
+    compress = true;
+    zipf = None;
+  }
+
+type outcome = {
+  throughput : float;
+  committed : int;
+  aborted : int;
+  abort_rate : float;
+  mean_latency : float;
+  p99_latency : float;
+  mean_update_latency : float;
+  mean_ro_latency : float;
+  sss_internal : float option;
+  sss_wait : float option;
+  wait_covered_timeouts : int;
+  wire_bytes : int;  (* SSS only: total message bytes (see compress_metadata) *)
+}
+
+let config_of (p : params) : Sss_kv.Config.t =
+  {
+    Sss_kv.Config.default with
+    nodes = p.nodes;
+    replication_degree = p.degree;
+    total_keys = p.keys;
+    record_history = false;
+    seed = p.seed;
+    strict_order = p.strict;
+    priority_network = p.priority_network;
+    compress_metadata = p.compress;
+  }
+
+let run (p : params) =
+  let sim = Sim.create () in
+  let config = config_of p in
+  let profile =
+    {
+      Sss_workload.Driver.read_only_ratio = p.ro_ratio;
+      update_ops = 2;
+      ro_ops = p.ro_ops;
+      locality = p.locality;
+    }
+  in
+  let load =
+    {
+      Sss_workload.Driver.clients_per_node = p.clients;
+      warmup = p.warmup;
+      duration = p.duration;
+      seed = p.seed;
+      dist =
+        (match p.zipf with
+        | None -> Sss_workload.Driver.Uniform
+        | Some theta -> Sss_workload.Driver.Zipfian theta);
+      retry_aborts = false;
+    }
+  in
+  let drive ~ops ~local_keys =
+    Sss_workload.Driver.run sim ~nodes:p.nodes ~total_keys:p.keys ~local_keys ~profile ~load
+      ~ops
+  in
+  let result, sss_cluster =
+    match p.system with
+    | Sss ->
+        let cl = Sss_kv.Kv.create sim config in
+        Sss_kv.Kv.set_collect_latencies cl true;
+        let ops =
+          {
+            Sss_workload.Driver.begin_txn =
+              (fun ~node ~read_only -> Sss_kv.Kv.begin_txn cl ~node ~read_only);
+            read = Sss_kv.Kv.read;
+            write = Sss_kv.Kv.write;
+            commit = Sss_kv.Kv.commit;
+          }
+        in
+        (drive ~ops ~local_keys:(fun n -> Replication.keys_at cl.Sss_kv.State.repl n), Some cl)
+    | Walter ->
+        let cl = Walter_kv.Walter.create sim config in
+        let ops =
+          {
+            Sss_workload.Driver.begin_txn =
+              (fun ~node ~read_only -> Walter_kv.Walter.begin_txn cl ~node ~read_only);
+            read = Walter_kv.Walter.read;
+            write = Walter_kv.Walter.write;
+            commit = Walter_kv.Walter.commit;
+          }
+        in
+        (drive ~ops ~local_keys:(fun n -> Replication.keys_at (Walter_kv.Walter.repl cl) n), None)
+    | Twopc ->
+        let cl = Twopc_kv.Twopc.create sim config in
+        let ops =
+          {
+            Sss_workload.Driver.begin_txn =
+              (fun ~node ~read_only -> Twopc_kv.Twopc.begin_txn cl ~node ~read_only);
+            read = Twopc_kv.Twopc.read;
+            write = Twopc_kv.Twopc.write;
+            commit = Twopc_kv.Twopc.commit;
+          }
+        in
+        (drive ~ops ~local_keys:(Twopc_kv.Twopc.local_keys cl), None)
+    | Rococo ->
+        let cl = Rococo_kv.Rococo.create sim config in
+        let ops =
+          {
+            Sss_workload.Driver.begin_txn =
+              (fun ~node ~read_only -> Rococo_kv.Rococo.begin_txn cl ~node ~read_only);
+            read = Rococo_kv.Rococo.read;
+            write = Rococo_kv.Rococo.write;
+            commit = Rococo_kv.Rococo.commit;
+          }
+        in
+        (drive ~ops ~local_keys:(fun n -> Replication.keys_at (Rococo_kv.Rococo.repl cl) n), None)
+  in
+  let wire_bytes =
+    match sss_cluster with
+    | None -> 0
+    | Some cl -> (Sss_kv.Kv.network_stats cl).Sss_net.Network.bytes
+  in
+  let sss_internal, sss_wait, timeouts =
+    match sss_cluster with
+    | None -> (None, None, 0)
+    | Some cl ->
+        let stats = Sss_kv.Kv.stats cl in
+        let lats = stats.Sss_kv.State.latencies in
+        let n = List.length lats in
+        if n = 0 then (None, None, stats.Sss_kv.State.wait_covered_timeouts)
+        else begin
+          let internal = ref 0.0 and wait = ref 0.0 in
+          List.iter
+            (fun (b, d, e) ->
+              internal := !internal +. (d -. b);
+              wait := !wait +. (e -. d))
+            lats;
+          ( Some (!internal /. float_of_int n),
+            Some (!wait /. float_of_int n),
+            stats.Sss_kv.State.wait_covered_timeouts )
+        end
+  in
+  {
+    throughput = result.Sss_workload.Driver.throughput;
+    committed = result.Sss_workload.Driver.committed;
+    aborted = result.Sss_workload.Driver.aborted;
+    abort_rate = result.Sss_workload.Driver.abort_rate;
+    mean_latency = Sss_workload.Stats.mean result.Sss_workload.Driver.latency;
+    p99_latency = Sss_workload.Stats.percentile result.Sss_workload.Driver.latency 0.99;
+    mean_update_latency = Sss_workload.Stats.mean result.Sss_workload.Driver.update_latency;
+    mean_ro_latency = Sss_workload.Stats.mean result.Sss_workload.Driver.ro_latency;
+    sss_internal;
+    sss_wait;
+    wait_covered_timeouts = timeouts;
+    wire_bytes;
+  }
+
+(* ---------- scales ---------- *)
+
+type scale = Full | Quick | Smoke
+
+let node_counts = function
+  | Full -> [ 5; 10; 15; 20 ]
+  | Quick -> [ 5; 10; 15 ]
+  | Smoke -> [ 3; 5 ]
+
+let keyspaces = function
+  | Full -> [ 5000; 10000 ]
+  | Quick -> [ 1000; 2000 ]
+  | Smoke -> [ 200 ]
+
+let base_params = function
+  | Full -> default_params
+  | Quick -> { default_params with clients = 8; duration = 0.025; warmup = 0.008 }
+  | Smoke -> { default_params with clients = 4; duration = 0.01; warmup = 0.004 }
+
+let ktxs o = o.throughput /. 1000.0
+
+let header title =
+  Printf.printf "\n== %s ==\n%!" title
+
+(* ---------- figures ---------- *)
+
+let fig3 scale =
+  header "Figure 3: throughput vs nodes, replication degree 2 (KTxs/sec)";
+  let base = base_params scale in
+  List.iter
+    (fun ro ->
+      Printf.printf "-- %d%% read-only --\n" (int_of_float (ro *. 100.));
+      Printf.printf "%-6s" "nodes";
+      List.iter
+        (fun sys ->
+          List.iter
+            (fun keys -> Printf.printf "%14s" (Printf.sprintf "%s-%dk" (system_name sys) (keys / 1000)))
+            (keyspaces scale))
+        [ Twopc; Walter; Sss ];
+      print_newline ();
+      List.iter
+        (fun nodes ->
+          Printf.printf "%-6d" nodes;
+          List.iter
+            (fun sys ->
+              List.iter
+                (fun keys ->
+                  let o = run { base with system = sys; nodes; keys; ro_ratio = ro; degree = 2 } in
+                  Printf.printf "%14.1f" (ktxs o))
+                (keyspaces scale))
+            [ Twopc; Walter; Sss ];
+          Printf.printf "\n%!")
+        (node_counts scale))
+    [ 0.2; 0.5; 0.8 ]
+
+let fig4a scale =
+  header "Figure 4(a): maximum attainable throughput, 50% read-only, 5k keys (KTxs/sec)";
+  let base = base_params scale in
+  let keys = List.hd (keyspaces scale) in
+  let client_options =
+    match scale with Full -> [ 5; 10; 16 ] | Quick -> [ 5; 10 ] | Smoke -> [ 4 ]
+  in
+  Printf.printf "%-6s%14s%14s\n" "nodes" "SSS" "2PC";
+  List.iter
+    (fun nodes ->
+      let best sys =
+        List.fold_left
+          (fun acc clients ->
+            let o = run { base with system = sys; nodes; keys; ro_ratio = 0.5; clients } in
+            Stdlib.max acc (ktxs o))
+          0.0 client_options
+      in
+      Printf.printf "%-6d%14.1f%14.1f\n%!" nodes (best Sss) (best Twopc))
+    (node_counts scale)
+
+let latency_nodes = function Full -> 20 | Quick -> 10 | Smoke -> 5
+
+let fig4b scale =
+  header
+    "Figure 4(b): transaction latency begin->external commit (ms), 50% read-only, 5k keys";
+  let base = base_params scale in
+  let keys = List.hd (keyspaces scale) in
+  let nodes = latency_nodes scale in
+  (* mean over ALL committed transactions: the paper's measurement includes
+     read-only transactions, whose cost is where SSS and the 2PC baseline
+     differ most (2PC validates and locks them). *)
+  Printf.printf "(nodes = %d)\n%-10s%14s%14s%16s%16s\n" nodes "clients" "SSS" "2PC"
+    "SSS(update)" "2PC(update)";
+  List.iter
+    (fun clients ->
+      let sss = run { base with system = Sss; nodes; keys; ro_ratio = 0.5; clients } in
+      let tp = run { base with system = Twopc; nodes; keys; ro_ratio = 0.5; clients } in
+      Printf.printf "%-10d%14.3f%14.3f%16.3f%16.3f\n%!" clients (sss.mean_latency *. 1e3)
+        (tp.mean_latency *. 1e3)
+        (sss.mean_update_latency *. 1e3)
+        (tp.mean_update_latency *. 1e3))
+    [ 1; 3; 5; 10 ]
+
+let fig5 scale =
+  header "Figure 5: SSS update latency breakdown (ms): execution+internal vs snapshot-queue wait";
+  let base = base_params scale in
+  let keys = List.hd (keyspaces scale) in
+  let nodes = latency_nodes scale in
+  Printf.printf "(nodes = %d)\n%-10s%14s%14s%14s%10s\n" nodes "clients" "total" "internal"
+    "sq-wait" "wait%";
+  List.iter
+    (fun clients ->
+      let o = run { base with system = Sss; nodes; keys; ro_ratio = 0.5; clients } in
+      match (o.sss_internal, o.sss_wait) with
+      | Some internal, Some wait ->
+          let total = internal +. wait in
+          Printf.printf "%-10d%14.3f%14.3f%14.3f%9.1f%%\n%!" clients (total *. 1e3)
+            (internal *. 1e3) (wait *. 1e3)
+            (100.0 *. wait /. total)
+      | _ -> Printf.printf "%-10d (no committed update transactions)\n" clients)
+    [ 1; 3; 5; 10 ]
+
+let fig6 scale =
+  header "Figure 6: SSS vs ROCOCO vs 2PC, no replication, 5k keys (KTxs/sec)";
+  let base = base_params scale in
+  let keys = List.hd (keyspaces scale) in
+  List.iter
+    (fun ro ->
+      Printf.printf "-- %d%% read-only --\n%-6s%14s%14s%14s\n"
+        (int_of_float (ro *. 100.))
+        "nodes" "SSS" "2PC" "ROCOCO";
+      List.iter
+        (fun nodes ->
+          let o sys = run { base with system = sys; nodes; keys; ro_ratio = ro; degree = 1 } in
+          Printf.printf "%-6d%14.1f%14.1f%14.1f\n%!" nodes (ktxs (o Sss)) (ktxs (o Twopc))
+            (ktxs (o Rococo)))
+        (node_counts scale))
+    [ 0.2; 0.8 ]
+
+let fig7 scale =
+  header "Figure 7: throughput, 80% read-only, 50% locality, degree 2 (KTxs/sec)";
+  let base = base_params scale in
+  Printf.printf "%-6s" "nodes";
+  List.iter
+    (fun sys ->
+      List.iter
+        (fun keys -> Printf.printf "%14s" (Printf.sprintf "%s-%dk" (system_name sys) (keys / 1000)))
+        (keyspaces scale))
+    [ Twopc; Walter; Sss ];
+  print_newline ();
+  List.iter
+    (fun nodes ->
+      Printf.printf "%-6d" nodes;
+      List.iter
+        (fun sys ->
+          List.iter
+            (fun keys ->
+              let o =
+                run
+                  { base with system = sys; nodes; keys; ro_ratio = 0.8; locality = 0.5;
+                    degree = 2 }
+              in
+              Printf.printf "%14.1f" (ktxs o))
+            (keyspaces scale))
+        [ Twopc; Walter; Sss ];
+      Printf.printf "\n%!")
+    (node_counts scale)
+
+let fig8 scale =
+  header "Figure 8: speedup of SSS as read-only size grows (15 nodes, 80% read-only)";
+  let base = base_params scale in
+  let nodes = match scale with Full -> 15 | Quick -> 10 | Smoke -> 5 in
+  Printf.printf "(nodes = %d)\n%-8s" nodes "ro-size";
+  List.iter
+    (fun keys ->
+      Printf.printf "%18s%18s"
+        (Printf.sprintf "SSS/ROCOCO-%dk" (keys / 1000))
+        (Printf.sprintf "SSS/2PC-%dk" (keys / 1000)))
+    (keyspaces scale);
+  print_newline ();
+  List.iter
+    (fun ro_ops ->
+      Printf.printf "%-8d" ro_ops;
+      List.iter
+        (fun keys ->
+          let o sys =
+            run
+              { base with system = sys; nodes; keys; ro_ratio = 0.8; ro_ops; degree = 1 }
+          in
+          let sss = (o Sss).throughput in
+          let roc = (o Rococo).throughput in
+          let tp = (o Twopc).throughput in
+          Printf.printf "%18.2f%18.2f" (sss /. roc) (sss /. tp))
+        (keyspaces scale);
+      Printf.printf "\n%!")
+    [ 2; 4; 8; 16 ]
+
+let abort_rate scale =
+  header "In-text: SSS abort rate at 20% read-only (paper: 6-28% at 5k, 4-14% at 10k)";
+  let base = base_params scale in
+  Printf.printf "%-6s" "nodes";
+  List.iter (fun keys -> Printf.printf "%14s" (Printf.sprintf "%dk keys" (keys / 1000))) (keyspaces scale);
+  print_newline ();
+  List.iter
+    (fun nodes ->
+      Printf.printf "%-6d" nodes;
+      List.iter
+        (fun keys ->
+          let o = run { base with system = Sss; nodes; keys; ro_ratio = 0.2; degree = 2 } in
+          Printf.printf "%13.1f%%" (o.abort_rate *. 100.0))
+        (keyspaces scale);
+      Printf.printf "\n%!")
+    (node_counts scale)
+
+let ablation scale =
+  header
+    "Ablation: SSS paper-literal release vs hardened external-commit ordering (KTxs/sec)";
+  let base = base_params scale in
+  let keys = List.hd (keyspaces scale) in
+  let nodes = latency_nodes scale in
+  Printf.printf "(nodes = %d, 80%% read-only)\n%-8s%14s%14s%10s\n" nodes "ro-size" "paper"
+    "hardened" "cost";
+  List.iter
+    (fun ro_ops ->
+      let o strict =
+        run { base with system = Sss; nodes; keys; ro_ratio = 0.8; ro_ops; degree = 1; strict }
+      in
+      let paper = ktxs (o false) and hard = ktxs (o true) in
+      Printf.printf "%-8d%14.1f%14.1f%9.0f%%\n%!" ro_ops paper hard
+        (100. *. (paper -. hard) /. paper))
+    [ 2; 8; 16 ];
+  header "Ablation: prioritized network queues (the §V optimization) (KTxs/sec)";
+  let nodes2 = latency_nodes scale in
+  Printf.printf "(nodes = %d, 50%% read-only, saturated clients)\n%-12s%14s%14s\n" nodes2
+    "" "prioritized" "fifo";
+  let o pn =
+    run
+      { base with system = Sss; nodes = nodes2; keys; ro_ratio = 0.5;
+        clients = base.clients * 2; priority_network = pn }
+  in
+  let yes = o true and no = o false in
+  Printf.printf "%-12s%14.1f%14.1f\n" "throughput" (ktxs yes) (ktxs no);
+  Printf.printf "%-12s%13.3fms%13.3fms\n%!" "p99 latency" (yes.p99_latency *. 1e3)
+    (no.p99_latency *. 1e3);
+  header "Ablation: vector-clock metadata compression (bytes on the wire)";
+  let o compress =
+    run { base with system = Sss; nodes = nodes2; keys; ro_ratio = 0.5; compress }
+  in
+  let comp = o true and rawb = o false in
+  Printf.printf "%-14s%16s%16s\n" "" "compressed" "raw";
+  Printf.printf "%-14s%13.1f KB%13.1f KB\n" "total traffic"
+    (float_of_int comp.wire_bytes /. 1024.)
+    (float_of_int rawb.wire_bytes /. 1024.);
+  Printf.printf "%-14s%13.0f  B%13.0f  B\n%!" "per txn"
+    (float_of_int comp.wire_bytes /. float_of_int (max 1 comp.committed))
+    (float_of_int rawb.wire_bytes /. float_of_int (max 1 rawb.committed))
+
+let skewed scale =
+  header "Extra (not in the paper): zipfian key popularity, 50% read-only (KTxs/sec)";
+  let base = base_params scale in
+  let keys = List.hd (keyspaces scale) in
+  let nodes = latency_nodes scale in
+  Printf.printf "(nodes = %d, theta on X)\n%-8s%14s%14s%14s%14s\n" nodes "theta" "SSS" "Walter"
+    "2PC" "ROCOCO";
+  List.iter
+    (fun theta ->
+      let o sys =
+        run
+          { base with system = sys; nodes; keys; ro_ratio = 0.5;
+            zipf = (if theta = 0.0 then None else Some theta);
+            degree = (if sys = Rococo then 1 else 2) }
+      in
+      Printf.printf "%-8.2f%14.1f%14.1f%14.1f%14.1f\n%!" theta (ktxs (o Sss)) (ktxs (o Walter))
+        (ktxs (o Twopc)) (ktxs (o Rococo)))
+    [ 0.0; 0.6; 0.9; 0.99 ]
+
+let all scale =
+  fig3 scale;
+  fig4a scale;
+  fig4b scale;
+  fig5 scale;
+  fig6 scale;
+  fig7 scale;
+  fig8 scale;
+  abort_rate scale;
+  ablation scale;
+  skewed scale

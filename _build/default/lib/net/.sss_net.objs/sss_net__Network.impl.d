@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Heap Int List Prng Sim Sss_data Sss_sim

@@ -1,0 +1,1 @@
+lib/net/network.mli: Sss_data Sss_sim

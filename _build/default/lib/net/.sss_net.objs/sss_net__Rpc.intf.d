@@ -1,0 +1,1 @@
+lib/net/rpc.mli: Sss_sim

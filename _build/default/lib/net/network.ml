@@ -1,0 +1,136 @@
+open Sss_sim
+
+type config = {
+  latency_base : float;
+  latency_jitter : float;
+  self_latency : float;
+  cpu_per_message : float;
+}
+
+let default_config =
+  { latency_base = 20e-6; latency_jitter = 2e-6; self_latency = 1e-6; cpu_per_message = 2e-6 }
+
+type 'msg ingress = { prio : int; seq : int; src : Sss_data.Ids.node; msg : 'msg }
+
+type 'msg node_state = {
+  mutable handler : (src:Sss_data.Ids.node -> 'msg -> unit) option;
+  queue : 'msg ingress Heap.t;
+  mutable serving : bool;
+  mutable crashed : bool;
+}
+
+type stats = { sent : int; delivered : int; dropped : int; bytes : int }
+
+type 'msg t = {
+  sim : Sim.t;
+  rng : Prng.t;
+  config : config;
+  size_of : 'msg -> int;
+  nodes : 'msg node_state array;
+  mutable severed : (Sss_data.Ids.node * Sss_data.Ids.node) list;
+  mutable drop_probability : float;
+  mutable seq : int;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable bytes : int;
+}
+
+let compare_ingress a b =
+  let c = Int.compare a.prio b.prio in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create ?(size_of = fun _ -> 0) sim rng ~nodes ~config =
+  let mk _ =
+    { handler = None; queue = Heap.create ~cmp:compare_ingress; serving = false; crashed = false }
+  in
+  {
+    sim;
+    rng;
+    config;
+    size_of;
+    nodes = Array.init nodes mk;
+    severed = [];
+    drop_probability = 0.0;
+    seq = 0;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    bytes = 0;
+  }
+
+let nodes t = Array.length t.nodes
+
+let set_handler t n f = t.nodes.(n).handler <- Some f
+
+(* Drain a node's ingress queue: each message occupies the CPU for the
+   configured service time, then its handler runs in its own fiber so that a
+   blocking handler never stalls the queue. *)
+let rec serve t n =
+  let st = t.nodes.(n) in
+  match Heap.pop st.queue with
+  | None -> st.serving <- false
+  | Some ing ->
+      Sim.sleep t.sim t.config.cpu_per_message;
+      if not st.crashed then begin
+        t.delivered <- t.delivered + 1;
+        match st.handler with
+        | Some f -> Sim.spawn t.sim (fun () -> f ~src:ing.src ing.msg)
+        | None -> ()
+      end;
+      serve t n
+
+let deliver t ~prio ~src ~dst msg =
+  let st = t.nodes.(dst) in
+  if st.crashed then t.dropped <- t.dropped + 1
+  else begin
+    t.seq <- t.seq + 1;
+    Heap.push st.queue { prio; seq = t.seq; src; msg };
+    if not st.serving then begin
+      st.serving <- true;
+      Sim.spawn t.sim (fun () -> serve t dst)
+    end
+  end
+
+let link_severed t a b =
+  List.exists (fun (x, y) -> (x = a && y = b) || (x = b && y = a)) t.severed
+
+let send t ?(prio = 100) ~src ~dst msg =
+  t.sent <- t.sent + 1;
+  t.bytes <- t.bytes + t.size_of msg;
+  let lost =
+    t.nodes.(src).crashed
+    || link_severed t src dst
+    || (t.drop_probability > 0.0 && Prng.float t.rng 1.0 < t.drop_probability)
+  in
+  if lost then t.dropped <- t.dropped + 1
+  else begin
+    let latency =
+      if src = dst then t.config.self_latency
+      else
+        t.config.latency_base
+        +. (if t.config.latency_jitter > 0.0 then
+              Prng.exponential t.rng ~mean:t.config.latency_jitter
+            else 0.0)
+    in
+    Sim.schedule t.sim ~delay:latency (fun () -> deliver t ~prio ~src ~dst msg)
+  end
+
+let send_many t ?prio ~src ~dst msg = List.iter (fun d -> send t ?prio ~src ~dst:d msg) dst
+
+let crash t n = t.nodes.(n).crashed <- true
+
+let recover t n = t.nodes.(n).crashed <- false
+
+let is_crashed t n = t.nodes.(n).crashed
+
+let sever t a b = if not (link_severed t a b) then t.severed <- (a, b) :: t.severed
+
+let heal t a b =
+  t.severed <- List.filter (fun (x, y) -> not ((x = a && y = b) || (x = b && y = a))) t.severed
+
+let set_drop_probability t p =
+  assert (p >= 0.0 && p <= 1.0);
+  t.drop_probability <- p
+
+let stats t = { sent = t.sent; delivered = t.delivered; dropped = t.dropped; bytes = t.bytes }

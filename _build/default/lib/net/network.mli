@@ -1,0 +1,72 @@
+(** Simulated message-passing network.
+
+    Models the paper's testbed (§V): reliable asynchronous channels with a
+    configurable propagation latency (~20µs on their InfiniBand cluster), a
+    per-node serial processing capacity (a message occupies its destination
+    node's CPU for [cpu_per_message] before its handler runs), and — like
+    SSS's "optimized network component" — per-message priorities: when a
+    node is saturated, higher-priority messages (e.g. Remove) overtake
+    lower-priority ones in its ingress queue.
+
+    Failures can be injected for tests: message drop probability, link
+    partitions, and node crashes (crash-stop; a crashed node neither sends
+    nor receives). *)
+
+type config = {
+  latency_base : float;  (** fixed one-way propagation delay, seconds *)
+  latency_jitter : float;  (** mean of an added exponential jitter; 0 = none *)
+  self_latency : float;  (** delay for messages a node sends to itself *)
+  cpu_per_message : float;  (** destination service time per message *)
+}
+
+val default_config : config
+(** 20µs base latency, 2µs jitter, 1µs self delivery, 2µs service — chosen
+    to mirror the paper's cluster; experiments override as needed. *)
+
+type 'msg t
+
+val create :
+  ?size_of:('msg -> int) ->
+  Sss_sim.Sim.t ->
+  Sss_sim.Prng.t ->
+  nodes:int ->
+  config:config ->
+  'msg t
+(** [size_of] (default: 0) is charged to the byte counter per sent message,
+    letting protocols account for their wire footprint (e.g. vector-clock
+    compression). *)
+
+val nodes : 'msg t -> int
+
+val set_handler : 'msg t -> Sss_data.Ids.node -> (src:Sss_data.Ids.node -> 'msg -> unit) -> unit
+(** Install the message handler for a node.  Each delivery spawns a fresh
+    fiber running the handler, so handlers may block without stalling the
+    node's ingress queue. *)
+
+val send : 'msg t -> ?prio:int -> src:Sss_data.Ids.node -> dst:Sss_data.Ids.node -> 'msg -> unit
+(** Fire-and-forget; lower [prio] is served first under saturation
+    (default 100). *)
+
+val send_many : 'msg t -> ?prio:int -> src:Sss_data.Ids.node -> dst:Sss_data.Ids.node list -> 'msg -> unit
+
+(* Fault injection *)
+
+val crash : 'msg t -> Sss_data.Ids.node -> unit
+
+val recover : 'msg t -> Sss_data.Ids.node -> unit
+
+val is_crashed : 'msg t -> Sss_data.Ids.node -> bool
+
+val sever : 'msg t -> Sss_data.Ids.node -> Sss_data.Ids.node -> unit
+(** Cut the (bidirectional) link between two nodes. *)
+
+val heal : 'msg t -> Sss_data.Ids.node -> Sss_data.Ids.node -> unit
+
+val set_drop_probability : 'msg t -> float -> unit
+(** Uniform message loss for stress tests (default 0). *)
+
+(* Telemetry *)
+
+type stats = { sent : int; delivered : int; dropped : int; bytes : int }
+
+val stats : 'msg t -> stats

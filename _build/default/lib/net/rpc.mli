@@ -1,0 +1,43 @@
+(** Request/response bookkeeping on top of {!Network}.
+
+    Protocols send explicit response messages (so replies pay network
+    latency like everything else); these helpers match responses back to
+    the fiber that is waiting for them. *)
+
+(** Single-response slots: "contact all replicas, take the fastest answer"
+    (SSS reads), or plain unicast RPC.  Late and duplicate responses are
+    ignored. *)
+module Pending : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val fresh : 'a t -> int * 'a Sss_sim.Sim.Ivar.t
+  (** Allocate a request id and the ivar its response will fill. *)
+
+  val resolve : Sss_sim.Sim.t -> 'a t -> int -> 'a -> unit
+  (** Fill the slot for a request id; no-op if unknown or already
+      resolved. *)
+
+  val forget : 'a t -> int -> unit
+
+  val outstanding : 'a t -> int
+end
+
+(** Fan-out collection: "send Prepare to all participants and wait for every
+    Vote, or time out" (2PC). *)
+module Gather : sig
+  type 'a t
+
+  val create : expect:int -> 'a t
+
+  val add : Sss_sim.Sim.t -> 'a t -> 'a -> unit
+  (** Record one response; completing the expected count wakes the
+      waiter.  Extra responses beyond [expect] are ignored. *)
+
+  val await : Sss_sim.Sim.t -> 'a t -> timeout:float -> 'a list option
+  (** All responses in arrival order, or [None] on timeout. *)
+
+  val received : 'a t -> 'a list
+  (** Whatever has arrived so far (arrival order). *)
+end

@@ -1,0 +1,1 @@
+lib/rococo/rococo.mli: Ids Replication Sss_consistency Sss_data Sss_kv Sss_sim

@@ -1,0 +1,395 @@
+(* ROCOCO-style two-round concurrency control (Mu et al., OSDI'14),
+   re-implemented on the same substrate as SSS, as the paper does for its
+   evaluation (§V, Figures 6 and 8).
+
+   The evaluation configures ROCOCO so that every piece is deferrable; we
+   implement that mode:
+
+   - Update transactions never abort.  Round 1 (dispatch) places one piece
+     per accessed key on the key's server and collects ordering
+     information (a per-server logical counter, standing in for ROCOCO's
+     collected dependencies).  Round 2 (commit) distributes the
+     transaction's final position — the maximum collected counter, with
+     the transaction id as tie-break — and every server executes the
+     buffered pieces of a key in final-position order, holding back a
+     piece while a dispatched-but-not-yet-positioned transaction could
+     still be ordered earlier.  This reorder-instead-of-abort execution is
+     the essence of ROCOCO's deferrable pieces.
+   - A piece is a server-side read-modify-write: the client-visible read
+     returns the dispatch-time value, while the authoritative read happens
+     at execution time in the agreed order (recorded in the history, which
+     is what the consistency checker validates).
+   - Read-only transactions are not abort-free (the property the paper
+     contrasts with SSS): each read waits until the key has no buffered
+     update pieces, and the transaction re-reads its whole key set until
+     two consecutive rounds observe identical versions, aborting after a
+     bounded number of attempts.  Their cost grows with the number of read
+     keys and with contention — the effect Figure 8 measures.
+
+   Replication is disabled in the paper's ROCOCO comparisons (consensus
+   replication is out of scope); we honour [replication_degree] but the
+   experiments use 1. *)
+
+open Sss_sim
+open Sss_data
+open Sss_net
+open Sss_consistency
+
+type ts = { num : int; owner : Ids.txn }
+
+let ts_compare a b =
+  let c = Int.compare a.num b.num in
+  if c <> 0 then c else Ids.compare_txn a.owner b.owner
+
+type msg =
+  | Dispatch of { req : int; txn : Ids.txn; key : Ids.key }
+  | Dispatch_ack of { req : int; counter : int; value : string; writer : Ids.txn }
+  | Commit of { txn : Ids.txn; ts : ts; writes : (Ids.key * string) list }
+  | Commit_ack of { txn : Ids.txn }
+  | Ro_read of { req : int; key : Ids.key }
+  | Ro_ret of { req : int; value : string; writer : Ids.txn; stable : bool }
+  | Cancel of { txn : Ids.txn; keys : Ids.key list }
+
+let priority = function
+  | Commit _ | Commit_ack _ | Cancel _ -> 60
+  | Dispatch _ | Dispatch_ack _ | Ro_read _ | Ro_ret _ -> 100
+
+type cell = {
+  mutable value : string;
+  mutable writer : Ids.txn;
+  (* dispatched pieces not yet positioned: txn -> local dispatch counter *)
+  pending : (Ids.txn, int) Hashtbl.t;
+  (* positioned pieces awaiting execution, sorted by ts *)
+  mutable ready : (ts * string) list;
+}
+
+type ack_box = { ack_expect : int; mutable ack_count : int; ack_done : unit Sim.Ivar.t }
+
+type node = {
+  id : Ids.node;
+  store : (Ids.key, cell) Hashtbl.t;
+  mutable counter : int;
+  gen : Ids.Gen.t;
+  pending_disp : (int * string * Ids.txn) Rpc.Pending.t;
+  pending_ro : (string * Ids.txn * bool) Rpc.Pending.t;
+  ack_boxes : (Ids.txn, ack_box) Hashtbl.t;
+  executed : Sim.Cond.t;
+}
+
+type cluster = {
+  sim : Sim.t;
+  config : Sss_kv.Config.t;
+  repl : Replication.t;
+  net : msg Network.t;
+  nodes : node array;
+  history : History.t;
+}
+
+type handle = {
+  cl : cluster;
+  home : node;
+  id : Ids.txn;
+  ro : bool;
+  mutable rs : (Ids.key * string) list;  (* dispatch-time reads, client-visible *)
+  mutable ws : (Ids.key * string) list;
+  mutable counters : int list;  (* collected in round 1 *)
+  mutable finished : bool;
+}
+
+let record t event = History.record t.history ~at:(Sim.now t.sim) event
+
+let send t ~src ~dst payload = Network.send t.net ~prio:(priority payload) ~src ~dst payload
+
+let cell (node : node) key =
+  match Hashtbl.find_opt node.store key with
+  | Some c -> c
+  | None -> invalid_arg "Rococo: unknown key"
+
+(* Execute every ready piece that can no longer be preceded: the smallest
+   positioned ts on the key runs once every still-unpositioned piece is
+   guaranteed a larger position (its dispatch counter already exceeds the
+   candidate's position number). *)
+let rec drain t (node : node) key =
+  let c = cell node key in
+  match c.ready with
+  | [] -> ()
+  | (ts, value) :: rest ->
+      let could_precede =
+        Hashtbl.fold (fun _ d acc -> acc || d <= ts.num) c.pending false
+      in
+      if not could_precede then begin
+        (* authoritative read-modify-write, in the agreed order *)
+        if List.hd (Replication.replicas t.repl key) = node.id then begin
+          record t (History.Read { txn = ts.owner; key; writer = c.writer });
+          record t (History.Install { txn = ts.owner; key })
+        end;
+        c.value <- value;
+        c.writer <- ts.owner;
+        c.ready <- rest;
+        Sim.Cond.broadcast t.sim node.executed;
+        (match Hashtbl.find_opt node.ack_boxes ts.owner with
+        | Some _ -> ()  (* coordinator-local bookkeeping happens on ack *)
+        | None -> ());
+        send t ~src:node.id ~dst:ts.owner.Ids.node (Commit_ack { txn = ts.owner });
+        drain t node key
+      end
+
+let handle_commit t (node : node) ~txn ~ts ~writes =
+  (* Lamport rule: never hand out a dispatch counter at or below a position
+     that may already have executed here, or a later transaction could be
+     ordered before an already-executed piece. *)
+  node.counter <- Stdlib.max node.counter ts.num;
+  List.iter
+    (fun (key, value) ->
+      if Replication.is_replica t.repl node.id key then begin
+        let c = cell node key in
+        Hashtbl.remove c.pending txn;
+        let rec insert = function
+          | [] -> [ (ts, value) ]
+          | ((ts', _) as hd) :: rest ->
+              if ts_compare ts ts' < 0 then (ts, value) :: hd :: rest else hd :: insert rest
+        in
+        c.ready <- insert c.ready;
+        drain t node key
+      end)
+    writes
+
+let dispatch t (node : node) ~src payload =
+  match payload with
+  | Dispatch { req; txn; key } ->
+      let c = cell node key in
+      node.counter <- node.counter + 1;
+      Hashtbl.replace c.pending txn node.counter;
+      send t ~src:node.id ~dst:src
+        (Dispatch_ack { req; counter = node.counter; value = c.value; writer = c.writer })
+  | Dispatch_ack { req; counter; value; writer } ->
+      Rpc.Pending.resolve t.sim node.pending_disp req (counter, value, writer)
+  | Commit { txn; ts; writes } -> handle_commit t node ~txn ~ts ~writes
+  | Commit_ack { txn } -> (
+      match Hashtbl.find_opt node.ack_boxes txn with
+      | Some box ->
+          box.ack_count <- box.ack_count + 1;
+          if box.ack_count = box.ack_expect && not (Sim.Ivar.is_filled box.ack_done) then
+            Sim.Ivar.fill t.sim box.ack_done ()
+      | None -> ())
+  | Ro_read { req; key } ->
+      (* wait until no buffered update piece conflicts with the read *)
+      let c = cell node key in
+      let _ =
+        Sim.Cond.await_timeout t.sim node.executed ~timeout:0.005 (fun () ->
+            Hashtbl.length c.pending = 0 && c.ready = [])
+      in
+      let stable = Hashtbl.length c.pending = 0 && c.ready = [] in
+      send t ~src:node.id ~dst:src (Ro_ret { req; value = c.value; writer = c.writer; stable })
+  | Ro_ret { req; value; writer; stable } ->
+      Rpc.Pending.resolve t.sim node.pending_ro req (value, writer, stable)
+  | Cancel { txn; keys } ->
+      List.iter
+        (fun key ->
+          if Replication.is_replica t.repl node.id key then begin
+            let c = cell node key in
+            Hashtbl.remove c.pending txn;
+            drain t node key;
+            Sim.Cond.broadcast t.sim node.executed
+          end)
+        keys
+
+let create sim (config : Sss_kv.Config.t) =
+  let repl =
+    Replication.create ~nodes:config.nodes ~degree:config.replication_degree
+      ~total_keys:config.total_keys
+  in
+  let rng = Prng.create ~seed:config.seed in
+  let net = Network.create sim rng ~nodes:config.nodes ~config:config.network in
+  let nodes =
+    Array.init config.nodes (fun id ->
+        {
+          id;
+          store = Hashtbl.create 256;
+          counter = 0;
+          gen = Ids.Gen.create id;
+          pending_disp = Rpc.Pending.create ();
+          pending_ro = Rpc.Pending.create ();
+          ack_boxes = Hashtbl.create 64;
+          executed = Sim.Cond.create ();
+        })
+  in
+  Array.iter
+    (fun (node : node) ->
+      Array.iter
+        (fun k ->
+          Hashtbl.replace node.store k
+            {
+              value = Printf.sprintf "init:%d" k;
+              writer = Ids.genesis;
+              pending = Hashtbl.create 8;
+              ready = [];
+            })
+        (Replication.keys_at repl node.id))
+    nodes;
+  let t =
+    { sim; config; repl; net; nodes; history = History.create ~enabled:config.record_history () }
+  in
+  Array.iter
+    (fun (n : node) ->
+      Network.set_handler net n.id (fun ~src payload -> dispatch t n ~src payload))
+    nodes;
+  t
+
+let begin_txn cl ~node ~read_only =
+  let home = cl.nodes.(node) in
+  let id = Ids.Gen.next home.gen in
+  record cl (History.Begin { txn = id; ro = read_only; node });
+  { cl; home; id; ro = read_only; rs = []; ws = []; counters = []; finished = false }
+
+(* Update-transaction read = round-1 dispatch of the piece; read-only reads
+   are handled in [commit] (the round-based protocol needs the full key
+   set). *)
+let read h key =
+  if h.finished then invalid_arg "Rococo: read on a finished transaction";
+  match List.assoc_opt key h.ws with
+  | Some v -> v
+  | None when h.ro -> (
+      match List.assoc_opt key h.rs with
+      | Some v -> v
+      | None ->
+          let req, ivar = Rpc.Pending.fresh h.home.pending_ro in
+          List.iter
+            (fun dst -> send h.cl ~src:h.home.id ~dst (Ro_read { req; key }))
+            (Replication.replicas h.cl.repl key);
+          let value, _writer, _stable = Sim.Ivar.read h.cl.sim ivar in
+          h.rs <- (key, value) :: h.rs;
+          value)
+  | None ->
+      let req, ivar = Rpc.Pending.fresh h.home.pending_disp in
+      List.iter
+        (fun dst -> send h.cl ~src:h.home.id ~dst (Dispatch { req; txn = h.id; key }))
+        (Replication.replicas h.cl.repl key);
+      let counter, value, _writer = Sim.Ivar.read h.cl.sim ivar in
+      h.counters <- counter :: h.counters;
+      h.rs <- (key, value) :: h.rs;
+      value
+
+let write h key value =
+  if h.finished then invalid_arg "Rococo: write on a finished transaction";
+  if h.ro then invalid_arg "Rococo: write in a read-only transaction";
+  h.ws <- (key, value) :: List.remove_assoc key h.ws
+
+let replica_nodes t keys =
+  List.sort_uniq Int.compare (List.concat_map (fun k -> Replication.replicas t.repl k) keys)
+
+let commit_update h =
+  let cl = h.cl in
+  (* every dispatched key must be written back (deferrable RMW pieces); a
+     read without a write is treated as an RMW that rewrites the read
+     value *)
+  List.iter
+    (fun (k, v) -> if not (List.mem_assoc k h.ws) then h.ws <- (k, v) :: h.ws)
+    h.rs;
+  let ts = { num = List.fold_left Stdlib.max 0 h.counters; owner = h.id } in
+  let servers = replica_nodes cl (List.map fst h.ws) in
+  let box =
+    {
+      (* one ack per executed piece per replica *)
+      ack_expect =
+        List.fold_left
+          (fun acc (k, _) -> acc + List.length (Replication.replicas cl.repl k))
+          0 h.ws;
+      ack_count = 0;
+      ack_done = Sim.Ivar.create ();
+    }
+  in
+  Hashtbl.replace h.home.ack_boxes h.id box;
+  List.iter
+    (fun dst -> send cl ~src:h.home.id ~dst (Commit { txn = h.id; ts; writes = h.ws }))
+    servers;
+  (match
+     Sim.Ivar.read_timeout cl.sim box.ack_done ~timeout:cl.config.Sss_kv.Config.ack_timeout
+   with
+  | Some () -> ()
+  | None -> failwith "Rococo: commit ack timeout");
+  Hashtbl.remove h.home.ack_boxes h.id;
+  record cl (History.Commit { txn = h.id });
+  true
+
+(* Round-based read-only: re-read the key set until two consecutive rounds
+   observe the same versions; abort after a bounded number of attempts. *)
+let commit_read_only h =
+  let cl = h.cl in
+  let keys = List.rev_map fst h.rs in
+  let read_round () =
+    List.map
+      (fun key ->
+        let req, ivar = Rpc.Pending.fresh h.home.pending_ro in
+        List.iter
+          (fun dst -> send cl ~src:h.home.id ~dst (Ro_read { req; key }))
+          (Replication.replicas cl.repl key);
+        let value, writer, stable = Sim.Ivar.read cl.sim ivar in
+        (key, value, writer, stable))
+      keys
+  in
+  let rec attempt n prev =
+    if n = 0 then None
+    else
+      let round = read_round () in
+      (* Accept only when both rounds saw every key quiescent (no buffered
+         pieces anywhere in between) and the same versions: a writer whose
+         per-key executions straddle the rounds is in flight on some key
+         during both, so it cannot slip through unnoticed. *)
+      let same =
+        List.for_all2
+          (fun (_, _, w1, s1) (_, _, w2, s2) -> s1 && s2 && Ids.equal_txn w1 w2)
+          prev round
+      in
+      if same then Some round else attempt (n - 1) round
+  in
+  let first = read_round () in
+  match attempt 8 first with
+  | Some round ->
+      List.iter
+        (fun (key, _, writer, _) -> record cl (History.Read { txn = h.id; key; writer }))
+        round;
+      record cl (History.Commit { txn = h.id });
+      true
+  | None ->
+      record cl (History.Abort { txn = h.id });
+      false
+
+let commit h =
+  if h.finished then invalid_arg "Rococo: commit on a finished transaction";
+  h.finished <- true;
+  if h.ro then if h.rs = [] then (record h.cl (History.Commit { txn = h.id }); true) else commit_read_only h
+  else if h.ws = [] && h.rs = [] then (record h.cl (History.Commit { txn = h.id }); true)
+  else commit_update h
+
+let abort h =
+  if h.finished then invalid_arg "Rococo: abort on a finished transaction";
+  h.finished <- true;
+  (* withdraw any dispatched pieces so they never gate other transactions *)
+  let keys = List.map fst h.rs in
+  if (not h.ro) && keys <> [] then
+    List.iter
+      (fun dst -> send h.cl ~src:h.home.id ~dst (Cancel { txn = h.id; keys }))
+      (replica_nodes h.cl keys);
+  record h.cl (History.Abort { txn = h.id })
+
+let txn_id h = h.id
+
+let history t = t.history
+
+let repl t = t.repl
+
+let quiescent t =
+  let problems = ref [] in
+  Array.iter
+    (fun (n : node) ->
+      Hashtbl.iter
+        (fun key c ->
+          if Hashtbl.length c.pending > 0 || c.ready <> [] then
+            problems :=
+              Printf.sprintf "node %d: key %d has %d pending / %d ready pieces" n.id key
+                (Hashtbl.length c.pending) (List.length c.ready)
+              :: !problems)
+        n.store)
+    t.nodes;
+  match !problems with [] -> Ok () | ps -> Error (String.concat "; " ps)

@@ -1,0 +1,50 @@
+(** ROCOCO-style two-round concurrency control competitor (§V of the
+    paper, Figures 6 and 8).
+
+    Configured as the paper does — every piece deferrable: update
+    transactions never abort; their pieces are buffered in round 1 and
+    executed in an agreed global order in round 2 (reorder instead of
+    abort).  Read-only transactions are the contrast with SSS: they wait
+    for buffered conflicting pieces and re-read until two consecutive
+    rounds observe identical versions, aborting after a bounded number of
+    attempts — so their cost grows with the read-set size and contention
+    (the effect Figure 8 measures).
+
+    Deployment parameters are shared with SSS ({!Sss_kv.Config.t}); the
+    paper disables replication for ROCOCO comparisons (degree 1). *)
+
+open Sss_data
+
+type cluster
+
+type handle
+
+val create : Sss_sim.Sim.t -> Sss_kv.Config.t -> cluster
+
+val begin_txn : cluster -> node:Ids.node -> read_only:bool -> handle
+
+val read : handle -> Ids.key -> string
+(** Update transactions: dispatches the key's piece (round 1) and returns
+    the dispatch-time value; the authoritative read-modify-write happens at
+    execution in the agreed order.  Read-only transactions: a conflict-
+    waiting read (the commit then re-validates the whole set). *)
+
+val write : handle -> Ids.key -> string -> unit
+
+val commit : handle -> bool
+(** Updates: distributes the final position and waits until every piece
+    executed (never aborts).  Read-only: the round-based protocol; [false]
+    when it exhausts its attempts under contention. *)
+
+val abort : handle -> unit
+(** Withdraws dispatched pieces so they never gate other transactions. *)
+
+val txn_id : handle -> Ids.txn
+
+val history : cluster -> Sss_consistency.History.t
+
+val quiescent : cluster -> (unit, string) result
+
+(** Exposed for the experiment harness. *)
+
+val repl : cluster -> Replication.t

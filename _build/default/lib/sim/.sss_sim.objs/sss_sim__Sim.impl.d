@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Effect Float Heap Int List Option

@@ -1,0 +1,30 @@
+(** Imperative binary min-heap.
+
+    Used as the simulator's event queue. The ordering function is fixed at
+    creation time; ties must be broken by the caller (the simulator orders
+    events by [(time, priority, sequence)] so the heap order is total). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] returns an empty heap ordered by [cmp]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Snapshot of the contents in no particular order. *)

@@ -1,0 +1,185 @@
+type kind =
+  | Fiber of (unit -> unit)  (* start a new fiber under the effect handler *)
+  | Callback of (unit -> unit)  (* resume a parked fiber / plain callback *)
+
+type event = { time : float; prio : int; seq : int; kind : kind }
+
+type t = {
+  mutable now : float;
+  mutable seq : int;
+  mutable processed : int;
+  events : event Heap.t;
+}
+
+let compare_event a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.prio b.prio in
+    if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () =
+  { now = 0.0; seq = 0; processed = 0; events = Heap.create ~cmp:compare_event }
+
+let now t = t.now
+
+let events_processed t = t.processed
+
+let enqueue t ~prio ~delay kind =
+  assert (delay >= 0.0);
+  let ev = { time = t.now +. delay; prio; seq = t.seq; kind } in
+  t.seq <- t.seq + 1;
+  Heap.push t.events ev
+
+let schedule t ?(prio = 100) ~delay f = enqueue t ~prio ~delay (Fiber f)
+
+let spawn t ?prio f = schedule t ?prio ~delay:0.0 f
+
+type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let run_fiber f =
+  Effect.Deep.match_with f ()
+    {
+      retc = (fun () -> ());
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  register (fun () -> Effect.Deep.continue k ()))
+          | _ -> None);
+    }
+
+(* [raw_suspend register] parks the fiber and hands [register] the raw
+   continuation.  Whoever holds it must arrange for it to run as an event
+   body, exactly once.  The public [suspend] below enforces this by routing
+   through the event queue. *)
+let raw_suspend register = Effect.perform (Suspend register)
+
+let suspend t ?(prio = 100) register =
+  raw_suspend (fun resume ->
+      register (fun () -> enqueue t ~prio ~delay:0.0 (Callback resume)))
+
+let sleep t delay =
+  raw_suspend (fun resume -> enqueue t ~prio:100 ~delay (Callback resume))
+
+let exec t ev =
+  t.now <- ev.time;
+  t.processed <- t.processed + 1;
+  match ev.kind with Fiber f -> run_fiber f | Callback f -> f ()
+
+let run t =
+  let rec loop () =
+    match Heap.pop t.events with
+    | None -> ()
+    | Some ev ->
+        exec t ev;
+        loop ()
+  in
+  loop ()
+
+let run_until t limit =
+  let rec loop () =
+    match Heap.peek t.events with
+    | None -> ()
+    | Some ev when ev.time > limit -> ()
+    | Some _ ->
+        exec t (Heap.pop_exn t.events);
+        loop ()
+  in
+  loop ();
+  if t.now < limit then t.now <- limit
+
+module Cond = struct
+
+  type t = { mutable waiters : (unit -> unit) list }
+
+  let create () = { waiters = [] }
+
+  let wait _sim c = raw_suspend (fun resume -> c.waiters <- resume :: c.waiters)
+
+  let broadcast sim c =
+    let ws = List.rev c.waiters in
+    c.waiters <- [];
+    List.iter (fun resume -> enqueue sim ~prio:100 ~delay:0.0 (Callback resume)) ws
+
+  let await sim c pred =
+    let rec loop () =
+      if not (pred ()) then begin
+        wait sim c;
+        loop ()
+      end
+    in
+    loop ()
+
+  let await_timeout sim c ~timeout pred =
+    let deadline = now sim +. timeout in
+    let rec loop () =
+      if pred () then true
+      else if now sim >= deadline then false
+      else begin
+        (* Park on the condition but also arm a timer; whichever fires first
+           wins, the other becomes a no-op through the [fired] flag. *)
+        let fired = ref false in
+        raw_suspend (fun resume ->
+            let once () =
+              if not !fired then begin
+                fired := true;
+                resume ()
+              end
+            in
+            c.waiters <- once :: c.waiters;
+            enqueue sim ~prio:100 ~delay:(deadline -. now sim) (Callback once));
+        loop ()
+      end
+    in
+    loop ()
+end
+
+module Ivar = struct
+
+  type 'a t = { mutable value : 'a option; mutable waiters : (unit -> unit) list }
+
+  let create () = { value = None; waiters = [] }
+
+  let is_filled iv = Option.is_some iv.value
+
+  let peek iv = iv.value
+
+  let fill sim iv v =
+    match iv.value with
+    | Some _ -> invalid_arg "Sim.Ivar.fill: already filled"
+    | None ->
+        iv.value <- Some v;
+        let ws = List.rev iv.waiters in
+        iv.waiters <- [];
+        List.iter (fun resume -> enqueue sim ~prio:100 ~delay:0.0 (Callback resume)) ws
+
+  let read sim iv =
+    ignore sim;
+    match iv.value with
+    | Some v -> v
+    | None ->
+        raw_suspend (fun resume -> iv.waiters <- resume :: iv.waiters);
+        (match iv.value with
+        | Some v -> v
+        | None -> assert false)
+
+  let read_timeout sim iv ~timeout =
+    match iv.value with
+    | Some _ -> iv.value
+    | None ->
+        let fired = ref false in
+        raw_suspend (fun resume ->
+            let once () =
+              if not !fired then begin
+                fired := true;
+                resume ()
+              end
+            in
+            iv.waiters <- once :: iv.waiters;
+            enqueue sim ~prio:100 ~delay:timeout (Callback once));
+        iv.value
+end

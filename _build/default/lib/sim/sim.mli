@@ -1,0 +1,96 @@
+(** Deterministic discrete-event simulator with lightweight fibers.
+
+    The engine maintains a virtual clock and an event queue ordered by
+    [(time, priority, sequence)].  Code that needs to block — a protocol step
+    waiting for a message, a 2PC coordinator waiting for votes, a transaction
+    parked on a snapshot-queue — runs inside a {e fiber}: a cooperative
+    thread implemented with OCaml effect handlers.  A fiber suspends by
+    performing an effect and is resumed by a later event, so the pseudocode's
+    "wait until" conditions translate directly into {!Cond.await} calls.
+
+    Everything is single-threaded and deterministic: two runs with the same
+    initial events and PRNG seeds produce identical histories. *)
+
+type t
+
+val create : unit -> t
+(** A fresh simulator at virtual time 0.0. *)
+
+val now : t -> float
+(** Current virtual time, in seconds. *)
+
+val events_processed : t -> int
+(** Number of events executed so far (for reporting and loop guards). *)
+
+val schedule : t -> ?prio:int -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] as a new fiber at time [now t +. delay].
+    [f] may suspend.  Events at equal time fire in ascending [prio]
+    (default 100), then in scheduling order. *)
+
+val spawn : t -> ?prio:int -> (unit -> unit) -> unit
+(** [spawn t f] is [schedule t ~delay:0.0 f]. *)
+
+val sleep : t -> float -> unit
+(** Suspend the current fiber for the given amount of virtual time.  Must be
+    called from within a fiber. *)
+
+val suspend : t -> ?prio:int -> ((unit -> unit) -> unit) -> unit
+(** [suspend t register] parks the current fiber and calls [register resume].
+    The fiber continues when [resume ()] is invoked (at most once; later
+    calls are errors the caller must prevent).  This is the primitive the
+    higher-level {!Cond} and {!Ivar} are built from. *)
+
+val run : t -> unit
+(** Execute events until the queue is empty.  Exceptions raised by fibers
+    propagate to the caller. *)
+
+val run_until : t -> float -> unit
+(** [run_until t limit] executes events with time <= [limit], then stops.
+    The clock is left at [min limit time_of_next_event]. *)
+
+(** Broadcast-style condition variables for "wait until P" loops. *)
+module Cond : sig
+  type sim := t
+  type t
+
+  val create : unit -> t
+
+  val wait : sim -> t -> unit
+  (** Park the current fiber until the next {!broadcast}. *)
+
+  val broadcast : sim -> t -> unit
+  (** Wake every parked fiber (they resume at the current time, in the order
+      they started waiting). *)
+
+  val await : sim -> t -> (unit -> bool) -> unit
+  (** [await sim c pred] returns when [pred ()] holds, re-checking after
+      every broadcast.  Callers must broadcast [c] whenever the state read by
+      [pred] changes. *)
+
+  val await_timeout : sim -> t -> timeout:float -> (unit -> bool) -> bool
+  (** Like {!await} but gives up after [timeout] seconds of virtual time.
+      Returns [true] if the predicate held, [false] on timeout. *)
+end
+
+(** Write-once cells, used for request/response rendezvous. *)
+module Ivar : sig
+  type sim := t
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val is_filled : 'a t -> bool
+
+  val peek : 'a t -> 'a option
+
+  val fill : sim -> 'a t -> 'a -> unit
+  (** Resolve the ivar and wake its readers.  Filling twice raises
+      [Invalid_argument]. *)
+
+  val read : sim -> 'a t -> 'a
+  (** Return the value, parking the current fiber until it is available. *)
+
+  val read_timeout : sim -> 'a t -> timeout:float -> 'a option
+  (** [read_timeout] returns [None] if the ivar is still empty after
+      [timeout] seconds of virtual time. *)
+end

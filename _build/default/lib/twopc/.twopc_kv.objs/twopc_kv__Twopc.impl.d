@@ -1,0 +1,1 @@
+lib/twopc/twopc.ml: Array Hashtbl History Ids Int List Locks Network Printf Prng Replication Rpc Sim Sss_consistency Sss_data Sss_kv Sss_net Sss_sim String

@@ -1,0 +1,1 @@
+lib/twopc/twopc.mli: Ids Sss_consistency Sss_data Sss_kv Sss_sim

@@ -1,0 +1,296 @@
+open Sss_sim
+open Sss_data
+open Sss_net
+open Sss_consistency
+
+(* Single-version store: value and the writer that produced it (version
+   identity, used for validation and by the consistency checker). *)
+type cell = { mutable value : string; mutable writer : Ids.txn }
+
+type msg =
+  | Read_req of { req : int; key : Ids.key }
+  | Read_ret of { req : int; value : string; writer : Ids.txn }
+  | Prepare of {
+      txn : Ids.txn;
+      coord : Ids.node;
+      rs : (Ids.key * Ids.txn) list;
+      ws : (Ids.key * string) list;
+    }
+  | Vote of { txn : Ids.txn; ok : bool }
+  | Decide of { txn : Ids.txn; outcome : bool }
+  | Applied of { txn : Ids.txn }
+
+let priority = function
+  | Decide _ -> 40
+  | Vote _ | Applied _ -> 60
+  | Read_req _ | Read_ret _ | Prepare _ -> 100
+
+type prep = {
+  rs_local : (Ids.key * Ids.txn) list;
+  ws_local : (Ids.key * string) list;
+  coord : Ids.node;
+}
+
+type vote_box = {
+  expect : int;
+  mutable votes : int;
+  mutable any_false : bool;
+  vchanged : Sim.Cond.t;
+}
+
+type ack_box = { ack_expect : int; mutable ack_count : int; ack_done : unit Sim.Ivar.t }
+
+type node = {
+  id : Ids.node;
+  store : (Ids.key, cell) Hashtbl.t;
+  locks : Locks.t;
+  prepared : (Ids.txn, prep) Hashtbl.t;
+  aborted_decides : (Ids.txn, unit) Hashtbl.t;
+  gen : Ids.Gen.t;
+  pending_reads : (string * Ids.txn) Rpc.Pending.t;
+  vote_boxes : (Ids.txn, vote_box) Hashtbl.t;
+  ack_boxes : (Ids.txn, ack_box) Hashtbl.t;
+}
+
+type cluster = {
+  sim : Sim.t;
+  config : Sss_kv.Config.t;
+  repl : Replication.t;
+  net : msg Network.t;
+  nodes : node array;
+  history : History.t;
+}
+
+type handle = {
+  cl : cluster;
+  home : node;
+  id : Ids.txn;
+  ro : bool;
+  mutable rs : (Ids.key * Ids.txn) list;
+  mutable ws : (Ids.key * string) list;
+  mutable finished : bool;
+}
+
+let record t event = History.record t.history ~at:(Sim.now t.sim) event
+
+let replica_nodes t keys =
+  List.sort_uniq Int.compare (List.concat_map (fun k -> Replication.replicas t.repl k) keys)
+
+let is_primary t node_id key =
+  match Replication.replicas t.repl key with first :: _ -> first = node_id | [] -> false
+
+let send t ~src ~dst payload = Network.send t.net ~prio:(priority payload) ~src ~dst payload
+
+let cell (node : node) key =
+  match Hashtbl.find_opt node.store key with
+  | Some c -> c
+  | None -> invalid_arg "Twopc: unknown key"
+
+let validate node rs =
+  List.for_all
+    (fun (k, observed) -> Ids.equal_txn (cell node k).writer observed)
+    rs
+
+let handle_prepare t (node : node) ~txn ~coord ~rs ~ws =
+  let local_rs = List.filter (fun (k, _) -> Replication.is_replica t.repl node.id k) rs in
+  let local_ws = List.filter (fun (k, _) -> Replication.is_replica t.repl node.id k) ws in
+  let ok =
+    (not (Hashtbl.mem node.aborted_decides txn))
+    && Locks.acquire_all node.locks txn
+         ~exclusive:(List.map fst local_ws)
+         ~shared:(List.map fst local_rs)
+         ~timeout:t.config.Sss_kv.Config.lock_timeout
+    && validate node local_rs
+    && not (Hashtbl.mem node.aborted_decides txn)
+  in
+  if not ok then begin
+    Locks.release_txn node.locks txn;
+    send t ~src:node.id ~dst:coord (Vote { txn; ok = false })
+  end
+  else begin
+    Hashtbl.replace node.prepared txn { rs_local = local_rs; ws_local = local_ws; coord };
+    send t ~src:node.id ~dst:coord (Vote { txn; ok = true })
+  end
+
+let handle_decide t (node : node) ~txn ~outcome =
+  match Hashtbl.find_opt node.prepared txn with
+  | None -> if not outcome then Hashtbl.replace node.aborted_decides txn ()
+  | Some prep ->
+      Hashtbl.remove node.prepared txn;
+      if outcome then
+        List.iter
+          (fun (k, v) ->
+            let c = cell node k in
+            c.value <- v;
+            c.writer <- txn;
+            if is_primary t node.id k then record t (History.Install { txn; key = k }))
+          prep.ws_local;
+      Locks.release_txn node.locks txn;
+      if outcome then send t ~src:node.id ~dst:prep.coord (Applied { txn })
+
+let dispatch t (node : node) ~src payload =
+  match payload with
+  | Read_req { req; key } ->
+      let c = cell node key in
+      send t ~src:node.id ~dst:src (Read_ret { req; value = c.value; writer = c.writer })
+  | Read_ret { req; value; writer } ->
+      Rpc.Pending.resolve t.sim node.pending_reads req (value, writer)
+  | Prepare { txn; coord; rs; ws } -> handle_prepare t node ~txn ~coord ~rs ~ws
+  | Vote { txn; ok } -> (
+      match Hashtbl.find_opt node.vote_boxes txn with
+      | Some box ->
+          box.votes <- box.votes + 1;
+          if not ok then box.any_false <- true;
+          Sim.Cond.broadcast t.sim box.vchanged
+      | None -> ())
+  | Decide { txn; outcome } -> handle_decide t node ~txn ~outcome
+  | Applied { txn } -> (
+      match Hashtbl.find_opt node.ack_boxes txn with
+      | Some box ->
+          box.ack_count <- box.ack_count + 1;
+          if box.ack_count = box.ack_expect && not (Sim.Ivar.is_filled box.ack_done) then
+            Sim.Ivar.fill t.sim box.ack_done ()
+      | None -> ())
+
+let create sim (config : Sss_kv.Config.t) =
+  let repl =
+    Replication.create ~nodes:config.nodes ~degree:config.replication_degree
+      ~total_keys:config.total_keys
+  in
+  let rng = Prng.create ~seed:config.seed in
+  let net = Network.create sim rng ~nodes:config.nodes ~config:config.network in
+  let nodes =
+    Array.init config.nodes (fun id ->
+        {
+          id;
+          store = Hashtbl.create 256;
+          locks = Locks.create sim;
+          prepared = Hashtbl.create 64;
+          aborted_decides = Hashtbl.create 64;
+          gen = Ids.Gen.create id;
+          pending_reads = Rpc.Pending.create ();
+          vote_boxes = Hashtbl.create 64;
+          ack_boxes = Hashtbl.create 64;
+        })
+  in
+  Array.iter
+    (fun node ->
+      Array.iter
+        (fun k ->
+          Hashtbl.replace node.store k
+            { value = Printf.sprintf "init:%d" k; writer = Ids.genesis })
+        (Replication.keys_at repl node.id))
+    nodes;
+  let t = { sim; config; repl; net; nodes; history = History.create ~enabled:config.record_history () } in
+  Array.iter
+    (fun (n : node) ->
+      Network.set_handler net n.id (fun ~src payload -> dispatch t n ~src payload))
+    nodes;
+  t
+
+let begin_txn cl ~node ~read_only =
+  let home = cl.nodes.(node) in
+  let id = Ids.Gen.next home.gen in
+  record cl (History.Begin { txn = id; ro = read_only; node });
+  { cl; home; id; ro = read_only; rs = []; ws = []; finished = false }
+
+let read h key =
+  if h.finished then invalid_arg "Twopc: read on a finished transaction";
+  match List.assoc_opt key h.ws with
+  | Some v -> v
+  | None ->
+      let req, ivar = Rpc.Pending.fresh h.home.pending_reads in
+      List.iter
+        (fun dst -> send h.cl ~src:h.home.id ~dst (Read_req { req; key }))
+        (Replication.replicas h.cl.repl key);
+      let value, writer = Sim.Ivar.read h.cl.sim ivar in
+      let pair = (key, writer) in
+      if not (List.mem pair h.rs) then h.rs <- pair :: h.rs;
+      record h.cl (History.Read { txn = h.id; key; writer });
+      value
+
+let write h key value =
+  if h.finished then invalid_arg "Twopc: write on a finished transaction";
+  if h.ro then invalid_arg "Twopc: write in a read-only transaction";
+  h.ws <- (key, value) :: List.remove_assoc key h.ws
+
+let commit h =
+  if h.finished then invalid_arg "Twopc: commit on a finished transaction";
+  h.finished <- true;
+  let cl = h.cl in
+  let keys = List.map fst h.rs @ List.map fst h.ws in
+  if keys = [] then begin
+    record cl (History.Commit { txn = h.id });
+    true
+  end
+  else begin
+    let participants = List.sort_uniq Int.compare (h.home.id :: replica_nodes cl keys) in
+    let box =
+      { expect = List.length participants; votes = 0; any_false = false;
+        vchanged = Sim.Cond.create () }
+    in
+    Hashtbl.replace h.home.vote_boxes h.id box;
+    List.iter
+      (fun dst ->
+        send cl ~src:h.home.id ~dst (Prepare { txn = h.id; coord = h.home.id; rs = h.rs; ws = h.ws }))
+      participants;
+    let complete () = box.any_false || box.votes >= box.expect in
+    let _ =
+      Sim.Cond.await_timeout cl.sim box.vchanged
+        ~timeout:cl.config.Sss_kv.Config.vote_timeout complete
+    in
+    Hashtbl.remove h.home.vote_boxes h.id;
+    let all_ok = (not box.any_false) && box.votes >= box.expect in
+    if not all_ok then begin
+      List.iter
+        (fun dst -> send cl ~src:h.home.id ~dst (Decide { txn = h.id; outcome = false }))
+        participants;
+      record cl (History.Abort { txn = h.id });
+      false
+    end
+    else begin
+      let write_nodes = replica_nodes cl (List.map fst h.ws) in
+      let ack =
+        { ack_expect = List.length write_nodes; ack_count = 0; ack_done = Sim.Ivar.create () }
+      in
+      if write_nodes <> [] then Hashtbl.replace h.home.ack_boxes h.id ack;
+      List.iter
+        (fun dst -> send cl ~src:h.home.id ~dst (Decide { txn = h.id; outcome = true }))
+        participants;
+      (* The client is informed once every write replica applied: later
+         transactions beginning after this response always see the data. *)
+      if write_nodes <> [] then begin
+        (match
+           Sim.Ivar.read_timeout cl.sim ack.ack_done
+             ~timeout:cl.config.Sss_kv.Config.ack_timeout
+         with
+        | Some () -> ()
+        | None -> failwith "Twopc: apply ack timeout");
+        Hashtbl.remove h.home.ack_boxes h.id
+      end;
+      record cl (History.Commit { txn = h.id });
+      true
+    end
+  end
+
+let abort h =
+  if h.finished then invalid_arg "Twopc: abort on a finished transaction";
+  h.finished <- true;
+  record h.cl (History.Abort { txn = h.id })
+
+let txn_id h = h.id
+
+let history t = t.history
+
+let local_keys t n = Replication.keys_at t.repl n
+
+let quiescent t =
+  let problems = ref [] in
+  Array.iter
+    (fun (n : node) ->
+      if Hashtbl.length n.prepared > 0 then
+        problems := Printf.sprintf "node %d: %d prepared linger" n.id (Hashtbl.length n.prepared) :: !problems;
+      if Locks.holder_count n.locks > 0 then
+        problems := Printf.sprintf "node %d: %d lock holders" n.id (Locks.holder_count n.locks) :: !problems)
+    t.nodes;
+  match !problems with [] -> Ok () | ps -> Error (String.concat "; " ps)

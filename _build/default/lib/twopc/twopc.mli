@@ -1,0 +1,42 @@
+(** 2PC-baseline competitor (§V of the paper).
+
+    "All transactions execute as SSS's update transactions; read-only
+    transactions validate their execution, therefore they can abort; and no
+    multi-version data repository is deployed."  Like SSS it guarantees
+    external consistency — at the cost of aborting read-only transactions
+    and holding locks across the commit round.
+
+    The deployment parameters are shared with SSS ({!Sss_kv.Config.t}) so
+    the experiment harness can run both under identical conditions; the
+    snapshot-queuing-specific fields are ignored. *)
+
+open Sss_data
+
+type cluster
+
+type handle
+
+val create : Sss_sim.Sim.t -> Sss_kv.Config.t -> cluster
+
+val begin_txn : cluster -> node:Ids.node -> read_only:bool -> handle
+(** [read_only] is accepted for interface parity; such transactions simply
+    never write, and still validate and may abort. *)
+
+val read : handle -> Ids.key -> string
+
+val write : handle -> Ids.key -> string -> unit
+
+val commit : handle -> bool
+(** Runs the full 2PC (lock, validate, apply) for every transaction; the
+    client is informed once all participants applied. *)
+
+val abort : handle -> unit
+
+val txn_id : handle -> Ids.txn
+
+val history : cluster -> Sss_consistency.History.t
+
+val local_keys : cluster -> Ids.node -> Ids.key array
+(** Keys replicated at a node (for the locality workload). *)
+
+val quiescent : cluster -> (unit, string) result

@@ -1,0 +1,1 @@
+lib/walter/walter.ml: Array Hashtbl History Ids Int List Locks Network Option Printf Prng Replication Rpc Sim Sss_consistency Sss_data Sss_kv Sss_net Sss_sim String Vclock

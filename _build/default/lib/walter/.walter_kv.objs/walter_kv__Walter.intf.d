@@ -1,0 +1,1 @@
+lib/walter/walter.mli: Ids Replication Sss_consistency Sss_data Sss_kv Sss_sim

@@ -1,0 +1,417 @@
+(* Walter-style Parallel Snapshot Isolation (Sovran et al., SOSP'11),
+   re-implemented on the same substrate as SSS, as the paper does for its
+   evaluation (§V).
+
+   Model implemented (the parts the YCSB evaluation exercises):
+   - every transaction gets a start vector timestamp: one sequence number
+     per site, denoting the committed prefix applied at its home site;
+   - reads return the newest version visible in the start timestamp,
+     without validation; read-only transactions never abort and commit
+     locally (no messages) — the property that makes Walter the throughput
+     upper bound in Fig. 3;
+   - update transactions conflict-check their write-set at each written
+     key's preferred site (the key's primary replica): fast path when every
+     primary is the home site (purely local commit), slow path via a
+     2PC-like round otherwise;
+   - the client is answered as soon as the home site commits; writes
+     propagate to the other replicas asynchronously, in per-site sequence
+     order (PSI's "long fork" is observable: snapshots on different sites
+     may order non-conflicting transactions differently).
+
+   Omitted (not exercised by the benchmark): c-sets/counting sets, cross-
+   data-center disaster tolerance. *)
+
+open Sss_sim
+open Sss_data
+open Sss_net
+open Sss_consistency
+
+type version = {
+  value : string;
+  writer : Ids.txn;
+  site : Ids.node;  (* writer's home site *)
+  seq : int;  (* writer's position in its site's commit order *)
+  wstart : Vclock.t;  (* the writer's start snapshot: orders same-key versions *)
+}
+
+type msg =
+  | Read_req of { req : int; key : Ids.key; start : Vclock.t }
+  | Read_ret of { req : int; value : string; writer : Ids.txn }
+  | Wprepare of {
+      txn : Ids.txn;
+      coord : Ids.node;
+      start : Vclock.t;
+      keys : Ids.key list;  (* written keys whose primary is this node *)
+    }
+  | Wvote of { txn : Ids.txn; ok : bool }
+  | Wdecide of { txn : Ids.txn; outcome : bool }
+  | Propagate of {
+      txn : Ids.txn;
+      site : Ids.node;
+      seq : int;
+      start : Vclock.t;
+      writes : (Ids.key * string) list;  (* full write set; nodes filter *)
+    }
+
+let priority = function
+  | Wdecide _ -> 40
+  | Wvote _ -> 60
+  | Propagate _ -> 80
+  | Read_req _ | Read_ret _ | Wprepare _ -> 100
+
+type vote_box = {
+  expect : int;
+  mutable votes : int;
+  mutable any_false : bool;
+  vchanged : Sim.Cond.t;
+}
+
+type node = {
+  id : Ids.node;
+  chains : (Ids.key, version list ref) Hashtbl.t;  (* newest first by kver *)
+  mutable applied : Vclock.t;  (* committed prefix applied locally, per site *)
+  mutable site_seq : int;  (* commits originated at this site *)
+  holdback :
+    (Ids.node, (int * (Ids.txn * Vclock.t * (Ids.key * string) list)) list ref) Hashtbl.t;
+  locks : Locks.t;
+  prepared : (Ids.txn, Ids.key list) Hashtbl.t;
+  aborted_decides : (Ids.txn, unit) Hashtbl.t;
+  gen : Ids.Gen.t;
+  pending_reads : (string * Ids.txn) Rpc.Pending.t;
+  vote_boxes : (Ids.txn, vote_box) Hashtbl.t;
+  applied_changed : Sim.Cond.t;
+}
+
+type cluster = {
+  sim : Sim.t;
+  config : Sss_kv.Config.t;
+  repl : Replication.t;
+  net : msg Network.t;
+  nodes : node array;
+  history : History.t;
+}
+
+type handle = {
+  cl : cluster;
+  home : node;
+  id : Ids.txn;
+  ro : bool;
+  start : Vclock.t;
+  mutable ws : (Ids.key * string) list;
+  mutable finished : bool;
+}
+
+let record t event = History.record t.history ~at:(Sim.now t.sim) event
+
+let send t ~src ~dst payload = Network.send t.net ~prio:(priority payload) ~src ~dst payload
+
+let primary t key = List.hd (Replication.replicas t.repl key)
+
+let chain (node : node) key =
+  match Hashtbl.find_opt node.chains key with
+  | Some r -> r
+  | None -> invalid_arg "Walter: unknown key"
+
+(* Newest version whose writer's commit is within the snapshot.  The caller
+   guarantees the snapshot is applied locally, so the first visible version
+   in the (write-order sorted) chain is the newest. *)
+let visible_read (node : node) key ~start =
+  let rec pick = function
+    | [] -> assert false
+    | [ oldest ] -> oldest
+    | v :: rest ->
+        if Ids.equal_txn v.writer Ids.genesis || v.seq <= Vclock.get start v.site then v
+        else pick rest
+  in
+  pick !(chain node key)
+
+(* A write is admissible if the newest version of the key was visible in the
+   writer's snapshot (no concurrent committed writer: PSI's write-write
+   conflict rule). *)
+let ww_ok (node : node) key ~start =
+  match !(chain node key) with
+  | [] -> true
+  | v :: _ -> Ids.equal_txn v.writer Ids.genesis || v.seq <= Vclock.get start v.site
+
+(* Install a version, keeping the chain in write order: write-write
+   conflicts serialize same-key writers, so for two versions one writer's
+   start snapshot always covers the other's commit. *)
+let install (node : node) key ver =
+  let r = chain node key in
+  let after v older =
+    Ids.equal_txn older.writer Ids.genesis
+    || older.seq <= Vclock.get v.wstart older.site
+  in
+  let rec insert = function
+    | [] -> [ ver ]
+    | v :: _ as all when after ver v -> ver :: all
+    | v :: rest -> v :: insert rest
+  in
+  r := insert !r
+
+(* Apply a committed transaction's writes locally and advance the per-site
+   applied prefix (in per-site sequence order; out-of-order deliveries are
+   held back). *)
+let rec apply_committed t (node : node) ~txn ~site ~seq ~start ~writes =
+  if seq = Vclock.get node.applied site + 1 then begin
+    List.iter
+      (fun (k, value) ->
+        if Replication.is_replica t.repl node.id k then begin
+          if primary t k = node.id then record t (History.Install { txn; key = k });
+          install node k { value; writer = txn; site; seq; wstart = start }
+        end)
+      writes;
+    node.applied <- Vclock.set node.applied site seq;
+    Hashtbl.remove node.prepared txn;
+    Locks.release_txn node.locks txn;
+    Sim.Cond.broadcast t.sim node.applied_changed;
+    (* drain any held-back successors from the same site *)
+    match Hashtbl.find_opt node.holdback site with
+    | None -> ()
+    | Some pending -> (
+        let next = Vclock.get node.applied site + 1 in
+        match List.assoc_opt next !pending with
+        | None -> ()
+        | Some (txn', start', writes') ->
+            pending := List.remove_assoc next !pending;
+            apply_committed t node ~txn:txn' ~site ~seq:next ~start:start' ~writes:writes')
+  end
+  else if seq > Vclock.get node.applied site then begin
+    let pending =
+      match Hashtbl.find_opt node.holdback site with
+      | Some r -> r
+      | None ->
+          let r = ref [] in
+          Hashtbl.replace node.holdback site r;
+          r
+    in
+    if not (List.mem_assoc seq !pending) then
+      pending := (seq, (txn, start, writes)) :: !pending
+  end
+
+let handle_prepare t (node : node) ~txn ~coord ~start ~keys =
+  let ok =
+    (not (Hashtbl.mem node.aborted_decides txn))
+    && Locks.acquire_all node.locks txn ~exclusive:keys ~shared:[]
+         ~timeout:t.config.Sss_kv.Config.lock_timeout
+    && List.for_all (fun k -> ww_ok node k ~start) keys
+    && not (Hashtbl.mem node.aborted_decides txn)
+  in
+  if ok then Hashtbl.replace node.prepared txn keys else Locks.release_txn node.locks txn;
+  send t ~src:node.id ~dst:coord (Wvote { txn; ok })
+
+let dispatch t (node : node) ~src payload =
+  match payload with
+  | Read_req { req; key; start } ->
+      (* Walter reads block until the local replica has applied the whole
+         snapshot (Sovran et al. §4): otherwise a lagging replica would
+         return stale data the snapshot already covers. *)
+      Sim.Cond.await t.sim node.applied_changed (fun () -> Vclock.leq start node.applied);
+      let v = visible_read node key ~start in
+      send t ~src:node.id ~dst:src (Read_ret { req; value = v.value; writer = v.writer })
+  | Read_ret { req; value; writer } ->
+      Rpc.Pending.resolve t.sim node.pending_reads req (value, writer)
+  | Wprepare { txn; coord; start; keys } -> handle_prepare t node ~txn ~coord ~start ~keys
+  | Wvote { txn; ok } -> (
+      match Hashtbl.find_opt node.vote_boxes txn with
+      | Some box ->
+          box.votes <- box.votes + 1;
+          if not ok then box.any_false <- true;
+          Sim.Cond.broadcast t.sim box.vchanged
+      | None -> ())
+  | Wdecide { txn; outcome } ->
+      if not outcome then begin
+        Hashtbl.replace node.aborted_decides txn ();
+        Hashtbl.remove node.prepared txn;
+        Locks.release_txn node.locks txn
+      end
+      (* on commit the locks are released when the propagated write applies,
+         so no concurrent writer can slip a conflicting check in between *)
+  | Propagate { txn; site; seq; start; writes } ->
+      apply_committed t node ~txn ~site ~seq ~start ~writes
+
+let create sim (config : Sss_kv.Config.t) =
+  let repl =
+    Replication.create ~nodes:config.nodes ~degree:config.replication_degree
+      ~total_keys:config.total_keys
+  in
+  let rng = Prng.create ~seed:config.seed in
+  let net = Network.create sim rng ~nodes:config.nodes ~config:config.network in
+  let nodes =
+    Array.init config.nodes (fun id ->
+        {
+          id;
+          chains = Hashtbl.create 256;
+          applied = Vclock.zero config.nodes;
+          site_seq = 0;
+          holdback = Hashtbl.create 8;
+          locks = Locks.create sim;
+          prepared = Hashtbl.create 64;
+          aborted_decides = Hashtbl.create 64;
+          gen = Ids.Gen.create id;
+          pending_reads = Rpc.Pending.create ();
+          vote_boxes = Hashtbl.create 64;
+          applied_changed = Sim.Cond.create ();
+        })
+  in
+  Array.iter
+    (fun (node : node) ->
+      Array.iter
+        (fun k ->
+          Hashtbl.replace node.chains k
+            (ref
+               [
+                 {
+                   value = Printf.sprintf "init:%d" k;
+                   writer = Ids.genesis;
+                   site = 0;
+                   seq = 0;
+                   wstart = Vclock.zero config.nodes;
+                 };
+               ]))
+        (Replication.keys_at repl node.id))
+    nodes;
+  let t =
+    { sim; config; repl; net; nodes; history = History.create ~enabled:config.record_history () }
+  in
+  Array.iter
+    (fun (n : node) ->
+      Network.set_handler net n.id (fun ~src payload -> dispatch t n ~src payload))
+    nodes;
+  t
+
+let begin_txn cl ~node ~read_only =
+  let home = cl.nodes.(node) in
+  let id = Ids.Gen.next home.gen in
+  record cl (History.Begin { txn = id; ro = read_only; node });
+  { cl; home; id; ro = read_only; start = home.applied; ws = []; finished = false }
+
+let read h key =
+  if h.finished then invalid_arg "Walter: read on a finished transaction";
+  match List.assoc_opt key h.ws with
+  | Some v -> v
+  | None ->
+      let req, ivar = Rpc.Pending.fresh h.home.pending_reads in
+      List.iter
+        (fun dst -> send h.cl ~src:h.home.id ~dst (Read_req { req; key; start = h.start }))
+        (Replication.replicas h.cl.repl key);
+      let value, writer = Sim.Ivar.read h.cl.sim ivar in
+      record h.cl (History.Read { txn = h.id; key; writer });
+      value
+
+let write h key value =
+  if h.finished then invalid_arg "Walter: write on a finished transaction";
+  if h.ro then invalid_arg "Walter: write in a read-only transaction";
+  h.ws <- (key, value) :: List.remove_assoc key h.ws
+
+(* Commit at the home site: bump the site sequence, apply locally (which
+   also numbers versions for keys whose primary is the home), answer the
+   client, and propagate asynchronously. *)
+let commit_at_home h =
+  let cl = h.cl in
+  h.home.site_seq <- h.home.site_seq + 1;
+  let seq = h.home.site_seq in
+  apply_committed cl h.home ~txn:h.id ~site:h.home.id ~seq ~start:h.start ~writes:h.ws;
+  record cl (History.Commit { txn = h.id });
+  for dst = 0 to cl.config.Sss_kv.Config.nodes - 1 do
+    if dst <> h.home.id then
+      send cl ~src:h.home.id ~dst
+        (Propagate { txn = h.id; site = h.home.id; seq; start = h.start; writes = h.ws })
+  done;
+  true
+
+let commit h =
+  if h.finished then invalid_arg "Walter: commit on a finished transaction";
+  h.finished <- true;
+  let cl = h.cl in
+  if h.ws = [] then begin
+    (* read-only (or write-free): purely local, never aborts *)
+    record cl (History.Commit { txn = h.id });
+    true
+  end
+  else begin
+    (* group written keys by preferred site *)
+    let by_primary = Hashtbl.create 4 in
+    List.iter
+      (fun (k, _) ->
+        let p = primary cl k in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt by_primary p) in
+        Hashtbl.replace by_primary p (k :: prev))
+      h.ws;
+    let sites = Hashtbl.fold (fun s ks acc -> (s, ks) :: acc) by_primary [] in
+    match sites with
+    | [ (s, ks) ] when s = h.home.id ->
+        (* fast path: all preferred sites local *)
+        if
+          Locks.acquire_all h.home.locks h.id ~exclusive:ks ~shared:[]
+            ~timeout:cl.config.Sss_kv.Config.lock_timeout
+          && List.for_all (fun k -> ww_ok h.home k ~start:h.start) ks
+        then commit_at_home h  (* locks released when the local apply runs *)
+        else begin
+          Locks.release_txn h.home.locks h.id;
+          record cl (History.Abort { txn = h.id });
+          false
+        end
+    | _ ->
+        (* slow path: conflict-check at each preferred site *)
+        let sites = List.sort (fun (a, _) (b, _) -> Int.compare a b) sites in
+        let box =
+          { expect = List.length sites; votes = 0; any_false = false;
+            vchanged = Sim.Cond.create () }
+        in
+        Hashtbl.replace h.home.vote_boxes h.id box;
+        List.iter
+          (fun (s, ks) ->
+            send cl ~src:h.home.id ~dst:s
+              (Wprepare { txn = h.id; coord = h.home.id; start = h.start; keys = ks }))
+          sites;
+        let complete () = box.any_false || box.votes >= box.expect in
+        let _ =
+          Sim.Cond.await_timeout cl.sim box.vchanged
+            ~timeout:cl.config.Sss_kv.Config.vote_timeout complete
+        in
+        Hashtbl.remove h.home.vote_boxes h.id;
+        let all_ok = (not box.any_false) && box.votes >= box.expect in
+        List.iter
+          (fun (s, _) -> send cl ~src:h.home.id ~dst:s (Wdecide { txn = h.id; outcome = all_ok }))
+          sites;
+        if all_ok then commit_at_home h
+        else begin
+          record cl (History.Abort { txn = h.id });
+          false
+        end
+  end
+
+let abort h =
+  if h.finished then invalid_arg "Walter: abort on a finished transaction";
+  h.finished <- true;
+  record h.cl (History.Abort { txn = h.id })
+
+let txn_id h = h.id
+
+let history t = t.history
+
+let repl t = t.repl
+
+let quiescent t =
+  let problems = ref [] in
+  Array.iter
+    (fun (n : node) ->
+      if Hashtbl.length n.prepared > 0 then
+        problems :=
+          Printf.sprintf "node %d: %d prepared linger" n.id (Hashtbl.length n.prepared)
+          :: !problems;
+      if Locks.holder_count n.locks > 0 then
+        problems :=
+          Printf.sprintf "node %d: %d lock holders" n.id (Locks.holder_count n.locks)
+          :: !problems;
+      Hashtbl.iter
+        (fun site pending ->
+          if !pending <> [] then
+            problems :=
+              Printf.sprintf "node %d: %d held-back propagations from site %d" n.id
+                (List.length !pending) site
+              :: !problems)
+        n.holdback)
+    t.nodes;
+  match !problems with [] -> Ok () | ps -> Error (String.concat "; " ps)

@@ -1,0 +1,48 @@
+(** Walter-style Parallel Snapshot Isolation competitor (§V of the paper).
+
+    Walter is included in the paper's evaluation as the fast-but-weaker
+    yardstick: its read-only transactions are purely local (never abort,
+    never block updates), its update transactions conflict-check only
+    write-write pairs, and commits propagate asynchronously — so snapshots
+    on different sites may order non-conflicting transactions divergently
+    (PSI's "long fork", demonstrably not serializable; see
+    [test_baselines.ml] and [examples/document_sync.ml]).
+
+    Deployment parameters are shared with SSS ({!Sss_kv.Config.t}) so the
+    experiment harness drives every system identically. *)
+
+open Sss_data
+
+type cluster
+
+type handle
+
+val create : Sss_sim.Sim.t -> Sss_kv.Config.t -> cluster
+
+val begin_txn : cluster -> node:Ids.node -> read_only:bool -> handle
+(** Snapshots the home site's applied prefix (the start vector
+    timestamp). *)
+
+val read : handle -> Ids.key -> string
+(** Newest version within the start snapshot; blocks only until the
+    contacted replica has applied the snapshot locally. *)
+
+val write : handle -> Ids.key -> string -> unit
+
+val commit : handle -> bool
+(** Read-only: always true, no messages.  Updates: write-write conflict
+    check at each written key's preferred site (local fast path when they
+    all live at the home site), then the client is answered and the writes
+    propagate asynchronously in per-site commit order. *)
+
+val abort : handle -> unit
+
+val txn_id : handle -> Ids.txn
+
+val history : cluster -> Sss_consistency.History.t
+
+val quiescent : cluster -> (unit, string) result
+
+(** Exposed for the experiment harness. *)
+
+val repl : cluster -> Replication.t

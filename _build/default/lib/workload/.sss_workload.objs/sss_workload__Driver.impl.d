@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Array Ids List Option Printf Prng Sim Sss_data Sss_sim Stats Zipf

@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Ids Sss_data Sss_sim Stats

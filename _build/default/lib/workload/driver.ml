@@ -1,0 +1,155 @@
+open Sss_sim
+open Sss_data
+
+type 'h ops = {
+  begin_txn : node:Ids.node -> read_only:bool -> 'h;
+  read : 'h -> Ids.key -> string;
+  write : 'h -> Ids.key -> string -> unit;
+  commit : 'h -> bool;
+}
+
+type key_dist = Uniform | Zipfian of float
+
+type profile = {
+  read_only_ratio : float;
+  update_ops : int;
+  ro_ops : int;
+  locality : float;
+}
+
+let paper_profile ~read_only_ratio =
+  { read_only_ratio; update_ops = 2; ro_ops = 2; locality = 0.0 }
+
+type load = {
+  clients_per_node : int;
+  warmup : float;
+  duration : float;
+  seed : int;
+  dist : key_dist;
+  retry_aborts : bool;
+}
+
+let default_load =
+  {
+    clients_per_node = 10;
+    warmup = 0.05;
+    duration = 0.25;
+    seed = 42;
+    dist = Uniform;
+    retry_aborts = false;
+  }
+
+type result = {
+  committed : int;
+  committed_ro : int;
+  aborted : int;
+  throughput : float;
+  abort_rate : float;
+  latency : Stats.t;
+  ro_latency : Stats.t;
+  update_latency : Stats.t;
+}
+
+type counters = {
+  mutable committed : int;
+  mutable committed_ro : int;
+  mutable aborted : int;
+}
+
+(* Draw [count] distinct keys for a client on [node]. *)
+let pick_keys rng ~dist ~zipf ~total_keys ~local ~locality ~count =
+  let draw () =
+    if locality > 0.0 && Array.length local > 0 && Prng.float rng 1.0 < locality then
+      local.(Prng.int rng (Array.length local))
+    else
+      match dist with
+      | Uniform -> Prng.int rng total_keys
+      | Zipfian _ -> Zipf.sample (Option.get zipf) rng
+  in
+  let rec fill acc n guard =
+    if n = 0 || guard > 1000 then acc
+    else
+      let k = draw () in
+      if List.mem k acc then fill acc n (guard + 1) else fill (k :: acc) (n - 1) guard
+  in
+  fill [] count 0
+
+let client_loop sim ~ops ~rng ~node ~profile ~load ~zipf ~total_keys ~local ~stop ~measure_from
+    ~counters ~latency ~ro_latency ~update_latency =
+  let value_counter = ref 0 in
+  let run_once ~read_only keys =
+    let h = ops.begin_txn ~node ~read_only in
+    if read_only then List.iter (fun k -> ignore (ops.read h k)) keys
+    else
+      List.iter
+        (fun k ->
+          let v = ops.read h k in
+          incr value_counter;
+          ops.write h k (Printf.sprintf "%d:%d.%d (was %s)" node !value_counter k v))
+        keys;
+    ops.commit h
+  in
+  let rec txn_loop () =
+    if Sim.now sim < stop then begin
+      let read_only = Prng.float rng 1.0 < profile.read_only_ratio in
+      let count = if read_only then profile.ro_ops else profile.update_ops in
+      let keys =
+        pick_keys rng ~dist:load.dist ~zipf ~total_keys ~local ~locality:profile.locality
+          ~count
+      in
+      let started = Sim.now sim in
+      let rec attempt () =
+        let ok = run_once ~read_only keys in
+        if not ok then begin
+          if Sim.now sim >= measure_from then counters.aborted <- counters.aborted + 1;
+          if load.retry_aborts && Sim.now sim < stop then attempt () else ()
+        end
+        else if Sim.now sim >= measure_from && started >= measure_from then begin
+          counters.committed <- counters.committed + 1;
+          if read_only then counters.committed_ro <- counters.committed_ro + 1;
+          let elapsed = Sim.now sim -. started in
+          Stats.add latency elapsed;
+          if read_only then Stats.add ro_latency elapsed else Stats.add update_latency elapsed
+        end
+      in
+      attempt ();
+      txn_loop ()
+    end
+  in
+  txn_loop ()
+
+let run sim ~nodes ~total_keys ~local_keys ~profile ~load ~ops =
+  let zipf =
+    match load.dist with
+    | Uniform -> None
+    | Zipfian theta -> Some (Zipf.create ~n:total_keys ~theta)
+  in
+  let base_rng = Prng.create ~seed:load.seed in
+  let counters = { committed = 0; committed_ro = 0; aborted = 0 } in
+  let latency = Stats.create () in
+  let ro_latency = Stats.create () in
+  let update_latency = Stats.create () in
+  let measure_from = load.warmup in
+  let stop = load.warmup +. load.duration in
+  for node = 0 to nodes - 1 do
+    let local = local_keys node in
+    for _ = 1 to load.clients_per_node do
+      let rng = Prng.split base_rng in
+      Sim.spawn sim (fun () ->
+          client_loop sim ~ops ~rng ~node ~profile ~load ~zipf ~total_keys ~local ~stop
+            ~measure_from ~counters ~latency ~ro_latency ~update_latency)
+    done
+  done;
+  Sim.run sim;
+  {
+    committed = counters.committed;
+    committed_ro = counters.committed_ro;
+    aborted = counters.aborted;
+    throughput = float_of_int counters.committed /. load.duration;
+    abort_rate =
+      (let total = counters.committed + counters.aborted in
+       if total = 0 then 0.0 else float_of_int counters.aborted /. float_of_int total);
+    latency;
+    ro_latency;
+    update_latency;
+  }

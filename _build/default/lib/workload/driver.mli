@@ -1,0 +1,71 @@
+(** Closed-loop YCSB-style workload driver (§V of the paper).
+
+    Clients are colocated with nodes; each issues a new transaction only
+    when the previous one returned (closed loop).  Update transactions read
+    then overwrite [update_ops] keys; read-only transactions read [ro_ops]
+    keys.  Keys are drawn uniformly, zipfian, or from the local node's
+    replicas with probability [locality] (Fig. 7's 50%-locality
+    configuration).
+
+    The driver is protocol-agnostic: any store exposing the {!type:ops}
+    quadruple can be measured, which is how SSS, Walter, ROCOCO and the 2PC
+    baseline all run under identical load. *)
+
+open Sss_data
+
+type 'h ops = {
+  begin_txn : node:Ids.node -> read_only:bool -> 'h;
+  read : 'h -> Ids.key -> string;
+  write : 'h -> Ids.key -> string -> unit;
+  commit : 'h -> bool;
+}
+
+type key_dist = Uniform | Zipfian of float
+
+type profile = {
+  read_only_ratio : float;
+  update_ops : int;  (** keys read and written by an update transaction *)
+  ro_ops : int;  (** keys read by a read-only transaction *)
+  locality : float;  (** probability of drawing a node-local key *)
+}
+
+val paper_profile : read_only_ratio:float -> profile
+(** The paper's default: update transactions touch 2 keys, read-only
+    transactions read 2 keys, no locality. *)
+
+type load = {
+  clients_per_node : int;
+  warmup : float;  (** seconds of virtual time before measurement starts *)
+  duration : float;  (** measured virtual-time window *)
+  seed : int;
+  dist : key_dist;
+  retry_aborts : bool;  (** re-run an aborted transaction on the same keys *)
+}
+
+val default_load : load
+(** 10 clients/node (the paper's setting), 50 ms warmup, 250 ms measured,
+    uniform keys, no retry. *)
+
+type result = {
+  committed : int;  (** committed in the measured window *)
+  committed_ro : int;
+  aborted : int;  (** aborts in the measured window *)
+  throughput : float;  (** committed transactions per second *)
+  abort_rate : float;  (** aborted / (committed + aborted) *)
+  latency : Stats.t;  (** all committed transactions *)
+  ro_latency : Stats.t;
+  update_latency : Stats.t;
+}
+
+val run :
+  Sss_sim.Sim.t ->
+  nodes:int ->
+  total_keys:int ->
+  local_keys:(Ids.node -> Ids.key array) ->
+  profile:profile ->
+  load:load ->
+  ops:'h ops ->
+  result
+(** Spawns the clients, runs the simulator to completion (clients stop
+    issuing after [warmup + duration]; in-flight work drains), and returns
+    the measured-window statistics. *)

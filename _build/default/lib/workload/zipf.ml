@@ -1,0 +1,29 @@
+type t = { n : int; cumulative : float array }
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta < 0.0 then invalid_arg "Zipf.create: theta must be non-negative";
+  let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) theta) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cumulative = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (weights.(i) /. total);
+    cumulative.(i) <- !acc
+  done;
+  cumulative.(n - 1) <- 1.0;
+  { n; cumulative }
+
+let sample t rng =
+  let u = Sss_sim.Prng.float rng 1.0 in
+  (* First index whose cumulative probability exceeds u. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cumulative.(mid) > u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (t.n - 1)
+
+let probability t i =
+  if i = 0 then t.cumulative.(0) else t.cumulative.(i) -. t.cumulative.(i - 1)

@@ -1,0 +1,16 @@
+(** Zipfian key popularity, as used by YCSB.
+
+    Item [0] is the most popular; probability of item [i] is proportional to
+    [1 / (i+1)^theta].  Sampling is O(log n) over a precomputed cumulative
+    table. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** @raise Invalid_argument if [n <= 0] or [theta < 0]. *)
+
+val sample : t -> Sss_sim.Prng.t -> int
+(** Draw an item in [\[0, n)]. *)
+
+val probability : t -> int -> float
+(** Exact probability of an item (tests). *)

@@ -1,0 +1,1 @@
+test/test_api.ml: Alcotest Array Config Format Heap Ids Int Kv List Option Printf Prng Replication Sim Squeue Sss_consistency Sss_data Sss_kv Sss_net Sss_sim Sss_workload State String Vclock

@@ -1,0 +1,1 @@
+test/test_baseline_scenarios.ml: Alcotest Array Checker List Printf Replication Rococo_kv Sim Sss_consistency Sss_data Sss_kv Sss_sim Twopc_kv Walter_kv

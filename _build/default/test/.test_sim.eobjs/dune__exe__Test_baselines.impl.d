@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Checker Hashtbl History Ids List Printf Rococo_kv Sim Sss_consistency Sss_data Sss_kv Sss_sim Sss_workload Twopc_kv Walter_kv

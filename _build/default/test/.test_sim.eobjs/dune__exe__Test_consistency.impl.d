@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Checker History Ids List Printf Sss_consistency Sss_data String

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Commitq Gen Ids Int List Locks Mvstore Nlog Printf QCheck QCheck_alcotest Replication Squeue Sss_data Sss_sim Vclock Vcodec

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array List Network Prng Rpc Sim Sss_net Sss_sim

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Commitq Gen Heap Ids Int List Locks Nlog Printf Prng QCheck QCheck_alcotest Replication Sim Squeue Sss_data Sss_sim Vclock

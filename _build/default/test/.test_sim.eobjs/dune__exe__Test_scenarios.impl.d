@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Array Checker Config Float Fun Kv List Printf Replication Sim Sss_consistency Sss_data Sss_kv Sss_net Sss_sim State

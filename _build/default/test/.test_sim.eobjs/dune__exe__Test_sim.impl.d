@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Buffer Heap Int List Printf Prng QCheck QCheck_alcotest Sim Sss_sim

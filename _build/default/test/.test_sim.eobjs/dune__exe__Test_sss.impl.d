@@ -1,0 +1,1 @@
+test/test_sss.ml: Alcotest Array Checker Config History Kv List Printf Replication Sim Sss_consistency Sss_data Sss_kv Sss_sim Sss_workload State

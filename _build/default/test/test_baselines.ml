@@ -1,0 +1,247 @@
+(* Tests for the three competitor key-value stores re-implemented per §V:
+   2PC-baseline (external consistent, read-only can abort), Walter (PSI,
+   abort-free reads, long forks possible), and ROCOCO (two-round, abort-free
+   updates, round-based read-only). *)
+
+open Sss_sim
+open Sss_data
+open Sss_consistency
+
+let config ?(nodes = 3) ?(degree = 1) ?(keys = 24) ?(seed = 1) () =
+  { Sss_kv.Config.default with nodes; replication_degree = degree; total_keys = keys; seed }
+
+let check_ok what = function
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail (Printf.sprintf "%s: %s" what msg)
+
+let run_driver sim ~nodes ~keys ~ro ~seed ~ops ~local_keys =
+  Sss_workload.Driver.run sim ~nodes ~total_keys:keys ~local_keys
+    ~profile:(Sss_workload.Driver.paper_profile ~read_only_ratio:ro)
+    ~load:
+      {
+        Sss_workload.Driver.default_load with
+        clients_per_node = 4;
+        warmup = 0.005;
+        duration = 0.05;
+        seed;
+      }
+    ~ops
+
+(* ---------- 2PC-baseline ---------- *)
+
+let twopc_ops cl =
+  {
+    Sss_workload.Driver.begin_txn = (fun ~node ~read_only -> Twopc_kv.Twopc.begin_txn cl ~node ~read_only);
+    read = Twopc_kv.Twopc.read;
+    write = Twopc_kv.Twopc.write;
+    commit = Twopc_kv.Twopc.commit;
+  }
+
+let test_twopc_basic () =
+  let sim = Sim.create () in
+  let cl = Twopc_kv.Twopc.create sim (config ()) in
+  let later = ref "" in
+  Sim.spawn sim (fun () ->
+      let t = Twopc_kv.Twopc.begin_txn cl ~node:0 ~read_only:false in
+      Alcotest.(check string) "initial" "init:3" (Twopc_kv.Twopc.read t 3);
+      Twopc_kv.Twopc.write t 3 "updated";
+      Alcotest.(check bool) "commits" true (Twopc_kv.Twopc.commit t);
+      let t2 = Twopc_kv.Twopc.begin_txn cl ~node:1 ~read_only:true in
+      later := Twopc_kv.Twopc.read t2 3;
+      ignore (Twopc_kv.Twopc.commit t2));
+  Sim.run sim;
+  Alcotest.(check string) "visible" "updated" !later;
+  check_ok "external consistency" (Checker.external_consistency (Twopc_kv.Twopc.history cl));
+  check_ok "quiescent" (Twopc_kv.Twopc.quiescent cl)
+
+let test_twopc_workload () =
+  let sim = Sim.create () in
+  let cl = Twopc_kv.Twopc.create sim (config ~nodes:4 ~degree:2 ~keys:24 ~seed:5 ()) in
+  let result =
+    run_driver sim ~nodes:4 ~keys:24 ~ro:0.5 ~seed:5 ~ops:(twopc_ops cl)
+      ~local_keys:(fun _ -> [||])
+  in
+  Alcotest.(check bool) "progress" true (result.Sss_workload.Driver.committed > 50);
+  let h = Twopc_kv.Twopc.history cl in
+  check_ok "external consistency" (Checker.external_consistency h);
+  check_ok "serializability" (Checker.serializability h);
+  check_ok "no lost updates" (Checker.no_lost_updates h);
+  check_ok "quiescent" (Twopc_kv.Twopc.quiescent cl)
+
+let test_twopc_read_only_can_abort () =
+  (* tiny key space: read-only validation conflicts must appear *)
+  let sim = Sim.create () in
+  let cl = Twopc_kv.Twopc.create sim (config ~nodes:4 ~degree:2 ~keys:8 ~seed:3 ()) in
+  let result =
+    run_driver sim ~nodes:4 ~keys:8 ~ro:0.5 ~seed:3 ~ops:(twopc_ops cl)
+      ~local_keys:(fun _ -> [||])
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "aborts under contention (%d)" result.Sss_workload.Driver.aborted)
+    true
+    (result.Sss_workload.Driver.aborted > 0);
+  (* the defining contrast with SSS: 2PC-baseline aborts read-only txns *)
+  (match Checker.read_only_abort_free (Twopc_kv.Twopc.history cl) with
+  | Ok () -> Alcotest.fail "expected some read-only aborts in 2PC-baseline"
+  | Error _ -> ());
+  check_ok "still externally consistent"
+    (Checker.external_consistency (Twopc_kv.Twopc.history cl))
+
+(* ---------- Walter ---------- *)
+
+let walter_ops cl =
+  {
+    Sss_workload.Driver.begin_txn = (fun ~node ~read_only -> Walter_kv.Walter.begin_txn cl ~node ~read_only);
+    read = Walter_kv.Walter.read;
+    write = Walter_kv.Walter.write;
+    commit = Walter_kv.Walter.commit;
+  }
+
+let test_walter_basic () =
+  let sim = Sim.create () in
+  let cl = Walter_kv.Walter.create sim (config ()) in
+  let later = ref "" in
+  Sim.spawn sim (fun () ->
+      let t = Walter_kv.Walter.begin_txn cl ~node:0 ~read_only:false in
+      Alcotest.(check string) "initial" "init:3" (Walter_kv.Walter.read t 3);
+      Walter_kv.Walter.write t 3 "updated";
+      Alcotest.(check bool) "commits" true (Walter_kv.Walter.commit t);
+      (* same-site session: the next transaction sees the write *)
+      let t2 = Walter_kv.Walter.begin_txn cl ~node:0 ~read_only:true in
+      later := Walter_kv.Walter.read t2 3;
+      ignore (Walter_kv.Walter.commit t2));
+  Sim.run sim;
+  Alcotest.(check string) "visible in session" "updated" !later;
+  check_ok "quiescent" (Walter_kv.Walter.quiescent cl)
+
+let test_walter_workload () =
+  let sim = Sim.create () in
+  let cl = Walter_kv.Walter.create sim (config ~nodes:4 ~degree:2 ~keys:24 ~seed:7 ()) in
+  let result =
+    run_driver sim ~nodes:4 ~keys:24 ~ro:0.5 ~seed:7 ~ops:(walter_ops cl)
+      ~local_keys:(fun _ -> [||])
+  in
+  Alcotest.(check bool) "progress" true (result.Sss_workload.Driver.committed > 50);
+  let h = Walter_kv.Walter.history cl in
+  (* PSI: intact read-modify-writes and abort-free read-only transactions,
+     but NOT serializability (long forks are possible). *)
+  check_ok "no lost updates" (Checker.no_lost_updates h);
+  check_ok "read-only abort free" (Checker.read_only_abort_free h);
+  check_ok "quiescent" (Walter_kv.Walter.quiescent cl)
+
+let test_walter_weaker_than_serializable () =
+  (* Across seeds and a hot key space, PSI should exhibit at least one
+     serializability violation (the long fork) — the reason the paper calls
+     Walter's guarantee "much weaker" (§V). *)
+  let violations = ref 0 in
+  for seed = 1 to 8 do
+    let sim = Sim.create () in
+    let cl = Walter_kv.Walter.create sim (config ~nodes:4 ~degree:2 ~keys:8 ~seed ()) in
+    let _ =
+      run_driver sim ~nodes:4 ~keys:8 ~ro:0.6 ~seed ~ops:(walter_ops cl)
+        ~local_keys:(fun _ -> [||])
+    in
+    (match Checker.serializability (Walter_kv.Walter.history cl) with
+    | Ok () -> ()
+    | Error _ -> incr violations);
+    check_ok "no lost updates" (Checker.no_lost_updates (Walter_kv.Walter.history cl))
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "observed PSI anomalies in %d/8 runs" !violations)
+    true (!violations > 0)
+
+(* ---------- ROCOCO ---------- *)
+
+let rococo_ops cl =
+  {
+    Sss_workload.Driver.begin_txn = (fun ~node ~read_only -> Rococo_kv.Rococo.begin_txn cl ~node ~read_only);
+    read = Rococo_kv.Rococo.read;
+    write = Rococo_kv.Rococo.write;
+    commit = Rococo_kv.Rococo.commit;
+  }
+
+let test_rococo_basic () =
+  let sim = Sim.create () in
+  let cl = Rococo_kv.Rococo.create sim (config ()) in
+  let later = ref "" in
+  Sim.spawn sim (fun () ->
+      let t = Rococo_kv.Rococo.begin_txn cl ~node:0 ~read_only:false in
+      Alcotest.(check string) "initial" "init:3" (Rococo_kv.Rococo.read t 3);
+      Rococo_kv.Rococo.write t 3 "updated";
+      Alcotest.(check bool) "commits" true (Rococo_kv.Rococo.commit t);
+      let t2 = Rococo_kv.Rococo.begin_txn cl ~node:1 ~read_only:true in
+      later := Rococo_kv.Rococo.read t2 3;
+      ignore (Rococo_kv.Rococo.commit t2));
+  Sim.run sim;
+  Alcotest.(check string) "visible" "updated" !later;
+  check_ok "external consistency" (Checker.external_consistency (Rococo_kv.Rococo.history cl));
+  check_ok "quiescent" (Rococo_kv.Rococo.quiescent cl)
+
+let test_rococo_workload () =
+  let sim = Sim.create () in
+  let cl = Rococo_kv.Rococo.create sim (config ~nodes:4 ~degree:1 ~keys:24 ~seed:11 ()) in
+  let result =
+    run_driver sim ~nodes:4 ~keys:24 ~ro:0.5 ~seed:11 ~ops:(rococo_ops cl)
+      ~local_keys:(fun _ -> [||])
+  in
+  Alcotest.(check bool) "progress" true (result.Sss_workload.Driver.committed > 50);
+  let h = Rococo_kv.Rococo.history cl in
+  check_ok "serializability" (Checker.serializability h);
+  check_ok "external consistency" (Checker.external_consistency h);
+  check_ok "no lost updates" (Checker.no_lost_updates h);
+  check_ok "quiescent" (Rococo_kv.Rococo.quiescent cl)
+
+let test_rococo_updates_never_abort () =
+  (* hot keys: all aborts must come from the round-based read-only path *)
+  let sim = Sim.create () in
+  let cl = Rococo_kv.Rococo.create sim (config ~nodes:4 ~degree:1 ~keys:8 ~seed:13 ()) in
+  let result =
+    run_driver sim ~nodes:4 ~keys:8 ~ro:0.5 ~seed:13 ~ops:(rococo_ops cl)
+      ~local_keys:(fun _ -> [||])
+  in
+  ignore result;
+  let h = Rococo_kv.Rococo.history cl in
+  (* every aborted txn in the history must be read-only *)
+  let events = History.events h in
+  let ro_txns = Hashtbl.create 64 in
+  List.iter
+    (fun { History.event; _ } ->
+      match event with
+      | History.Begin { txn; ro; _ } -> Hashtbl.replace ro_txns txn ro
+      | _ -> ())
+    events;
+  List.iter
+    (fun { History.event; _ } ->
+      match event with
+      | History.Abort { txn } ->
+          Alcotest.(check bool)
+            (Printf.sprintf "aborted %s is read-only" (Ids.txn_to_string txn))
+            true
+            (Hashtbl.find ro_txns txn)
+      | _ -> ())
+    events;
+  check_ok "serializability under contention" (Checker.serializability h);
+  check_ok "quiescent" (Rococo_kv.Rococo.quiescent cl)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "twopc",
+        [
+          Alcotest.test_case "basic" `Quick test_twopc_basic;
+          Alcotest.test_case "workload" `Quick test_twopc_workload;
+          Alcotest.test_case "read-only can abort" `Quick test_twopc_read_only_can_abort;
+        ] );
+      ( "walter",
+        [
+          Alcotest.test_case "basic" `Quick test_walter_basic;
+          Alcotest.test_case "workload" `Quick test_walter_workload;
+          Alcotest.test_case "weaker than serializable" `Quick test_walter_weaker_than_serializable;
+        ] );
+      ( "rococo",
+        [
+          Alcotest.test_case "basic" `Quick test_rococo_basic;
+          Alcotest.test_case "workload" `Quick test_rococo_workload;
+          Alcotest.test_case "updates never abort" `Quick test_rococo_updates_never_abort;
+        ] );
+    ]

@@ -1,0 +1,296 @@
+(* Tests for the history recorder and the DSG-based consistency checker,
+   using hand-crafted histories exhibiting classic anomalies. *)
+
+open Sss_data
+open Sss_consistency
+
+let tx node local : Ids.txn = { node; local }
+
+let mk events =
+  let h = History.create () in
+  List.iteri (fun i e -> History.record h ~at:(float_of_int i) e) events;
+  h
+
+let check_ok what = function
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail (Printf.sprintf "%s should pass: %s" what msg)
+
+let check_err what = function
+  | Ok () -> Alcotest.fail (Printf.sprintf "%s should detect a violation" what)
+  | Error _ -> ()
+
+let t1 = tx 0 1
+let t2 = tx 1 1
+let t3 = tx 2 1
+let t4 = tx 3 1
+
+let test_serial_history_passes () =
+  (* T1 writes k0; T2 then reads it and overwrites it. Strictly serial. *)
+  let h =
+    mk
+      History.
+        [
+          Begin { txn = t1; ro = false; node = 0 };
+          Install { txn = t1; key = 0 };
+          Commit { txn = t1 };
+          Begin { txn = t2; ro = false; node = 1 };
+          Read { txn = t2; key = 0; writer = t1 };
+          Install { txn = t2; key = 0 };
+          Commit { txn = t2 };
+        ]
+  in
+  check_ok "external consistency" (Checker.external_consistency h);
+  check_ok "serializability" (Checker.serializability h);
+  check_ok "no lost updates" (Checker.no_lost_updates h);
+  check_ok "ro abort free" (Checker.read_only_abort_free h);
+  Alcotest.(check int) "committed" 2 (Checker.committed_count h);
+  Alcotest.(check int) "aborted" 0 (Checker.aborted_count h)
+
+let test_stale_read_after_completion () =
+  (* T1 installs and commits; T2 begins afterwards but reads the genesis
+     version.  Serializable (T2 serializes first) but NOT external
+     consistent when both clients sit on the same node — and flagged by the
+     strict (global real-time) check even across nodes. *)
+  let h node2 =
+    mk
+      History.
+        [
+          Begin { txn = t1; ro = false; node = 0 };
+          Install { txn = t1; key = 0 };
+          Commit { txn = t1 };
+          Begin { txn = t2; ro = true; node = node2 };
+          Read { txn = t2; key = 0; writer = Ids.genesis };
+          Commit { txn = t2 };
+        ]
+  in
+  check_ok "serializability" (Checker.serializability (h 0));
+  check_err "same-session external consistency" (Checker.external_consistency (h 0));
+  (* Cross-node, non-communicating: the session check accepts it... *)
+  check_ok "cross-node session check" (Checker.external_consistency (h 1));
+  (* ...but the strict global real-time check does not. *)
+  check_err "strict external consistency" (Checker.external_consistency_strict (h 1))
+
+let test_write_skew_detected () =
+  let h =
+    mk
+      History.
+        [
+          Begin { txn = t1; ro = false; node = 0 };
+          Begin { txn = t2; ro = false; node = 1 };
+          Read { txn = t1; key = 0; writer = Ids.genesis };
+          Read { txn = t2; key = 1; writer = Ids.genesis };
+          Install { txn = t1; key = 1 };
+          Install { txn = t2; key = 0 };
+          Commit { txn = t1 };
+          Commit { txn = t2 };
+        ]
+  in
+  check_err "write skew" (Checker.serializability h);
+  check_err "write skew (external)" (Checker.external_consistency h);
+  (* Write skew is not a lost update: neither read the key it wrote. *)
+  check_ok "no lost updates" (Checker.no_lost_updates h)
+
+let test_lost_update_detected () =
+  let h =
+    mk
+      History.
+        [
+          Begin { txn = t1; ro = false; node = 0 };
+          Begin { txn = t2; ro = false; node = 1 };
+          Read { txn = t1; key = 0; writer = Ids.genesis };
+          Read { txn = t2; key = 0; writer = Ids.genesis };
+          Install { txn = t1; key = 0 };
+          Install { txn = t2; key = 0 };
+          Commit { txn = t1 };
+          Commit { txn = t2 };
+        ]
+  in
+  check_err "lost update" (Checker.no_lost_updates h);
+  check_err "lost update is not serializable" (Checker.serializability h)
+
+let test_long_fork_detected () =
+  (* Walter's PSI admits this: two read-only transactions observe two
+     non-conflicting writers in opposite orders (Adya's anomaly, the exact
+     situation Fig. 2 of the paper prevents). *)
+  let h =
+    mk
+      History.
+        [
+          Begin { txn = t1; ro = false; node = 0 };
+          Begin { txn = t2; ro = false; node = 1 };
+          Install { txn = t1; key = 0 };
+          Install { txn = t2; key = 1 };
+          Begin { txn = t3; ro = true; node = 2 };
+          Read { txn = t3; key = 0; writer = t1 };
+          Read { txn = t3; key = 1; writer = Ids.genesis };
+          Begin { txn = t4; ro = true; node = 3 };
+          Read { txn = t4; key = 0; writer = Ids.genesis };
+          Read { txn = t4; key = 1; writer = t2 };
+          Commit { txn = t1 };
+          Commit { txn = t2 };
+          Commit { txn = t3 };
+          Commit { txn = t4 };
+        ]
+  in
+  check_err "long fork" (Checker.serializability h);
+  (* But each read-modify-write is intact, so PSI-style checks pass. *)
+  check_ok "no lost updates" (Checker.no_lost_updates h)
+
+let test_aborted_txns_excluded () =
+  let h =
+    mk
+      History.
+        [
+          Begin { txn = t1; ro = false; node = 0 };
+          Read { txn = t1; key = 0; writer = Ids.genesis };
+          Abort { txn = t1 };
+          Begin { txn = t2; ro = false; node = 1 };
+          Install { txn = t2; key = 0 };
+          Commit { txn = t2 };
+        ]
+  in
+  (* The aborted read of genesis would be a stale read if counted. *)
+  check_ok "aborted excluded" (Checker.external_consistency h);
+  Alcotest.(check int) "aborted counted" 1 (Checker.aborted_count h)
+
+let test_read_only_abort_flagged () =
+  let h =
+    mk
+      History.
+        [ Begin { txn = t1; ro = true; node = 0 }; Abort { txn = t1 } ]
+  in
+  check_err "ro abort" (Checker.read_only_abort_free h);
+  let h2 =
+    mk History.[ Begin { txn = t1; ro = false; node = 0 }; Abort { txn = t1 } ]
+  in
+  check_ok "update abort fine" (Checker.read_only_abort_free h2)
+
+let test_uncommitted_installer_constrains () =
+  (* t1 installed but its external commit was not recorded (e.g. still parked
+     in a snapshot-queue at the end of the run): it must still participate in
+     dependency edges. *)
+  let h =
+    mk
+      History.
+        [
+          Begin { txn = t1; ro = false; node = 0 };
+          Install { txn = t1; key = 0 };
+          Begin { txn = t2; ro = true; node = 1 };
+          Read { txn = t2; key = 0; writer = t1 };
+          Commit { txn = t2 };
+        ]
+  in
+  check_ok "partial run ok" (Checker.external_consistency h);
+  let edges = Checker.dependency_edges h in
+  Alcotest.(check bool) "wr edge from uncommitted installer" true
+    (List.exists (fun (s, d, l) -> Ids.equal_txn s t1 && Ids.equal_txn d t2 && l = "wr") edges)
+
+let test_dependency_edge_kinds () =
+  let h =
+    mk
+      History.
+        [
+          Begin { txn = t1; ro = false; node = 0 };
+          Install { txn = t1; key = 0 };
+          Commit { txn = t1 };
+          Begin { txn = t2; ro = false; node = 1 };
+          Read { txn = t2; key = 0; writer = t1 };
+          Install { txn = t2; key = 0 };
+          Commit { txn = t2 };
+          Begin { txn = t3; ro = true; node = 2 };
+          Read { txn = t3; key = 0; writer = t1 };
+          Commit { txn = t3 };
+        ]
+  in
+  let edges = Checker.dependency_edges h in
+  let has s d l =
+    List.exists (fun (a, b, lbl) -> Ids.equal_txn a s && Ids.equal_txn b d && lbl = l) edges
+  in
+  Alcotest.(check bool) "wr t1->t2" true (has t1 t2 "wr");
+  Alcotest.(check bool) "ww t1->t2" true (has t1 t2 "ww");
+  Alcotest.(check bool) "rw t3->t2 (t3 read the overwritten version)" true (has t3 t2 "rw");
+  Alcotest.(check bool) "no self edges" false (List.exists (fun (a, b, _) -> Ids.equal_txn a b) edges)
+
+let test_to_dot_renders_edges () =
+  let h =
+    mk
+      History.
+        [
+          Begin { txn = t1; ro = false; node = 0 };
+          Install { txn = t1; key = 0 };
+          Commit { txn = t1 };
+          Begin { txn = t2; ro = true; node = 1 };
+          Read { txn = t2; key = 0; writer = t1 };
+          Commit { txn = t2 };
+        ]
+  in
+  let dot = Checker.to_dot h in
+  let contains needle =
+    let len = String.length needle in
+    let rec go i =
+      i + len <= String.length dot && (String.sub dot i len = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "digraph" true (contains "digraph dsg");
+  Alcotest.(check bool) "wr edge" true (contains "label=\"wr\"");
+  Alcotest.(check bool) "reader ellipse" true (contains "shape=ellipse");
+  Alcotest.(check bool) "writer box" true (contains "shape=box")
+
+let test_strict_vs_session_semantics () =
+  (* same history, different real-time scopes: cross-node completion->begin
+     precedence is only an edge under the strict check *)
+  let cross =
+    mk
+      History.
+        [
+          Begin { txn = t1; ro = false; node = 0 };
+          Install { txn = t1; key = 0 };
+          Commit { txn = t1 };
+          Begin { txn = t2; ro = true; node = 1 };
+          Read { txn = t2; key = 0; writer = Ids.genesis };
+          Commit { txn = t2 };
+        ]
+  in
+  check_ok "session accepts cross-node" (Checker.external_consistency cross);
+  check_err "strict rejects" (Checker.external_consistency_strict cross);
+  (* overlapping transactions are unconstrained even under strict *)
+  let overlapping =
+    mk
+      History.
+        [
+          Begin { txn = t1; ro = false; node = 0 };
+          Begin { txn = t2; ro = true; node = 0 };
+          Install { txn = t1; key = 0 };
+          Commit { txn = t1 };
+          Read { txn = t2; key = 0; writer = Ids.genesis };
+          Commit { txn = t2 };
+        ]
+  in
+  check_ok "overlap fine under strict" (Checker.external_consistency_strict overlapping)
+
+let test_disabled_recorder () =
+  let h = History.create ~enabled:false () in
+  History.record h ~at:0.0 (History.Commit { txn = t1 });
+  Alcotest.(check int) "nothing recorded" 0 (History.length h);
+  Alcotest.(check int) "no txns" 0 (Checker.txn_count h)
+
+let () =
+  Alcotest.run "consistency"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "serial passes" `Quick test_serial_history_passes;
+          Alcotest.test_case "stale read after completion" `Quick test_stale_read_after_completion;
+          Alcotest.test_case "write skew" `Quick test_write_skew_detected;
+          Alcotest.test_case "lost update" `Quick test_lost_update_detected;
+          Alcotest.test_case "long fork" `Quick test_long_fork_detected;
+          Alcotest.test_case "aborted excluded" `Quick test_aborted_txns_excluded;
+          Alcotest.test_case "ro abort flagged" `Quick test_read_only_abort_flagged;
+          Alcotest.test_case "uncommitted installer" `Quick test_uncommitted_installer_constrains;
+          Alcotest.test_case "edge kinds" `Quick test_dependency_edge_kinds;
+          Alcotest.test_case "disabled recorder" `Quick test_disabled_recorder;
+          Alcotest.test_case "to_dot" `Quick test_to_dot_renders_edges;
+          Alcotest.test_case "strict vs session" `Quick test_strict_vs_session_semantics;
+        ] );
+    ]

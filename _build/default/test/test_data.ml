@@ -1,0 +1,453 @@
+(* Tests for the storage substrate: vector clocks, version chains,
+   snapshot-queues, CommitQ, NLog, locks, and replica placement. *)
+
+open Sss_data
+
+let tx node local : Ids.txn = { node; local }
+
+let vc l = Vclock.of_array (Array.of_list l)
+
+(* ---------- Vclock ---------- *)
+
+let test_vclock_basics () =
+  let z = Vclock.zero 3 in
+  Alcotest.(check int) "size" 3 (Vclock.size z);
+  Alcotest.(check int) "zero entry" 0 (Vclock.get z 1);
+  let a = Vclock.set z 1 5 in
+  Alcotest.(check int) "set" 5 (Vclock.get a 1);
+  Alcotest.(check int) "original untouched" 0 (Vclock.get z 1);
+  let b = Vclock.bump a 1 in
+  Alcotest.(check int) "bump" 6 (Vclock.get b 1)
+
+let test_vclock_order () =
+  let a = vc [ 1; 2; 3 ] and b = vc [ 2; 2; 4 ] and c = vc [ 0; 5; 0 ] in
+  Alcotest.(check bool) "a <= b" true (Vclock.leq a b);
+  Alcotest.(check bool) "a < b" true (Vclock.lt a b);
+  Alcotest.(check bool) "b </= a" false (Vclock.leq b a);
+  Alcotest.(check bool) "a || c concurrent" true (Vclock.concurrent a c);
+  Alcotest.(check bool) "a <= a" true (Vclock.leq a a);
+  Alcotest.(check bool) "not a < a" false (Vclock.lt a a)
+
+let test_vclock_max () =
+  let m = Vclock.max (vc [ 1; 5; 3 ]) (vc [ 4; 2; 3 ]) in
+  Alcotest.(check (list int)) "entrywise max" [ 4; 5; 3 ] (Array.to_list (Vclock.to_array m))
+
+let test_vclock_to_array_copies () =
+  let a = vc [ 1; 2 ] in
+  let arr = Vclock.to_array a in
+  arr.(0) <- 99;
+  Alcotest.(check int) "immutable" 1 (Vclock.get a 0)
+
+let vclock_lattice_laws =
+  let vec = QCheck.(list_of_size (Gen.return 4) (int_bound 100)) in
+  QCheck.Test.make ~name:"vclock max is least upper bound" ~count:300
+    (QCheck.pair vec vec)
+    (fun (xs, ys) ->
+      let a = vc xs and b = vc ys in
+      let m = Vclock.max a b in
+      Vclock.leq a m && Vclock.leq b m
+      && Vclock.equal (Vclock.max a b) (Vclock.max b a)
+      && Vclock.equal (Vclock.max a a) a)
+
+(* ---------- Ids ---------- *)
+
+let test_ids_gen () =
+  let g = Ids.Gen.create 3 in
+  let a = Ids.Gen.next g and b = Ids.Gen.next g in
+  Alcotest.(check bool) "distinct" false (Ids.equal_txn a b);
+  Alcotest.(check int) "node stamped" 3 a.Ids.node;
+  Alcotest.(check string) "printing" "T<3.1>" (Ids.txn_to_string a);
+  Alcotest.(check bool) "ordered" true (Ids.compare_txn a b < 0)
+
+(* ---------- Mvstore ---------- *)
+
+let test_mvstore_genesis () =
+  let s = Mvstore.create ~nodes:2 in
+  Mvstore.init_key s 7 ~value:"init";
+  let v = Mvstore.last s 7 in
+  Alcotest.(check string) "genesis value" "init" v.Mvstore.value;
+  Alcotest.(check bool) "genesis writer" true (Ids.equal_txn v.Mvstore.writer Ids.genesis);
+  Mvstore.init_key s 7 ~value:"other";
+  Alcotest.(check string) "init idempotent" "init" (Mvstore.last s 7).Mvstore.value
+
+let test_mvstore_install_order () =
+  let s = Mvstore.create ~nodes:2 in
+  Mvstore.init_key s 1 ~value:"v0";
+  Mvstore.install s 1 ~value:"v1" ~vc:(vc [ 1; 0 ]) ~writer:(tx 0 1);
+  Mvstore.install s 1 ~value:"v2" ~vc:(vc [ 2; 0 ]) ~writer:(tx 0 2);
+  Alcotest.(check string) "last is newest" "v2" (Mvstore.last s 1).Mvstore.value;
+  Alcotest.(check int) "chain length" 3 (List.length (Mvstore.chain s 1))
+
+let test_mvstore_select () =
+  let s = Mvstore.create ~nodes:2 in
+  Mvstore.init_key s 1 ~value:"v0";
+  Mvstore.install s 1 ~value:"v1" ~vc:(vc [ 1; 0 ]) ~writer:(tx 0 1);
+  Mvstore.install s 1 ~value:"v2" ~vc:(vc [ 2; 0 ]) ~writer:(tx 0 2);
+  let bound = vc [ 1; 5 ] in
+  let chosen =
+    Mvstore.select s 1 ~skip:(fun v -> not (Vclock.leq v.Mvstore.vc bound))
+  in
+  Alcotest.(check string) "bounded select" "v1" chosen.Mvstore.value;
+  (* Everything skipped: falls back to oldest. *)
+  let oldest = Mvstore.select s 1 ~skip:(fun _ -> true) in
+  Alcotest.(check string) "fallback to oldest" "v0" oldest.Mvstore.value
+
+let test_mvstore_truncate () =
+  let s = Mvstore.create ~nodes:1 in
+  Mvstore.init_key s 1 ~value:"v0";
+  for i = 1 to 10 do
+    Mvstore.install s 1 ~value:(Printf.sprintf "v%d" i) ~vc:(vc [ i ]) ~writer:(tx 0 i)
+  done;
+  Mvstore.truncate s 1 ~keep:3;
+  Alcotest.(check int) "kept 3" 3 (List.length (Mvstore.chain s 1));
+  Alcotest.(check string) "newest survives" "v10" (Mvstore.last s 1).Mvstore.value;
+  Mvstore.truncate s 1 ~keep:0;
+  Alcotest.(check int) "never below 1" 1 (List.length (Mvstore.chain s 1))
+
+(* ---------- Squeue ---------- *)
+
+let test_squeue_ordering () =
+  let q = Squeue.create () in
+  Squeue.insert_read q ~txn:(tx 1 1) ~sid:7;
+  Squeue.insert_read q ~txn:(tx 2 1) ~sid:3;
+  Squeue.insert_write q ~txn:(tx 0 1) ~sid:8;
+  Alcotest.(check int) "length" 3 (Squeue.length q);
+  Alcotest.(check (option int)) "min read sid" (Some 3) (Squeue.min_read_sid q);
+  let reader_sids = List.map (fun e -> e.Squeue.sid) (Squeue.readers q) in
+  Alcotest.(check (list int)) "readers sorted" [ 3; 7 ] reader_sids;
+  Alcotest.(check bool) "read below 8" true (Squeue.exists_read_below q ~sid:8);
+  Alcotest.(check bool) "no read below 3" false (Squeue.exists_read_below q ~sid:3)
+
+let test_squeue_idempotent_insert () =
+  let q = Squeue.create () in
+  Squeue.insert_read q ~txn:(tx 1 1) ~sid:5;
+  Squeue.insert_read q ~txn:(tx 1 1) ~sid:5;
+  Alcotest.(check int) "single entry" 1 (Squeue.length q);
+  (* Same transaction with a different sid is a second entry (repeated read
+     with a fresher snapshot). *)
+  Squeue.insert_read q ~txn:(tx 1 1) ~sid:6;
+  Alcotest.(check int) "distinct sid re-entry" 2 (Squeue.length q)
+
+let test_squeue_remove () =
+  let q = Squeue.create () in
+  Squeue.insert_read q ~txn:(tx 1 1) ~sid:5;
+  Squeue.insert_read q ~txn:(tx 1 1) ~sid:6;
+  Squeue.insert_write q ~txn:(tx 2 1) ~sid:9;
+  Alcotest.(check bool) "removed" true (Squeue.remove q (tx 1 1));
+  Alcotest.(check bool) "all entries gone" false (Squeue.mem q (tx 1 1));
+  Alcotest.(check bool) "writer stays" true (Squeue.mem q (tx 2 1));
+  Alcotest.(check bool) "second remove is false" false (Squeue.remove q (tx 1 1));
+  Alcotest.(check bool) "not empty yet" false (Squeue.is_empty q);
+  ignore (Squeue.remove q (tx 2 1));
+  Alcotest.(check bool) "empty" true (Squeue.is_empty q)
+
+let squeue_sorted_property =
+  QCheck.Test.make ~name:"squeue readers always sorted by sid" ~count:200
+    QCheck.(list (pair (int_bound 5) (int_bound 50)))
+    (fun ops ->
+      let q = Squeue.create () in
+      List.iter (fun (who, sid) -> Squeue.insert_read q ~txn:(tx who 1) ~sid) ops;
+      let sids = List.map (fun e -> e.Squeue.sid) (Squeue.readers q) in
+      List.sort Int.compare sids = sids)
+
+(* ---------- Commitq ---------- *)
+
+let test_commitq_order_and_head () =
+  let q = Commitq.create ~node:0 in
+  Commitq.put q ~txn:(tx 0 1) ~vc:(vc [ 5; 0 ]);
+  Commitq.put q ~txn:(tx 0 2) ~vc:(vc [ 3; 0 ]);
+  (match Commitq.head q with
+  | Some e ->
+      Alcotest.(check bool) "lowest vc[i] first" true (Ids.equal_txn e.Commitq.txn (tx 0 2))
+  | None -> Alcotest.fail "expected head");
+  (* Ready-ing the head with a larger final clock can reorder it. *)
+  Commitq.update q ~txn:(tx 0 2) ~vc:(vc [ 9; 0 ]);
+  (match Commitq.head q with
+  | Some e ->
+      Alcotest.(check bool) "reordered" true (Ids.equal_txn e.Commitq.txn (tx 0 1));
+      Alcotest.(check bool) "still pending" true (e.Commitq.status = Commitq.Pending)
+  | None -> Alcotest.fail "expected head");
+  Commitq.remove q (tx 0 1);
+  (match Commitq.head q with
+  | Some e ->
+      Alcotest.(check bool) "ready head" true (e.Commitq.status = Commitq.Ready)
+  | None -> Alcotest.fail "expected head");
+  Commitq.remove q (tx 0 2);
+  Alcotest.(check int) "drained" 0 (Commitq.length q)
+
+let test_commitq_duplicate_put_rejected () =
+  let q = Commitq.create ~node:0 in
+  Commitq.put q ~txn:(tx 0 1) ~vc:(vc [ 1 ]);
+  Alcotest.check_raises "duplicate put"
+    (Invalid_argument "Commitq.put: duplicate transaction") (fun () ->
+      Commitq.put q ~txn:(tx 0 1) ~vc:(vc [ 2 ]))
+
+let test_commitq_update_missing_is_noop () =
+  let q = Commitq.create ~node:0 in
+  Commitq.update q ~txn:(tx 0 9) ~vc:(vc [ 1 ]);
+  Alcotest.(check int) "still empty" 0 (Commitq.length q)
+
+(* ---------- Nlog ---------- *)
+
+let test_nlog_most_recent () =
+  let l = Nlog.create ~nodes:2 ~node:0 in
+  Alcotest.(check int) "genesis local" 0 (Nlog.most_recent_local l);
+  Nlog.add l ~txn:(tx 0 1) ~vc:(vc [ 1; 0 ]) ~ws:[ 1 ] ~at:0.1;
+  Nlog.add l ~txn:(tx 0 2) ~vc:(vc [ 2; 3 ]) ~ws:[ 2 ] ~at:0.2;
+  Alcotest.(check int) "local entry" 2 (Nlog.most_recent_local l);
+  Alcotest.(check (list int)) "most recent vc" [ 2; 3 ]
+    (Array.to_list (Vclock.to_array (Nlog.most_recent_vc l)))
+
+let test_nlog_visible_max_unconstrained () =
+  let l = Nlog.create ~nodes:2 ~node:0 in
+  Nlog.add l ~txn:(tx 0 1) ~vc:(vc [ 1; 4 ]) ~ws:[] ~at:0.0;
+  Nlog.add l ~txn:(tx 0 2) ~vc:(vc [ 2; 1 ]) ~ws:[] ~at:0.0;
+  let m =
+    Nlog.visible_max l ~has_read:[| false; false |] ~bound:(vc [ 0; 0 ]) ~cutoff:max_int
+  in
+  Alcotest.(check (list int)) "max over all entries" [ 2; 4 ]
+    (Array.to_list (Vclock.to_array m))
+
+let test_nlog_visible_max_bounded () =
+  let l = Nlog.create ~nodes:2 ~node:0 in
+  Nlog.add l ~txn:(tx 0 1) ~vc:(vc [ 1; 1 ]) ~ws:[] ~at:0.0;
+  Nlog.add l ~txn:(tx 0 2) ~vc:(vc [ 2; 9 ]) ~ws:[] ~at:0.0;
+  (* Node 1 was already read with bound 5: the second entry (vc[1]=9) is not
+     admissible. *)
+  let m =
+    Nlog.visible_max l ~has_read:[| false; true |] ~bound:(vc [ 0; 5 ]) ~cutoff:max_int
+  in
+  Alcotest.(check (list int)) "bounded" [ 1; 1 ] (Array.to_list (Vclock.to_array m))
+
+let test_nlog_visible_max_cutoff () =
+  (* The cutoff makes the local snapshot a prefix of the apply order: the
+     entry at local clock 2 and everything after it are invisible. *)
+  let l = Nlog.create ~nodes:2 ~node:0 in
+  Nlog.add l ~txn:(tx 0 1) ~vc:(vc [ 1; 1 ]) ~ws:[] ~at:0.0;
+  Nlog.add l ~txn:(tx 0 2) ~vc:(vc [ 2; 2 ]) ~ws:[] ~at:0.0;
+  Nlog.add l ~txn:(tx 0 3) ~vc:(vc [ 3; 1 ]) ~ws:[] ~at:0.0;
+  let m =
+    Nlog.visible_max l ~has_read:[| false; false |] ~bound:(vc [ 0; 0 ]) ~cutoff:2
+  in
+  Alcotest.(check (list int)) "prefix below cutoff" [ 1; 1 ]
+    (Array.to_list (Vclock.to_array m))
+
+let test_nlog_prune () =
+  let l = Nlog.create ~nodes:1 ~node:0 in
+  for i = 1 to 10 do
+    Nlog.add l ~txn:(tx 0 i) ~vc:(vc [ i ]) ~ws:[] ~at:(float_of_int i)
+  done;
+  Alcotest.(check int) "11 entries (incl genesis)" 11 (Nlog.size l);
+  Nlog.prune l ~before:8.0;
+  (* Keeps entries at >= 8.0 plus one floor entry. *)
+  Alcotest.(check int) "pruned" 4 (Nlog.size l);
+  Alcotest.(check int) "most recent preserved" 10 (Nlog.most_recent_local l);
+  Alcotest.(check int) "committed max survives pruning" 10
+    (Vclock.get (Nlog.committed_max l) 0)
+
+(* ---------- Locks ---------- *)
+
+let with_sim f =
+  let sim = Sss_sim.Sim.create () in
+  let result = ref None in
+  Sss_sim.Sim.spawn sim (fun () -> result := Some (f sim));
+  Sss_sim.Sim.run sim;
+  match !result with Some r -> r | None -> Alcotest.fail "fiber did not finish"
+
+let test_locks_shared_compatible () =
+  with_sim (fun sim ->
+      let t = Locks.create sim in
+      Alcotest.(check bool) "t1 shared" true (Locks.acquire t (tx 1 1) Locks.Shared 5 ~timeout:0.1);
+      Alcotest.(check bool) "t2 shared" true (Locks.acquire t (tx 2 1) Locks.Shared 5 ~timeout:0.1);
+      Alcotest.(check bool) "exclusive blocked" false
+        (Locks.acquire t (tx 3 1) Locks.Exclusive 5 ~timeout:0.001);
+      Locks.release_txn t (tx 1 1);
+      Locks.release_txn t (tx 2 1);
+      Alcotest.(check bool) "exclusive after release" true
+        (Locks.acquire t (tx 3 1) Locks.Exclusive 5 ~timeout:0.1))
+
+let test_locks_exclusive_blocks_shared () =
+  with_sim (fun sim ->
+      let t = Locks.create sim in
+      Alcotest.(check bool) "ex" true (Locks.acquire t (tx 1 1) Locks.Exclusive 5 ~timeout:0.1);
+      Alcotest.(check bool) "shared blocked" false
+        (Locks.acquire t (tx 2 1) Locks.Shared 5 ~timeout:0.001);
+      (* Re-entrant: the owner may take the shared lock it implies. *)
+      Alcotest.(check bool) "owner reenters" true
+        (Locks.acquire t (tx 1 1) Locks.Shared 5 ~timeout:0.001))
+
+let test_locks_waiter_wakes () =
+  let sim = Sss_sim.Sim.create () in
+  let t = Locks.create sim in
+  let acquired_at = ref (-1.0) in
+  Sss_sim.Sim.spawn sim (fun () ->
+      ignore (Locks.acquire t (tx 1 1) Locks.Exclusive 5 ~timeout:1.0);
+      Sss_sim.Sim.sleep sim 0.5;
+      Locks.release_txn t (tx 1 1));
+  Sss_sim.Sim.spawn sim (fun () ->
+      if Locks.acquire t (tx 2 1) Locks.Exclusive 5 ~timeout:1.0 then
+        acquired_at := Sss_sim.Sim.now sim);
+  Sss_sim.Sim.run sim;
+  Alcotest.(check (float 1e-9)) "woken at release" 0.5 !acquired_at
+
+let test_locks_acquire_all_rollback () =
+  with_sim (fun sim ->
+      let t = Locks.create sim in
+      Alcotest.(check bool) "blocker" true
+        (Locks.acquire t (tx 9 1) Locks.Exclusive 2 ~timeout:0.1);
+      let ok =
+        Locks.acquire_all t (tx 1 1) ~exclusive:[ 1; 2; 3 ] ~shared:[] ~timeout:0.001
+      in
+      Alcotest.(check bool) "failed" false ok;
+      Alcotest.(check bool) "key 1 rolled back" true (Locks.is_free t 1);
+      Alcotest.(check bool) "key 3 untouched" true (Locks.is_free t 3);
+      Alcotest.(check (list int)) "nothing held" [] (Locks.locked_keys t (tx 1 1)))
+
+let test_locks_acquire_all_read_write_overlap () =
+  with_sim (fun sim ->
+      let t = Locks.create sim in
+      (* Update transactions read the keys they write: the shared acquisition
+         must succeed on top of the exclusive one. *)
+      let ok =
+        Locks.acquire_all t (tx 1 1) ~exclusive:[ 4; 5 ] ~shared:[ 4; 5; 6 ] ~timeout:0.01
+      in
+      Alcotest.(check bool) "granted" true ok;
+      Alcotest.(check bool) "exclusive" true (Locks.holds_exclusive t (tx 1 1) 4);
+      Alcotest.(check bool) "shared extra" true (Locks.holds_shared t (tx 1 1) 6))
+
+(* ---------- Vcodec ---------- *)
+
+let vcodec_roundtrip =
+  let vec = QCheck.(list_of_size (Gen.return 6) (int_bound 100000)) in
+  QCheck.Test.make ~name:"vcodec roundtrips against any base" ~count:300
+    (QCheck.pair vec vec)
+    (fun (b, v) ->
+      let base = vc b and clock = vc v in
+      let e = Vcodec.encode ~base clock in
+      Vclock.equal (Vcodec.decode ~base e) clock)
+
+let test_vcodec_compresses_small_deltas () =
+  let base = vc [ 1000; 2000; 3000; 4000; 5000 ] in
+  let next = vc [ 1001; 2000; 3002; 4000; 5001 ] in
+  let e = Vcodec.encode ~base next in
+  Alcotest.(check bool)
+    (Printf.sprintf "5 entries in %d bytes (raw %d)" (Vcodec.size e) (Vcodec.raw_size next))
+    true
+    (Vcodec.size e <= 5 && Vcodec.size e < Vcodec.raw_size next);
+  (* against the zero base the varints still beat 8 bytes/entry *)
+  let z = Vcodec.encode ~base:(Vclock.zero 5) next in
+  Alcotest.(check bool) "varints beat raw" true (Vcodec.size z < Vcodec.raw_size next)
+
+let test_vcodec_size_mismatch () =
+  Alcotest.check_raises "encode mismatch"
+    (Invalid_argument "Vcodec.encode: size mismatch") (fun () ->
+      ignore (Vcodec.encode ~base:(Vclock.zero 2) (Vclock.zero 3)))
+
+(* ---------- Replication ---------- *)
+
+let test_replication_degree () =
+  let r = Replication.create ~nodes:5 ~degree:2 ~total_keys:100 in
+  for k = 0 to 99 do
+    let reps = Replication.replicas r k in
+    Alcotest.(check int) "two replicas" 2 (List.length reps);
+    List.iter
+      (fun n ->
+        Alcotest.(check bool) "valid node" true (n >= 0 && n < 5);
+        Alcotest.(check bool) "is_replica agrees" true (Replication.is_replica r n k))
+      reps
+  done
+
+let test_replication_keys_at_consistent () =
+  let r = Replication.create ~nodes:4 ~degree:3 ~total_keys:50 in
+  for n = 0 to 3 do
+    Array.iter
+      (fun k ->
+        Alcotest.(check bool) "keys_at matches replicas" true
+          (List.mem n (Replication.replicas r k)))
+      (Replication.keys_at r n)
+  done;
+  let total = Array.fold_left (fun acc n -> acc + Array.length (Replication.keys_at r n)) 0
+      (Array.init 4 (fun i -> i)) in
+  Alcotest.(check int) "every key counted degree times" (50 * 3) total
+
+let test_replication_spread () =
+  let r = Replication.create ~nodes:10 ~degree:1 ~total_keys:10_000 in
+  let counts = Array.make 10 0 in
+  for k = 0 to 9_999 do
+    List.iter (fun n -> counts.(n) <- counts.(n) + 1) (Replication.replicas r k)
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "balanced (%d)" c)
+        true
+        (c > 700 && c < 1300))
+    counts
+
+let test_replication_bad_degree () =
+  Alcotest.check_raises "degree > nodes"
+    (Invalid_argument "Replication.create: degree must be within 1 .. nodes") (fun () ->
+      ignore (Replication.create ~nodes:3 ~degree:4 ~total_keys:10))
+
+let () =
+  Alcotest.run "data"
+    [
+      ( "vclock",
+        [
+          Alcotest.test_case "basics" `Quick test_vclock_basics;
+          Alcotest.test_case "order" `Quick test_vclock_order;
+          Alcotest.test_case "max" `Quick test_vclock_max;
+          Alcotest.test_case "to_array copies" `Quick test_vclock_to_array_copies;
+          QCheck_alcotest.to_alcotest vclock_lattice_laws;
+        ] );
+      ("ids", [ Alcotest.test_case "generator" `Quick test_ids_gen ]);
+      ( "mvstore",
+        [
+          Alcotest.test_case "genesis" `Quick test_mvstore_genesis;
+          Alcotest.test_case "install order" `Quick test_mvstore_install_order;
+          Alcotest.test_case "select" `Quick test_mvstore_select;
+          Alcotest.test_case "truncate" `Quick test_mvstore_truncate;
+        ] );
+      ( "squeue",
+        [
+          Alcotest.test_case "ordering" `Quick test_squeue_ordering;
+          Alcotest.test_case "idempotent insert" `Quick test_squeue_idempotent_insert;
+          Alcotest.test_case "remove" `Quick test_squeue_remove;
+          QCheck_alcotest.to_alcotest squeue_sorted_property;
+        ] );
+      ( "commitq",
+        [
+          Alcotest.test_case "order and head" `Quick test_commitq_order_and_head;
+          Alcotest.test_case "duplicate put" `Quick test_commitq_duplicate_put_rejected;
+          Alcotest.test_case "update missing" `Quick test_commitq_update_missing_is_noop;
+        ] );
+      ( "nlog",
+        [
+          Alcotest.test_case "most recent" `Quick test_nlog_most_recent;
+          Alcotest.test_case "visible max unconstrained" `Quick test_nlog_visible_max_unconstrained;
+          Alcotest.test_case "visible max bounded" `Quick test_nlog_visible_max_bounded;
+          Alcotest.test_case "visible max cutoff" `Quick test_nlog_visible_max_cutoff;
+          Alcotest.test_case "prune" `Quick test_nlog_prune;
+        ] );
+      ( "locks",
+        [
+          Alcotest.test_case "shared compatible" `Quick test_locks_shared_compatible;
+          Alcotest.test_case "exclusive blocks shared" `Quick test_locks_exclusive_blocks_shared;
+          Alcotest.test_case "waiter wakes" `Quick test_locks_waiter_wakes;
+          Alcotest.test_case "acquire_all rollback" `Quick test_locks_acquire_all_rollback;
+          Alcotest.test_case "read/write overlap" `Quick test_locks_acquire_all_read_write_overlap;
+        ] );
+      ( "vcodec",
+        [
+          QCheck_alcotest.to_alcotest vcodec_roundtrip;
+          Alcotest.test_case "compresses small deltas" `Quick test_vcodec_compresses_small_deltas;
+          Alcotest.test_case "size mismatch" `Quick test_vcodec_size_mismatch;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "degree" `Quick test_replication_degree;
+          Alcotest.test_case "keys_at consistent" `Quick test_replication_keys_at_consistent;
+          Alcotest.test_case "spread" `Quick test_replication_spread;
+          Alcotest.test_case "bad degree" `Quick test_replication_bad_degree;
+        ] );
+    ]

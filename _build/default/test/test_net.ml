@@ -1,0 +1,203 @@
+(* Tests for the simulated network: latency, priorities, CPU serialization,
+   fault injection, and the RPC helpers. *)
+
+open Sss_sim
+open Sss_net
+
+let config ?(latency_base = 20e-6) ?(latency_jitter = 0.0) ?(self_latency = 1e-6)
+    ?(cpu_per_message = 0.0) () =
+  Network.{ latency_base; latency_jitter; self_latency; cpu_per_message }
+
+let make ?(nodes = 3) ?(cfg = config ()) () =
+  let sim = Sim.create () in
+  let rng = Prng.create ~seed:1 in
+  let net = Network.create sim rng ~nodes ~config:cfg in
+  (sim, net)
+
+let test_delivery_latency () =
+  let sim, net = make () in
+  let got = ref None in
+  Network.set_handler net 1 (fun ~src msg -> got := Some (src, msg, Sim.now sim));
+  Network.send net ~src:0 ~dst:1 "hello";
+  Sim.run sim;
+  match !got with
+  | Some (src, msg, at) ->
+      Alcotest.(check int) "src" 0 src;
+      Alcotest.(check string) "payload" "hello" msg;
+      Alcotest.(check (float 1e-9)) "one-way latency" 20e-6 at
+  | None -> Alcotest.fail "message not delivered"
+
+let test_self_delivery () =
+  let sim, net = make () in
+  let at = ref (-1.0) in
+  Network.set_handler net 0 (fun ~src:_ _ -> at := Sim.now sim);
+  Network.send net ~src:0 ~dst:0 "me";
+  Sim.run sim;
+  Alcotest.(check (float 1e-9)) "self latency" 1e-6 !at
+
+let test_priority_under_saturation () =
+  (* With a slow CPU, many same-time arrivals are served by priority. *)
+  let cfg = config ~latency_base:10e-6 ~cpu_per_message:5e-6 () in
+  let sim, net = make ~cfg () in
+  let order = ref [] in
+  Network.set_handler net 1 (fun ~src:_ msg -> order := msg :: !order);
+  Network.send net ~prio:100 ~src:0 ~dst:1 "low1";
+  Network.send net ~prio:100 ~src:0 ~dst:1 "low2";
+  Network.send net ~prio:10 ~src:0 ~dst:1 "urgent";
+  Sim.run sim;
+  (* All three arrive at t=10µs; the first to be *served* wins by priority
+     among those queued. *)
+  Alcotest.(check (list string)) "urgent first" [ "urgent"; "low1"; "low2" ] (List.rev !order)
+
+let test_cpu_serializes () =
+  let cfg = config ~latency_base:0.0 ~self_latency:0.0 ~cpu_per_message:1e-3 () in
+  let sim, net = make ~cfg () in
+  let times = ref [] in
+  Network.set_handler net 1 (fun ~src:_ _ -> times := Sim.now sim :: !times);
+  for _ = 1 to 3 do
+    Network.send net ~src:0 ~dst:1 ()
+  done;
+  Sim.run sim;
+  Alcotest.(check (list (float 1e-9)))
+    "spaced by service time"
+    [ 1e-3; 2e-3; 3e-3 ]
+    (List.rev !times)
+
+let test_crash_drops () =
+  let sim, net = make () in
+  let count = ref 0 in
+  Network.set_handler net 1 (fun ~src:_ _ -> incr count);
+  Network.crash net 1;
+  Network.send net ~src:0 ~dst:1 "lost";
+  Sim.run sim;
+  Alcotest.(check int) "nothing delivered" 0 !count;
+  Alcotest.(check bool) "crashed" true (Network.is_crashed net 1);
+  Network.recover net 1;
+  Network.send net ~src:0 ~dst:1 "back";
+  Sim.run sim;
+  Alcotest.(check int) "delivered after recover" 1 !count;
+  let st = Network.stats net in
+  Alcotest.(check int) "one dropped" 1 st.Network.dropped
+
+let test_crashed_sender () =
+  let sim, net = make () in
+  let count = ref 0 in
+  Network.set_handler net 1 (fun ~src:_ _ -> incr count);
+  Network.crash net 0;
+  Network.send net ~src:0 ~dst:1 "from the grave";
+  Sim.run sim;
+  Alcotest.(check int) "crashed node sends nothing" 0 !count
+
+let test_partition () =
+  let sim, net = make () in
+  let count = ref 0 in
+  Network.set_handler net 1 (fun ~src:_ _ -> incr count);
+  Network.sever net 0 1;
+  Network.send net ~src:0 ~dst:1 "blocked";
+  Network.send net ~src:1 ~dst:0 "blocked too";
+  Sim.run sim;
+  Alcotest.(check int) "severed both ways" 0 !count;
+  Network.heal net 0 1;
+  Network.send net ~src:0 ~dst:1 "open";
+  Sim.run sim;
+  Alcotest.(check int) "healed" 1 !count
+
+let test_drop_probability () =
+  let sim, net = make () in
+  let count = ref 0 in
+  Network.set_handler net 1 (fun ~src:_ _ -> incr count);
+  Network.set_drop_probability net 1.0;
+  for _ = 1 to 10 do
+    Network.send net ~src:0 ~dst:1 ()
+  done;
+  Network.set_drop_probability net 0.0;
+  Network.send net ~src:0 ~dst:1 ();
+  Sim.run sim;
+  Alcotest.(check int) "only the reliable one" 1 !count
+
+let test_send_many () =
+  let sim, net = make ~nodes:4 () in
+  let hits = Array.make 4 0 in
+  for n = 0 to 3 do
+    Network.set_handler net n (fun ~src:_ _ -> hits.(n) <- hits.(n) + 1)
+  done;
+  Network.send_many net ~src:0 ~dst:[ 1; 2; 3 ] "fan";
+  Sim.run sim;
+  Alcotest.(check (list int)) "fanout" [ 0; 1; 1; 1 ] (Array.to_list hits)
+
+(* ---------- Rpc ---------- *)
+
+let test_pending_first_wins () =
+  let sim = Sim.create () in
+  let p = Rpc.Pending.create () in
+  let id, iv = Rpc.Pending.fresh p in
+  let got = ref None in
+  Sim.spawn sim (fun () -> got := Some (Sim.Ivar.read sim iv));
+  Sim.schedule sim ~delay:1.0 (fun () -> Rpc.Pending.resolve sim p id "fast");
+  Sim.schedule sim ~delay:2.0 (fun () -> Rpc.Pending.resolve sim p id "slow");
+  Sim.run sim;
+  Alcotest.(check (option string)) "first response wins" (Some "fast") !got;
+  Alcotest.(check int) "slot cleaned" 0 (Rpc.Pending.outstanding p)
+
+let test_pending_unknown_id_ignored () =
+  let sim = Sim.create () in
+  let p : string Rpc.Pending.t = Rpc.Pending.create () in
+  Sim.spawn sim (fun () -> Rpc.Pending.resolve sim p 12345 "ghost");
+  Sim.run sim
+
+let test_gather_complete () =
+  let sim = Sim.create () in
+  let g = Rpc.Gather.create ~expect:3 in
+  let result = ref None in
+  Sim.spawn sim (fun () -> result := Rpc.Gather.await sim g ~timeout:10.0);
+  for i = 1 to 3 do
+    Sim.schedule sim ~delay:(float_of_int i) (fun () -> Rpc.Gather.add sim g i)
+  done;
+  Sim.run sim;
+  Alcotest.(check (option (list int))) "all responses in order" (Some [ 1; 2; 3 ]) !result
+
+let test_gather_timeout () =
+  let sim = Sim.create () in
+  let g = Rpc.Gather.create ~expect:2 in
+  let result = ref (Some [ 99 ]) in
+  Sim.spawn sim (fun () -> result := Rpc.Gather.await sim g ~timeout:1.0);
+  Sim.schedule sim ~delay:0.5 (fun () -> Rpc.Gather.add sim g 1);
+  Sim.run sim;
+  Alcotest.(check (option (list int))) "timed out" None !result;
+  Alcotest.(check (list int)) "partial available" [ 1 ] (Rpc.Gather.received g)
+
+let test_gather_extra_ignored () =
+  let sim = Sim.create () in
+  let g = Rpc.Gather.create ~expect:1 in
+  Sim.spawn sim (fun () ->
+      Rpc.Gather.add sim g "a";
+      Rpc.Gather.add sim g "b";
+      Alcotest.(check (option (list string)))
+        "only the expected one" (Some [ "a" ])
+        (Rpc.Gather.await sim g ~timeout:1.0));
+  Sim.run sim
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "network",
+        [
+          Alcotest.test_case "delivery latency" `Quick test_delivery_latency;
+          Alcotest.test_case "self delivery" `Quick test_self_delivery;
+          Alcotest.test_case "priority under saturation" `Quick test_priority_under_saturation;
+          Alcotest.test_case "cpu serializes" `Quick test_cpu_serializes;
+          Alcotest.test_case "crash drops" `Quick test_crash_drops;
+          Alcotest.test_case "crashed sender" `Quick test_crashed_sender;
+          Alcotest.test_case "partition" `Quick test_partition;
+          Alcotest.test_case "drop probability" `Quick test_drop_probability;
+          Alcotest.test_case "send_many" `Quick test_send_many;
+        ] );
+      ( "rpc",
+        [
+          Alcotest.test_case "pending first wins" `Quick test_pending_first_wins;
+          Alcotest.test_case "pending unknown id" `Quick test_pending_unknown_id_ignored;
+          Alcotest.test_case "gather complete" `Quick test_gather_complete;
+          Alcotest.test_case "gather timeout" `Quick test_gather_timeout;
+          Alcotest.test_case "gather extra ignored" `Quick test_gather_extra_ignored;
+        ] );
+    ]

@@ -1,0 +1,255 @@
+(* Protocol scenario tests: transitive anti-dependency chains, fault
+   behaviour, starvation control, and replica races. *)
+
+open Sss_sim
+open Sss_data
+open Sss_kv
+open Sss_consistency
+
+let check_ok what = function
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail (Printf.sprintf "%s: %s" what msg)
+
+let make ?(nodes = 3) ?(degree = 1) ?(keys = 24) ?(seed = 1) ?(network = None) () =
+  let sim = Sim.create () in
+  let config =
+    {
+      Config.default with
+      nodes;
+      replication_degree = degree;
+      total_keys = keys;
+      seed;
+      network =
+        (match network with Some n -> n | None -> Config.default.Config.network);
+    }
+  in
+  (sim, Kv.create sim config)
+
+let key_on (cl : Kv.cluster) node = (Replication.keys_at cl.State.repl node).(0)
+
+
+(* Transitive anti-dependency (§III-C): T_ro reads x; T_w overwrites x and
+   parks; T_w' reads T_w's parked x and writes y — T_w' inherits T_ro
+   through the PropagatedSet, so its response must ALSO wait for T_ro, and
+   T_ro's Remove must be forwarded to y's node to release it. *)
+let test_transitive_anti_dependency_chain () =
+  let sim, cl = make ~nodes:3 ~degree:1 () in
+  let kx = key_on cl 1 and ky = key_on cl 2 in
+  let ro_done = ref infinity in
+  let w_done = ref infinity in
+  let w'_done = ref infinity in
+  Sim.spawn sim (fun () ->
+      let t = Kv.begin_txn cl ~node:0 ~read_only:true in
+      ignore (Kv.read t kx);
+      Sim.sleep sim 0.012;
+      ignore (Kv.commit t);
+      ro_done := Sim.now sim);
+  Sim.schedule sim ~delay:0.001 (fun () ->
+      let t = Kv.begin_txn cl ~node:1 ~read_only:false in
+      ignore (Kv.read t kx);
+      Kv.write t kx "x1";
+      ignore (Kv.commit t);
+      w_done := Sim.now sim);
+  (* T_w' starts once T_w is internally committed but still held. *)
+  Sim.schedule sim ~delay:0.004 (fun () ->
+      let t = Kv.begin_txn cl ~node:2 ~read_only:false in
+      let x = Kv.read t kx in
+      Alcotest.(check string) "T_w' reads the parked write" "x1" x;
+      Kv.write t ky "y1";
+      ignore (Kv.commit t);
+      w'_done := Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check bool)
+    (Printf.sprintf "T_w held until T_ro (%.4f > %.4f)" !w_done !ro_done)
+    true (!w_done > !ro_done);
+  Alcotest.(check bool)
+    (Printf.sprintf "T_w' transitively held until T_ro (%.4f > %.4f)" !w'_done !ro_done)
+    true (!w'_done > !ro_done);
+  check_ok "external consistency" (Checker.external_consistency (Kv.history cl));
+  check_ok "queues drained (Remove forwarding worked)" (Kv.quiescent cl)
+
+(* §VI contrast with quorum systems: reads are served by the fastest
+   replica, so a crashed replica does not block read-only traffic. *)
+let test_reads_survive_replica_crash () =
+  let sim, cl = make ~nodes:3 ~degree:2 ~keys:12 () in
+  (* find a key replicated on nodes {a,b}; crash one replica *)
+  let k = key_on cl 1 in
+  let replicas = Replication.replicas cl.State.repl k in
+  let crashed = List.hd replicas in
+  let value = ref "" in
+  Sim.schedule sim ~delay:0.001 (fun () ->
+      Sss_net.Network.crash cl.State.net crashed);
+  Sim.schedule sim ~delay:0.002 (fun () ->
+      let t =
+        Kv.begin_txn cl
+          ~node:(List.find (fun n -> n <> crashed) (List.init 3 Fun.id))
+          ~read_only:true
+      in
+      value := Kv.read t k;
+      ignore (Kv.commit t));
+  Sim.run_until sim 0.1;
+  Alcotest.(check string) "read served by surviving replica"
+    (Printf.sprintf "init:%d" k) !value
+
+(* A 2PC participant that never answers (crashed) must lead to a timely
+   abort, not a hang: the coordinator's vote timeout fires. *)
+let test_update_to_crashed_node_aborts () =
+  let sim, cl = make ~nodes:3 ~degree:1 ~keys:24 () in
+  let k = key_on cl 2 in
+  let outcome = ref None in
+  let finished_at = ref infinity in
+  Sim.schedule sim ~delay:0.001 (fun () -> Sss_net.Network.crash cl.State.net 2);
+  Sim.schedule sim ~delay:0.002 (fun () ->
+      let t = Kv.begin_txn cl ~node:0 ~read_only:false in
+      Kv.write t k "doomed";  (* blind write: no read needed from node 2 *)
+      outcome := Some (Kv.commit t);
+      finished_at := Sim.now sim);
+  Sim.run_until sim 0.5;
+  Alcotest.(check (option bool)) "aborted, not hung" (Some false) !outcome;
+  Alcotest.(check bool)
+    (Printf.sprintf "aborted within vote timeout (%.4f)" !finished_at)
+    true
+    (!finished_at < 0.01)
+
+(* Admission control (§III-E): a writer held by a slow reader triggers
+   back-off on later readers of its keys, and the writer does get through. *)
+let test_admission_control_engages () =
+  let sim, cl = make ~nodes:2 ~degree:1 () in
+  let k = key_on cl 1 in
+  let writer_done = ref infinity in
+  (* a slow reader holds the writer well past the starvation threshold *)
+  Sim.spawn sim (fun () ->
+      let t = Kv.begin_txn cl ~node:0 ~read_only:true in
+      ignore (Kv.read t k);
+      Sim.sleep sim 0.008;
+      ignore (Kv.commit t));
+  Sim.schedule sim ~delay:0.001 (fun () ->
+      let t = Kv.begin_txn cl ~node:1 ~read_only:false in
+      ignore (Kv.read t k);
+      Kv.write t k "w";
+      ignore (Kv.commit t);
+      writer_done := Sim.now sim);
+  (* a stream of fresh readers keeps arriving while the writer is parked *)
+  for i = 1 to 20 do
+    Sim.schedule sim ~delay:(0.002 +. (0.0005 *. float_of_int i)) (fun () ->
+        let t = Kv.begin_txn cl ~node:0 ~read_only:true in
+        ignore (Kv.read t k);
+        ignore (Kv.commit t))
+  done;
+  Sim.run sim;
+  Alcotest.(check bool)
+    (Printf.sprintf "writer eventually externally committed (%.4f)" !writer_done)
+    true
+    (!writer_done < 0.05);
+  check_ok "external consistency" (Checker.external_consistency (Kv.history cl));
+  check_ok "quiescent" (Kv.quiescent cl)
+
+(* Fig. 1 under replication: the anti-dependency hold works identically when
+   the key lives on two replicas and the read was served by the fastest. *)
+let test_fig1_with_replication () =
+  let sim, cl = make ~nodes:4 ~degree:2 ~keys:16 () in
+  let k = key_on cl 2 in
+  let t1_done = ref infinity and t2_done = ref infinity in
+  Sim.spawn sim (fun () ->
+      let t1 = Kv.begin_txn cl ~node:0 ~read_only:true in
+      ignore (Kv.read t1 k);
+      Sim.sleep sim 0.006;
+      ignore (Kv.commit t1);
+      t1_done := Sim.now sim);
+  Sim.schedule sim ~delay:0.001 (fun () ->
+      let t2 = Kv.begin_txn cl ~node:1 ~read_only:false in
+      ignore (Kv.read t2 k);
+      Kv.write t2 k "v1";
+      ignore (Kv.commit t2);
+      t2_done := Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check bool) "writer held across both replicas" true (!t2_done > !t1_done);
+  check_ok "external consistency" (Checker.external_consistency (Kv.history cl));
+  check_ok "quiescent" (Kv.quiescent cl)
+
+(* Two sessions on one node: the second transaction must observe everything
+   the first one was told, even when the keys live elsewhere. *)
+let test_session_monotonicity () =
+  let sim, cl = make ~nodes:3 ~degree:1 () in
+  let k = key_on cl 2 in
+  let seen = ref "" in
+  Sim.spawn sim (fun () ->
+      let t1 = Kv.begin_txn cl ~node:0 ~read_only:false in
+      ignore (Kv.read t1 k);
+      Kv.write t1 k "first";
+      ignore (Kv.commit t1);
+      (* same node, immediately after: must read its own session's commit *)
+      let t2 = Kv.begin_txn cl ~node:0 ~read_only:true in
+      seen := Kv.read t2 k;
+      ignore (Kv.commit t2));
+  Sim.run sim;
+  Alcotest.(check string) "session read-your-commits" "first" !seen
+
+(* Update transactions read the latest version even mid-chain: three
+   sequential RMWs from different nodes compose. *)
+let test_rmw_chain_composes () =
+  let sim, cl = make ~nodes:3 ~degree:1 () in
+  let k = key_on cl 0 in
+  let final = ref "" in
+  Sim.spawn sim (fun () ->
+      for i = 1 to 3 do
+        let t = Kv.begin_txn cl ~node:(i mod 3) ~read_only:false in
+        let v = Kv.read t k in
+        Kv.write t k (v ^ "+");
+        ignore (Kv.commit t)
+      done;
+      let t = Kv.begin_txn cl ~node:1 ~read_only:true in
+      final := Kv.read t k;
+      ignore (Kv.commit t));
+  Sim.run sim;
+  Alcotest.(check string) "chain composed" (Printf.sprintf "init:%d+++" k) !final;
+  check_ok "external consistency" (Checker.external_consistency (Kv.history cl))
+
+(* Overlapping read-only transactions never block each other: N readers of
+   the same keys all proceed concurrently (latency stays ~2 RTTs each). *)
+let test_readers_dont_block_readers () =
+  let sim, cl = make ~nodes:2 ~degree:1 () in
+  let k = key_on cl 1 in
+  let slowest = ref 0.0 in
+  for _ = 1 to 50 do
+    Sim.spawn sim (fun () ->
+        let t0 = Sim.now sim in
+        let t = Kv.begin_txn cl ~node:0 ~read_only:true in
+        ignore (Kv.read t k);
+        ignore (Kv.commit t);
+        slowest := Float.max !slowest (Sim.now sim -. t0))
+  done;
+  Sim.run sim;
+  Alcotest.(check bool)
+    (Printf.sprintf "50 concurrent readers, slowest %.0fµs" (!slowest *. 1e6))
+    true
+    (!slowest < 0.002)
+
+let () =
+  Alcotest.run "scenarios"
+    [
+      ( "anti-dependency",
+        [
+          Alcotest.test_case "transitive chain + remove forwarding" `Quick
+            test_transitive_anti_dependency_chain;
+          Alcotest.test_case "fig1 with replication" `Quick test_fig1_with_replication;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "reads survive replica crash" `Quick
+            test_reads_survive_replica_crash;
+          Alcotest.test_case "update to crashed node aborts" `Quick
+            test_update_to_crashed_node_aborts;
+        ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "admission control engages" `Quick test_admission_control_engages;
+          Alcotest.test_case "readers don't block readers" `Quick
+            test_readers_dont_block_readers;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "session monotonicity" `Quick test_session_monotonicity;
+          Alcotest.test_case "rmw chain composes" `Quick test_rmw_chain_composes;
+        ] );
+    ]

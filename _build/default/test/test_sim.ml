@@ -1,0 +1,341 @@
+(* Tests for the discrete-event simulator substrate: PRNG, heap, fibers,
+   virtual time, condition variables and ivars. *)
+
+open Sss_sim
+
+let test_prng_determinism () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 1000 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Prng.next_int64 a <> Prng.next_int64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differs
+
+let test_prng_int_bounds () =
+  let g = Prng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let x = Prng.int g 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_prng_float_bounds () =
+  let g = Prng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let x = Prng.float g 3.5 in
+    Alcotest.(check bool) "in range" true (x >= 0.0 && x < 3.5)
+  done
+
+let test_prng_split_independent () =
+  let g = Prng.create ~seed:3 in
+  let g1 = Prng.split g in
+  let g2 = Prng.split g in
+  (* Streams from two splits should not coincide. *)
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.next_int64 g1 = Prng.next_int64 g2 then incr same
+  done;
+  Alcotest.(check bool) "split streams differ" true (!same < 8)
+
+let test_prng_exponential_mean () =
+  let g = Prng.create ~seed:11 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.exponential g ~mean:2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean close to 2.0 (got %f)" mean)
+    true
+    (abs_float (mean -. 2.0) < 0.1)
+
+let test_heap_sorts () =
+  let h = Heap.create ~cmp:Int.compare in
+  let input = [ 5; 3; 8; 1; 9; 2; 7; 4; 6; 0 ] in
+  List.iter (Heap.push h) input;
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (drain [])
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "peek none" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop none" None (Heap.pop h);
+  Alcotest.check_raises "pop_exn raises" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let heap_property =
+  QCheck.Test.make ~name:"heap pop order matches List.sort" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare xs)
+
+let test_sim_time_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let record tag () = log := (tag, Sim.now sim) :: !log in
+  Sim.schedule sim ~delay:0.3 (record "c");
+  Sim.schedule sim ~delay:0.1 (record "a");
+  Sim.schedule sim ~delay:0.2 (record "b");
+  Sim.run sim;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "events by time"
+    [ ("a", 0.1); ("b", 0.2); ("c", 0.3) ]
+    (List.rev !log)
+
+let test_sim_priority_ties () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let record tag () = log := tag :: !log in
+  Sim.schedule sim ~prio:50 ~delay:1.0 (record "high");
+  Sim.schedule sim ~prio:100 ~delay:1.0 (record "normal1");
+  Sim.schedule sim ~prio:100 ~delay:1.0 (record "normal2");
+  Sim.schedule sim ~prio:10 ~delay:1.0 (record "urgent");
+  Sim.run sim;
+  Alcotest.(check (list string))
+    "priority then FIFO"
+    [ "urgent"; "high"; "normal1"; "normal2" ]
+    (List.rev !log)
+
+let test_sim_sleep () =
+  let sim = Sim.create () in
+  let trace = ref [] in
+  Sim.spawn sim (fun () ->
+      trace := ("start", Sim.now sim) :: !trace;
+      Sim.sleep sim 2.5;
+      trace := ("mid", Sim.now sim) :: !trace;
+      Sim.sleep sim 1.5;
+      trace := ("end", Sim.now sim) :: !trace);
+  Sim.run sim;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "sleep advances virtual time"
+    [ ("start", 0.0); ("mid", 2.5); ("end", 4.0) ]
+    (List.rev !trace)
+
+let test_sim_run_until () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  Sim.schedule sim ~delay:1.0 (fun () -> fired := 1 :: !fired);
+  Sim.schedule sim ~delay:2.0 (fun () -> fired := 2 :: !fired);
+  Sim.schedule sim ~delay:3.0 (fun () -> fired := 3 :: !fired);
+  Sim.run_until sim 2.0;
+  Alcotest.(check (list int)) "only first two" [ 1; 2 ] (List.rev !fired);
+  Alcotest.(check (float 1e-9)) "clock at limit" 2.0 (Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check (list int)) "rest run" [ 1; 2; 3 ] (List.rev !fired)
+
+let test_cond_await () =
+  let sim = Sim.create () in
+  let cond = Sim.Cond.create () in
+  let counter = ref 0 in
+  let woke_at = ref (-1.0) in
+  Sim.spawn sim (fun () ->
+      Sim.Cond.await sim cond (fun () -> !counter >= 3);
+      woke_at := Sim.now sim);
+  for i = 1 to 3 do
+    Sim.schedule sim ~delay:(float_of_int i) (fun () ->
+        incr counter;
+        Sim.Cond.broadcast sim cond)
+  done;
+  Sim.run sim;
+  Alcotest.(check (float 1e-9)) "woke when pred held" 3.0 !woke_at
+
+let test_cond_broadcast_wakes_all () =
+  let sim = Sim.create () in
+  let cond = Sim.Cond.create () in
+  let woken = ref 0 in
+  for _ = 1 to 5 do
+    Sim.spawn sim (fun () ->
+        Sim.Cond.wait sim cond;
+        incr woken)
+  done;
+  Sim.schedule sim ~delay:1.0 (fun () -> Sim.Cond.broadcast sim cond);
+  Sim.run sim;
+  Alcotest.(check int) "all woken" 5 !woken
+
+let test_cond_await_timeout_expires () =
+  let sim = Sim.create () in
+  let cond = Sim.Cond.create () in
+  let result = ref None in
+  Sim.spawn sim (fun () ->
+      let ok = Sim.Cond.await_timeout sim cond ~timeout:2.0 (fun () -> false) in
+      result := Some (ok, Sim.now sim));
+  Sim.run sim;
+  Alcotest.(check (option (pair bool (float 1e-9))))
+    "timed out at deadline" (Some (false, 2.0)) !result
+
+let test_cond_await_timeout_succeeds () =
+  let sim = Sim.create () in
+  let cond = Sim.Cond.create () in
+  let flag = ref false in
+  let result = ref None in
+  Sim.spawn sim (fun () ->
+      let ok = Sim.Cond.await_timeout sim cond ~timeout:5.0 (fun () -> !flag) in
+      result := Some (ok, Sim.now sim));
+  Sim.schedule sim ~delay:1.0 (fun () ->
+      flag := true;
+      Sim.Cond.broadcast sim cond);
+  Sim.run sim;
+  Alcotest.(check (option (pair bool (float 1e-9))))
+    "woke before deadline" (Some (true, 1.0)) !result
+
+let test_ivar_basic () =
+  let sim = Sim.create () in
+  let iv = Sim.Ivar.create () in
+  let got = ref None in
+  Sim.spawn sim (fun () ->
+      let v = Sim.Ivar.read sim iv in
+      got := Some (v, Sim.now sim));
+  Sim.schedule sim ~delay:1.5 (fun () -> Sim.Ivar.fill sim iv 99);
+  Sim.run sim;
+  Alcotest.(check (option (pair int (float 1e-9)))) "read value" (Some (99, 1.5)) !got;
+  Alcotest.(check bool) "is filled" true (Sim.Ivar.is_filled iv)
+
+let test_ivar_already_filled () =
+  let sim = Sim.create () in
+  let iv = Sim.Ivar.create () in
+  Sim.spawn sim (fun () ->
+      Sim.Ivar.fill sim iv "x";
+      Alcotest.(check string) "immediate read" "x" (Sim.Ivar.read sim iv));
+  Sim.run sim
+
+let test_ivar_double_fill_rejected () =
+  let sim = Sim.create () in
+  let iv = Sim.Ivar.create () in
+  let raised = ref false in
+  Sim.spawn sim (fun () ->
+      Sim.Ivar.fill sim iv 1;
+      (try Sim.Ivar.fill sim iv 2 with Invalid_argument _ -> raised := true));
+  Sim.run sim;
+  Alcotest.(check bool) "second fill rejected" true !raised
+
+let test_ivar_read_timeout () =
+  let sim = Sim.create () in
+  let never = Sim.Ivar.create () in
+  let late = Sim.Ivar.create () in
+  let r1 = ref (Some 0) and r2 = ref None in
+  Sim.spawn sim (fun () -> r1 := Sim.Ivar.read_timeout sim never ~timeout:1.0);
+  Sim.spawn sim (fun () -> r2 := Sim.Ivar.read_timeout sim late ~timeout:10.0);
+  Sim.schedule sim ~delay:2.0 (fun () -> Sim.Ivar.fill sim late 7);
+  Sim.run sim;
+  Alcotest.(check (option int)) "timed out" None !r1;
+  Alcotest.(check (option int)) "filled in time" (Some 7) !r2
+
+let test_many_fibers () =
+  let sim = Sim.create () in
+  let n = 1000 in
+  let done_count = ref 0 in
+  let g = Prng.create ~seed:5 in
+  for _ = 1 to n do
+    let naps = 1 + Prng.int g 5 in
+    Sim.spawn sim (fun () ->
+        for _ = 1 to naps do
+          Sim.sleep sim (Prng.float g 1.0)
+        done;
+        incr done_count)
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "all fibers completed" n !done_count
+
+let test_fiber_exception_propagates () =
+  let sim = Sim.create () in
+  Sim.spawn sim (fun () -> failwith "kaboom");
+  match Sim.run sim with
+  | exception Failure m -> Alcotest.(check string) "propagated" "kaboom" m
+  | () -> Alcotest.fail "exception should escape Sim.run"
+
+let test_events_processed_counts () =
+  let sim = Sim.create () in
+  for _ = 1 to 5 do
+    Sim.schedule sim ~delay:0.1 (fun () -> ())
+  done;
+  Sim.run sim;
+  Alcotest.(check bool) "counted at least the scheduled events" true
+    (Sim.events_processed sim >= 5)
+
+let test_suspend_roundtrip () =
+  let sim = Sim.create () in
+  let hops = ref 0 in
+  Sim.spawn sim (fun () ->
+      (* a custom suspension resumed via an external event *)
+      Sim.suspend sim (fun resume -> Sim.schedule sim ~delay:0.5 (fun () -> resume ()));
+      incr hops;
+      Sim.suspend sim (fun resume -> Sim.schedule sim ~delay:0.5 (fun () -> resume ()));
+      incr hops);
+  Sim.run sim;
+  Alcotest.(check int) "resumed twice" 2 !hops;
+  Alcotest.(check (float 1e-9)) "time advanced" 1.0 (Sim.now sim)
+
+let test_determinism () =
+  let run_once () =
+    let sim = Sim.create () in
+    let g = Prng.create ~seed:123 in
+    let log = Buffer.create 256 in
+    for i = 1 to 50 do
+      Sim.spawn sim (fun () ->
+          Sim.sleep sim (Prng.float g 10.0);
+          Buffer.add_string log (Printf.sprintf "%d@%.9f;" i (Sim.now sim)))
+    done;
+    Sim.run sim;
+    Buffer.contents log
+  in
+  Alcotest.(check string) "identical traces" (run_once ()) (run_once ())
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "sorts" `Quick test_heap_sorts;
+          Alcotest.test_case "empty behaviour" `Quick test_heap_empty;
+          QCheck_alcotest.to_alcotest heap_property;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "time order" `Quick test_sim_time_order;
+          Alcotest.test_case "priority ties" `Quick test_sim_priority_ties;
+          Alcotest.test_case "sleep" `Quick test_sim_sleep;
+          Alcotest.test_case "run_until" `Quick test_sim_run_until;
+          Alcotest.test_case "many fibers" `Quick test_many_fibers;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "exception propagates" `Quick test_fiber_exception_propagates;
+          Alcotest.test_case "events processed" `Quick test_events_processed_counts;
+          Alcotest.test_case "suspend roundtrip" `Quick test_suspend_roundtrip;
+        ] );
+      ( "cond",
+        [
+          Alcotest.test_case "await" `Quick test_cond_await;
+          Alcotest.test_case "broadcast wakes all" `Quick test_cond_broadcast_wakes_all;
+          Alcotest.test_case "await_timeout expires" `Quick test_cond_await_timeout_expires;
+          Alcotest.test_case "await_timeout succeeds" `Quick test_cond_await_timeout_succeeds;
+        ] );
+      ( "ivar",
+        [
+          Alcotest.test_case "basic" `Quick test_ivar_basic;
+          Alcotest.test_case "already filled" `Quick test_ivar_already_filled;
+          Alcotest.test_case "double fill rejected" `Quick test_ivar_double_fill_rejected;
+          Alcotest.test_case "read timeout" `Quick test_ivar_read_timeout;
+        ] );
+    ]

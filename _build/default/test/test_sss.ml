@@ -1,0 +1,351 @@
+(* Integration tests for the SSS protocol: basic transactional behaviour,
+   the paper's Figure 1 / Figure 2 executions, abort-freedom, snapshot-queue
+   hygiene, and checker-verified random workloads. *)
+
+open Sss_sim
+open Sss_data
+open Sss_kv
+open Sss_consistency
+
+let make ?(nodes = 2) ?(degree = 1) ?(keys = 16) ?(seed = 1) () =
+  let sim = Sim.create () in
+  let config =
+    {
+      Config.default with
+      nodes;
+      replication_degree = degree;
+      total_keys = keys;
+      seed;
+    }
+  in
+  let cl = Kv.create sim config in
+  (sim, cl)
+
+(* A key stored (exclusively, under degree 1) on [node]. *)
+let key_on (cl : Kv.cluster) node = (Replication.keys_at cl.State.repl node).(0)
+
+let check_ok what = function
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail (Printf.sprintf "%s: %s" what msg)
+
+let test_basic_update_commit () =
+  let sim, cl = make () in
+  let outcome = ref None in
+  let later_read = ref "" in
+  Sim.spawn sim (fun () ->
+      let t = Kv.begin_txn cl ~node:0 ~read_only:false in
+      let v0 = Kv.read t 3 in
+      Alcotest.(check string) "initial value" "init:3" v0;
+      Kv.write t 3 "updated";
+      outcome := Some (Kv.commit t);
+      let t2 = Kv.begin_txn cl ~node:1 ~read_only:true in
+      later_read := Kv.read t2 3;
+      ignore (Kv.commit t2));
+  Sim.run sim;
+  Alcotest.(check (option bool)) "committed" (Some true) !outcome;
+  Alcotest.(check string) "new value visible" "updated" !later_read;
+  check_ok "external consistency" (Checker.external_consistency (Kv.history cl));
+  check_ok "quiescent" (Kv.quiescent cl)
+
+let test_read_your_writes () =
+  let sim, cl = make () in
+  Sim.spawn sim (fun () ->
+      let t = Kv.begin_txn cl ~node:0 ~read_only:false in
+      Kv.write t 5 "mine";
+      Alcotest.(check string) "sees own write" "mine" (Kv.read t 5);
+      ignore (Kv.commit t));
+  Sim.run sim
+
+let test_write_on_read_only_rejected () =
+  let sim, cl = make () in
+  let raised = ref false in
+  Sim.spawn sim (fun () ->
+      let t = Kv.begin_txn cl ~node:0 ~read_only:true in
+      (try Kv.write t 1 "nope" with Invalid_argument _ -> raised := true);
+      ignore (Kv.commit t));
+  Sim.run sim;
+  Alcotest.(check bool) "write rejected" true !raised
+
+let test_read_only_snapshot_is_stable () =
+  (* A read-only transaction that re-reads a key sees the same version even
+     if an update committed in between. *)
+  let sim, cl = make ~nodes:2 ~degree:1 () in
+  let k = key_on cl 1 in
+  let first = ref "" and second = ref "" in
+  Sim.spawn sim (fun () ->
+      let t = Kv.begin_txn cl ~node:0 ~read_only:true in
+      first := Kv.read t k;
+      Sim.sleep sim 0.005;
+      second := Kv.read t k;
+      ignore (Kv.commit t));
+  Sim.schedule sim ~delay:0.001 (fun () ->
+      let u = Kv.begin_txn cl ~node:1 ~read_only:false in
+      ignore (Kv.read u k);
+      Kv.write u k "overwritten";
+      ignore (Kv.commit u));
+  Sim.run sim;
+  Alcotest.(check string) "first read" (Printf.sprintf "init:%d" k) !first;
+  Alcotest.(check string) "snapshot stable" !first !second;
+  check_ok "external consistency" (Checker.external_consistency (Kv.history cl));
+  check_ok "quiescent" (Kv.quiescent cl)
+
+(* Figure 1: read-only T1 reads y; concurrent update T2 overwrites y and
+   internally commits, but its client response (external commit) is held
+   until T1 completes and its Remove message arrives. *)
+let test_fig1_anti_dependency_delays_external_commit () =
+  let sim, cl = make ~nodes:2 ~degree:1 () in
+  Kv.set_collect_latencies cl true;
+  let ky = key_on cl 1 in
+  let t1_value = ref "" in
+  let t1_commit_at = ref infinity in
+  let t2_external_at = ref infinity in
+  let t2_ok = ref false in
+  Sim.spawn sim (fun () ->
+      let t1 = Kv.begin_txn cl ~node:0 ~read_only:true in
+      t1_value := Kv.read t1 ky;
+      Sim.sleep sim 0.010;  (* keep the snapshot open for 10ms *)
+      ignore (Kv.commit t1);
+      t1_commit_at := Sim.now sim);
+  Sim.schedule sim ~delay:0.001 (fun () ->
+      let t2 = Kv.begin_txn cl ~node:1 ~read_only:false in
+      ignore (Kv.read t2 ky);
+      Kv.write t2 ky "y1";
+      t2_ok := Kv.commit t2;
+      t2_external_at := Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check bool) "T2 committed" true !t2_ok;
+  Alcotest.(check string) "T1 read the old version" (Printf.sprintf "init:%d" ky) !t1_value;
+  Alcotest.(check bool)
+    (Printf.sprintf "T2's response (%.4f) held until after T1 completed (%.4f)"
+       !t2_external_at !t1_commit_at)
+    true
+    (!t2_external_at > !t1_commit_at);
+  (* The latency breakdown must show the pre-commit wait dominating. *)
+  (match (Kv.stats cl).State.latencies with
+  | [ (begin_at, decide_at, external_at) ] ->
+      Alcotest.(check bool) "wait >= 8ms" true (external_at -. decide_at > 0.008);
+      Alcotest.(check bool) "execution was fast" true (decide_at -. begin_at < 0.005)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 latency record, got %d" (List.length l)));
+  check_ok "external consistency" (Checker.external_consistency (Kv.history cl));
+  check_ok "quiescent (snapshot queues drained)" (Kv.quiescent cl)
+
+(* While an update transaction is parked in a snapshot-queue, its written
+   keys are already visible to subsequent *update* transactions (the
+   progress property of §I) — but read-only transactions observe a writer
+   only once it is externally committed, so a fresh read-only sees the old
+   value during the hold and the new one after. *)
+let test_precommit_values_visible () =
+  let sim, cl = make ~nodes:2 ~degree:1 () in
+  let ky = key_on cl 1 in
+  let update_saw = ref "" in
+  let ro_saw_during = ref "" in
+  let ro_saw_after = ref "" in
+  let update_commit_at = ref infinity in
+  Sim.spawn sim (fun () ->
+      let t1 = Kv.begin_txn cl ~node:0 ~read_only:true in
+      ignore (Kv.read t1 ky);
+      Sim.sleep sim 0.010;
+      ignore (Kv.commit t1));
+  Sim.schedule sim ~delay:0.001 (fun () ->
+      let t2 = Kv.begin_txn cl ~node:1 ~read_only:false in
+      ignore (Kv.read t2 ky);
+      Kv.write t2 ky "held";
+      ignore (Kv.commit t2));
+  (* At 5ms, T2 is internally committed but still held by T1. *)
+  Sim.schedule sim ~delay:0.005 (fun () ->
+      let t3 = Kv.begin_txn cl ~node:1 ~read_only:false in
+      update_saw := Kv.read t3 ky;
+      ignore (Kv.commit t3);
+      (* T3 read T2's parked write, so its own response chains behind T2's
+         external commit (which waits for T1 until 10ms). *)
+      update_commit_at := Sim.now sim);
+  Sim.schedule sim ~delay:0.006 (fun () ->
+      let t4 = Kv.begin_txn cl ~node:1 ~read_only:true in
+      ro_saw_during := Kv.read t4 ky;
+      ignore (Kv.commit t4));
+  Sim.schedule sim ~delay:0.015 (fun () ->
+      let t5 = Kv.begin_txn cl ~node:1 ~read_only:true in
+      ro_saw_after := Kv.read t5 ky;
+      ignore (Kv.commit t5));
+  Sim.run sim;
+  Alcotest.(check string) "update txn saw the held write" "held" !update_saw;
+  Alcotest.(check string) "read-only during the hold sees the old value"
+    (Printf.sprintf "init:%d" ky) !ro_saw_during;
+  Alcotest.(check string) "read-only after external commit sees it" "held" !ro_saw_after;
+  Alcotest.(check bool) "reader of parked data chained behind the hold" true
+    (!update_commit_at > 0.010);
+  check_ok "external consistency" (Checker.external_consistency (Kv.history cl));
+  check_ok "quiescent" (Kv.quiescent cl)
+
+(* Figure 2: two read-only transactions and two non-conflicting update
+   transactions; the readers must not observe the updates in different
+   orders. The checker's serializability test is exactly this property. *)
+let test_fig2_no_divergent_orders () =
+  let sim, cl = make ~nodes:4 ~degree:1 ~keys:32 () in
+  let kx = key_on cl 1 and ky = key_on cl 2 in
+  (* T1 on node 0 reads x then y; T4 on node 3 reads y then x. *)
+  Sim.spawn sim (fun () ->
+      let t1 = Kv.begin_txn cl ~node:0 ~read_only:true in
+      ignore (Kv.read t1 kx);
+      Sim.sleep sim 0.004;
+      ignore (Kv.read t1 ky);
+      ignore (Kv.commit t1));
+  Sim.spawn sim (fun () ->
+      let t4 = Kv.begin_txn cl ~node:3 ~read_only:true in
+      ignore (Kv.read t4 ky);
+      Sim.sleep sim 0.004;
+      ignore (Kv.read t4 kx);
+      ignore (Kv.commit t4));
+  (* Non-conflicting updates land in the middle of both readers. *)
+  Sim.schedule sim ~delay:0.002 (fun () ->
+      let t2 = Kv.begin_txn cl ~node:1 ~read_only:false in
+      ignore (Kv.read t2 kx);
+      Kv.write t2 kx "x1";
+      ignore (Kv.commit t2));
+  Sim.schedule sim ~delay:0.002 (fun () ->
+      let t3 = Kv.begin_txn cl ~node:2 ~read_only:false in
+      ignore (Kv.read t3 ky);
+      Kv.write t3 ky "y1";
+      ignore (Kv.commit t3));
+  Sim.run sim;
+  check_ok "serializable (no divergent orders)" (Checker.serializability (Kv.history cl));
+  check_ok "external consistency" (Checker.external_consistency (Kv.history cl));
+  check_ok "quiescent" (Kv.quiescent cl)
+
+let test_conflicting_update_aborts () =
+  let sim, cl = make ~nodes:2 ~degree:1 () in
+  let k = key_on cl 0 in
+  let r1 = ref None and r2 = ref None in
+  let barrier = Sim.Cond.create () in
+  let reads_done = ref 0 in
+  let run_one result =
+    let t = Kv.begin_txn cl ~node:0 ~read_only:false in
+    ignore (Kv.read t k);
+    incr reads_done;
+    Sim.Cond.broadcast sim barrier;
+    (* Both must have read before either commits. *)
+    Sim.Cond.await sim barrier (fun () -> !reads_done >= 2);
+    Kv.write t k "mine";
+    result := Some (Kv.commit t)
+  in
+  Sim.spawn sim (fun () -> run_one r1);
+  Sim.spawn sim (fun () -> run_one r2);
+  Sim.run sim;
+  let committed = List.length (List.filter (( = ) (Some true)) [ !r1; !r2 ]) in
+  let aborted = List.length (List.filter (( = ) (Some false)) [ !r1; !r2 ]) in
+  Alcotest.(check int) "exactly one committed" 1 committed;
+  Alcotest.(check int) "exactly one aborted" 1 aborted;
+  check_ok "external consistency" (Checker.external_consistency (Kv.history cl));
+  check_ok "quiescent" (Kv.quiescent cl)
+
+let test_ro_abort_then_cleanup () =
+  let sim, cl = make ~nodes:2 ~degree:1 () in
+  let k = key_on cl 1 in
+  Sim.spawn sim (fun () ->
+      let t = Kv.begin_txn cl ~node:0 ~read_only:true in
+      ignore (Kv.read t k);
+      Kv.abort t);
+  Sim.run sim;
+  check_ok "abort cleaned snapshot queues" (Kv.quiescent cl)
+
+(* Run a random closed-loop workload and verify every property the paper
+   claims, via the checker. *)
+let run_workload ~nodes ~degree ~keys ~ro_ratio ~seed ~duration =
+  let sim, cl = make ~nodes ~degree ~keys ~seed () in
+  let ops =
+    {
+      Sss_workload.Driver.begin_txn = (fun ~node ~read_only -> Kv.begin_txn cl ~node ~read_only);
+      read = Kv.read;
+      write = Kv.write;
+      commit = Kv.commit;
+    }
+  in
+  let result =
+    Sss_workload.Driver.run sim ~nodes ~total_keys:keys
+      ~local_keys:(fun n -> Replication.keys_at cl.State.repl n)
+      ~profile:(Sss_workload.Driver.paper_profile ~read_only_ratio:ro_ratio)
+      ~load:
+        {
+          Sss_workload.Driver.default_load with
+          clients_per_node = 4;
+          warmup = 0.01;
+          duration;
+          seed;
+        }
+      ~ops
+  in
+  (cl, result)
+
+let assert_workload_correct what cl =
+  let h = Kv.history cl in
+  check_ok (what ^ ": external consistency") (Checker.external_consistency h);
+  check_ok (what ^ ": serializability") (Checker.serializability h);
+  check_ok (what ^ ": no lost updates") (Checker.no_lost_updates h);
+  check_ok (what ^ ": read-only abort-free") (Checker.read_only_abort_free h);
+  check_ok (what ^ ": quiescent") (Kv.quiescent cl)
+
+let test_workload_mixed () =
+  let cl, result = run_workload ~nodes:3 ~degree:1 ~keys:24 ~ro_ratio:0.5 ~seed:7 ~duration:0.08 in
+  Alcotest.(check bool)
+    (Printf.sprintf "made progress (%d committed)" result.Sss_workload.Driver.committed)
+    true
+    (result.Sss_workload.Driver.committed > 50);
+  assert_workload_correct "mixed" cl
+
+let test_workload_replicated () =
+  let cl, result = run_workload ~nodes:4 ~degree:2 ~keys:32 ~ro_ratio:0.2 ~seed:11 ~duration:0.08 in
+  Alcotest.(check bool) "made progress" true (result.Sss_workload.Driver.committed > 50);
+  assert_workload_correct "replicated" cl
+
+let test_workload_contended () =
+  (* Tiny key space: plenty of conflicts, aborts, and snapshot-queue traffic. *)
+  let cl, result = run_workload ~nodes:4 ~degree:2 ~keys:8 ~ro_ratio:0.5 ~seed:13 ~duration:0.08 in
+  Alcotest.(check bool) "made progress" true (result.Sss_workload.Driver.committed > 50);
+  Alcotest.(check bool)
+    (Printf.sprintf "saw conflicts (%d aborts)" result.Sss_workload.Driver.aborted)
+    true
+    (result.Sss_workload.Driver.aborted > 0);
+  assert_workload_correct "contended" cl
+
+let test_workload_read_dominated () =
+  let cl, result = run_workload ~nodes:4 ~degree:2 ~keys:32 ~ro_ratio:0.9 ~seed:17 ~duration:0.08 in
+  Alcotest.(check bool) "made progress" true (result.Sss_workload.Driver.committed > 50);
+  assert_workload_correct "read-dominated" cl
+
+let test_determinism () =
+  let run () =
+    let cl, result = run_workload ~nodes:3 ~degree:2 ~keys:16 ~ro_ratio:0.5 ~seed:23 ~duration:0.05 in
+    (result.Sss_workload.Driver.committed, result.Sss_workload.Driver.aborted,
+     History.length (Kv.history cl))
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (triple int int int)) "identical runs" a b
+
+let () =
+  Alcotest.run "sss"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "update commit" `Quick test_basic_update_commit;
+          Alcotest.test_case "read your writes" `Quick test_read_your_writes;
+          Alcotest.test_case "ro write rejected" `Quick test_write_on_read_only_rejected;
+          Alcotest.test_case "ro snapshot stable" `Quick test_read_only_snapshot_is_stable;
+        ] );
+      ( "paper-scenarios",
+        [
+          Alcotest.test_case "fig1 anti-dependency delay" `Quick
+            test_fig1_anti_dependency_delays_external_commit;
+          Alcotest.test_case "pre-commit visibility" `Quick test_precommit_values_visible;
+          Alcotest.test_case "fig2 non-conflicting order" `Quick test_fig2_no_divergent_orders;
+          Alcotest.test_case "conflict aborts one" `Quick test_conflicting_update_aborts;
+          Alcotest.test_case "ro abort cleanup" `Quick test_ro_abort_then_cleanup;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "mixed" `Quick test_workload_mixed;
+          Alcotest.test_case "replicated" `Quick test_workload_replicated;
+          Alcotest.test_case "contended" `Quick test_workload_contended;
+          Alcotest.test_case "read dominated" `Quick test_workload_read_dominated;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+    ]
