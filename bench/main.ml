@@ -1,13 +1,20 @@
 (* Benchmark harness.
 
-   Usage:  dune exec bench/main.exe -- [--scale full|quick|smoke] [targets]
+   Usage:  dune exec bench/main.exe -- [--scale full|quick|smoke]
+             [--json FILE] [targets]
 
    Targets are the paper's evaluation artefacts: fig3 fig4a fig4b fig5 fig6
    fig7 fig8 abort-rate (see DESIGN.md §3 for the mapping), plus `micro`
    (Bechamel micro-benchmarks of the core data structures).  With no target,
    everything runs.  Absolute throughput is simulator throughput; the shapes
    (orderings, ratios, crossovers) are what EXPERIMENTS.md compares against
-   the paper. *)
+   the paper.
+
+   [--json FILE] additionally writes per-target simulator-performance
+   metrics: wall-clock seconds, DES events executed and events/sec, virtual
+   seconds simulated, and committed transactions per virtual second.  This
+   is the measurement EXPERIMENTS.md's "Simulator performance" table is
+   built from. *)
 
 open Sss_experiments.Experiments
 
@@ -80,11 +87,67 @@ let run_micro () =
     results;
   print_newline ()
 
+(* ---------- json report ---------- *)
+
+type target_report = {
+  target : string;
+  wall_seconds : float;
+  des_events : int;
+  virtual_seconds : float;
+  committed_txns : int;
+  runs : int;
+}
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json file ~scale reports =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "{\n  \"scale\": \"%s\",\n  \"targets\": [" scale);
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      let events_per_sec =
+        if r.wall_seconds > 0.0 then float_of_int r.des_events /. r.wall_seconds else 0.0
+      in
+      let virtual_tput =
+        if r.virtual_seconds > 0.0 then float_of_int r.committed_txns /. r.virtual_seconds
+        else 0.0
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\n\
+           \      \"target\": \"%s\",\n\
+           \      \"wall_seconds\": %.3f,\n\
+           \      \"des_events\": %d,\n\
+           \      \"des_events_per_sec\": %.0f,\n\
+           \      \"virtual_seconds\": %.6f,\n\
+           \      \"committed_txns\": %d,\n\
+           \      \"virtual_throughput_txns_per_vsec\": %.1f,\n\
+           \      \"runs\": %d\n\
+           \    }"
+           (json_escape r.target) r.wall_seconds r.des_events events_per_sec
+           r.virtual_seconds r.committed_txns virtual_tput r.runs))
+    reports;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nwrote %s\n%!" file
+
 (* ---------- dispatch ---------- *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let scale = ref Full in
+  let json_file = ref None in
   let targets = ref [] in
   let rec parse = function
     | [] -> ()
@@ -95,6 +158,9 @@ let () =
            | "quick" -> Quick
            | "smoke" -> Smoke
            | _ -> failwith ("unknown scale " ^ s));
+        parse rest
+    | "--json" :: f :: rest ->
+        json_file := Some f;
         parse rest
     | t :: rest ->
         targets := t :: !targets;
@@ -107,11 +173,15 @@ let () =
     | ts -> ts
   in
   let scale = !scale in
-  Printf.printf "SSS reproduction benchmarks (scale: %s)\n"
-    (match scale with Full -> "full" | Quick -> "quick" | Smoke -> "smoke");
+  let scale_name = match scale with Full -> "full" | Quick -> "quick" | Smoke -> "smoke" in
+  Printf.printf "SSS reproduction benchmarks (scale: %s)\n" scale_name;
+  let reports = ref [] in
   List.iter
     (fun t ->
-      match t with
+      reset_meters ();
+      let start = Unix.gettimeofday () in
+      let known = ref true in
+      (match t with
       | "fig3" -> fig3 scale
       | "fig4a" -> fig4a scale
       | "fig4b" -> fig4b scale
@@ -124,5 +194,24 @@ let () =
       | "skewed" -> skewed scale
       | "all" -> all scale
       | "micro" -> run_micro ()
-      | other -> Printf.eprintf "unknown target %s (skipped)\n" other)
-    targets
+      | other ->
+          known := false;
+          Printf.eprintf "unknown target %s (skipped)\n" other);
+      if !known then begin
+        let wall = Unix.gettimeofday () -. start in
+        let m = meters () in
+        reports :=
+          {
+            target = t;
+            wall_seconds = wall;
+            des_events = m.des_events;
+            virtual_seconds = m.virtual_seconds;
+            committed_txns = m.committed_txns;
+            runs = m.runs;
+          }
+          :: !reports
+      end)
+    targets;
+  match !json_file with
+  | None -> ()
+  | Some f -> write_json f ~scale:scale_name (List.rev !reports)

@@ -72,15 +72,14 @@ let version_skipper ~has_read ~maxvc ~me ~cutoff v =
    writers are read directly.  Covered stamps are all <= the bound < every
    uncovered stamp, so the result is still a prefix of the apply order. *)
 let parked_cutoff t node ~bound_local =
-  let strict = t.config.Config.strict_order in
-  Hashtbl.fold
-    (fun wtxn _ acc ->
-      match Hashtbl.find_opt node.prepared wtxn with
-      | Some { final_vc = Some fvc; _ } ->
-          let stamp = Vclock.get fvc node.id in
-          if strict || stamp > bound_local then Stdlib.min acc stamp else acc
-      | _ -> acc)
-    node.writer_since max_int
+  (* Served by the sorted stamp index kept in sync by
+     [State.park_writer]/[unpark_writer]; a [writer_since] fold here would
+     be O(parked) per read. *)
+  let found =
+    if t.config.Config.strict_order then Stampset.min_elt node.parked
+    else Stampset.first_above node.parked bound_local
+  in
+  match found with Some stamp -> stamp | None -> max_int
 
 (* Hardened mode: a read-only transaction whose bound covers a parked
    writer must observe it, and may not observe it while parked — so it
@@ -92,16 +91,7 @@ let parked_cutoff t node ~bound_local =
 let wait_covered_finalizing t node ~bound_local =
   if not t.config.Config.strict_order then ()
   else
-    let covered_parked () =
-      Hashtbl.fold
-        (fun wtxn _ acc ->
-          acc
-          ||
-          match Hashtbl.find_opt node.prepared wtxn with
-          | Some { final_vc = Some fvc; _ } -> Vclock.get fvc node.id <= bound_local
-          | _ -> false)
-        node.writer_since false
-    in
+    let covered_parked () = Stampset.exists_leq node.parked bound_local in
     let ok =
       Sim.Cond.await_timeout t.sim node.squeue_changed ~timeout:0.1 (fun () ->
           not (covered_parked ()))
@@ -273,7 +263,7 @@ let pre_commit_wait t node ~txn ~sid ~keys ~coord =
     | Some { final_vc = Some fvc; _ } -> node.stable_vc <- Vclock.max node.stable_vc fvc
     | _ -> ());
     Hashtbl.remove node.prepared txn;
-    Hashtbl.remove node.writer_since txn;
+    unpark_writer node txn;
     send t ~src:node.id ~dst:coord (Message.Ack { txn })
   end
 
@@ -287,7 +277,7 @@ let rec try_drain t node =
       let prep = Hashtbl.find node.prepared txn in
       let sid = Vclock.get vc node.id in
       prep.final_vc <- Some vc;
-      Hashtbl.replace node.writer_since txn (now t);
+      park_writer t node txn ~stamp:sid;
       List.iter
         (fun (k, v) ->
           Mvstore.install node.store k ~value:v ~vc ~writer:txn;
@@ -341,17 +331,11 @@ let handle_finalize t node ~txn =
              committed transaction behind a still-parked earlier one.  The
              stamp order is global (one minted xactVN per transaction), so
              the waits are well-founded. *)
-          let earlier_parked () =
-            Hashtbl.fold
-              (fun w _ acc ->
-                acc
-                || (not (Ids.equal_txn w txn))
-                   &&
-                   match Hashtbl.find_opt node.prepared w with
-                   | Some { final_vc = Some fvc; _ } -> Vclock.get fvc node.id < my_sid
-                   | _ -> false)
-              node.writer_since false
-          in
+          (* Stamps are globally unique (one minted xactVN per transaction),
+             so "another parked writer with a smaller stamp" is exactly "the
+             index minimum is below my stamp" — our own entry sits at
+             [my_sid] and can never satisfy the strict inequality. *)
+          let earlier_parked () = Stampset.exists_below node.parked my_sid in
           Sim.Cond.await t.sim node.squeue_changed (fun () -> not (earlier_parked ()));
           (* Re-check for readers that serialized below this writer since
              the Ack: their clients must not be outrun. *)
@@ -373,7 +357,7 @@ let handle_finalize t node ~txn =
           | Some fvc -> node.stable_vc <- Vclock.max node.stable_vc fvc
           | None -> ());
           Hashtbl.remove node.prepared txn;
-          Hashtbl.remove node.writer_since txn;
+          unpark_writer node txn;
           Sim.Cond.broadcast t.sim node.squeue_changed;
           send t ~src:node.id ~dst:prep.coord (Message.Finalize_ack { txn }))
 
@@ -392,7 +376,8 @@ let handle_decide t node ~txn ~vc ~outcome =
       end
   | Some prep ->
       if outcome then begin
-        node.node_vc <- Vclock.max node.node_vc vc;
+        (* node_vc is exclusively owned: fold the decide clock in place *)
+        Vclock.max_into node.node_vc vc;
         if prep.ws_local <> [] then begin
           Commitq.update node.commitq ~txn ~vc;
           try_drain t node;
@@ -402,13 +387,15 @@ let handle_decide t node ~txn ~vc ~outcome =
         end
         else begin
           Locks.release_txn node.locks txn;
-          Hashtbl.remove node.prepared txn
+          Hashtbl.remove node.prepared txn;
+          drop_parked_stamp node txn
         end
       end
       else begin
         Commitq.remove node.commitq txn;
         Locks.release_txn node.locks txn;
         Hashtbl.remove node.prepared txn;
+        drop_parked_stamp node txn;
         try_drain t node;
         Sim.Cond.broadcast t.sim node.nlog_changed
       end

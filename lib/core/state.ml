@@ -78,6 +78,15 @@ type node = {
   forwards : (Ids.txn, (Ids.txn * Ids.node) list ref) Hashtbl.t;
   reader_keys : (Ids.txn, Ids.key list ref) Hashtbl.t;
   writer_since : (Ids.txn, float) Hashtbl.t;
+  (* Sorted index over the local apply stamps of parked writers (entries of
+     [writer_since] whose [prepared] record carries a final clock).  The
+     read path needs the minimum parked stamp and the smallest stamp above
+     a bound once or twice per read; the index answers both in O(1)/O(log n)
+     where a [writer_since] fold would be O(parked).  [parked_stamp]
+     remembers each writer's stamp so removal never needs the (possibly
+     already dropped) [prepared] record. *)
+  parked : Stampset.t;
+  parked_stamp : (Ids.txn, int) Hashtbl.t;
   recent_ws : (Ids.txn, Ids.key list * float) Hashtbl.t;
   cancelled : (Ids.txn, Ids.txn list ref) Hashtbl.t;
   active : (Ids.txn, unit) Hashtbl.t;  (* txns begun here, not yet finished *)
@@ -134,6 +143,8 @@ let make_node sim ~nodes ~id =
     forwards = Hashtbl.create 256;
     reader_keys = Hashtbl.create 256;
     writer_since = Hashtbl.create 64;
+    parked = Stampset.create ();
+    parked_stamp = Hashtbl.create 64;
     recent_ws = Hashtbl.create 1024;
     cancelled = Hashtbl.create 16;
     active = Hashtbl.create 64;
@@ -219,8 +230,10 @@ let bump_local t node =
   let n = t.config.Config.nodes in
   let current = Vclock.get node.node_vc node.id in
   let fresh = (((current / n) + 1) * n) + node.id in
-  node.node_vc <- Vclock.set node.node_vc node.id fresh;
-  node.node_vc
+  (* [node_vc] is exclusively owned (never published), so it is bumped in
+     place; callers get a private snapshot they may share freely. *)
+  Vclock.set_into node.node_vc node.id fresh;
+  Vclock.copy node.node_vc
 
 let mint_xact_vn t node ~at_least =
   let n = t.config.Config.nodes in
@@ -233,6 +246,33 @@ let is_primary t node_id key =
   match Replication.replicas t.repl key with
   | first :: _ -> first = node_id
   | [] -> false
+
+(* ---- parked-writer stamp index ---- *)
+
+(* A writer is parked while it is in [writer_since] with a final clock in
+   [prepared]; these helpers keep [parked]/[parked_stamp] exactly in sync
+   with that definition. *)
+
+let park_writer t node txn ~stamp =
+  Hashtbl.replace node.writer_since txn (now t);
+  if not (Hashtbl.mem node.parked_stamp txn) then begin
+    Hashtbl.replace node.parked_stamp txn stamp;
+    Stampset.add node.parked stamp
+  end
+
+(* Drop only the index entry: must accompany every removal from [prepared]
+   (having a [prepared] record is what qualifies a [writer_since] entry as
+   parked). *)
+let drop_parked_stamp node txn =
+  match Hashtbl.find_opt node.parked_stamp txn with
+  | Some stamp ->
+      Hashtbl.remove node.parked_stamp txn;
+      ignore (Stampset.remove node.parked stamp)
+  | None -> ()
+
+let unpark_writer node txn =
+  drop_parked_stamp node txn;
+  Hashtbl.remove node.writer_since txn
 
 (* ---- tombstones and recent write-set GC ---- *)
 

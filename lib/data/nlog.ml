@@ -44,11 +44,18 @@ let add t ~txn ~vc ~ws ~at =
   grow t;
   t.entries.(t.len) <- { txn; vc; ws; at };
   let prev = t.pmax.(t.len - 1) in
-  let m = Array.init t.nodes (fun w -> Stdlib.max prev.(w) (Vclock.get vc w)) in
+  let m = Array.make t.nodes 0 in
+  for w = 0 to t.nodes - 1 do
+    let v = Vclock.get vc w in
+    let p = Array.unsafe_get prev w in
+    Array.unsafe_set m w (if v > p then v else p)
+  done;
   t.pmax.(t.len) <- m;
   t.len <- t.len + 1;
   t.most_recent <- vc;
-  t.committed_max <- Vclock.of_array m
+  (* prefix-max rows are write-once, so the committed view can share the
+     row instead of copying it *)
+  t.committed_max <- Vclock.unsafe_of_array m
 
 let most_recent_vc t = t.most_recent
 
@@ -79,15 +86,20 @@ let visible_max t ~has_read ~bound ~cutoff =
     go 0
   in
   if top < 0 then Vclock.zero n
-  else if unconstrained then Vclock.of_array t.pmax.(top)
+  else if unconstrained then
+    (* rows are write-once: share, don't copy (this is the common
+       first-contact read) *)
+    Vclock.unsafe_of_array t.pmax.(top)
   else begin
     (* Ceiling: on already-read nodes we are capped by the bound, elsewhere
        by the maximum over the cutoff prefix; stop once it is reached. *)
-    let ceiling =
-      Array.init n (fun w ->
-          if has_read.(w) then Stdlib.min (Vclock.get bound w) t.pmax.(top).(w)
-          else t.pmax.(top).(w))
-    in
+    let row = t.pmax.(top) in
+    let ceiling = Array.make n 0 in
+    for w = 0 to n - 1 do
+      let r = Array.unsafe_get row w in
+      Array.unsafe_set ceiling w
+        (if has_read.(w) then Stdlib.min (Vclock.get bound w) r else r)
+    done;
     let acc = Array.make n 0 in
     let reached () =
       let rec go w = w >= n || (acc.(w) >= ceiling.(w) && go (w + 1)) in
@@ -112,7 +124,7 @@ let visible_max t ~has_read ~bound ~cutoff =
       end;
       decr i
     done;
-    Vclock.of_array acc
+    Vclock.unsafe_of_array acc
   end
 
 let size t = t.len

@@ -34,13 +34,25 @@ let insert_propagated t ~txn ~sid =
 let insert_write t ~txn ~sid =
   t.writes <- insert_sorted { txn; sid; propagated = false } t.writes
 
+(* Single pass per list; when nothing matches, the original list is
+   returned physically unchanged so a miss costs no allocation. *)
 let remove t txn =
-  let len l = List.length l in
-  let before = len t.reads + len t.writes in
-  let keep e = not (Ids.equal_txn e.txn txn) in
-  t.reads <- List.filter keep t.reads;
-  t.writes <- List.filter keep t.writes;
-  len t.reads + len t.writes < before
+  let removed = ref false in
+  let rec drop l =
+    match l with
+    | [] -> l
+    | e :: rest ->
+        if Ids.equal_txn e.txn txn then begin
+          removed := true;
+          drop rest
+        end
+        else
+          let rest' = drop rest in
+          if rest' == rest then l else e :: rest'
+  in
+  t.reads <- drop t.reads;
+  t.writes <- drop t.writes;
+  !removed
 
 let mem t txn =
   let has l = List.exists (fun e -> Ids.equal_txn e.txn txn) l in

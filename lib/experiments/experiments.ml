@@ -63,6 +63,39 @@ type outcome = {
   wire_bytes : int;  (* SSS only: total message bytes (see compress_metadata) *)
 }
 
+(* ---------- simulator meters ----------
+
+   Cumulative counters across [run] calls, so the bench harness can report
+   DES events/sec and virtual-time throughput per target without threading
+   anything through the figure printers.  Each [run] creates its own [Sim.t];
+   we bank its totals when the drive finishes. *)
+
+type meters = {
+  des_events : int;  (* simulator events executed *)
+  virtual_seconds : float;  (* virtual time simulated *)
+  committed_txns : int;
+  runs : int;
+}
+
+let m_events = ref 0
+let m_virtual = ref 0.0
+let m_committed = ref 0
+let m_runs = ref 0
+
+let reset_meters () =
+  m_events := 0;
+  m_virtual := 0.0;
+  m_committed := 0;
+  m_runs := 0
+
+let meters () =
+  {
+    des_events = !m_events;
+    virtual_seconds = !m_virtual;
+    committed_txns = !m_committed;
+    runs = !m_runs;
+  }
+
 let config_of (p : params) : Sss_kv.Config.t =
   {
     Sss_kv.Config.default with
@@ -156,6 +189,10 @@ let run (p : params) =
         in
         (drive ~ops ~local_keys:(fun n -> Replication.keys_at (Rococo_kv.Rococo.repl cl) n), None)
   in
+  m_events := !m_events + Sim.events_processed sim;
+  m_virtual := !m_virtual +. Sim.now sim;
+  m_committed := !m_committed + result.Sss_workload.Driver.committed;
+  incr m_runs;
   let wire_bytes =
     match sss_cluster with
     | None -> 0

@@ -60,6 +60,19 @@ val run : params -> outcome
 (** Build the cluster, drive the closed-loop workload, return the measured
     window's statistics.  History recording is off (benchmark mode). *)
 
+(** Cumulative simulator totals across {!run} calls, for the bench
+    harness's [--json] report (DES events/sec, virtual-time throughput). *)
+type meters = {
+  des_events : int;  (** simulator events executed *)
+  virtual_seconds : float;  (** virtual time simulated *)
+  committed_txns : int;
+  runs : int;  (** number of {!run} calls banked *)
+}
+
+val reset_meters : unit -> unit
+
+val meters : unit -> meters
+
 (** Experiment scale: [Full] mirrors the paper's parameters (up to 20
     nodes, 5k/10k keys); [Quick] shrinks node counts and durations for a
     fast regeneration; [Smoke] is a seconds-long sanity pass used in CI. *)

@@ -12,9 +12,80 @@ let default_config =
 
 type 'msg ingress = { prio : int; seq : int; src : Sss_data.Ids.node; msg : 'msg }
 
+(* Specialized ingress min-heap on (prio, seq): the comparator is inlined
+   instead of a closure call, pop allocates nothing, and sifts fill a hole
+   instead of swapping.  One push and one pop per delivered message makes
+   this one of the simulator's hottest structures.  (seq is unique, so the
+   order is total and pop order independent of heap internals.)  Like the
+   generic [Heap], growth fills fresh slots with the pushed element; popped
+   slots may pin their last message until overwritten, which is bounded by
+   the queue's high-water mark. *)
+module Iq = struct
+  type 'msg t = { mutable data : 'msg ingress array; mutable size : int }
+
+  let create () = { data = [||]; size = 0 }
+
+  let is_empty q = q.size = 0
+
+  let[@inline] less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+  let push q x =
+    let cap = Array.length q.data in
+    if q.size = cap then begin
+      let ndata = Array.make (if cap = 0 then 16 else cap * 2) x in
+      Array.blit q.data 0 ndata 0 q.size;
+      q.data <- ndata
+    end;
+    let data = q.data in
+    let i = ref q.size in
+    q.size <- q.size + 1;
+    let moving = ref true in
+    while !moving && !i > 0 do
+      let p = (!i - 1) / 2 in
+      let pe = Array.unsafe_get data p in
+      if less x pe then begin
+        Array.unsafe_set data !i pe;
+        i := p
+      end
+      else moving := false
+    done;
+    Array.unsafe_set data !i x
+
+  (* precondition: size > 0 *)
+  let pop_min q =
+    let data = q.data in
+    let top = Array.unsafe_get data 0 in
+    let n = q.size - 1 in
+    q.size <- n;
+    if n > 0 then begin
+      let last = Array.unsafe_get data n in
+      let i = ref 0 in
+      let moving = ref true in
+      while !moving do
+        let l = (2 * !i) + 1 in
+        if l >= n then moving := false
+        else begin
+          let r = l + 1 in
+          let c =
+            if r < n && less (Array.unsafe_get data r) (Array.unsafe_get data l) then r
+            else l
+          in
+          let ce = Array.unsafe_get data c in
+          if less ce last then begin
+            Array.unsafe_set data !i ce;
+            i := c
+          end
+          else moving := false
+        end
+      done;
+      Array.unsafe_set data !i last
+    end;
+    top
+end
+
 type 'msg node_state = {
   mutable handler : (src:Sss_data.Ids.node -> 'msg -> unit) option;
-  queue : 'msg ingress Heap.t;
+  queue : 'msg Iq.t;
   mutable serving : bool;
   mutable crashed : bool;
 }
@@ -29,6 +100,7 @@ type 'msg t = {
   nodes : 'msg node_state array;
   mutable severed : (Sss_data.Ids.node * Sss_data.Ids.node) list;
   mutable drop_probability : float;
+  mutable fast_dispatch : bool;
   mutable seq : int;
   mutable sent : int;
   mutable delivered : int;
@@ -36,14 +108,8 @@ type 'msg t = {
   mutable bytes : int;
 }
 
-let compare_ingress a b =
-  let c = Int.compare a.prio b.prio in
-  if c <> 0 then c else Int.compare a.seq b.seq
-
-let create ?(size_of = fun _ -> 0) sim rng ~nodes ~config =
-  let mk _ =
-    { handler = None; queue = Heap.create ~cmp:compare_ingress; serving = false; crashed = false }
-  in
+let create ?(size_of = fun _ -> 0) ?(fast_dispatch = true) sim rng ~nodes ~config =
+  let mk _ = { handler = None; queue = Iq.create (); serving = false; crashed = false } in
   {
     sim;
     rng;
@@ -52,6 +118,7 @@ let create ?(size_of = fun _ -> 0) sim rng ~nodes ~config =
     nodes = Array.init nodes mk;
     severed = [];
     drop_probability = 0.0;
+    fast_dispatch;
     seq = 0;
     sent = 0;
     delivered = 0;
@@ -63,32 +130,63 @@ let nodes t = Array.length t.nodes
 
 let set_handler t n f = t.nodes.(n).handler <- Some f
 
-(* Drain a node's ingress queue: each message occupies the CPU for the
-   configured service time, then its handler runs in its own fiber so that a
-   blocking handler never stalls the queue. *)
-let rec serve t n =
+let set_fast_dispatch t b = t.fast_dispatch <- b
+
+(* Drain a node's ingress queue — slow (reference) path: each message
+   occupies the CPU for the configured service time via a fiber sleep, then
+   its handler runs in its own spawned fiber so that a blocking handler
+   never stalls the queue. *)
+let rec serve_slow t n =
   let st = t.nodes.(n) in
-  match Heap.pop st.queue with
-  | None -> st.serving <- false
-  | Some ing ->
-      Sim.sleep t.sim t.config.cpu_per_message;
-      if not st.crashed then begin
-        t.delivered <- t.delivered + 1;
-        match st.handler with
-        | Some f -> Sim.spawn t.sim (fun () -> f ~src:ing.src ing.msg)
-        | None -> ()
-      end;
-      serve t n
+  if Iq.is_empty st.queue then st.serving <- false
+  else begin
+    let ing = Iq.pop_min st.queue in
+    Sim.sleep t.sim t.config.cpu_per_message;
+    if not st.crashed then begin
+      t.delivered <- t.delivered + 1;
+      match st.handler with
+      | Some f -> Sim.spawn t.sim (fun () -> f ~src:ing.src ing.msg)
+      | None -> ()
+    end;
+    serve_slow t n
+  end
+
+(* Fast path: one plain-callback event per message instead of a fiber sleep
+   plus a spawned handler fiber.  The CPU charge is the event's delay; when
+   it fires, the handler runs inline under its own effect handler at the
+   same virtual instant the slow path would have started its handler fiber.
+   A handler that suspends simply parks its continuation and the serve
+   chain moves on — blocking handlers still never stall the queue. *)
+let rec serve_fast t n =
+  let st = t.nodes.(n) in
+  if Iq.is_empty st.queue then st.serving <- false
+  else begin
+    let ing = Iq.pop_min st.queue in
+    Sim.schedule_callback t.sim ~delay:t.config.cpu_per_message (fun () ->
+        if not st.crashed then begin
+          t.delivered <- t.delivered + 1;
+          match st.handler with
+          | Some f ->
+              (* the fused handler still counts as one simulator event so
+                 DES events/sec stays comparable across dispatch modes *)
+              Sim.tick t.sim;
+              Sim.run_fiber (fun () -> f ~src:ing.src ing.msg)
+          | None -> ()
+        end;
+        serve_fast t n)
+  end
 
 let deliver t ~prio ~src ~dst msg =
   let st = t.nodes.(dst) in
   if st.crashed then t.dropped <- t.dropped + 1
   else begin
     t.seq <- t.seq + 1;
-    Heap.push st.queue { prio; seq = t.seq; src; msg };
+    Iq.push st.queue { prio; seq = t.seq; src; msg };
     if not st.serving then begin
       st.serving <- true;
-      Sim.spawn t.sim (fun () -> serve t dst)
+      if t.fast_dispatch then
+        Sim.schedule_callback t.sim ~delay:0.0 (fun () -> serve_fast t dst)
+      else Sim.spawn t.sim (fun () -> serve_slow t dst)
     end
   end
 
@@ -113,7 +211,8 @@ let send t ?(prio = 100) ~src ~dst msg =
               Prng.exponential t.rng ~mean:t.config.latency_jitter
             else 0.0)
     in
-    Sim.schedule t.sim ~delay:latency (fun () -> deliver t ~prio ~src ~dst msg)
+    (* delivery never suspends: a bare callback event, not a fiber *)
+    Sim.schedule_callback t.sim ~delay:latency (fun () -> deliver t ~prio ~src ~dst msg)
   end
 
 let send_many t ?prio ~src ~dst msg = List.iter (fun d -> send t ?prio ~src ~dst:d msg) dst

@@ -1,56 +1,146 @@
-type kind =
-  | Fiber of (unit -> unit)  (* start a new fiber under the effect handler *)
-  | Callback of (unit -> unit)  (* resume a parked fiber / plain callback *)
+(* Flat event representation: a [fiber] flag instead of a variant saves one
+   block per event, and most events (message deliveries, resumptions) are
+   plain callbacks that need no effect-handler context at all. *)
+type event = { time : float; prio : int; seq : int; fiber : bool; run : unit -> unit }
 
-type event = { time : float; prio : int; seq : int; kind : kind }
+let dummy_event = { time = neg_infinity; prio = 0; seq = -1; fiber = false; run = ignore }
+
+(* Specialized binary min-heap over events.  Compared to the generic [Heap],
+   the comparator is a direct inlined test instead of a closure call (the
+   event queue sees two heap operations per simulator event, each a
+   logarithmic number of comparisons), [pop_min] allocates no option, sifts
+   move elements into a hole instead of swapping, and popped slots are
+   overwritten with [dummy_event] so spent closures are not kept alive into
+   the major heap.  Order is the total order (time, prio, seq) — seq is
+   unique, so pop order is fully determined regardless of heap internals. *)
+module Eq = struct
+  type t = { mutable data : event array; mutable size : int }
+
+  let create () = { data = Array.make 256 dummy_event; size = 0 }
+
+  let[@inline] less a b =
+    a.time < b.time
+    || (a.time = b.time && (a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)))
+
+  let push q ev =
+    let cap = Array.length q.data in
+    if q.size = cap then begin
+      let ndata = Array.make (cap * 2) dummy_event in
+      Array.blit q.data 0 ndata 0 q.size;
+      q.data <- ndata
+    end;
+    let data = q.data in
+    let i = ref q.size in
+    q.size <- q.size + 1;
+    let moving = ref true in
+    while !moving && !i > 0 do
+      let p = (!i - 1) / 2 in
+      let pe = Array.unsafe_get data p in
+      if less ev pe then begin
+        Array.unsafe_set data !i pe;
+        i := p
+      end
+      else moving := false
+    done;
+    Array.unsafe_set data !i ev
+
+  (* precondition: size > 0 *)
+  let pop_min q =
+    let data = q.data in
+    let top = Array.unsafe_get data 0 in
+    let n = q.size - 1 in
+    q.size <- n;
+    let last = Array.unsafe_get data n in
+    Array.unsafe_set data n dummy_event;
+    if n > 0 then begin
+      let i = ref 0 in
+      let moving = ref true in
+      while !moving do
+        let l = (2 * !i) + 1 in
+        if l >= n then moving := false
+        else begin
+          let r = l + 1 in
+          let c =
+            if r < n && less (Array.unsafe_get data r) (Array.unsafe_get data l) then r
+            else l
+          in
+          let ce = Array.unsafe_get data c in
+          if less ce last then begin
+            Array.unsafe_set data !i ce;
+            i := c
+          end
+          else moving := false
+        end
+      done;
+      Array.unsafe_set data !i last
+    end;
+    top
+end
 
 type t = {
   mutable now : float;
   mutable seq : int;
   mutable processed : int;
-  events : event Heap.t;
+  events : Eq.t;
 }
 
-let compare_event a b =
-  let c = Float.compare a.time b.time in
-  if c <> 0 then c
-  else
-    let c = Int.compare a.prio b.prio in
-    if c <> 0 then c else Int.compare a.seq b.seq
+(* The simulator is allocation-heavy (~75 words/event across the KV
+   benchmarks); the default 256k-word minor heap forces a minor collection
+   every few thousand events and promotes long queues of in-flight events.
+   Growing it once to 8M words is worth ~15% wall clock on the figure
+   benchmarks.  Only ever grow — respect a larger value from OCAMLRUNPARAM. *)
+let gc_tuned = ref false
+
+let tune_gc () =
+  if not !gc_tuned then begin
+    gc_tuned := true;
+    let g = Gc.get () in
+    let want = 8 * 1024 * 1024 in
+    if g.Gc.minor_heap_size < want then Gc.set { g with Gc.minor_heap_size = want }
+  end
 
 let create () =
-  { now = 0.0; seq = 0; processed = 0; events = Heap.create ~cmp:compare_event }
+  tune_gc ();
+  { now = 0.0; seq = 0; processed = 0; events = Eq.create () }
 
 let now t = t.now
 
 let events_processed t = t.processed
 
-let enqueue t ~prio ~delay kind =
+let enqueue t ~prio ~delay ~fiber run =
   assert (delay >= 0.0);
-  let ev = { time = t.now +. delay; prio; seq = t.seq; kind } in
+  let ev = { time = t.now +. delay; prio; seq = t.seq; fiber; run } in
   t.seq <- t.seq + 1;
-  Heap.push t.events ev
+  Eq.push t.events ev
 
-let schedule t ?(prio = 100) ~delay f = enqueue t ~prio ~delay (Fiber f)
+let schedule t ?(prio = 100) ~delay f = enqueue t ~prio ~delay ~fiber:true f
+
+let schedule_callback t ?(prio = 100) ~delay f = enqueue t ~prio ~delay ~fiber:false f
 
 let spawn t ?prio f = schedule t ?prio ~delay:0.0 f
 
+let tick t = t.processed <- t.processed + 1
+
 type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
 
-let run_fiber f =
-  Effect.Deep.match_with f ()
-    {
-      retc = (fun () -> ());
-      exnc = raise;
-      effc =
-        (fun (type a) (eff : a Effect.t) ->
-          match eff with
-          | Suspend register ->
-              Some
-                (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  register (fun () -> Effect.Deep.continue k ()))
-          | _ -> None);
-    }
+(* Hoisted to a constant: none of the three closures captures anything, and
+   allocating the handler record per [run_fiber] call would cost several
+   words on every message delivery. *)
+let fiber_handler : (unit, unit) Effect.Deep.handler =
+  {
+    retc = (fun () -> ());
+    exnc = raise;
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Suspend register ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                register (fun () -> Effect.Deep.continue k ()))
+        | _ -> None);
+  }
+
+let run_fiber f = Effect.Deep.match_with f () fiber_handler
 
 (* [raw_suspend register] parks the fiber and hands [register] the raw
    continuation.  Whoever holds it must arrange for it to run as an event
@@ -60,36 +150,29 @@ let raw_suspend register = Effect.perform (Suspend register)
 
 let suspend t ?(prio = 100) register =
   raw_suspend (fun resume ->
-      register (fun () -> enqueue t ~prio ~delay:0.0 (Callback resume)))
+      register (fun () -> enqueue t ~prio ~delay:0.0 ~fiber:false resume))
 
 let sleep t delay =
-  raw_suspend (fun resume -> enqueue t ~prio:100 ~delay (Callback resume))
+  raw_suspend (fun resume -> enqueue t ~prio:100 ~delay ~fiber:false resume)
 
 let exec t ev =
   t.now <- ev.time;
   t.processed <- t.processed + 1;
-  match ev.kind with Fiber f -> run_fiber f | Callback f -> f ()
+  if ev.fiber then run_fiber ev.run else ev.run ()
 
 let run t =
-  let rec loop () =
-    match Heap.pop t.events with
-    | None -> ()
-    | Some ev ->
-        exec t ev;
-        loop ()
-  in
-  loop ()
+  let q = t.events in
+  while q.Eq.size > 0 do
+    exec t (Eq.pop_min q)
+  done
 
 let run_until t limit =
-  let rec loop () =
-    match Heap.peek t.events with
-    | None -> ()
-    | Some ev when ev.time > limit -> ()
-    | Some _ ->
-        exec t (Heap.pop_exn t.events);
-        loop ()
-  in
-  loop ();
+  let q = t.events in
+  let continue_ = ref true in
+  while !continue_ && q.Eq.size > 0 do
+    if (Array.unsafe_get q.Eq.data 0).time > limit then continue_ := false
+    else exec t (Eq.pop_min q)
+  done;
   if t.now < limit then t.now <- limit
 
 module Cond = struct
@@ -103,7 +186,7 @@ module Cond = struct
   let broadcast sim c =
     let ws = List.rev c.waiters in
     c.waiters <- [];
-    List.iter (fun resume -> enqueue sim ~prio:100 ~delay:0.0 (Callback resume)) ws
+    List.iter (fun resume -> enqueue sim ~prio:100 ~delay:0.0 ~fiber:false resume) ws
 
   let await sim c pred =
     let rec loop () =
@@ -131,7 +214,7 @@ module Cond = struct
               end
             in
             c.waiters <- once :: c.waiters;
-            enqueue sim ~prio:100 ~delay:(deadline -. now sim) (Callback once));
+            enqueue sim ~prio:100 ~delay:(deadline -. now sim) ~fiber:false once);
         loop ()
       end
     in
@@ -155,7 +238,7 @@ module Ivar = struct
         iv.value <- Some v;
         let ws = List.rev iv.waiters in
         iv.waiters <- [];
-        List.iter (fun resume -> enqueue sim ~prio:100 ~delay:0.0 (Callback resume)) ws
+        List.iter (fun resume -> enqueue sim ~prio:100 ~delay:0.0 ~fiber:false resume) ws
 
   let read sim iv =
     ignore sim;
@@ -180,6 +263,6 @@ module Ivar = struct
               end
             in
             iv.waiters <- once :: iv.waiters;
-            enqueue sim ~prio:100 ~delay:timeout (Callback once));
+            enqueue sim ~prio:100 ~delay:timeout ~fiber:false once);
         iv.value
 end

@@ -30,6 +30,24 @@ val schedule : t -> ?prio:int -> delay:float -> (unit -> unit) -> unit
 val spawn : t -> ?prio:int -> (unit -> unit) -> unit
 (** [spawn t f] is [schedule t ~delay:0.0 f]. *)
 
+val schedule_callback : t -> ?prio:int -> delay:float -> (unit -> unit) -> unit
+(** Like {!schedule} but the body runs as a bare callback, without the
+    effect-handler context of a fiber: it must not suspend (wrap any
+    possibly-suspending work in {!run_fiber}).  This is the cheap path for
+    the simulator's highest-volume events (message deliveries, CPU
+    charges). *)
+
+val run_fiber : (unit -> unit) -> unit
+(** Run [f] immediately under a fresh effect handler.  If [f] suspends,
+    the call returns and [f]'s continuation is parked exactly as a
+    {!spawn}ed fiber's would be; it resumes through the event queue. *)
+
+val tick : t -> unit
+(** Count one logical event against {!events_processed} without executing
+    anything.  Used by the network's inline dispatch, which fuses what used
+    to be a separate handler event into its CPU-charge event — counting the
+    fused delivery keeps DES events/sec comparable across dispatch modes. *)
+
 val sleep : t -> float -> unit
 (** Suspend the current fiber for the given amount of virtual time.  Must be
     called from within a fiber. *)
