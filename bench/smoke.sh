@@ -1,10 +1,11 @@
 #!/bin/sh
-# One-command sanity pass: build, run the test suite, then a seconds-long
-# fig3 benchmark at smoke scale with the JSON perf report.  Run from the
-# repository root; leaves BENCH_smoke.json (gitignored) behind.
+# One-command sanity pass: build, run the test suite, lint, then a
+# seconds-long fig3 benchmark at smoke scale with the JSON perf report.
+# Run from the repository root; leaves BENCH_smoke.json (gitignored) behind.
 set -eu
 
 dune build
 dune runtest
+dune build @lint
 dune exec bench/main.exe -- --scale smoke fig3 --json BENCH_smoke.json
 echo "smoke OK"

@@ -71,8 +71,12 @@ let analyse history =
     (History.events history);
   (* Collect the keys first: replacing bindings while iterating a Hashtbl
      is undefined behaviour (a key can be visited twice, re-reversing its
-     list and corrupting the install order). *)
-  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) install_order [] in
+     list and corrupting the install order).  Sorted so nothing downstream
+     can depend on bucket order. *)
+  let keys =
+    List.sort Int.compare
+      (Hashtbl.fold (fun k _ acc -> k :: acc) install_order [] [@order_ok])
+  in
   List.iter
     (fun k -> Hashtbl.replace install_order k (List.rev (Hashtbl.find install_order k)))
     keys;
@@ -120,9 +124,16 @@ let dependency_edges_of a =
             | None -> ())
           i.reads)
     a.infos;
-  (* ww edges: consecutive installs of the same key *)
-  Hashtbl.iter
-    (fun _key order ->
+  (* ww edges: consecutive installs of the same key.  Emitted in sorted key
+     order so the edge list (and hence which cycle a DFS reports first) is
+     independent of Hashtbl bucket order. *)
+  let ww_keys =
+    List.sort Int.compare
+      (Hashtbl.fold (fun k _ acc -> k :: acc) a.install_order [] [@order_ok])
+  in
+  List.iter
+    (fun key ->
+      let order = Hashtbl.find a.install_order key in
       let rec pairs = function
         | w1 :: (w2 :: _ as rest) ->
             add w1 w2 "ww";
@@ -130,7 +141,7 @@ let dependency_edges_of a =
         | _ -> ()
       in
       pairs order)
-    a.install_order;
+    ww_keys;
   List.rev !edges
 
 (* Cycle search over an integer graph, reporting the cycle's members. *)
@@ -191,7 +202,10 @@ let check_acyclic a ~realtime =
             let prev = Option.value ~default:[] (Hashtbl.find_opt by_home h) in
             Hashtbl.replace by_home h (t :: prev))
           txns;
-        Hashtbl.fold (fun _ g acc -> g :: acc) by_home []
+        (* sorted by home node: group order must not leak bucket order *)
+        (Hashtbl.fold (fun h g acc -> (h, g) :: acc) by_home [] [@order_ok])
+        |> List.sort (fun (h1, _) (h2, _) -> Int.compare h1 h2)
+        |> List.map snd
   in
   let chains =
     List.map

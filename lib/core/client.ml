@@ -204,7 +204,7 @@ let commit_update h =
        instead of allocating a fresh clock per vote; [commit_vc] is only
        published (in the Decide message) after the last mutation. *)
     let commit_vc = Vclock.copy h.vc in
-    List.iter (fun (_, vvc) -> Vclock.max_into commit_vc vvc) box.votes;
+    List.iter (fun (_, vvc) -> (Vclock.max_into commit_vc vvc [@owned])) box.votes;
     let write_nodes = replica_nodes cl ws_keys in
     let max_entry =
       List.fold_left (fun acc w -> Stdlib.max acc (Vclock.get commit_vc w)) 0 write_nodes
@@ -212,7 +212,7 @@ let commit_update h =
     (* Mint a fresh, globally unique xactVN (Alg. 1 line 21 computes a
        maximum; we additionally guarantee uniqueness, see State.mint). *)
     let xact_vn = mint_xact_vn cl h.home ~at_least:max_entry in
-    List.iter (fun w -> Vclock.set_into commit_vc w xact_vn) write_nodes;
+    List.iter (fun w -> (Vclock.set_into commit_vc w xact_vn [@owned])) write_nodes;
     let ack =
       { ack_expect = List.length write_nodes; ack_count = 0; ack_done = Sim.Ivar.create () }
     in

@@ -49,12 +49,15 @@ let quiescent (t : cluster) =
   let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
   Array.iter
     (fun (n : State.node) ->
-      Hashtbl.iter
-        (fun key q ->
+      (* report in sorted key order: the text must not depend on bucket order *)
+      List.iter
+        (fun key ->
+          let q = Hashtbl.find n.State.squeues key in
           if not (Squeue.is_empty q) then
             add "node %d: snapshot-queue of key %d not empty (%d entries)" n.State.id key
               (Squeue.length q))
-        n.State.squeues;
+        (List.sort Int.compare
+           (Hashtbl.fold (fun k _ acc -> k :: acc) n.State.squeues [] [@order_ok]));
       if Commitq.length n.State.commitq > 0 then
         add "node %d: commit queue not empty (%d)" n.State.id (Commitq.length n.State.commitq);
       if Hashtbl.length n.State.prepared > 0 then

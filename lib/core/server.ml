@@ -377,7 +377,7 @@ let handle_decide t node ~txn ~vc ~outcome =
   | Some prep ->
       if outcome then begin
         (* node_vc is exclusively owned: fold the decide clock in place *)
-        Vclock.max_into node.node_vc vc;
+        (Vclock.max_into node.node_vc vc [@owned]);
         if prep.ws_local <> [] then begin
           Commitq.update node.commitq ~txn ~vc;
           try_drain t node;

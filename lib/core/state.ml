@@ -232,12 +232,12 @@ let bump_local t node =
   let fresh = (((current / n) + 1) * n) + node.id in
   (* [node_vc] is exclusively owned (never published), so it is bumped in
      place; callers get a private snapshot they may share freely. *)
-  Vclock.set_into node.node_vc node.id fresh;
+  (Vclock.set_into node.node_vc node.id fresh [@owned]);
   Vclock.copy node.node_vc
 
 let mint_xact_vn t node ~at_least =
   let n = t.config.Config.nodes in
-  let base = Stdlib.max at_least node.minted in
+  let base = Int.max at_least node.minted in
   let fresh = (((base / n) + 1) * n) + node.id in
   node.minted <- fresh;
   fresh
@@ -282,8 +282,12 @@ let add_tombstone t node txn =
   Hashtbl.replace node.tombstones txn (now t);
   if Hashtbl.length node.tombstones > 20_000 then begin
     let cutoff = now t -. tombstone_horizon in
+    (* Sweep in sorted txn order so the table's post-sweep shape never
+       depends on bucket order (deterministic by construction). *)
     let stale =
-      Hashtbl.fold (fun k at acc -> if at < cutoff then k :: acc else acc) node.tombstones []
+      (Hashtbl.fold (fun k at acc -> if at < cutoff then k :: acc else acc) node.tombstones []
+      [@order_ok])
+      |> List.sort Ids.compare_txn
     in
     List.iter (Hashtbl.remove node.tombstones) stale
   end
@@ -295,9 +299,11 @@ let note_aborted_decide t node txn =
   if Hashtbl.length node.aborted_decides > 20_000 then begin
     let cutoff = now t -. tombstone_horizon in
     let stale =
-      Hashtbl.fold
-        (fun k at acc -> if at < cutoff then k :: acc else acc)
-        node.aborted_decides []
+      (Hashtbl.fold
+         (fun k at acc -> if at < cutoff then k :: acc else acc)
+         node.aborted_decides []
+      [@order_ok])
+      |> List.sort Ids.compare_txn
     in
     List.iter (Hashtbl.remove node.aborted_decides) stale
   end
@@ -312,9 +318,11 @@ let remember_ws t node txn keys =
   if node.recent_ws_ops land 4095 = 0 then begin
     let cutoff = now t -. recent_ws_horizon in
     let stale =
-      Hashtbl.fold
-        (fun k (_, at) acc -> if at < cutoff then k :: acc else acc)
-        node.recent_ws []
+      (Hashtbl.fold
+         (fun k (_, at) acc -> if at < cutoff then k :: acc else acc)
+         node.recent_ws []
+      [@order_ok])
+      |> List.sort Ids.compare_txn
     in
     List.iter (Hashtbl.remove node.recent_ws) stale
   end

@@ -44,7 +44,10 @@ let truncate t k ~keep =
   in
   if List.length !r > keep then r := take keep !r
 
-let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.table []
+(* Sorted, so callers observe an order independent of Hashtbl internals. *)
+let keys t =
+  List.sort Int.compare
+    (Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] [@order_ok])
 
 let version_count t =
-  Hashtbl.fold (fun _ r acc -> acc + List.length !r) t.table 0
+  (Hashtbl.fold (fun _ r acc -> acc + List.length !r) t.table 0 [@order_ok])

@@ -55,7 +55,7 @@ let add t ~txn ~vc ~ws ~at =
   t.most_recent <- vc;
   (* prefix-max rows are write-once, so the committed view can share the
      row instead of copying it *)
-  t.committed_max <- Vclock.unsafe_of_array m
+  t.committed_max <- (Vclock.unsafe_of_array m [@owned])
 
 let most_recent_vc t = t.most_recent
 
@@ -89,7 +89,7 @@ let visible_max t ~has_read ~bound ~cutoff =
   else if unconstrained then
     (* rows are write-once: share, don't copy (this is the common
        first-contact read) *)
-    Vclock.unsafe_of_array t.pmax.(top)
+    (Vclock.unsafe_of_array t.pmax.(top) [@owned])
   else begin
     (* Ceiling: on already-read nodes we are capped by the bound, elsewhere
        by the maximum over the cutoff prefix; stop once it is reached. *)
@@ -124,7 +124,7 @@ let visible_max t ~has_read ~bound ~cutoff =
       end;
       decr i
     done;
-    Vclock.unsafe_of_array acc
+    (Vclock.unsafe_of_array acc [@owned])
   end
 
 let size t = t.len

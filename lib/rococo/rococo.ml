@@ -115,7 +115,9 @@ let rec drain t (node : node) key =
   | [] -> ()
   | (ts, value) :: rest ->
       let could_precede =
-        Hashtbl.fold (fun _ d acc -> acc || d <= ts.num) c.pending false
+        (* disjunction: order-insensitive *)
+        (Hashtbl.fold (fun _ d acc -> acc || d <= ts.num) c.pending false
+        [@order_ok])
       in
       if not could_precede then begin
         (* authoritative read-modify-write, in the agreed order *)
@@ -383,13 +385,16 @@ let quiescent t =
   let problems = ref [] in
   Array.iter
     (fun (n : node) ->
-      Hashtbl.iter
-        (fun key c ->
+      (* report in sorted key order: the text must not depend on bucket order *)
+      List.iter
+        (fun key ->
+          let c = Hashtbl.find n.store key in
           if Hashtbl.length c.pending > 0 || c.ready <> [] then
             problems :=
               Printf.sprintf "node %d: key %d has %d pending / %d ready pieces" n.id key
                 (Hashtbl.length c.pending) (List.length c.ready)
               :: !problems)
-        n.store)
+        (List.sort Int.compare
+           (Hashtbl.fold (fun k _ acc -> k :: acc) n.store [] [@order_ok])))
     t.nodes;
   match !problems with [] -> Ok () | ps -> Error (String.concat "; " ps)

@@ -338,7 +338,12 @@ let commit h =
         let prev = Option.value ~default:[] (Hashtbl.find_opt by_primary p) in
         Hashtbl.replace by_primary p (k :: prev))
       h.ws;
-    let sites = Hashtbl.fold (fun s ks acc -> (s, ks) :: acc) by_primary [] in
+    (* sorted by site id: prepare-message send order must not depend on
+       Hashtbl bucket order *)
+    let sites =
+      (Hashtbl.fold (fun s ks acc -> (s, ks) :: acc) by_primary [] [@order_ok])
+      |> List.sort (fun (s1, _) (s2, _) -> Int.compare s1 s2)
+    in
     match sites with
     | [ (s, ks) ] when s = h.home.id ->
         (* fast path: all preferred sites local *)
@@ -405,13 +410,16 @@ let quiescent t =
         problems :=
           Printf.sprintf "node %d: %d lock holders" n.id (Locks.holder_count n.locks)
           :: !problems;
-      Hashtbl.iter
-        (fun site pending ->
+      (* report in sorted site order: the text must not depend on bucket order *)
+      List.iter
+        (fun site ->
+          let pending = Hashtbl.find n.holdback site in
           if !pending <> [] then
             problems :=
               Printf.sprintf "node %d: %d held-back propagations from site %d" n.id
                 (List.length !pending) site
               :: !problems)
-        n.holdback)
+        (List.sort Int.compare
+           (Hashtbl.fold (fun s _ acc -> s :: acc) n.holdback [] [@order_ok])))
     t.nodes;
   match !problems with [] -> Ok () | ps -> Error (String.concat "; " ps)

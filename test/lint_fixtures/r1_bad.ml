@@ -1,0 +1,9 @@
+(* R1 fixture: every banned ambient-nondeterminism primitive. *)
+
+let wall_clock () = Unix.gettimeofday ()
+
+let cpu_seconds () = Sys.time ()
+
+let dice () = Random.int 6
+
+let jitter () = Stdlib.Random.float 1.0

@@ -1,0 +1,8 @@
+(* R1 fixture: deterministic equivalents — virtual time and the project
+   PRNG — plus benign Sys uses that must not be flagged. *)
+
+let virtual_now sim = Sim.now sim
+
+let dice rng = Prng.int rng 6
+
+let argv_len () = Array.length Sys.argv

@@ -1,0 +1,20 @@
+(* R2 fixture: polymorphic comparisons a hot library must not contain.
+   Expected findings, in order: compare, compare (as value), Stdlib.min,
+   Hashtbl.hash, = (vclock-named), = (constructor payload), = (string
+   literal), < (tuples). *)
+
+let cmp a b = compare a b
+
+let sorted xs = List.sort compare xs
+
+let smaller a b = Stdlib.min a b
+
+let bucket k = Hashtbl.hash k
+
+let same_clock vc1 vc2 = vc1 = vc2
+
+let is_some_zero x = x = Some 0
+
+let is_fast mode = mode = "fast"
+
+let pair_less a b c d = (a, b) < (c, d)

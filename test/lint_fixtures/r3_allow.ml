@@ -1,0 +1,4 @@
+(* R3 fixture: an unannotated in-place op inside a function that the
+   allowlist ([--owned-allow recompute] or [R3_allow.recompute]) covers. *)
+
+let recompute row = Vclock.unsafe_of_array row

@@ -1,0 +1,10 @@
+(* R3 fixture: in-place Vclock operations without an ownership marker.
+   Expected findings, in order: set_into, max_into, blit, unsafe_of_array. *)
+
+let bump_clock vc i v = Vclock.set_into vc i v
+
+let fold_vote dst src = Vclock.max_into dst src
+
+let overwrite ~src ~dst = Vclock.blit ~src ~dst
+
+let adopt a = Vclock.unsafe_of_array a

@@ -1,0 +1,13 @@
+(* R3 fixture: the same operations, each carrying [@owned] — plus one in a
+   function meant to be covered by --owned-allow (see r3_allow.ml). *)
+
+let bump_clock vc i v = (Vclock.set_into vc i v [@owned])
+
+let fold_vote dst src = (Vclock.max_into dst src [@owned])
+
+let overwrite ~src ~dst = (Vclock.blit ~src ~dst [@owned])
+
+let adopt a = (Vclock.unsafe_of_array a [@owned])
+
+(* binding-level suppression also works *)
+let[@owned] rebuild_row m = Vclock.unsafe_of_array m

@@ -1,0 +1,7 @@
+(* R4 fixture: Hashtbl iteration whose order can leak into results.
+   Expected findings, in order: fold, iter. *)
+
+let keys table = Hashtbl.fold (fun k _ acc -> k :: acc) table []
+
+let report table =
+  Hashtbl.iter (fun k v -> Printf.printf "%d -> %d\n" k v) table

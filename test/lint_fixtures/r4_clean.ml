@@ -1,0 +1,11 @@
+(* R4 fixture: order-insensitive iteration, annotated [@order_ok]. *)
+
+let keys table =
+  List.sort Int.compare
+    (Hashtbl.fold (fun k _ acc -> k :: acc) table [] [@order_ok])
+
+let total table = (Hashtbl.fold (fun _ v acc -> acc + v) table 0 [@order_ok])
+
+(* binding-level suppression also works *)
+let[@order_ok] any_pending table =
+  Hashtbl.fold (fun _ d acc -> acc || d) table false

@@ -1,0 +1,156 @@
+(* sss_lint CLI: run the Lint engine over source trees.
+
+   Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/parse errors. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let print_json findings =
+  print_string "[";
+  List.iteri
+    (fun i (f : Lint.finding) ->
+      if i > 0 then print_string ",";
+      Printf.printf
+        "\n  {\"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, \"col\": %d, \
+         \"context\": \"%s\", \"lexeme\": \"%s\", \"fingerprint\": \"%s\", \
+         \"message\": \"%s\"}"
+        (Lint.rule_name f.rule) (json_escape f.file) f.line f.col
+        (json_escape f.context) (json_escape f.lexeme)
+        (json_escape f.fingerprint) (json_escape f.message))
+    findings;
+  print_string "\n]\n"
+
+let print_human findings =
+  List.iter
+    (fun (f : Lint.finding) ->
+      Printf.printf "%s:%d:%d: [%s] %s\n  fingerprint: %s\n" f.file f.line
+        f.col (Lint.rule_name f.rule) f.message f.fingerprint)
+    findings
+
+let run rules paths baseline update_baseline format owned_allow =
+  let rules =
+    match rules with
+    | [] -> Lint.all_rules
+    | names -> (
+        match
+          List.map (fun n -> (n, Lint.rule_of_string n)) names
+          |> List.partition (fun (_, r) -> r <> None)
+        with
+        | ok, [] -> List.filter_map snd ok
+        | _, (bad, _) :: _ ->
+            Printf.eprintf "sss_lint: unknown rule %S (use R1..R4)\n" bad;
+            exit 2)
+  in
+  let files = List.concat_map Lint.collect_ml paths in
+  if files = [] then begin
+    Printf.eprintf "sss_lint: no .ml files under %s\n"
+      (String.concat ", " paths);
+    exit 2
+  end;
+  let findings =
+    List.concat_map
+      (fun file ->
+        try Lint.check_file ~rules ~owned_allow file
+        with Lint.Parse_error msg ->
+          Printf.eprintf "sss_lint: parse error: %s\n" msg;
+          exit 2)
+      files
+  in
+  (match (update_baseline, baseline) with
+  | true, Some path ->
+      Lint.write_baseline path findings;
+      Printf.printf "sss_lint: wrote %d fingerprints to %s\n"
+        (List.length findings) path
+  | true, None ->
+      Printf.eprintf "sss_lint: --update-baseline requires --baseline FILE\n";
+      exit 2
+  | false, _ -> ());
+  let known = match baseline with Some p -> Lint.read_baseline p | None -> [] in
+  let fresh, baselined = Lint.apply_baseline ~known findings in
+  if update_baseline then exit 0;
+  (match format with
+  | `Json -> print_json fresh
+  | `Human ->
+      print_human fresh;
+      Printf.printf
+        "sss_lint: %d file(s), rules %s: %d finding(s)%s\n" (List.length files)
+        (String.concat "," (List.map Lint.rule_name rules))
+        (List.length fresh)
+        (if baselined = [] then ""
+         else Printf.sprintf " (+%d baselined)" (List.length baselined)));
+  if fresh = [] then exit 0 else exit 1
+
+open Cmdliner
+
+let rules_arg =
+  let doc =
+    "Comma-separated rules to run (R1 determinism, R2 polymorphic compare, \
+     R3 Vclock ownership, R4 iteration order). Default: all."
+  in
+  Arg.(value & opt (list string) [] & info [ "rules" ] ~docv:"RULES" ~doc)
+
+let paths_arg =
+  let doc = "Files or directories to lint (.ml files, recursively)." in
+  Arg.(value & pos_all string [ "lib" ] & info [] ~docv:"PATH" ~doc)
+
+let baseline_arg =
+  let doc = "Baseline file of accepted fingerprints to suppress." in
+  Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+
+let update_baseline_arg =
+  let doc = "Rewrite the baseline file with the current findings and exit." in
+  Arg.(value & flag & info [ "update-baseline" ] ~doc)
+
+let format_arg =
+  let doc = "Output format: $(b,human) or $(b,json)." in
+  Arg.(
+    value
+    & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
+    & info [ "format" ] ~docv:"FMT" ~doc)
+
+let owned_allow_arg =
+  let doc =
+    "Function names (optionally Module.fn) allowed to use Vclock in-place \
+     operations without [@owned]."
+  in
+  Arg.(
+    value & opt (list string) [] & info [ "owned-allow" ] ~docv:"FNS" ~doc)
+
+let cmd =
+  let doc =
+    "static checks for the SSS simulator's determinism and hot-path contracts"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Parses every .ml file under the given paths with compiler-libs and \
+         enforces the project rules of DESIGN.md §8 / docs/LINT.md:";
+      `P (Printf.sprintf "R1: %s" (Lint.rule_doc Lint.R1));
+      `P (Printf.sprintf "R2: %s" (Lint.rule_doc Lint.R2));
+      `P (Printf.sprintf "R3: %s" (Lint.rule_doc Lint.R3));
+      `P (Printf.sprintf "R4: %s" (Lint.rule_doc Lint.R4));
+      `P
+        "Suppressions: [@poly_ok] (R2), [@owned] (R3), [@order_ok] (R4), or \
+         a fingerprint baseline file (all rules).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "sss_lint" ~version:"1.0" ~doc ~man)
+    Term.(
+      const run $ rules_arg $ paths_arg $ baseline_arg $ update_baseline_arg
+      $ format_arg $ owned_allow_arg)
+
+let () = exit (Cmd.eval cmd)
