@@ -7,5 +7,10 @@ set -eu
 dune build
 dune runtest
 dune build @lint
+if command -v odoc >/dev/null 2>&1; then
+  dune build @doc
+else
+  echo "smoke: odoc not installed; skipping doc build"
+fi
 dune exec bench/main.exe -- --scale smoke fig3 --json BENCH_smoke.json
 echo "smoke OK"

@@ -177,7 +177,174 @@ let baseline_sweep () =
 %!" !runs !failures;
   !failures
 
+(* ---------------------------------------------------------------- *)
+(* Chaos mode (--chaos <plan>): run all four systems under a fault plan
+   with fault tolerance on, across 20 seeds, and require checker-accepted
+   histories throughout.  The plan's own seed is offset by the sweep seed
+   so both the workload and the injected faults vary together.  Chaos runs
+   never feed the paper-shape figures (see EXPERIMENTS.md). *)
+
+let chaos_config ~degree ~seed =
+  { Config.default with nodes = 4; replication_degree = degree; total_keys = 24; seed;
+    fault_tolerance = true }
+
+let chaos_drive sim ~seed ~ops =
+  Sss_workload.Driver.run sim ~nodes:4 ~total_keys:24
+    ~local_keys:(fun _ -> [||])
+    ~profile:(Sss_workload.Driver.paper_profile ~read_only_ratio:0.5)
+    ~load:
+      {
+        Sss_workload.Driver.default_load with
+        clients_per_node = 2;
+        warmup = 0.005;
+        duration = 0.03;
+        seed;
+      }
+    ~ops
+
+let chaos_sweep plan_text =
+  let module Chaos = Sss_chaos.Chaos in
+  let plan =
+    match Chaos.parse plan_text with
+    | Ok p -> p
+    | Error e ->
+        Printf.eprintf "bad --chaos plan: %s\n" e;
+        exit 2
+  in
+  (match Chaos.validate ~nodes:4 plan with
+  | Ok () -> ()
+  | Error e ->
+      Printf.eprintf "invalid --chaos plan: %s\n" e;
+      exit 2);
+  let failures = ref 0 in
+  let committed = ref 0 in
+  let check ~system ~seed checks =
+    List.iter
+      (fun (name, res) ->
+        match res with
+        | Ok () -> ()
+        | Error msg ->
+            incr failures;
+            Printf.printf "FAIL chaos %s seed=%d %s: %s\n%!" system seed name msg)
+      checks
+  in
+  for seed = 1 to 20 do
+    let plan = { plan with Chaos.seed = plan.Chaos.seed + seed } in
+    (* SSS *)
+    let sim = Sim.create () in
+    let cl = Kv.create sim (chaos_config ~degree:2 ~seed) in
+    ignore (Chaos.install sim (Kv.network cl) ~kind_of:Message.kind_name plan);
+    let r =
+      chaos_drive sim ~seed
+        ~ops:
+          {
+            Sss_workload.Driver.begin_txn =
+              (fun ~node ~read_only -> Kv.begin_txn cl ~node ~read_only);
+            read = Kv.read;
+            write = Kv.write;
+            commit = Kv.commit;
+          }
+    in
+    committed := !committed + r.Sss_workload.Driver.committed;
+    let h = Kv.history cl in
+    check ~system:"sss" ~seed
+      [
+        ("external-consistency", Checker.external_consistency h);
+        ("serializability", Checker.serializability h);
+        ("no-lost-updates", Checker.no_lost_updates h);
+        ("ro-abort-free", Checker.read_only_abort_free h);
+        ("quiescent", Kv.quiescent cl);
+      ];
+    (* 2PC *)
+    let sim = Sim.create () in
+    let cl = Twopc_kv.Twopc.create sim (chaos_config ~degree:2 ~seed) in
+    ignore
+      (Chaos.install sim (Twopc_kv.Twopc.network cl) ~kind_of:Twopc_kv.Twopc.message_kind plan);
+    let r =
+      chaos_drive sim ~seed
+        ~ops:
+          {
+            Sss_workload.Driver.begin_txn =
+              (fun ~node ~read_only -> Twopc_kv.Twopc.begin_txn cl ~node ~read_only);
+            read = Twopc_kv.Twopc.read;
+            write = Twopc_kv.Twopc.write;
+            commit = Twopc_kv.Twopc.commit;
+          }
+    in
+    committed := !committed + r.Sss_workload.Driver.committed;
+    let h = Twopc_kv.Twopc.history cl in
+    check ~system:"2pc" ~seed
+      [
+        ("external-consistency", Checker.external_consistency h);
+        ("no-lost-updates", Checker.no_lost_updates h);
+        ("quiescent", Twopc_kv.Twopc.quiescent cl);
+      ];
+    (* Walter *)
+    let sim = Sim.create () in
+    let cl = Walter_kv.Walter.create sim (chaos_config ~degree:2 ~seed) in
+    ignore
+      (Chaos.install sim (Walter_kv.Walter.network cl) ~kind_of:Walter_kv.Walter.message_kind
+         plan);
+    let r =
+      chaos_drive sim ~seed
+        ~ops:
+          {
+            Sss_workload.Driver.begin_txn =
+              (fun ~node ~read_only -> Walter_kv.Walter.begin_txn cl ~node ~read_only);
+            read = Walter_kv.Walter.read;
+            write = Walter_kv.Walter.write;
+            commit = Walter_kv.Walter.commit;
+          }
+    in
+    committed := !committed + r.Sss_workload.Driver.committed;
+    let h = Walter_kv.Walter.history cl in
+    check ~system:"walter" ~seed
+      [
+        ("no-lost-updates", Checker.no_lost_updates h);
+        ("ro-abort-free", Checker.read_only_abort_free h);
+        ("quiescent", Walter_kv.Walter.quiescent cl);
+      ];
+    (* ROCOCO *)
+    let sim = Sim.create () in
+    let cl = Rococo_kv.Rococo.create sim (chaos_config ~degree:1 ~seed) in
+    ignore
+      (Chaos.install sim (Rococo_kv.Rococo.network cl) ~kind_of:Rococo_kv.Rococo.message_kind
+         plan);
+    let r =
+      chaos_drive sim ~seed
+        ~ops:
+          {
+            Sss_workload.Driver.begin_txn =
+              (fun ~node ~read_only -> Rococo_kv.Rococo.begin_txn cl ~node ~read_only);
+            read = Rococo_kv.Rococo.read;
+            write = Rococo_kv.Rococo.write;
+            commit = Rococo_kv.Rococo.commit;
+          }
+    in
+    committed := !committed + r.Sss_workload.Driver.committed;
+    let h = Rococo_kv.Rococo.history cl in
+    check ~system:"rococo" ~seed
+      [
+        ("serializability", Checker.serializability h);
+        ("no-lost-updates", Checker.no_lost_updates h);
+        ("quiescent", Rococo_kv.Rococo.quiescent cl);
+      ]
+  done;
+  Printf.printf "chaos sweep: 20 seeds x 4 systems, %d committed, %d failures\n%!" !committed
+    !failures;
+  exit (if !failures > 0 then 1 else 0)
+
 let () =
+  let chaos_plan = ref None in
+  Arg.parse
+    [
+      ( "--chaos",
+        Arg.String (fun s -> chaos_plan := Some s),
+        "PLAN  run the 4-system chaos sweep under a fault plan (DSL; see docs/FAULTS.md)" );
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "stress [--chaos PLAN]";
+  Option.iter chaos_sweep !chaos_plan;
   let failures = ref 0 in
   let total = ref 0 in
   (* Contention here is measured in keys per client; the paper's evaluation

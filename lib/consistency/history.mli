@@ -31,12 +31,16 @@ val create : ?enabled:bool -> unit -> t
 (** [enabled] defaults to [true]; a disabled recorder drops everything. *)
 
 val enabled : t -> bool
+(** Whether this recorder keeps events. *)
 
 val record : t -> at:float -> event -> unit
+(** Append an event stamped with virtual time [at]. *)
 
 val events : t -> stamped list
 (** In recording order ([seq] ascending). *)
 
 val length : t -> int
+(** Events recorded so far. *)
 
 val pp_event : Format.formatter -> event -> unit
+(** Human-readable event, for test failure output. *)

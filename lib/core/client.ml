@@ -87,8 +87,19 @@ let read h key =
       send_nodes h.cl ~src:h.home.id
         ~dsts:(Replication.replicas h.cl.repl key)
         msg;
-      (* All replicas are contacted; the fastest answer wins (§III-C). *)
-      let resp = Sim.Ivar.read h.cl.sim ivar in
+      (* All replicas are contacted; the fastest answer wins (§III-C).  In
+         fault-tolerance mode the request and its answer are retried by the
+         transport, so the wait only needs the [ack_timeout] backstop; the
+         plain read keeps the healthy path free of timeout events. *)
+      let resp =
+        if h.cl.config.Config.fault_tolerance then
+          match Sim.Ivar.read_timeout h.cl.sim ivar ~timeout:h.cl.config.ack_timeout with
+          | Some r -> r
+          | None ->
+              Sss_net.Rpc.stalled ~system:"sss" ~phase:"read"
+                (Printf.sprintf "key %d in %s" key (Ids.txn_to_string h.id))
+        else Sim.Ivar.read h.cl.sim ivar
+      in
       h.has_read.(resp.from) <- true;
       h.vc <- Vclock.max h.vc resp.vc;
       let pair = (key, resp.writer) in
@@ -133,8 +144,7 @@ let await_observed_parked h =
       match Sim.Ivar.read_timeout cl.sim ivar ~timeout:cl.config.ack_timeout with
       | Some () -> ()
       | None ->
-          failwith
-            (Printf.sprintf "Sss_kv: wait-finalized timeout in %s" (Ids.txn_to_string h.id)))
+          Sss_net.Rpc.stalled ~system:"sss" ~phase:"wait-finalized" (Ids.txn_to_string h.id))
     slots
 
 (* Read-only (and write-free) commit: the client is informed immediately;
@@ -223,9 +233,8 @@ let commit_update h =
     (match Sim.Ivar.read_timeout cl.sim ack.ack_done ~timeout:cl.config.ack_timeout with
     | Some () -> ()
     | None ->
-        failwith
-          (Printf.sprintf "Sss_kv: external-commit ack timeout for %s"
-             (Ids.txn_to_string h.id)));
+        Sss_net.Rpc.stalled ~system:"sss" ~phase:"external-commit ack"
+          (Ids.txn_to_string h.id));
     Hashtbl.remove h.home.ack_boxes h.id;
     if cl.config.Config.strict_order then begin
       (* wr-chaining: the parked writers we read from must externally commit
@@ -245,8 +254,7 @@ let commit_update h =
       (match Sim.Ivar.read_timeout cl.sim fin.ack_done ~timeout:cl.config.ack_timeout with
       | Some () -> ()
       | None ->
-          failwith
-            (Printf.sprintf "Sss_kv: finalize ack timeout for %s" (Ids.txn_to_string h.id)));
+          Sss_net.Rpc.stalled ~system:"sss" ~phase:"finalize ack" (Ids.txn_to_string h.id));
       Hashtbl.remove h.home.ack_boxes h.id
     end;
     mark_finalized h;

@@ -16,6 +16,10 @@ type t = {
   chain_keep : int;
   priority_network : bool;
   compress_metadata : bool;
+  fault_tolerance : bool;
+  retry_initial : float;
+  retry_max : float;
+  retry_limit : int;
 }
 
 let default =
@@ -37,4 +41,8 @@ let default =
     chain_keep = 128;
     priority_network = true;
     compress_metadata = true;
+    fault_tolerance = false;
+    retry_initial = 0.5e-3;
+    retry_max = 8e-3;
+    retry_limit = 64;
   }

@@ -10,8 +10,11 @@ type t = {
           (the paper uses 1 ms on a 20 µs-latency network) *)
   lock_timeout : float;  (** prepare-phase lock acquisition timeout *)
   ack_timeout : float;
-      (** safety net on the external-commit Ack wait; exceeding it is
-          treated as a protocol bug and raises *)
+      (** backstop on the client-side commit waits (external-commit Ack,
+          Finalize ack, wait-finalized chaining — and, in fault-tolerance
+          mode, reads): exceeding it raises {!Sss_net.Rpc.Stalled}, which in
+          a healthy run indicates a protocol bug and under fault injection
+          means the plan out-lasted the retry budget *)
   starvation_threshold : float;
       (** a writer parked in a snapshot-queue longer than this triggers
           admission control on new read-only reads of its keys (§III-E) *)
@@ -34,6 +37,23 @@ type t = {
   compress_metadata : bool;
       (** account message sizes with varint-compressed vector clocks
           (§III-A); affects only the byte telemetry, not behaviour *)
+  fault_tolerance : bool;
+      (** run the protocol over the tracked at-least-once transport
+          ({!Sss_net.Reliable}) so it survives message loss, partitions and
+          node crashes injected by a fault plan (docs/FAULTS.md).  Off by
+          default: the healthy-path wire behaviour — message counts, byte
+          telemetry, PRNG draw sequence — is then byte-for-byte what the
+          committed benchmark figures were produced with.  All four systems
+          (SSS and the three baselines) honour this flag. *)
+  retry_initial : float;
+      (** fault-tolerance mode: first re-send of an unacknowledged message
+          after this much virtual time (default 0.5 ms) *)
+  retry_max : float;  (** exponential backoff cap between re-sends (8 ms) *)
+  retry_limit : int;
+      (** re-send attempts before a tracked send is abandoned (64 — together
+          with [retry_max] this rides out fault windows of several hundred
+          ms; a foreground wait that depended on an abandoned send fails
+          with {!Sss_net.Rpc.Stalled} once [ack_timeout] expires) *)
 }
 
 val default : t

@@ -44,6 +44,12 @@ let set_collect_latencies (t : cluster) flag = t.State.stats.State.collect_laten
 
 let network_stats (t : cluster) = Sss_net.Network.stats t.State.net
 
+let network (t : cluster) = t.State.net
+
+let transport_retries (t : cluster) = Sss_net.Reliable.retries t.State.rel
+
+let transport_stalled (t : cluster) = Sss_net.Reliable.stalled t.State.rel
+
 let quiescent (t : cluster) =
   let problems = ref [] in
   let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in

@@ -91,6 +91,19 @@ val set_collect_latencies : cluster -> bool -> unit
 
 val network_stats : cluster -> Sss_net.Network.stats
 
+val network : cluster -> Message.payload Sss_net.Network.t
+(** The cluster's simulated network — exposed so fault plans
+    ([Sss_chaos.Chaos.install]) can be attached to it.  Message kinds for
+    per-type fault rules come from {!Message.kind_name}. *)
+
+val transport_retries : cluster -> int
+(** Re-sends performed by the fault-tolerance transport (0 unless
+    {!Config.t.fault_tolerance} is on and faults actually bit). *)
+
+val transport_stalled : cluster -> int
+(** Tracked sends abandoned after the retry budget; nonzero means the fault
+    plan out-lasted {!Config.t.retry_limit}. *)
+
 val quiescent : cluster -> (unit, string) result
 (** At a moment with no in-flight transactions, verify that no residue
     remains: snapshot-queues and commit queues empty, no locks held, no

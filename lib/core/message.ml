@@ -55,12 +55,19 @@ type payload =
       (** ask [writer]'s coordinator to answer once [writer] has
           externally committed (immediately if it already has) *)
   | Finalized of { req : int }
+  | Tracked of { token : int; inner : payload }
+      (** fault-tolerance mode only: [inner] sent over the at-least-once
+          transport ({!Sss_net.Reliable}); the receiver answers every copy
+          with {!Delivered} and processes [inner] exactly once *)
+  | Delivered of { token : int }  (** receipt for a {!Tracked} envelope *)
 
-let priority = function
+let rec priority = function
   | Remove _ | Forward_remove _ | Finalize _ | Finalize_ack _ | Wait_finalized _ | Finalized _ -> 10
   | Decide _ -> 40
   | Vote _ | Ack _ -> 60
   | Read_request _ | Read_return _ | Prepare _ -> 100
+  | Tracked { inner; _ } -> priority inner  (* the envelope rides at its payload's rank *)
+  | Delivered _ -> 10  (* receipts unblock retry bookkeeping; never queue them *)
 
 (* Wire-size model: 16-byte header, 8 bytes per scalar/txn id, 4 per key,
    payload strings verbatim; vector clocks either raw (8 bytes/entry) or
@@ -70,13 +77,15 @@ let vc_size ~compress vc =
     2 + Vcodec.size (Vcodec.encode ~base:(Vclock.zero (Vclock.size vc)) vc)
   else Vcodec.raw_size vc
 
-let wire_size ~compress payload =
+let rec wire_size ~compress payload =
   let header = 16 in
   let txn = 8 and key = 4 and scalar = 8 in
   let entries l per = List.fold_left (fun acc x -> acc + per x) 0 l in
   header
   +
   match payload with
+  | Tracked { inner; _ } -> scalar + wire_size ~compress inner - header
+  | Delivered _ -> scalar
   | Read_request { vc; has_read; _ } ->
       scalar + txn + key + vc_size ~compress vc + ((Array.length has_read + 7) / 8)
   | Read_return { value; vc; propagated; _ } ->
@@ -94,7 +103,11 @@ let wire_size ~compress payload =
   | Wait_finalized _ -> txn + scalar
   | Finalized _ -> scalar
 
-let kind_name = function
+(* [Tracked] is transparent here: fault plans target logical message kinds,
+   not the transport envelope. *)
+let rec kind_name = function
+  | Tracked { inner; _ } -> kind_name inner
+  | Delivered _ -> "delivered"
   | Read_request _ -> "read_request"
   | Read_return _ -> "read_return"
   | Prepare _ -> "prepare"

@@ -422,8 +422,16 @@ let handle_forward_remove t node ~reader ~writer =
           (Message.Remove { txn = reader })
     | None -> ()  (* long finished; its propagated entries are already gone *)
 
-let dispatch t node ~src payload =
+let rec dispatch t node ~src payload =
   match payload with
+  | Message.Tracked { token; inner } ->
+      (* Receipt for every copy (receipts can be lost), processing only for
+         the first: the protocol handlers below never see re-deliveries. *)
+      Sss_net.Network.send t.net ~prio:(Message.priority (Message.Delivered { token }))
+        ~src:node.id ~dst:src
+        (Message.Delivered { token });
+      if Sss_net.Reliable.receive t.rel token then dispatch t node ~src inner
+  | Message.Delivered { token } -> Sss_net.Reliable.delivered t.rel token
   | Message.Read_request { req; txn; key; vc; has_read; is_update } ->
       handle_read t node ~src ~req ~txn ~key ~vc ~has_read ~is_update
   | Message.Read_return { req; value; vc; writer; propagated; parked_coord } ->

@@ -116,6 +116,9 @@ type t = {
   config : Config.t;
   repl : Replication.t;
   net : Message.payload Network.t;
+  rel : Message.payload Reliable.t;
+      (* the at-least-once transport; consulted only when
+         [config.fault_tolerance] is set *)
   nodes : node array;
   history : History.t;
   stats : stats;
@@ -179,6 +182,14 @@ let create sim (config : Config.t) =
     config;
     repl;
     net;
+    rel =
+      Reliable.create sim net
+        ~retry:
+          {
+            Reliable.initial = config.retry_initial;
+            max = config.retry_max;
+            limit = config.retry_limit;
+          };
     nodes;
     history = History.create ~enabled:config.record_history ();
     stats =
@@ -207,7 +218,9 @@ let squeue node key =
 
 let send t ~src ~dst payload =
   let prio = if t.config.Config.priority_network then Message.priority payload else 100 in
-  Network.send t.net ~prio ~src ~dst payload
+  if t.config.Config.fault_tolerance then
+    Reliable.send t.rel ~prio ~src ~dst (fun token -> Message.Tracked { token; inner = payload })
+  else Network.send t.net ~prio ~src ~dst payload
 
 let send_nodes t ~src ~dsts payload =
   List.iter (fun dst -> send t ~src ~dst payload) dsts

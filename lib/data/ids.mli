@@ -15,10 +15,13 @@ val genesis : txn
 (** Pseudo-transaction that wrote the initial version of every key. *)
 
 val compare_txn : txn -> txn -> int
+(** Total order: by node, then local sequence number. *)
 
 val equal_txn : txn -> txn -> bool
+(** Structural equality (avoids polymorphic compare on the hot path). *)
 
 val txn_to_string : txn -> string
+(** ["T<node>.<local>"], for logs and error messages. *)
 
 val pp_txn : Format.formatter -> txn -> unit
 
@@ -27,6 +30,8 @@ module Gen : sig
   type t
 
   val create : node -> t
+  (** A fresh generator for the node, starting at local id 0. *)
 
   val next : t -> txn
+  (** The next identifier, never repeated. *)
 end

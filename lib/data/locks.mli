@@ -11,6 +11,7 @@ type mode = Shared | Exclusive
 type t
 
 val create : Sss_sim.Sim.t -> t
+(** An empty lock table; the simulator drives its timeouts. *)
 
 val acquire : t -> Ids.txn -> mode -> Ids.key -> timeout:float -> bool
 (** Block the current fiber until the lock is granted or the timeout
@@ -28,10 +29,13 @@ val release_txn : t -> Ids.txn -> unit
 (** Release everything the transaction holds and wake waiters. *)
 
 val holds_exclusive : t -> Ids.txn -> Ids.key -> bool
+(** Whether the transaction holds the exclusive lock on the key. *)
 
 val holds_shared : t -> Ids.txn -> Ids.key -> bool
+(** Whether the transaction holds the shared (or exclusive) lock. *)
 
 val is_free : t -> Ids.key -> bool
+(** Whether no transaction holds any lock on the key. *)
 
 val locked_keys : t -> Ids.txn -> Ids.key list
 (** Keys currently held by the transaction (tests). *)

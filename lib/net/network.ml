@@ -90,6 +90,10 @@ type 'msg node_state = {
   mutable crashed : bool;
 }
 
+type fault = { drop : bool; extra_delay : float; duplicates : int }
+
+let no_fault = { drop = false; extra_delay = 0.0; duplicates = 0 }
+
 type stats = { sent : int; delivered : int; dropped : int; bytes : int }
 
 type 'msg t = {
@@ -100,6 +104,7 @@ type 'msg t = {
   nodes : 'msg node_state array;
   mutable severed : (Sss_data.Ids.node * Sss_data.Ids.node) list;
   mutable drop_probability : float;
+  mutable perturb : (src:Sss_data.Ids.node -> dst:Sss_data.Ids.node -> 'msg -> fault) option;
   mutable fast_dispatch : bool;
   mutable seq : int;
   mutable sent : int;
@@ -118,6 +123,7 @@ let create ?(size_of = fun _ -> 0) ?(fast_dispatch = true) sim rng ~nodes ~confi
     nodes = Array.init nodes mk;
     severed = [];
     drop_probability = 0.0;
+    perturb = None;
     fast_dispatch;
     seq = 0;
     sent = 0;
@@ -203,16 +209,29 @@ let send t ?(prio = 100) ~src ~dst msg =
   in
   if lost then t.dropped <- t.dropped + 1
   else begin
-    let latency =
-      if src = dst then t.config.self_latency
-      else
-        t.config.latency_base
-        +. (if t.config.latency_jitter > 0.0 then
-              Prng.exponential t.rng ~mean:t.config.latency_jitter
-            else 0.0)
+    (* Installed fault plans see the message after the built-in loss checks;
+       when no perturb is installed this path draws from the network PRNG
+       exactly as before, so healthy-run trajectories are unchanged. *)
+    let fault =
+      match t.perturb with None -> no_fault | Some f -> f ~src ~dst msg
     in
-    (* delivery never suspends: a bare callback event, not a fiber *)
-    Sim.schedule_callback t.sim ~delay:latency (fun () -> deliver t ~prio ~src ~dst msg)
+    if fault.drop then t.dropped <- t.dropped + 1
+    else begin
+      let latency =
+        if src = dst then t.config.self_latency
+        else
+          t.config.latency_base
+          +. (if t.config.latency_jitter > 0.0 then
+                Prng.exponential t.rng ~mean:t.config.latency_jitter
+              else 0.0)
+      in
+      let latency = latency +. fault.extra_delay in
+      (* delivery never suspends: a bare callback event, not a fiber *)
+      Sim.schedule_callback t.sim ~delay:latency (fun () -> deliver t ~prio ~src ~dst msg);
+      for _ = 1 to fault.duplicates do
+        Sim.schedule_callback t.sim ~delay:latency (fun () -> deliver t ~prio ~src ~dst msg)
+      done
+    end
   end
 
 let send_many t ?prio ~src ~dst msg = List.iter (fun d -> send t ?prio ~src ~dst:d msg) dst
@@ -231,5 +250,9 @@ let heal t a b =
 let set_drop_probability t p =
   assert (p >= 0.0 && p <= 1.0);
   t.drop_probability <- p
+
+let drop_probability t = t.drop_probability
+
+let set_perturb t f = t.perturb <- f
 
 let stats t = { sent = t.sent; delivered = t.delivered; dropped = t.dropped; bytes = t.bytes }

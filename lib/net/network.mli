@@ -62,21 +62,60 @@ val send : 'msg t -> ?prio:int -> src:Sss_data.Ids.node -> dst:Sss_data.Ids.node
 
 val send_many : 'msg t -> ?prio:int -> src:Sss_data.Ids.node -> dst:Sss_data.Ids.node list -> 'msg -> unit
 
-(* Fault injection *)
+(** {1 Fault injection}
+
+    Raw primitives; the declarative layer that drives them from a seeded,
+    reproducible fault plan is [Sss_chaos.Chaos] (see docs/FAULTS.md).
+    All of them only affect {e future} sends/deliveries — messages already
+    in flight when a fault is injected are not retroactively dropped. *)
 
 val crash : 'msg t -> Sss_data.Ids.node -> unit
+(** Fail-stop the node's network interface: every message sent by or
+    addressed to it (including messages already in flight towards it) is
+    dropped until {!recover}.  The node's in-memory protocol state and its
+    running fibers are untouched — this models a network-isolated process,
+    and a recovery therefore resumes with its pre-crash state (see
+    docs/FAULTS.md for what that does and does not exercise). *)
 
 val recover : 'msg t -> Sss_data.Ids.node -> unit
+(** Undo {!crash}: the node sends and receives again. *)
 
 val is_crashed : 'msg t -> Sss_data.Ids.node -> bool
 
 val sever : 'msg t -> Sss_data.Ids.node -> Sss_data.Ids.node -> unit
-(** Cut the (bidirectional) link between two nodes. *)
+(** Cut the (bidirectional) link between two nodes: sends in either
+    direction are dropped until {!heal}.  Idempotent. *)
 
 val heal : 'msg t -> Sss_data.Ids.node -> Sss_data.Ids.node -> unit
+(** Restore a severed link; a no-op if the link is intact. *)
 
 val set_drop_probability : 'msg t -> float -> unit
-(** Uniform message loss for stress tests (default 0). *)
+(** Uniform message loss (default 0): each send is dropped with this
+    probability, drawn from the network's own PRNG (so enabling it changes
+    the jitter draw sequence of the run — use a {!set_perturb} plan with its
+    own PRNG when the surrounding trajectory must stay comparable). *)
+
+val drop_probability : 'msg t -> float
+(** Current uniform loss probability. *)
+
+type fault = { drop : bool; extra_delay : float; duplicates : int }
+(** Verdict of a perturbation hook for one message: lose it, delay it by
+    [extra_delay] seconds on top of the modelled latency, and/or deliver
+    [duplicates] extra copies (at the same perturbed latency). *)
+
+val no_fault : fault
+(** [{ drop = false; extra_delay = 0.0; duplicates = 0 }] *)
+
+val set_perturb :
+  'msg t ->
+  (src:Sss_data.Ids.node -> dst:Sss_data.Ids.node -> 'msg -> fault) option ->
+  unit
+(** Install (or clear, with [None]) a per-send perturbation hook.  The hook
+    runs after the built-in checks (crashed source, severed link, uniform
+    drop), so when it is absent the send path is exactly the healthy one.
+    Any randomness belongs inside the hook, drawn from the caller's own
+    seeded PRNG — [Sss_chaos.Chaos] compiles declarative fault plans
+    into such a hook. *)
 
 (* Telemetry *)
 

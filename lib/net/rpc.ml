@@ -1,5 +1,15 @@
 open Sss_sim
 
+exception Stalled of { system : string; phase : string; detail : string }
+
+let stalled ~system ~phase detail = raise (Stalled { system; phase; detail })
+
+let () =
+  Printexc.register_printer (function
+    | Stalled { system; phase; detail } ->
+        Some (Printf.sprintf "Rpc.Stalled(%s: %s stalled beyond the retry budget: %s)" system phase detail)
+    | _ -> None)
+
 module Pending = struct
   type 'a t = { mutable next : int; table : (int, 'a Sim.Ivar.t) Hashtbl.t }
 

@@ -4,6 +4,17 @@
     latency like everything else); these helpers match responses back to
     the fiber that is waiting for them. *)
 
+exception Stalled of { system : string; phase : string; detail : string }
+(** A client-side wait outlived every retry and its backstop timeout: under
+    fault injection this means the fault plan never let the protocol step
+    complete (e.g. a partition that is never healed); in a healthy run it
+    indicates a protocol bug.  Replaces the [failwith]s that used to
+    terminate timed-out commit waits.  [system] names the protocol stack
+    ("sss", "twopc", "walter", "rococo"), [phase] the wait that gave up. *)
+
+val stalled : system:string -> phase:string -> string -> 'a
+(** [stalled ~system ~phase detail] raises {!Stalled}. *)
+
 (** Single-response slots: "contact all replicas, take the fastest answer"
     (SSS reads), or plain unicast RPC.  Late and duplicate responses are
     ignored. *)

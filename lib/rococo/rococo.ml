@@ -49,10 +49,25 @@ type msg =
   | Ro_read of { req : int; key : Ids.key }
   | Ro_ret of { req : int; value : string; writer : Ids.txn; stable : bool }
   | Cancel of { txn : Ids.txn; keys : Ids.key list }
+  | Tracked of { token : int; inner : msg }
+  | Delivered of { token : int }
 
-let priority = function
+let rec priority = function
   | Commit _ | Commit_ack _ | Cancel _ -> 60
   | Dispatch _ | Dispatch_ack _ | Ro_read _ | Ro_ret _ -> 100
+  | Tracked { inner; _ } -> priority inner
+  | Delivered _ -> 10
+
+let rec message_kind = function
+  | Dispatch _ -> "dispatch"
+  | Dispatch_ack _ -> "dispatch_ack"
+  | Commit _ -> "commit"
+  | Commit_ack _ -> "commit_ack"
+  | Ro_read _ -> "ro_read"
+  | Ro_ret _ -> "ro_return"
+  | Cancel _ -> "cancel"
+  | Tracked { inner; _ } -> message_kind inner
+  | Delivered _ -> "delivered"
 
 type cell = {
   mutable value : string;
@@ -81,6 +96,7 @@ type cluster = {
   config : Sss_kv.Config.t;
   repl : Replication.t;
   net : msg Network.t;
+  rel : msg Reliable.t;
   nodes : node array;
   history : History.t;
 }
@@ -98,7 +114,18 @@ type handle = {
 
 let record t event = History.record t.history ~at:(Sim.now t.sim) event
 
-let send t ~src ~dst payload = Network.send t.net ~prio:(priority payload) ~src ~dst payload
+let send t ~src ~dst payload =
+  let prio = priority payload in
+  if t.config.Sss_kv.Config.fault_tolerance then
+    Reliable.send t.rel ~prio ~src ~dst (fun token -> Tracked { token; inner = payload })
+  else Network.send t.net ~prio ~src ~dst payload
+
+let await_read cl ivar ~phase ~detail =
+  if cl.config.Sss_kv.Config.fault_tolerance then
+    match Sim.Ivar.read_timeout cl.sim ivar ~timeout:cl.config.Sss_kv.Config.ack_timeout with
+    | Some r -> r
+    | None -> Rpc.stalled ~system:"rococo" ~phase detail
+  else Sim.Ivar.read cl.sim ivar
 
 let cell (node : node) key =
   match Hashtbl.find_opt node.store key with
@@ -156,8 +183,13 @@ let handle_commit t (node : node) ~txn ~ts ~writes =
       end)
     writes
 
-let dispatch t (node : node) ~src payload =
+let rec dispatch t (node : node) ~src payload =
   match payload with
+  | Tracked { token; inner } ->
+      Network.send t.net ~prio:(priority (Delivered { token })) ~src:node.id ~dst:src
+        (Delivered { token });
+      if Reliable.receive t.rel token then dispatch t node ~src inner
+  | Delivered { token } -> Reliable.delivered t.rel token
   | Dispatch { req; txn; key } ->
       let c = cell node key in
       node.counter <- node.counter + 1;
@@ -229,8 +261,17 @@ let create sim (config : Sss_kv.Config.t) =
             })
         (Replication.keys_at repl node.id))
     nodes;
+  let rel =
+    Reliable.create sim net
+      ~retry:
+        {
+          Reliable.initial = config.retry_initial;
+          max = config.retry_max;
+          limit = config.retry_limit;
+        }
+  in
   let t =
-    { sim; config; repl; net; nodes; history = History.create ~enabled:config.record_history () }
+    { sim; config; repl; net; rel; nodes; history = History.create ~enabled:config.record_history () }
   in
   Array.iter
     (fun (n : node) ->
@@ -259,7 +300,10 @@ let read h key =
           List.iter
             (fun dst -> send h.cl ~src:h.home.id ~dst (Ro_read { req; key }))
             (Replication.replicas h.cl.repl key);
-          let value, _writer, _stable = Sim.Ivar.read h.cl.sim ivar in
+          let value, _writer, _stable =
+            await_read h.cl ivar ~phase:"ro read"
+              ~detail:(Printf.sprintf "key %d in %s" key (Ids.txn_to_string h.id))
+          in
           h.rs <- (key, value) :: h.rs;
           value)
   | None ->
@@ -267,7 +311,10 @@ let read h key =
       List.iter
         (fun dst -> send h.cl ~src:h.home.id ~dst (Dispatch { req; txn = h.id; key }))
         (Replication.replicas h.cl.repl key);
-      let counter, value, _writer = Sim.Ivar.read h.cl.sim ivar in
+      let counter, value, _writer =
+        await_read h.cl ivar ~phase:"dispatch"
+          ~detail:(Printf.sprintf "key %d in %s" key (Ids.txn_to_string h.id))
+      in
       h.counters <- counter :: h.counters;
       h.rs <- (key, value) :: h.rs;
       value
@@ -309,7 +356,7 @@ let commit_update h =
      Sim.Ivar.read_timeout cl.sim box.ack_done ~timeout:cl.config.Sss_kv.Config.ack_timeout
    with
   | Some () -> ()
-  | None -> failwith "Rococo: commit ack timeout");
+  | None -> Rpc.stalled ~system:"rococo" ~phase:"commit ack" (Ids.txn_to_string h.id));
   Hashtbl.remove h.home.ack_boxes h.id;
   record cl (History.Commit { txn = h.id });
   true
@@ -326,7 +373,10 @@ let commit_read_only h =
         List.iter
           (fun dst -> send cl ~src:h.home.id ~dst (Ro_read { req; key }))
           (Replication.replicas cl.repl key);
-        let value, writer, stable = Sim.Ivar.read cl.sim ivar in
+        let value, writer, stable =
+          await_read cl ivar ~phase:"ro round"
+            ~detail:(Printf.sprintf "key %d in %s" key (Ids.txn_to_string h.id))
+        in
         (key, value, writer, stable))
       keys
   in
@@ -380,6 +430,8 @@ let txn_id h = h.id
 let history t = t.history
 
 let repl t = t.repl
+
+let network t = t.net
 
 let quiescent t =
   let problems = ref [] in

@@ -10,10 +10,13 @@ val create : cmp:('a -> 'a -> int) -> 'a t
 (** [create ~cmp] returns an empty heap ordered by [cmp]. *)
 
 val length : 'a t -> int
+(** Number of elements. *)
 
 val is_empty : 'a t -> bool
+(** [length t = 0], without counting. *)
 
 val push : 'a t -> 'a -> unit
+(** Insert an element (amortized O(log n)). *)
 
 val peek : 'a t -> 'a option
 (** Smallest element without removing it. *)
@@ -25,6 +28,7 @@ val pop_exn : 'a t -> 'a
 (** @raise Invalid_argument on an empty heap. *)
 
 val clear : 'a t -> unit
+(** Drop every element. *)
 
 val to_list : 'a t -> 'a list
 (** Snapshot of the contents in no particular order. *)

@@ -19,11 +19,25 @@ type msg =
   | Vote of { txn : Ids.txn; ok : bool }
   | Decide of { txn : Ids.txn; outcome : bool }
   | Applied of { txn : Ids.txn }
+  | Tracked of { token : int; inner : msg }
+  | Delivered of { token : int }
 
-let priority = function
+let rec priority = function
   | Decide _ -> 40
   | Vote _ | Applied _ -> 60
   | Read_req _ | Read_ret _ | Prepare _ -> 100
+  | Tracked { inner; _ } -> priority inner
+  | Delivered _ -> 10
+
+let rec message_kind = function
+  | Read_req _ -> "read_request"
+  | Read_ret _ -> "read_return"
+  | Prepare _ -> "prepare"
+  | Vote _ -> "vote"
+  | Decide _ -> "decide"
+  | Applied _ -> "applied"
+  | Tracked { inner; _ } -> message_kind inner
+  | Delivered _ -> "delivered"
 
 type prep = {
   rs_local : (Ids.key * Ids.txn) list;
@@ -57,6 +71,7 @@ type cluster = {
   config : Sss_kv.Config.t;
   repl : Replication.t;
   net : msg Network.t;
+  rel : msg Reliable.t;
   nodes : node array;
   history : History.t;
 }
@@ -79,7 +94,11 @@ let replica_nodes t keys =
 let is_primary t node_id key =
   match Replication.replicas t.repl key with first :: _ -> first = node_id | [] -> false
 
-let send t ~src ~dst payload = Network.send t.net ~prio:(priority payload) ~src ~dst payload
+let send t ~src ~dst payload =
+  let prio = priority payload in
+  if t.config.Sss_kv.Config.fault_tolerance then
+    Reliable.send t.rel ~prio ~src ~dst (fun token -> Tracked { token; inner = payload })
+  else Network.send t.net ~prio ~src ~dst payload
 
 let cell (node : node) key =
   match Hashtbl.find_opt node.store key with
@@ -128,8 +147,13 @@ let handle_decide t (node : node) ~txn ~outcome =
       Locks.release_txn node.locks txn;
       if outcome then send t ~src:node.id ~dst:prep.coord (Applied { txn })
 
-let dispatch t (node : node) ~src payload =
+let rec dispatch t (node : node) ~src payload =
   match payload with
+  | Tracked { token; inner } ->
+      Network.send t.net ~prio:(priority (Delivered { token })) ~src:node.id ~dst:src
+        (Delivered { token });
+      if Reliable.receive t.rel token then dispatch t node ~src inner
+  | Delivered { token } -> Reliable.delivered t.rel token
   | Read_req { req; key } ->
       let c = cell node key in
       send t ~src:node.id ~dst:src (Read_ret { req; value = c.value; writer = c.writer })
@@ -181,7 +205,16 @@ let create sim (config : Sss_kv.Config.t) =
             { value = Printf.sprintf "init:%d" k; writer = Ids.genesis })
         (Replication.keys_at repl node.id))
     nodes;
-  let t = { sim; config; repl; net; nodes; history = History.create ~enabled:config.record_history () } in
+  let rel =
+    Reliable.create sim net
+      ~retry:
+        {
+          Reliable.initial = config.retry_initial;
+          max = config.retry_max;
+          limit = config.retry_limit;
+        }
+  in
+  let t = { sim; config; repl; net; rel; nodes; history = History.create ~enabled:config.record_history () } in
   Array.iter
     (fun (n : node) ->
       Network.set_handler net n.id (fun ~src payload -> dispatch t n ~src payload))
@@ -203,7 +236,17 @@ let read h key =
       List.iter
         (fun dst -> send h.cl ~src:h.home.id ~dst (Read_req { req; key }))
         (Replication.replicas h.cl.repl key);
-      let value, writer = Sim.Ivar.read h.cl.sim ivar in
+      let value, writer =
+        if h.cl.config.Sss_kv.Config.fault_tolerance then
+          match
+            Sim.Ivar.read_timeout h.cl.sim ivar ~timeout:h.cl.config.Sss_kv.Config.ack_timeout
+          with
+          | Some r -> r
+          | None ->
+              Rpc.stalled ~system:"2pc" ~phase:"read"
+                (Printf.sprintf "key %d in %s" key (Ids.txn_to_string h.id))
+        else Sim.Ivar.read h.cl.sim ivar
+      in
       let pair = (key, writer) in
       if not (List.mem pair h.rs) then h.rs <- pair :: h.rs;
       record h.cl (History.Read { txn = h.id; key; writer });
@@ -265,7 +308,7 @@ let commit h =
              ~timeout:cl.config.Sss_kv.Config.ack_timeout
          with
         | Some () -> ()
-        | None -> failwith "Twopc: apply ack timeout");
+        | None -> Rpc.stalled ~system:"2pc" ~phase:"apply ack" (Ids.txn_to_string h.id));
         Hashtbl.remove h.home.ack_boxes h.id
       end;
       record cl (History.Commit { txn = h.id });
@@ -283,6 +326,8 @@ let txn_id h = h.id
 let history t = t.history
 
 let local_keys t n = Replication.keys_at t.repl n
+
+let network t = t.net
 
 let quiescent t =
   let problems = ref [] in

@@ -16,6 +16,9 @@ type cluster
 
 type handle
 
+type msg
+(** The 2PC wire protocol (abstract; inspect with {!message_kind}). *)
+
 val create : Sss_sim.Sim.t -> Sss_kv.Config.t -> cluster
 
 val begin_txn : cluster -> node:Ids.node -> read_only:bool -> handle
@@ -38,5 +41,12 @@ val history : cluster -> Sss_consistency.History.t
 
 val local_keys : cluster -> Ids.node -> Ids.key array
 (** Keys replicated at a node (for the locality workload). *)
+
+val network : cluster -> msg Sss_net.Network.t
+(** The cluster's network, for attaching fault plans ([Sss_chaos.Chaos]). *)
+
+val message_kind : msg -> string
+(** Stable lowercase kind name ("prepare", "vote", …) for per-message-type
+    fault rules; transport wrappers report their payload's kind. *)
 
 val quiescent : cluster -> (unit, string) result

@@ -52,12 +52,26 @@ type msg =
       start : Vclock.t;
       writes : (Ids.key * string) list;  (* full write set; nodes filter *)
     }
+  | Tracked of { token : int; inner : msg }
+  | Delivered of { token : int }
 
-let priority = function
+let rec priority = function
   | Wdecide _ -> 40
   | Wvote _ -> 60
   | Propagate _ -> 80
   | Read_req _ | Read_ret _ | Wprepare _ -> 100
+  | Tracked { inner; _ } -> priority inner
+  | Delivered _ -> 10
+
+let rec message_kind = function
+  | Read_req _ -> "read_request"
+  | Read_ret _ -> "read_return"
+  | Wprepare _ -> "prepare"
+  | Wvote _ -> "vote"
+  | Wdecide _ -> "decide"
+  | Propagate _ -> "propagate"
+  | Tracked { inner; _ } -> message_kind inner
+  | Delivered _ -> "delivered"
 
 type vote_box = {
   expect : int;
@@ -87,6 +101,7 @@ type cluster = {
   config : Sss_kv.Config.t;
   repl : Replication.t;
   net : msg Network.t;
+  rel : msg Reliable.t;
   nodes : node array;
   history : History.t;
 }
@@ -103,7 +118,11 @@ type handle = {
 
 let record t event = History.record t.history ~at:(Sim.now t.sim) event
 
-let send t ~src ~dst payload = Network.send t.net ~prio:(priority payload) ~src ~dst payload
+let send t ~src ~dst payload =
+  let prio = priority payload in
+  if t.config.Sss_kv.Config.fault_tolerance then
+    Reliable.send t.rel ~prio ~src ~dst (fun token -> Tracked { token; inner = payload })
+  else Network.send t.net ~prio ~src ~dst payload
 
 let primary t key = List.hd (Replication.replicas t.repl key)
 
@@ -200,8 +219,13 @@ let handle_prepare t (node : node) ~txn ~coord ~start ~keys =
   if ok then Hashtbl.replace node.prepared txn keys else Locks.release_txn node.locks txn;
   send t ~src:node.id ~dst:coord (Wvote { txn; ok })
 
-let dispatch t (node : node) ~src payload =
+let rec dispatch t (node : node) ~src payload =
   match payload with
+  | Tracked { token; inner } ->
+      Network.send t.net ~prio:(priority (Delivered { token })) ~src:node.id ~dst:src
+        (Delivered { token });
+      if Reliable.receive t.rel token then dispatch t node ~src inner
+  | Delivered { token } -> Reliable.delivered t.rel token
   | Read_req { req; key; start } ->
       (* Walter reads block until the local replica has applied the whole
          snapshot (Sovran et al. §4): otherwise a lagging replica would
@@ -271,8 +295,17 @@ let create sim (config : Sss_kv.Config.t) =
                ]))
         (Replication.keys_at repl node.id))
     nodes;
+  let rel =
+    Reliable.create sim net
+      ~retry:
+        {
+          Reliable.initial = config.retry_initial;
+          max = config.retry_max;
+          limit = config.retry_limit;
+        }
+  in
   let t =
-    { sim; config; repl; net; nodes; history = History.create ~enabled:config.record_history () }
+    { sim; config; repl; net; rel; nodes; history = History.create ~enabled:config.record_history () }
   in
   Array.iter
     (fun (n : node) ->
@@ -295,7 +328,17 @@ let read h key =
       List.iter
         (fun dst -> send h.cl ~src:h.home.id ~dst (Read_req { req; key; start = h.start }))
         (Replication.replicas h.cl.repl key);
-      let value, writer = Sim.Ivar.read h.cl.sim ivar in
+      let value, writer =
+        if h.cl.config.Sss_kv.Config.fault_tolerance then
+          match
+            Sim.Ivar.read_timeout h.cl.sim ivar ~timeout:h.cl.config.Sss_kv.Config.ack_timeout
+          with
+          | Some r -> r
+          | None ->
+              Rpc.stalled ~system:"walter" ~phase:"read"
+                (Printf.sprintf "key %d in %s" key (Ids.txn_to_string h.id))
+        else Sim.Ivar.read h.cl.sim ivar
+      in
       record h.cl (History.Read { txn = h.id; key; writer });
       value
 
@@ -397,6 +440,8 @@ let txn_id h = h.id
 let history t = t.history
 
 let repl t = t.repl
+
+let network t = t.net
 
 let quiescent t =
   let problems = ref [] in

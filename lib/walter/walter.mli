@@ -17,6 +17,9 @@ type cluster
 
 type handle
 
+type msg
+(** The Walter wire protocol (abstract; inspect with {!message_kind}). *)
+
 val create : Sss_sim.Sim.t -> Sss_kv.Config.t -> cluster
 
 val begin_txn : cluster -> node:Ids.node -> read_only:bool -> handle
@@ -46,3 +49,11 @@ val quiescent : cluster -> (unit, string) result
 (** Exposed for the experiment harness. *)
 
 val repl : cluster -> Replication.t
+
+val network : cluster -> msg Sss_net.Network.t
+(** The cluster's network, for attaching fault plans ([Sss_chaos.Chaos]). *)
+
+val message_kind : msg -> string
+(** Stable lowercase kind name ("prepare", "propagate", …) for
+    per-message-type fault rules; transport wrappers report their payload's
+    kind. *)

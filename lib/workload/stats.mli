@@ -3,11 +3,13 @@
 type t
 
 val create : unit -> t
+(** An empty accumulator. *)
 
 val add : t -> float -> unit
 (** Record one sample (seconds). *)
 
 val count : t -> int
+(** Samples recorded so far. *)
 
 val mean : t -> float
 (** 0.0 when empty. *)
@@ -17,7 +19,10 @@ val percentile : t -> float -> float
     @raise Invalid_argument if the fraction is outside [0, 1]. *)
 
 val min : t -> float
+(** Smallest sample; 0.0 when empty. *)
 
 val max : t -> float
+(** Largest sample; 0.0 when empty. *)
 
 val clear : t -> unit
+(** Forget every sample. *)
