@@ -1,7 +1,7 @@
 (* Benchmark harness.
 
    Usage:  dune exec bench/main.exe -- [--scale full|quick|smoke]
-             [--json FILE] [targets]
+             [--json FILE] [--observe] [targets]
 
    Targets are the paper's evaluation artefacts: fig3 fig4a fig4b fig5 fig6
    fig7 fig8 abort-rate (see DESIGN.md §3 for the mapping), plus `micro`
@@ -14,7 +14,14 @@
    metrics: wall-clock seconds, DES events executed and events/sec, virtual
    seconds simulated, and committed transactions per virtual second.  This
    is the measurement EXPERIMENTS.md's "Simulator performance" table is
-   built from. *)
+   built from.  The report carries a "meta" block (schema version, scale,
+   seed, config fingerprint) so regenerated files are comparable; see the
+   schema note in EXPERIMENTS.md.
+
+   [--observe] additionally runs one traced SSS cell (Config.observe = true)
+   and emits its sss_obs metrics — printed, and embedded as a "metrics"
+   object when [--json] is also given.  By the observer-effect contract
+   (docs/OBSERVABILITY.md) tracing never changes the measured numbers. *)
 
 open Sss_experiments.Experiments
 
@@ -108,9 +115,33 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json file ~scale reports =
+(* Deterministic fingerprint of the parameters every target derives from:
+   same binary + same scale => same hash, so regenerated BENCH_*.json files
+   are comparable (EXPERIMENTS.md "Report schema"). *)
+let config_fingerprint scale =
+  let p = base_params scale in
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf
+          "nodes=%d;degree=%d;keys=%d;ro=%g;ro_ops=%d;locality=%g;clients=%d;warmup=%g;duration=%g;seed=%d;strict=%b;prio=%b;compress=%b"
+          p.nodes p.degree p.keys p.ro_ratio p.ro_ops p.locality p.clients p.warmup p.duration
+          p.seed p.strict p.priority_network p.compress))
+
+let write_json file ~scale ~scale_v ~observe ~metrics reports =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf (Printf.sprintf "{\n  \"scale\": \"%s\",\n  \"targets\": [" scale);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n\
+       \  \"scale\": \"%s\",\n\
+       \  \"meta\": {\n\
+       \    \"schema\": 2,\n\
+       \    \"scale\": \"%s\",\n\
+       \    \"seed\": %d,\n\
+       \    \"config_md5\": \"%s\",\n\
+       \    \"observe\": %b\n\
+       \  },\n\
+       \  \"targets\": ["
+       scale scale (base_params scale_v).seed (config_fingerprint scale_v) observe);
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_char buf ',';
@@ -136,7 +167,11 @@ let write_json file ~scale reports =
            (json_escape r.target) r.wall_seconds r.des_events events_per_sec
            r.virtual_seconds r.committed_txns virtual_tput r.runs))
     reports;
-  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.add_string buf "\n  ]";
+  (match metrics with
+  | Some m -> Buffer.add_string buf (Printf.sprintf ",\n  \"metrics\": %s" m)
+  | None -> ());
+  Buffer.add_string buf "\n}\n";
   let oc = open_out file in
   output_string oc (Buffer.contents buf);
   close_out oc;
@@ -148,6 +183,7 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let scale = ref Full in
   let json_file = ref None in
+  let observe = ref false in
   let targets = ref [] in
   let rec parse = function
     | [] -> ()
@@ -162,6 +198,9 @@ let () =
     | "--json" :: f :: rest ->
         json_file := Some f;
         parse rest
+    | "--observe" :: rest ->
+        observe := true;
+        parse rest
     | t :: rest ->
         targets := t :: !targets;
         parse rest
@@ -173,6 +212,7 @@ let () =
     | ts -> ts
   in
   let scale = !scale in
+  set_observe_all !observe;
   let scale_name = match scale with Full -> "full" | Quick -> "quick" | Smoke -> "smoke" in
   Printf.printf "SSS reproduction benchmarks (scale: %s)\n" scale_name;
   let reports = ref [] in
@@ -212,6 +252,17 @@ let () =
           :: !reports
       end)
     targets;
+  let metrics =
+    if !observe then begin
+      Printf.printf "\n== Observed metrics (traced SSS cell) ==\n%!";
+      let m = observed_metrics scale in
+      Printf.printf "%s\n%!" m;
+      Some m
+    end
+    else None
+  in
   match !json_file with
   | None -> ()
-  | Some f -> write_json f ~scale:scale_name (List.rev !reports)
+  | Some f ->
+      write_json f ~scale:scale_name ~scale_v:scale ~observe:!observe ~metrics
+        (List.rev !reports)

@@ -13,4 +13,20 @@ else
   echo "smoke: odoc not installed; skipping doc build"
 fi
 dune exec bench/main.exe -- --scale smoke fig3 --json BENCH_smoke.json
+
+# Observer-effect gate: the same fig3 smoke run traced (--observe) must
+# execute the exact same trajectory — identical DES event counts, virtual
+# time, and committed transactions (docs/OBSERVABILITY.md).
+dune exec bench/main.exe -- --scale smoke fig3 --json BENCH_smoke_observed.json --observe \
+  >/dev/null
+for key in des_events virtual_seconds committed_txns; do
+  off=$(grep "\"$key\"" BENCH_smoke.json)
+  on=$(grep "\"$key\"" BENCH_smoke_observed.json)
+  if [ "$off" != "$on" ]; then
+    echo "smoke FAIL: observer effect detected ($key differs: '$off' vs '$on')" >&2
+    exit 1
+  fi
+done
+rm -f BENCH_smoke_observed.json
+echo "smoke: observer-effect gate OK (observe=on trajectory identical)"
 echo "smoke OK"

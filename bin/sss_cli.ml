@@ -53,8 +53,11 @@ let scale_t = Arg.(value & opt scale_conv Quick & info [ "scale" ] ~doc:"full, q
 let strict_t =
   Arg.(value & flag & info [ "strict" ] ~doc:"SSS hardened external-commit ordering")
 
+let observe_t =
+  Arg.(value & flag & info [ "observe" ] ~doc:"attach the sss_obs sink and print its metrics JSON")
+
 let point_cmd =
-  let run_point system nodes degree keys ro ro_ops locality clients duration seed strict =
+  let run_point system nodes degree keys ro ro_ops locality clients duration seed strict observe =
     let o =
       run
         {
@@ -73,6 +76,7 @@ let point_cmd =
           priority_network = true;
           compress = true;
           zipf = None;
+          observe;
         }
     in
     Printf.printf "system      : %s\n" (system_name system);
@@ -90,12 +94,15 @@ let point_cmd =
           (100. *. w /. (i +. w))
     | _ -> ());
     if o.wait_covered_timeouts > 0 then
-      Printf.printf "  WARNING: %d covered-wait timeouts\n" o.wait_covered_timeouts
+      Printf.printf "  WARNING: %d covered-wait timeouts\n" o.wait_covered_timeouts;
+    match o.metrics with
+    | Some json -> Printf.printf "metrics     : %s\n" json
+    | None -> ()
   in
   let term =
     Term.(
       const run_point $ system_t $ nodes_t $ degree_t $ keys_t $ ro_t $ ro_ops_t $ locality_t
-      $ clients_t $ duration_t $ seed_t $ strict_t)
+      $ clients_t $ duration_t $ seed_t $ strict_t $ observe_t)
   in
   Cmd.v (Cmd.info "point" ~doc:"Run a single experiment point") term
 

@@ -6,11 +6,18 @@ open Sss_data
 open Sss_kv
 open Sss_consistency
 
+(* --observe: attach the sss_obs sink to every SSS run and report the first
+   run's metrics as a section at the end.  The observer-effect contract says
+   this must not change any committed count or checker verdict. *)
+let observe_runs = ref false
+
+let first_metrics = ref None
+
 let run_one ?(strict = true) ~nodes ~degree ~keys ~ro ~seed ~duration ~clients () =
   let sim = Sim.create () in
   let config =
     { Config.default with nodes; replication_degree = degree; total_keys = keys; seed;
-      strict_order = strict }
+      strict_order = strict; observe = !observe_runs }
   in
   let cl = Kv.create sim config in
   let ops =
@@ -45,6 +52,9 @@ let run_one ?(strict = true) ~nodes ~degree ~keys ~ro ~seed ~duration ~clients (
       ("quiescent", Kv.quiescent cl);
     ]
   in
+  (match (!first_metrics, Kv.metrics_json cl) with
+  | None, Some json -> first_metrics := Some json
+  | _ -> ());
   (result.Sss_workload.Driver.committed, checks)
 
 (* generic driver over any store exposing the ops quadruple *)
@@ -341,9 +351,12 @@ let () =
       ( "--chaos",
         Arg.String (fun s -> chaos_plan := Some s),
         "PLAN  run the 4-system chaos sweep under a fault plan (DSL; see docs/FAULTS.md)" );
+      ( "--observe",
+        Arg.Set observe_runs,
+        " trace the SSS runs with sss_obs and print a metrics section (docs/OBSERVABILITY.md)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "stress [--chaos PLAN]";
+    "stress [--chaos PLAN] [--observe]";
   Option.iter chaos_sweep !chaos_plan;
   let failures = ref 0 in
   let total = ref 0 in
@@ -434,5 +447,8 @@ let () =
     "paper mode: %d runs, %d committed, %d divergence reports (the documented §8 finding)\n"
     !pm_runs !pm_committed !pm_div;
   failures := !failures + baseline_sweep ();
+  (match !first_metrics with
+  | Some json -> Printf.printf "metrics (first observed SSS run): %s\n" json
+  | None -> ());
   Printf.printf "stress: %d runs, %d failures\n" !total !failures;
   exit (if !failures > 0 then 1 else 0)

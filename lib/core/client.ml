@@ -30,6 +30,12 @@ let begin_txn cl ~node:home_id ~read_only =
   let id = Ids.Gen.next home.gen in
   Hashtbl.replace home.active id ();
   record cl (History.Begin { txn = id; ro = read_only; node = home_id });
+  (match cl.obs with
+  | Some o ->
+      Sss_obs.Obs.incr o (if read_only then "txn.begin.ro" else "txn.begin.update");
+      Sss_obs.Obs.emit o ~at:(now cl)
+        (Sss_obs.Obs.Txn_begin { txn = Ids.txn_to_string id; node = home_id; ro = read_only })
+  | None -> ());
   (* Hardened mode: read-only transactions start from the externally
      committed (stable) view plus the node's session knowledge, so they
      only ever observe externally committed data; update transactions (and
@@ -159,6 +165,14 @@ let commit_read_only h =
   record cl (History.Commit { txn = h.id });
   if h.ro then cl.stats.committed_ro <- cl.stats.committed_ro + 1
   else cl.stats.committed_update <- cl.stats.committed_update + 1;
+  (match cl.obs with
+  | Some o ->
+      let cls = if h.ro then "ro" else "update" in
+      Sss_obs.Obs.incr o ("txn.commit." ^ cls);
+      Sss_obs.Obs.observe o ("lat.txn." ^ cls) (now cl -. h.begin_at);
+      Sss_obs.Obs.emit o ~at:(now cl)
+        (Sss_obs.Obs.Txn_commit { txn = Ids.txn_to_string h.id; node = h.home.id; ro = h.ro })
+  | None -> ());
   let keys = read_keys h in
   if keys <> [] then
     send_nodes cl ~src:h.home.id ~dsts:(replica_nodes cl keys) (Message.Remove { txn = h.id });
@@ -204,6 +218,14 @@ let commit_update h =
     mark_finalized h;
     cl.stats.aborted <- cl.stats.aborted + 1;
     record cl (History.Abort { txn = h.id });
+    (match cl.obs with
+    | Some o ->
+        let reason = if box.any_false then "vote-false" else "vote-timeout" in
+        Sss_obs.Obs.incr o ("txn.abort." ^ reason);
+        Sss_obs.Obs.emit o ~at:(now cl)
+          (Sss_obs.Obs.Txn_abort
+             { txn = Ids.txn_to_string h.id; node = h.home.id; ro = false; reason })
+    | None -> ());
     false
   end
   else begin
@@ -263,6 +285,13 @@ let commit_update h =
     if cl.stats.collect_latencies then
       cl.stats.latencies <- (h.begin_at, decide_at, now cl) :: cl.stats.latencies;
     record cl (History.Commit { txn = h.id });
+    (match cl.obs with
+    | Some o ->
+        Sss_obs.Obs.incr o "txn.commit.update";
+        Sss_obs.Obs.observe o "lat.txn.update" (now cl -. h.begin_at);
+        Sss_obs.Obs.emit o ~at:(now cl)
+          (Sss_obs.Obs.Txn_commit { txn = Ids.txn_to_string h.id; node = h.home.id; ro = false })
+    | None -> ());
     true
   end
 
@@ -282,6 +311,13 @@ let abort h =
   let cl = h.cl in
   cl.stats.aborted <- cl.stats.aborted + 1;
   record cl (History.Abort { txn = h.id });
+  (match cl.obs with
+  | Some o ->
+      Sss_obs.Obs.incr o "txn.abort.client";
+      Sss_obs.Obs.emit o ~at:(now cl)
+        (Sss_obs.Obs.Txn_abort
+           { txn = Ids.txn_to_string h.id; node = h.home.id; ro = h.ro; reason = "client" })
+  | None -> ());
   let keys = read_keys h in
   if h.ro && keys <> [] then
     send_nodes cl ~src:h.home.id ~dsts:(replica_nodes cl keys) (Message.Remove { txn = h.id })

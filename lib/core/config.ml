@@ -20,6 +20,8 @@ type t = {
   retry_initial : float;
   retry_max : float;
   retry_limit : int;
+  observe : bool;
+  trace_capacity : int;
 }
 
 let default =
@@ -45,4 +47,6 @@ let default =
     retry_initial = 0.5e-3;
     retry_max = 8e-3;
     retry_limit = 64;
+    observe = false;
+    trace_capacity = 65536;
   }

@@ -54,6 +54,18 @@ type t = {
           with [retry_max] this rides out fault windows of several hundred
           ms; a foreground wait that depended on an abandoned send fails
           with {!Sss_net.Rpc.Stalled} once [ack_timeout] expires) *)
+  observe : bool;
+      (** attach an {!Sss_obs.Obs.t} to the cluster: typed trace events,
+          per-message-kind counters and latency histograms, per-node
+          queue-depth gauges (docs/OBSERVABILITY.md).  Observation is
+          passive — it draws no randomness and schedules nothing — so
+          trajectories, committed counts, and checker verdicts are
+          identical with it on or off; with it off (the default) no
+          observation code runs at all.  All four systems honour the
+          flag. *)
+  trace_capacity : int;
+      (** ring capacity of the trace sink when [observe] is set; older
+          events are overwritten (and counted) once exceeded *)
 }
 
 val default : t

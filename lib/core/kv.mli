@@ -96,6 +96,16 @@ val network : cluster -> Message.payload Sss_net.Network.t
     ([Sss_chaos.Chaos.install]) can be attached to it.  Message kinds for
     per-type fault rules come from {!Message.kind_name}. *)
 
+val obs : cluster -> Sss_obs.Obs.t option
+(** The cluster's observability sink — [Some] iff {!Config.t.observe} was
+    set at creation.  See docs/OBSERVABILITY.md for what it records. *)
+
+val metrics_json : cluster -> string option
+(** Shorthand: the sink's {!Sss_obs.Obs.metrics_json} when observing. *)
+
+val trace_jsonl : cluster -> string option
+(** Shorthand: the retained trace as JSON Lines when observing. *)
+
 val transport_retries : cluster -> int
 (** Re-sends performed by the fault-tolerance transport (0 unless
     {!Config.t.fault_tolerance} is on and faults actually bit). *)

@@ -210,9 +210,26 @@ let handle_prepare t node ~txn ~coord ~vc ~rs ~ws ~propagated =
   let ok = got_locks && validate node local_rs && not (was_abort_decided node txn) in
   if not ok then begin
     Locks.release_txn node.locks txn;
+    (match t.obs with
+    | Some o when got_locks ->
+        Sss_obs.Obs.incr o "lock.release";
+        Sss_obs.Obs.emit o ~at:(now t)
+          (Sss_obs.Obs.Lock_release { txn = Ids.txn_to_string txn; node = node.id })
+    | _ -> ());
     send t ~src:node.id ~dst:coord (Message.Vote { txn; ok = false; vc })
   end
   else begin
+    (match t.obs with
+    | Some o ->
+        Sss_obs.Obs.incr o "lock.acquire";
+        Sss_obs.Obs.emit o ~at:(now t)
+          (Sss_obs.Obs.Lock_acquire
+             {
+               txn = Ids.txn_to_string txn;
+               node = node.id;
+               keys = List.length local_ws + List.length local_rs;
+             })
+    | None -> ());
     let prep_vc =
       if local_ws <> [] then begin
         let vc = bump_local t node in
@@ -263,7 +280,7 @@ let pre_commit_wait t node ~txn ~sid ~keys ~coord =
     | Some { final_vc = Some fvc; _ } -> node.stable_vc <- Vclock.max node.stable_vc fvc
     | _ -> ());
     Hashtbl.remove node.prepared txn;
-    unpark_writer node txn;
+    unpark_writer t node txn;
     send t ~src:node.id ~dst:coord (Message.Ack { txn })
   end
 
@@ -301,6 +318,12 @@ let rec try_drain t node =
         prep.ws_local;
       Commitq.remove node.commitq txn;
       Locks.release_txn node.locks txn;
+      (match t.obs with
+      | Some o ->
+          Sss_obs.Obs.incr o "lock.release";
+          Sss_obs.Obs.emit o ~at:(now t)
+            (Sss_obs.Obs.Lock_release { txn = Ids.txn_to_string txn; node = node.id })
+      | None -> ());
       Sim.Cond.broadcast t.sim node.nlog_changed;
       Sim.Cond.broadcast t.sim node.squeue_changed;
       let keys = List.map fst prep.ws_local in
@@ -357,7 +380,7 @@ let handle_finalize t node ~txn =
           | Some fvc -> node.stable_vc <- Vclock.max node.stable_vc fvc
           | None -> ());
           Hashtbl.remove node.prepared txn;
-          unpark_writer node txn;
+          unpark_writer t node txn;
           Sim.Cond.broadcast t.sim node.squeue_changed;
           send t ~src:node.id ~dst:prep.coord (Message.Finalize_ack { txn }))
 
@@ -388,14 +411,14 @@ let handle_decide t node ~txn ~vc ~outcome =
         else begin
           Locks.release_txn node.locks txn;
           Hashtbl.remove node.prepared txn;
-          drop_parked_stamp node txn
+          drop_parked_stamp t node txn
         end
       end
       else begin
         Commitq.remove node.commitq txn;
         Locks.release_txn node.locks txn;
         Hashtbl.remove node.prepared txn;
-        drop_parked_stamp node txn;
+        drop_parked_stamp t node txn;
         try_drain t node;
         Sim.Cond.broadcast t.sim node.nlog_changed
       end

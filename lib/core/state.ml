@@ -122,6 +122,9 @@ type t = {
   nodes : node array;
   history : History.t;
   stats : stats;
+  (* observability sink; [None] unless [config.observe] — every emit site
+     matches on this, so a disabled run executes no observation code *)
+  obs : Sss_obs.Obs.t option;
 }
 
 let make_node sim ~nodes ~id =
@@ -170,6 +173,26 @@ let create sim (config : Config.t) =
       sim rng ~nodes:config.nodes ~config:config.network
   in
   let nodes = Array.init config.nodes (fun id -> make_node sim ~nodes:config.nodes ~id) in
+  let obs =
+    if config.observe then Some (Sss_obs.Obs.create ~capacity:config.trace_capacity ())
+    else None
+  in
+  (match obs with
+  | Some o ->
+      Network.set_observer net (Some { Network.obs = o; kind_of = Message.kind_name });
+      (* Sample per-node ingress depths on DES ticks (amortized: every
+         1024th event).  The probe is passive, so the trajectory is the
+         same with or without it. *)
+      Sim.set_probe sim
+        (Some
+           (fun () ->
+             if Sim.events_processed sim land 1023 = 0 then
+               for i = 0 to config.nodes - 1 do
+                 Sss_obs.Obs.gauge_set o
+                   ("net.queue.node" ^ string_of_int i)
+                   (Network.queue_depth net i)
+               done))
+  | None -> ());
   (* Pre-populate every key on its replicas with a genesis version. *)
   Array.iter
     (fun node ->
@@ -177,19 +200,22 @@ let create sim (config : Config.t) =
         (fun k -> Mvstore.init_key node.store k ~value:(Printf.sprintf "init:%d" k))
         (Replication.keys_at repl node.id))
     nodes;
+  let rel =
+    Reliable.create sim net
+      ~retry:
+        {
+          Reliable.initial = config.retry_initial;
+          max = config.retry_max;
+          limit = config.retry_limit;
+        }
+  in
+  Reliable.set_obs rel obs;
   {
     sim;
     config;
     repl;
     net;
-    rel =
-      Reliable.create sim net
-        ~retry:
-          {
-            Reliable.initial = config.retry_initial;
-            max = config.retry_max;
-            limit = config.retry_limit;
-          };
+    rel;
     nodes;
     history = History.create ~enabled:config.record_history ();
     stats =
@@ -202,6 +228,7 @@ let create sim (config : Config.t) =
         latencies = [];
         collect_latencies = false;
       };
+    obs;
   }
 
 let node t i = t.nodes.(i)
@@ -246,6 +273,11 @@ let bump_local t node =
   (* [node_vc] is exclusively owned (never published), so it is bumped in
      place; callers get a private snapshot they may share freely. *)
   (Vclock.set_into node.node_vc node.id fresh [@owned]);
+  (match t.obs with
+  | Some o ->
+      Sss_obs.Obs.incr o "vclock.advance";
+      Sss_obs.Obs.emit o ~at:(now t) (Sss_obs.Obs.Vclock_advance { node = node.id; value = fresh })
+  | None -> ());
   Vclock.copy node.node_vc
 
 let mint_xact_vn t node ~at_least =
@@ -270,21 +302,33 @@ let park_writer t node txn ~stamp =
   Hashtbl.replace node.writer_since txn (now t);
   if not (Hashtbl.mem node.parked_stamp txn) then begin
     Hashtbl.replace node.parked_stamp txn stamp;
-    Stampset.add node.parked stamp
+    Stampset.add node.parked stamp;
+    match t.obs with
+    | Some o ->
+        Sss_obs.Obs.incr o "sq.park";
+        Sss_obs.Obs.emit o ~at:(now t)
+          (Sss_obs.Obs.Park { txn = Ids.txn_to_string txn; node = node.id; stamp })
+    | None -> ()
   end
 
 (* Drop only the index entry: must accompany every removal from [prepared]
    (having a [prepared] record is what qualifies a [writer_since] entry as
    parked). *)
-let drop_parked_stamp node txn =
+let drop_parked_stamp t node txn =
   match Hashtbl.find_opt node.parked_stamp txn with
-  | Some stamp ->
+  | Some stamp -> (
       Hashtbl.remove node.parked_stamp txn;
-      ignore (Stampset.remove node.parked stamp)
+      ignore (Stampset.remove node.parked stamp);
+      match t.obs with
+      | Some o ->
+          Sss_obs.Obs.incr o "sq.unpark";
+          Sss_obs.Obs.emit o ~at:(now t)
+            (Sss_obs.Obs.Unpark { txn = Ids.txn_to_string txn; node = node.id; stamp })
+      | None -> ())
   | None -> ()
 
-let unpark_writer node txn =
-  drop_parked_stamp node txn;
+let unpark_writer t node txn =
+  drop_parked_stamp t node txn;
   Hashtbl.remove node.writer_since txn
 
 (* ---- tombstones and recent write-set GC ---- *)

@@ -27,6 +27,7 @@ type params = {
   priority_network : bool;  (* SSS only: §V's prioritized message queues *)
   compress : bool;  (* SSS only: §III-A metadata compression (byte telemetry) *)
   zipf : float option;  (* skewed key popularity instead of uniform *)
+  observe : bool;  (* attach the sss_obs sink; must not change trajectories *)
 }
 
 let default_params =
@@ -46,6 +47,7 @@ let default_params =
     priority_network = true;
     compress = true;
     zipf = None;
+    observe = false;
   }
 
 type outcome = {
@@ -61,6 +63,7 @@ type outcome = {
   sss_wait : float option;
   wait_covered_timeouts : int;
   wire_bytes : int;  (* SSS only: total message bytes (see compress_metadata) *)
+  metrics : string option;  (* observe=true: the run's Obs.metrics_json *)
 }
 
 (* ---------- simulator meters ----------
@@ -96,6 +99,13 @@ let meters () =
     runs = !m_runs;
   }
 
+(* bench --observe: force every [run] to attach the sss_obs sink, whatever
+   the figure's params say.  The observer-effect gate in bench/smoke.sh
+   diffs a run with this on against one with it off. *)
+let observe_all = ref false
+
+let set_observe_all b = observe_all := b
+
 let config_of (p : params) : Sss_kv.Config.t =
   {
     Sss_kv.Config.default with
@@ -107,9 +117,11 @@ let config_of (p : params) : Sss_kv.Config.t =
     strict_order = p.strict;
     priority_network = p.priority_network;
     compress_metadata = p.compress;
+    observe = p.observe;
   }
 
 let run (p : params) =
+  let p = if !observe_all then { p with observe = true } else p in
   let sim = Sim.create () in
   let config = config_of p in
   let profile =
@@ -137,7 +149,8 @@ let run (p : params) =
     Sss_workload.Driver.run sim ~nodes:p.nodes ~total_keys:p.keys ~local_keys ~profile ~load
       ~ops
   in
-  let result, sss_cluster =
+  let metrics_of obs = Option.map Sss_obs.Obs.metrics_json obs in
+  let result, sss_cluster, metrics =
     match p.system with
     | Sss ->
         let cl = Sss_kv.Kv.create sim config in
@@ -151,7 +164,8 @@ let run (p : params) =
             commit = Sss_kv.Kv.commit;
           }
         in
-        (drive ~ops ~local_keys:(fun n -> Replication.keys_at cl.Sss_kv.State.repl n), Some cl)
+        let r = drive ~ops ~local_keys:(fun n -> Replication.keys_at cl.Sss_kv.State.repl n) in
+        (r, Some cl, Sss_kv.Kv.metrics_json cl)
     | Walter ->
         let cl = Walter_kv.Walter.create sim config in
         let ops =
@@ -163,7 +177,8 @@ let run (p : params) =
             commit = Walter_kv.Walter.commit;
           }
         in
-        (drive ~ops ~local_keys:(fun n -> Replication.keys_at (Walter_kv.Walter.repl cl) n), None)
+        let r = drive ~ops ~local_keys:(fun n -> Replication.keys_at (Walter_kv.Walter.repl cl) n) in
+        (r, None, metrics_of (Walter_kv.Walter.obs cl))
     | Twopc ->
         let cl = Twopc_kv.Twopc.create sim config in
         let ops =
@@ -175,7 +190,8 @@ let run (p : params) =
             commit = Twopc_kv.Twopc.commit;
           }
         in
-        (drive ~ops ~local_keys:(Twopc_kv.Twopc.local_keys cl), None)
+        let r = drive ~ops ~local_keys:(Twopc_kv.Twopc.local_keys cl) in
+        (r, None, metrics_of (Twopc_kv.Twopc.obs cl))
     | Rococo ->
         let cl = Rococo_kv.Rococo.create sim config in
         let ops =
@@ -187,7 +203,8 @@ let run (p : params) =
             commit = Rococo_kv.Rococo.commit;
           }
         in
-        (drive ~ops ~local_keys:(fun n -> Replication.keys_at (Rococo_kv.Rococo.repl cl) n), None)
+        let r = drive ~ops ~local_keys:(fun n -> Replication.keys_at (Rococo_kv.Rococo.repl cl) n) in
+        (r, None, metrics_of (Rococo_kv.Rococo.obs cl))
   in
   m_events := !m_events + Sim.events_processed sim;
   m_virtual := !m_virtual +. Sim.now sim;
@@ -231,6 +248,7 @@ let run (p : params) =
     sss_wait;
     wait_covered_timeouts = timeouts;
     wire_bytes;
+    metrics;
   }
 
 (* ---------- scales ---------- *)
@@ -503,6 +521,13 @@ let skewed scale =
       Printf.printf "%-8.2f%14.1f%14.1f%14.1f%14.1f\n%!" theta (ktxs (o Sss)) (ktxs (o Walter))
         (ktxs (o Twopc)) (ktxs (o Rococo)))
     [ 0.0; 0.6; 0.9; 0.99 ]
+
+let observed_metrics scale =
+  let base = base_params scale in
+  let keys = List.hd (keyspaces scale) in
+  let nodes = latency_nodes scale in
+  let o = run { base with system = Sss; nodes; keys; ro_ratio = 0.5; observe = true } in
+  match o.metrics with Some m -> m | None -> "{}"
 
 let all scale =
   fig3 scale;

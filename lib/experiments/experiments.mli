@@ -33,6 +33,10 @@ type params = {
           telemetry (default on) *)
   zipf : float option;
       (** skewed key popularity (YCSB zipfian theta) instead of uniform *)
+  observe : bool;
+      (** attach the {!Sss_obs.Obs} sink to the run (default off).  By the
+          observer-effect contract this must not change trajectories — see
+          docs/OBSERVABILITY.md and the gate in bench/smoke.sh *)
 }
 
 val default_params : params
@@ -54,7 +58,15 @@ type outcome = {
   sss_wait : float option;
   wait_covered_timeouts : int;  (** SSS only; 0 in all reported runs *)
   wire_bytes : int;  (** SSS only: total network bytes (compression-aware) *)
+  metrics : string option;
+      (** [Some json] iff the run had [observe = true]: the
+          {!Sss_obs.Obs.metrics_json} of the cluster's sink *)
 }
+
+val set_observe_all : bool -> unit
+(** Force [observe = true] for every subsequent {!run}, whatever its params
+    say (bench's [--observe] flag; the smoke.sh observer-effect gate diffs
+    trajectories with this on vs off). *)
 
 val run : params -> outcome
 (** Build the cluster, drive the closed-loop workload, return the measured
@@ -77,6 +89,10 @@ val meters : unit -> meters
     nodes, 5k/10k keys); [Quick] shrinks node counts and durations for a
     fast regeneration; [Smoke] is a seconds-long sanity pass used in CI. *)
 type scale = Full | Quick | Smoke
+
+val base_params : scale -> params
+(** The parameter template every figure at that scale derives its points
+    from (bench/main.ml fingerprints it for the report's meta block). *)
 
 val fig3 : scale -> unit
 (** Throughput vs node count for SSS/Walter/2PC, replication degree 2,
@@ -121,6 +137,11 @@ val skewed : scale -> unit
 (** Extra experiment (not in the paper): all four systems under zipfian
     key popularity of increasing skew — contention sensitivity beyond the
     paper's uniform-access evaluation. *)
+
+val observed_metrics : scale -> string
+(** Run one traced SSS cell (the fig4b/fig5 configuration with
+    [observe = true]) and return its metrics JSON — the "metrics" section
+    of [bench --json --observe] and [stress --observe]. *)
 
 val all : scale -> unit
 (** Run every experiment in order. *)

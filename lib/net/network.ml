@@ -10,7 +10,9 @@ type config = {
 let default_config =
   { latency_base = 20e-6; latency_jitter = 2e-6; self_latency = 1e-6; cpu_per_message = 2e-6 }
 
-type 'msg ingress = { prio : int; seq : int; src : Sss_data.Ids.node; msg : 'msg }
+(* [sent] is the virtual send time, carried only so an observer can report
+   end-to-end message latency at dispatch; the heap order ignores it. *)
+type 'msg ingress = { prio : int; seq : int; src : Sss_data.Ids.node; sent : float; msg : 'msg }
 
 (* Specialized ingress min-heap on (prio, seq): the comparator is inlined
    instead of a closure call, pop allocates nothing, and sifts fill a hole
@@ -96,6 +98,10 @@ let no_fault = { drop = false; extra_delay = 0.0; duplicates = 0 }
 
 type stats = { sent : int; delivered : int; dropped : int; bytes : int }
 
+(* An observer pairs the sink with the protocol's message classifier; the
+   network itself has no idea what a message means. *)
+type 'msg observer = { obs : Sss_obs.Obs.t; kind_of : 'msg -> string }
+
 type 'msg t = {
   sim : Sim.t;
   rng : Prng.t;
@@ -106,6 +112,7 @@ type 'msg t = {
   mutable drop_probability : float;
   mutable perturb : (src:Sss_data.Ids.node -> dst:Sss_data.Ids.node -> 'msg -> fault) option;
   mutable fast_dispatch : bool;
+  mutable observer : 'msg observer option;
   mutable seq : int;
   mutable sent : int;
   mutable delivered : int;
@@ -125,6 +132,7 @@ let create ?(size_of = fun _ -> 0) ?(fast_dispatch = true) sim rng ~nodes ~confi
     drop_probability = 0.0;
     perturb = None;
     fast_dispatch;
+    observer = None;
     seq = 0;
     sent = 0;
     delivered = 0;
@@ -138,10 +146,25 @@ let set_handler t n f = t.nodes.(n).handler <- Some f
 
 let set_fast_dispatch t b = t.fast_dispatch <- b
 
+let set_observer t o = t.observer <- o
+
+let queue_depth t n = t.nodes.(n).queue.Iq.size
+
 (* Drain a node's ingress queue — slow (reference) path: each message
    occupies the CPU for the configured service time via a fiber sleep, then
    its handler runs in its own spawned fiber so that a blocking handler
    never stalls the queue. *)
+(* Observation of a dispatch: end-to-end latency histogram per message
+   kind plus a Dequeue trace event.  Shared by both serve paths; called
+   only when an observer is installed. *)
+let observe_dispatch t n (o : _ observer) ing =
+  let kind = o.kind_of ing.msg in
+  let at = Sim.now t.sim in
+  let waited = at -. ing.sent in
+  Sss_obs.Obs.observe o.obs ("lat.msg." ^ kind) waited;
+  Sss_obs.Obs.emit o.obs ~at
+    (Sss_obs.Obs.Dequeue { kind; node = n; depth = t.nodes.(n).queue.Iq.size; waited })
+
 let rec serve_slow t n =
   let st = t.nodes.(n) in
   if Iq.is_empty st.queue then st.serving <- false
@@ -150,6 +173,7 @@ let rec serve_slow t n =
     Sim.sleep t.sim t.config.cpu_per_message;
     if not st.crashed then begin
       t.delivered <- t.delivered + 1;
+      (match t.observer with Some o -> observe_dispatch t n o ing | None -> ());
       match st.handler with
       | Some f -> Sim.spawn t.sim (fun () -> f ~src:ing.src ing.msg)
       | None -> ()
@@ -171,6 +195,7 @@ let rec serve_fast t n =
     Sim.schedule_callback t.sim ~delay:t.config.cpu_per_message (fun () ->
         if not st.crashed then begin
           t.delivered <- t.delivered + 1;
+          (match t.observer with Some o -> observe_dispatch t n o ing | None -> ());
           match st.handler with
           | Some f ->
               (* the fused handler still counts as one simulator event so
@@ -182,12 +207,29 @@ let rec serve_fast t n =
         serve_fast t n)
   end
 
-let deliver t ~prio ~src ~dst msg =
+let deliver t ~prio ~src ~dst ~sent msg =
   let st = t.nodes.(dst) in
-  if st.crashed then t.dropped <- t.dropped + 1
+  if st.crashed then begin
+    t.dropped <- t.dropped + 1;
+    match t.observer with
+    | Some o ->
+        Sss_obs.Obs.emit o.obs ~at:(Sim.now t.sim)
+          (Sss_obs.Obs.Drop { kind = o.kind_of msg; src; dst })
+    | None -> ()
+  end
   else begin
     t.seq <- t.seq + 1;
-    Iq.push st.queue { prio; seq = t.seq; src; msg };
+    Iq.push st.queue { prio; seq = t.seq; src; sent; msg };
+    (match t.observer with
+    | Some o ->
+        let kind = o.kind_of msg in
+        let at = Sim.now t.sim in
+        let depth = st.queue.Iq.size in
+        Sss_obs.Obs.incr o.obs ("msg.recv." ^ kind);
+        Sss_obs.Obs.emit o.obs ~at (Sss_obs.Obs.Recv { kind; src; dst });
+        Sss_obs.Obs.emit o.obs ~at (Sss_obs.Obs.Enqueue { kind; node = dst; depth });
+        Sss_obs.Obs.gauge_set o.obs ("net.queue.node" ^ string_of_int dst) depth
+    | None -> ());
     if not st.serving then begin
       st.serving <- true;
       if t.fast_dispatch then
@@ -202,12 +244,30 @@ let link_severed t a b =
 let send t ?(prio = 100) ~src ~dst msg =
   t.sent <- t.sent + 1;
   t.bytes <- t.bytes + t.size_of msg;
+  (match t.observer with
+  | Some o ->
+      let kind = o.kind_of msg in
+      Sss_obs.Obs.incr o.obs ("msg.sent." ^ kind);
+      Sss_obs.Obs.emit o.obs ~at:(Sim.now t.sim)
+        (Sss_obs.Obs.Send { kind; src; dst; bytes = t.size_of msg })
+  | None -> ());
+  let observe_loss () =
+    match t.observer with
+    | Some o ->
+        let kind = o.kind_of msg in
+        Sss_obs.Obs.incr o.obs ("msg.lost." ^ kind);
+        Sss_obs.Obs.emit o.obs ~at:(Sim.now t.sim) (Sss_obs.Obs.Drop { kind; src; dst })
+    | None -> ()
+  in
   let lost =
     t.nodes.(src).crashed
     || link_severed t src dst
     || (t.drop_probability > 0.0 && Prng.float t.rng 1.0 < t.drop_probability)
   in
-  if lost then t.dropped <- t.dropped + 1
+  if lost then begin
+    t.dropped <- t.dropped + 1;
+    observe_loss ()
+  end
   else begin
     (* Installed fault plans see the message after the built-in loss checks;
        when no perturb is installed this path draws from the network PRNG
@@ -215,7 +275,10 @@ let send t ?(prio = 100) ~src ~dst msg =
     let fault =
       match t.perturb with None -> no_fault | Some f -> f ~src ~dst msg
     in
-    if fault.drop then t.dropped <- t.dropped + 1
+    if fault.drop then begin
+      t.dropped <- t.dropped + 1;
+      observe_loss ()
+    end
     else begin
       let latency =
         if src = dst then t.config.self_latency
@@ -226,10 +289,13 @@ let send t ?(prio = 100) ~src ~dst msg =
               else 0.0)
       in
       let latency = latency +. fault.extra_delay in
+      let sent = Sim.now t.sim in
       (* delivery never suspends: a bare callback event, not a fiber *)
-      Sim.schedule_callback t.sim ~delay:latency (fun () -> deliver t ~prio ~src ~dst msg);
+      Sim.schedule_callback t.sim ~delay:latency (fun () ->
+          deliver t ~prio ~src ~dst ~sent msg);
       for _ = 1 to fault.duplicates do
-        Sim.schedule_callback t.sim ~delay:latency (fun () -> deliver t ~prio ~src ~dst msg)
+        Sim.schedule_callback t.sim ~delay:latency (fun () ->
+            deliver t ~prio ~src ~dst ~sent msg)
       done
     end
   end

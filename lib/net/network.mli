@@ -56,6 +56,23 @@ val set_fast_dispatch : 'msg t -> bool -> unit
 (** Switch dispatch paths at runtime (see {!create}); intended for tests
     comparing the two. *)
 
+(** {1 Observation} *)
+
+type 'msg observer = { obs : Sss_obs.Obs.t; kind_of : 'msg -> string }
+(** A trace/metrics sink plus the protocol's message classifier ([kind_of]
+    names a message's kind, e.g. ["Prepare"]). *)
+
+val set_observer : 'msg t -> 'msg observer option -> unit
+(** Install (or remove) an observer.  With one installed the network emits
+    [Send]/[Recv]/[Enqueue]/[Dequeue]/[Drop] trace events, per-kind
+    sent/recv/lost counters, per-kind end-to-end latency histograms
+    ([lat.msg.<kind>]) and per-node ingress-depth gauges
+    ([net.queue.node<i>]).  Observation is passive: it draws no randomness
+    and schedules nothing, so trajectories are unchanged. *)
+
+val queue_depth : 'msg t -> Sss_data.Ids.node -> int
+(** Current ingress-queue depth of a node (for gauge sampling). *)
+
 val send : 'msg t -> ?prio:int -> src:Sss_data.Ids.node -> dst:Sss_data.Ids.node -> 'msg -> unit
 (** Fire-and-forget; lower [prio] is served first under saturation
     (default 100). *)

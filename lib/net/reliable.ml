@@ -28,6 +28,7 @@ type 'msg t = {
   mutable seen_ops : int;
   mutable retries : int;
   mutable stalled : int;
+  mutable obs : Sss_obs.Obs.t option;
 }
 
 let create sim net ~retry =
@@ -41,7 +42,10 @@ let create sim net ~retry =
     seen_ops = 0;
     retries = 0;
     stalled = 0;
+    obs = None;
   }
+
+let set_obs t o = t.obs <- o
 
 let send t ?prio ~src ~dst wrap =
   t.token <- t.token + 1;
@@ -61,10 +65,21 @@ let send t ?prio ~src ~dst wrap =
         | None ->
             if attempt >= t.retry.limit then begin
               Hashtbl.remove t.awaiting token;
-              t.stalled <- t.stalled + 1
+              t.stalled <- t.stalled + 1;
+              match t.obs with
+              | Some o ->
+                  Sss_obs.Obs.incr o "transport.stall";
+                  Sss_obs.Obs.emit o ~at:(Sim.now t.sim) (Sss_obs.Obs.Stall { src; dst })
+              | None -> ()
             end
             else begin
               t.retries <- t.retries + 1;
+              (match t.obs with
+              | Some o ->
+                  Sss_obs.Obs.incr o "transport.retry";
+                  Sss_obs.Obs.emit o ~at:(Sim.now t.sim)
+                    (Sss_obs.Obs.Retry { src; dst; attempt })
+              | None -> ());
               Network.send t.net ?prio ~src ~dst msg;
               watch (attempt + 1) (Float.min (timeout *. 2.0) t.retry.max)
             end

@@ -55,6 +55,12 @@ val receive : 'msg t -> int -> bool
     for every copy (receipts can be lost too).  Old tokens are swept after
     a horizon comfortably beyond any retry schedule. *)
 
+val set_obs : 'msg t -> Sss_obs.Obs.t option -> unit
+(** Attach (or detach) an observability sink: each re-send then emits a
+    [Retry] trace event and bumps [transport.retry]; each abandoned send
+    emits [Stall] and bumps [transport.stall].  Passive — trajectories are
+    unchanged. *)
+
 val retries : 'msg t -> int
 (** Total re-sends performed (telemetry). *)
 

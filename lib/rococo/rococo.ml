@@ -99,6 +99,7 @@ type cluster = {
   rel : msg Reliable.t;
   nodes : node array;
   history : History.t;
+  obs : Sss_obs.Obs.t option;
 }
 
 type handle = {
@@ -110,9 +111,36 @@ type handle = {
   mutable ws : (Ids.key * string) list;
   mutable counters : int list;  (* collected in round 1 *)
   mutable finished : bool;
+  begin_at : float;
 }
 
 let record t event = History.record t.history ~at:(Sim.now t.sim) event
+
+let obs_begin t ~txn ~node ~ro =
+  match t.obs with
+  | Some o ->
+      Sss_obs.Obs.incr o (if ro then "txn.begin.ro" else "txn.begin.update");
+      Sss_obs.Obs.emit o ~at:(Sim.now t.sim)
+        (Sss_obs.Obs.Txn_begin { txn = Ids.txn_to_string txn; node; ro })
+  | None -> ()
+
+let obs_commit t ~txn ~node ~ro ~began =
+  match t.obs with
+  | Some o ->
+      let cls = if ro then "ro" else "update" in
+      Sss_obs.Obs.incr o ("txn.commit." ^ cls);
+      Sss_obs.Obs.observe o ("lat.txn." ^ cls) (Sim.now t.sim -. began);
+      Sss_obs.Obs.emit o ~at:(Sim.now t.sim)
+        (Sss_obs.Obs.Txn_commit { txn = Ids.txn_to_string txn; node; ro })
+  | None -> ()
+
+let obs_abort t ~txn ~node ~ro ~reason =
+  match t.obs with
+  | Some o ->
+      Sss_obs.Obs.incr o ("txn.abort." ^ reason);
+      Sss_obs.Obs.emit o ~at:(Sim.now t.sim)
+        (Sss_obs.Obs.Txn_abort { txn = Ids.txn_to_string txn; node; ro; reason })
+  | None -> ()
 
 let send t ~src ~dst payload =
   let prio = priority payload in
@@ -270,8 +298,17 @@ let create sim (config : Sss_kv.Config.t) =
           limit = config.retry_limit;
         }
   in
+  let obs =
+    if config.observe then Some (Sss_obs.Obs.create ~capacity:config.trace_capacity ())
+    else None
+  in
+  (match obs with
+  | Some o -> Network.set_observer net (Some { Network.obs = o; kind_of = message_kind })
+  | None -> ());
+  Reliable.set_obs rel obs;
   let t =
-    { sim; config; repl; net; rel; nodes; history = History.create ~enabled:config.record_history () }
+    { sim; config; repl; net; rel; nodes;
+      history = History.create ~enabled:config.record_history (); obs }
   in
   Array.iter
     (fun (n : node) ->
@@ -283,7 +320,9 @@ let begin_txn cl ~node ~read_only =
   let home = cl.nodes.(node) in
   let id = Ids.Gen.next home.gen in
   record cl (History.Begin { txn = id; ro = read_only; node });
-  { cl; home; id; ro = read_only; rs = []; ws = []; counters = []; finished = false }
+  obs_begin cl ~txn:id ~node ~ro:read_only;
+  { cl; home; id; ro = read_only; rs = []; ws = []; counters = []; finished = false;
+    begin_at = Sim.now cl.sim }
 
 (* Update-transaction read = round-1 dispatch of the piece; read-only reads
    are handled in [commit] (the round-based protocol needs the full key
@@ -359,6 +398,7 @@ let commit_update h =
   | None -> Rpc.stalled ~system:"rococo" ~phase:"commit ack" (Ids.txn_to_string h.id));
   Hashtbl.remove h.home.ack_boxes h.id;
   record cl (History.Commit { txn = h.id });
+  obs_commit cl ~txn:h.id ~node:h.home.id ~ro:false ~began:h.begin_at;
   true
 
 (* Round-based read-only: re-read the key set until two consecutive rounds
@@ -402,16 +442,26 @@ let commit_read_only h =
         (fun (key, _, writer, _) -> record cl (History.Read { txn = h.id; key; writer }))
         round;
       record cl (History.Commit { txn = h.id });
+      obs_commit cl ~txn:h.id ~node:h.home.id ~ro:true ~began:h.begin_at;
       true
   | None ->
       record cl (History.Abort { txn = h.id });
+      obs_abort cl ~txn:h.id ~node:h.home.id ~ro:true ~reason:"ro-rounds";
       false
 
 let commit h =
   if h.finished then invalid_arg "Rococo: commit on a finished transaction";
   h.finished <- true;
-  if h.ro then if h.rs = [] then (record h.cl (History.Commit { txn = h.id }); true) else commit_read_only h
-  else if h.ws = [] && h.rs = [] then (record h.cl (History.Commit { txn = h.id }); true)
+  if h.ro then
+    if h.rs = [] then (
+      record h.cl (History.Commit { txn = h.id });
+      obs_commit h.cl ~txn:h.id ~node:h.home.id ~ro:true ~began:h.begin_at;
+      true)
+    else commit_read_only h
+  else if h.ws = [] && h.rs = [] then (
+    record h.cl (History.Commit { txn = h.id });
+    obs_commit h.cl ~txn:h.id ~node:h.home.id ~ro:false ~began:h.begin_at;
+    true)
   else commit_update h
 
 let abort h =
@@ -423,11 +473,14 @@ let abort h =
     List.iter
       (fun dst -> send h.cl ~src:h.home.id ~dst (Cancel { txn = h.id; keys }))
       (replica_nodes h.cl keys);
-  record h.cl (History.Abort { txn = h.id })
+  record h.cl (History.Abort { txn = h.id });
+  obs_abort h.cl ~txn:h.id ~node:h.home.id ~ro:h.ro ~reason:"client"
 
 let txn_id h = h.id
 
 let history t = t.history
+
+let obs t = t.obs
 
 let repl t = t.repl
 

@@ -46,6 +46,10 @@ val txn_id : handle -> Ids.txn
 
 val history : cluster -> Sss_consistency.History.t
 
+val obs : cluster -> Sss_obs.Obs.t option
+(** The observability sink — [Some] iff [Config.observe] was set at
+    creation (docs/OBSERVABILITY.md). *)
+
 val quiescent : cluster -> (unit, string) result
 
 (** Exposed for the experiment harness. *)

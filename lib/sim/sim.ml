@@ -82,6 +82,11 @@ type t = {
   mutable seq : int;
   mutable processed : int;
   events : Eq.t;
+  (* Observation tap: called after every executed event.  The probe must be
+     passive — no scheduling, no PRNG draws — so installing one cannot
+     change a trajectory; the observability layer uses it to sample gauges
+     "on DES ticks" without the simulator depending on it. *)
+  mutable probe : (unit -> unit) option;
 }
 
 (* The simulator is allocation-heavy (~75 words/event across the KV
@@ -101,7 +106,7 @@ let tune_gc () =
 
 let create () =
   tune_gc ();
-  { now = 0.0; seq = 0; processed = 0; events = Eq.create () }
+  { now = 0.0; seq = 0; processed = 0; events = Eq.create (); probe = None }
 
 let now t = t.now
 
@@ -155,10 +160,13 @@ let suspend t ?(prio = 100) register =
 let sleep t delay =
   raw_suspend (fun resume -> enqueue t ~prio:100 ~delay ~fiber:false resume)
 
+let set_probe t p = t.probe <- p
+
 let exec t ev =
   t.now <- ev.time;
   t.processed <- t.processed + 1;
-  if ev.fiber then run_fiber ev.run else ev.run ()
+  if ev.fiber then run_fiber ev.run else ev.run ();
+  match t.probe with None -> () | Some f -> f ()
 
 let run t =
   let q = t.events in

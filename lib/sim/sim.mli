@@ -42,6 +42,13 @@ val run_fiber : (unit -> unit) -> unit
     the call returns and [f]'s continuation is parked exactly as a
     {!spawn}ed fiber's would be; it resumes through the event queue. *)
 
+val set_probe : t -> (unit -> unit) option -> unit
+(** Install (or clear) a passive tap run after every executed event.  The
+    probe must not schedule events, suspend, or draw randomness — it exists
+    so an observer can sample state (e.g. queue depths) on DES ticks
+    without perturbing the trajectory.  At most one probe is installed;
+    [None] removes it. *)
+
 val tick : t -> unit
 (** Count one logical event against {!events_processed} without executing
     anything.  Used by the network's inline dispatch, which fuses what used

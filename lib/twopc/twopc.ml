@@ -74,6 +74,7 @@ type cluster = {
   rel : msg Reliable.t;
   nodes : node array;
   history : History.t;
+  obs : Sss_obs.Obs.t option;
 }
 
 type handle = {
@@ -84,9 +85,38 @@ type handle = {
   mutable rs : (Ids.key * Ids.txn) list;
   mutable ws : (Ids.key * string) list;
   mutable finished : bool;
+  begin_at : float;
 }
 
 let record t event = History.record t.history ~at:(Sim.now t.sim) event
+
+(* Transaction-class observation shared by all three baselines' shapes:
+   commit/abort counters, per-class latency histograms, lifecycle events. *)
+let obs_begin t ~txn ~node ~ro =
+  match t.obs with
+  | Some o ->
+      Sss_obs.Obs.incr o (if ro then "txn.begin.ro" else "txn.begin.update");
+      Sss_obs.Obs.emit o ~at:(Sim.now t.sim)
+        (Sss_obs.Obs.Txn_begin { txn = Ids.txn_to_string txn; node; ro })
+  | None -> ()
+
+let obs_commit t ~txn ~node ~ro ~began =
+  match t.obs with
+  | Some o ->
+      let cls = if ro then "ro" else "update" in
+      Sss_obs.Obs.incr o ("txn.commit." ^ cls);
+      Sss_obs.Obs.observe o ("lat.txn." ^ cls) (Sim.now t.sim -. began);
+      Sss_obs.Obs.emit o ~at:(Sim.now t.sim)
+        (Sss_obs.Obs.Txn_commit { txn = Ids.txn_to_string txn; node; ro })
+  | None -> ()
+
+let obs_abort t ~txn ~node ~ro ~reason =
+  match t.obs with
+  | Some o ->
+      Sss_obs.Obs.incr o ("txn.abort." ^ reason);
+      Sss_obs.Obs.emit o ~at:(Sim.now t.sim)
+        (Sss_obs.Obs.Txn_abort { txn = Ids.txn_to_string txn; node; ro; reason })
+  | None -> ()
 
 let replica_nodes t keys =
   List.sort_uniq Int.compare (List.concat_map (fun k -> Replication.replicas t.repl k) keys)
@@ -214,7 +244,18 @@ let create sim (config : Sss_kv.Config.t) =
           limit = config.retry_limit;
         }
   in
-  let t = { sim; config; repl; net; rel; nodes; history = History.create ~enabled:config.record_history () } in
+  let obs =
+    if config.observe then Some (Sss_obs.Obs.create ~capacity:config.trace_capacity ())
+    else None
+  in
+  (match obs with
+  | Some o -> Network.set_observer net (Some { Network.obs = o; kind_of = message_kind })
+  | None -> ());
+  Reliable.set_obs rel obs;
+  let t =
+    { sim; config; repl; net; rel; nodes;
+      history = History.create ~enabled:config.record_history (); obs }
+  in
   Array.iter
     (fun (n : node) ->
       Network.set_handler net n.id (fun ~src payload -> dispatch t n ~src payload))
@@ -225,7 +266,9 @@ let begin_txn cl ~node ~read_only =
   let home = cl.nodes.(node) in
   let id = Ids.Gen.next home.gen in
   record cl (History.Begin { txn = id; ro = read_only; node });
-  { cl; home; id; ro = read_only; rs = []; ws = []; finished = false }
+  obs_begin cl ~txn:id ~node ~ro:read_only;
+  { cl; home; id; ro = read_only; rs = []; ws = []; finished = false;
+    begin_at = Sim.now cl.sim }
 
 let read h key =
   if h.finished then invalid_arg "Twopc: read on a finished transaction";
@@ -264,6 +307,7 @@ let commit h =
   let keys = List.map fst h.rs @ List.map fst h.ws in
   if keys = [] then begin
     record cl (History.Commit { txn = h.id });
+    obs_commit cl ~txn:h.id ~node:h.home.id ~ro:h.ro ~began:h.begin_at;
     true
   end
   else begin
@@ -289,6 +333,7 @@ let commit h =
         (fun dst -> send cl ~src:h.home.id ~dst (Decide { txn = h.id; outcome = false }))
         participants;
       record cl (History.Abort { txn = h.id });
+      obs_abort cl ~txn:h.id ~node:h.home.id ~ro:h.ro ~reason:"vote";
       false
     end
     else begin
@@ -312,6 +357,7 @@ let commit h =
         Hashtbl.remove h.home.ack_boxes h.id
       end;
       record cl (History.Commit { txn = h.id });
+      obs_commit cl ~txn:h.id ~node:h.home.id ~ro:h.ro ~began:h.begin_at;
       true
     end
   end
@@ -319,11 +365,14 @@ let commit h =
 let abort h =
   if h.finished then invalid_arg "Twopc: abort on a finished transaction";
   h.finished <- true;
-  record h.cl (History.Abort { txn = h.id })
+  record h.cl (History.Abort { txn = h.id });
+  obs_abort h.cl ~txn:h.id ~node:h.home.id ~ro:h.ro ~reason:"client"
 
 let txn_id h = h.id
 
 let history t = t.history
+
+let obs t = t.obs
 
 let local_keys t n = Replication.keys_at t.repl n
 

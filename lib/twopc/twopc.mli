@@ -39,6 +39,10 @@ val txn_id : handle -> Ids.txn
 
 val history : cluster -> Sss_consistency.History.t
 
+val obs : cluster -> Sss_obs.Obs.t option
+(** The observability sink — [Some] iff [Config.observe] was set at
+    creation (docs/OBSERVABILITY.md). *)
+
 val local_keys : cluster -> Ids.node -> Ids.key array
 (** Keys replicated at a node (for the locality workload). *)
 

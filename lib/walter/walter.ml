@@ -104,6 +104,7 @@ type cluster = {
   rel : msg Reliable.t;
   nodes : node array;
   history : History.t;
+  obs : Sss_obs.Obs.t option;
 }
 
 type handle = {
@@ -114,9 +115,36 @@ type handle = {
   start : Vclock.t;
   mutable ws : (Ids.key * string) list;
   mutable finished : bool;
+  begin_at : float;
 }
 
 let record t event = History.record t.history ~at:(Sim.now t.sim) event
+
+let obs_begin t ~txn ~node ~ro =
+  match t.obs with
+  | Some o ->
+      Sss_obs.Obs.incr o (if ro then "txn.begin.ro" else "txn.begin.update");
+      Sss_obs.Obs.emit o ~at:(Sim.now t.sim)
+        (Sss_obs.Obs.Txn_begin { txn = Ids.txn_to_string txn; node; ro })
+  | None -> ()
+
+let obs_commit t ~txn ~node ~ro ~began =
+  match t.obs with
+  | Some o ->
+      let cls = if ro then "ro" else "update" in
+      Sss_obs.Obs.incr o ("txn.commit." ^ cls);
+      Sss_obs.Obs.observe o ("lat.txn." ^ cls) (Sim.now t.sim -. began);
+      Sss_obs.Obs.emit o ~at:(Sim.now t.sim)
+        (Sss_obs.Obs.Txn_commit { txn = Ids.txn_to_string txn; node; ro })
+  | None -> ()
+
+let obs_abort t ~txn ~node ~ro ~reason =
+  match t.obs with
+  | Some o ->
+      Sss_obs.Obs.incr o ("txn.abort." ^ reason);
+      Sss_obs.Obs.emit o ~at:(Sim.now t.sim)
+        (Sss_obs.Obs.Txn_abort { txn = Ids.txn_to_string txn; node; ro; reason })
+  | None -> ()
 
 let send t ~src ~dst payload =
   let prio = priority payload in
@@ -304,8 +332,17 @@ let create sim (config : Sss_kv.Config.t) =
           limit = config.retry_limit;
         }
   in
+  let obs =
+    if config.observe then Some (Sss_obs.Obs.create ~capacity:config.trace_capacity ())
+    else None
+  in
+  (match obs with
+  | Some o -> Network.set_observer net (Some { Network.obs = o; kind_of = message_kind })
+  | None -> ());
+  Reliable.set_obs rel obs;
   let t =
-    { sim; config; repl; net; rel; nodes; history = History.create ~enabled:config.record_history () }
+    { sim; config; repl; net; rel; nodes;
+      history = History.create ~enabled:config.record_history (); obs }
   in
   Array.iter
     (fun (n : node) ->
@@ -317,7 +354,9 @@ let begin_txn cl ~node ~read_only =
   let home = cl.nodes.(node) in
   let id = Ids.Gen.next home.gen in
   record cl (History.Begin { txn = id; ro = read_only; node });
-  { cl; home; id; ro = read_only; start = home.applied; ws = []; finished = false }
+  obs_begin cl ~txn:id ~node ~ro:read_only;
+  { cl; home; id; ro = read_only; start = home.applied; ws = []; finished = false;
+    begin_at = Sim.now cl.sim }
 
 let read h key =
   if h.finished then invalid_arg "Walter: read on a finished transaction";
@@ -356,6 +395,7 @@ let commit_at_home h =
   let seq = h.home.site_seq in
   apply_committed cl h.home ~txn:h.id ~site:h.home.id ~seq ~start:h.start ~writes:h.ws;
   record cl (History.Commit { txn = h.id });
+  obs_commit cl ~txn:h.id ~node:h.home.id ~ro:false ~began:h.begin_at;
   for dst = 0 to cl.config.Sss_kv.Config.nodes - 1 do
     if dst <> h.home.id then
       send cl ~src:h.home.id ~dst
@@ -370,6 +410,7 @@ let commit h =
   if h.ws = [] then begin
     (* read-only (or write-free): purely local, never aborts *)
     record cl (History.Commit { txn = h.id });
+    obs_commit cl ~txn:h.id ~node:h.home.id ~ro:h.ro ~began:h.begin_at;
     true
   end
   else begin
@@ -398,6 +439,7 @@ let commit h =
         else begin
           Locks.release_txn h.home.locks h.id;
           record cl (History.Abort { txn = h.id });
+          obs_abort cl ~txn:h.id ~node:h.home.id ~ro:h.ro ~reason:"conflict";
           false
         end
     | _ ->
@@ -426,6 +468,7 @@ let commit h =
         if all_ok then commit_at_home h
         else begin
           record cl (History.Abort { txn = h.id });
+          obs_abort cl ~txn:h.id ~node:h.home.id ~ro:h.ro ~reason:"vote";
           false
         end
   end
@@ -433,11 +476,14 @@ let commit h =
 let abort h =
   if h.finished then invalid_arg "Walter: abort on a finished transaction";
   h.finished <- true;
-  record h.cl (History.Abort { txn = h.id })
+  record h.cl (History.Abort { txn = h.id });
+  obs_abort h.cl ~txn:h.id ~node:h.home.id ~ro:h.ro ~reason:"client"
 
 let txn_id h = h.id
 
 let history t = t.history
+
+let obs t = t.obs
 
 let repl t = t.repl
 

@@ -4,4 +4,4 @@
 let keys table = Hashtbl.fold (fun k _ acc -> k :: acc) table []
 
 let report table =
-  Hashtbl.iter (fun k v -> Printf.printf "%d -> %d\n" k v) table
+  Hashtbl.iter (fun k v -> Stats.note k v) table

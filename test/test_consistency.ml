@@ -275,6 +275,162 @@ let test_disabled_recorder () =
   Alcotest.(check int) "nothing recorded" 0 (History.length h);
   Alcotest.(check int) "no txns" 0 (Checker.txn_count h)
 
+(* ---------- mutation tests: a real history, minimally corrupted ----------
+
+   The hand-crafted anomalies above prove the checker CAN reject; these
+   prove it rejects when a single event of an actual checker-clean SSS
+   execution is falsified.  Each mutation models a specific protocol bug:
+   serving a read from a stale version, acknowledging commits out of order,
+   and losing an install. *)
+
+let real_history () =
+  let sim = Sss_sim.Sim.create () in
+  let config =
+    { Sss_kv.Config.default with nodes = 2; replication_degree = 1; total_keys = 12; seed = 5 }
+  in
+  let cl = Sss_kv.Kv.create sim config in
+  let ops =
+    {
+      Sss_workload.Driver.begin_txn =
+        (fun ~node ~read_only -> Sss_kv.Kv.begin_txn cl ~node ~read_only);
+      read = Sss_kv.Kv.read;
+      write = Sss_kv.Kv.write;
+      commit = Sss_kv.Kv.commit;
+    }
+  in
+  ignore
+    (Sss_workload.Driver.run sim ~nodes:2 ~total_keys:12
+       ~local_keys:(fun n -> Replication.keys_at cl.Sss_kv.State.repl n)
+       ~profile:(Sss_workload.Driver.paper_profile ~read_only_ratio:0.3)
+       ~load:
+         {
+           Sss_workload.Driver.default_load with
+           clients_per_node = 3;
+           warmup = 0.005;
+           duration = 0.03;
+           seed = 5;
+         }
+       ~ops);
+  History.events (Sss_kv.Kv.history cl)
+
+let rebuild events =
+  let h = History.create () in
+  List.iter (fun (s : History.stamped) -> History.record h ~at:s.at s.event) events;
+  h
+
+let find_map_seq evs f = List.find_map f evs
+
+let node_of evs txn =
+  find_map_seq evs (fun (s : History.stamped) ->
+      match s.event with
+      | History.Begin { txn = t; node; _ } when Ids.equal_txn t txn -> Some node
+      | _ -> None)
+
+let begin_seq evs txn =
+  find_map_seq evs (fun (s : History.stamped) ->
+      match s.event with
+      | History.Begin { txn = t; _ } when Ids.equal_txn t txn -> Some s.seq
+      | _ -> None)
+
+let commit_seq evs txn =
+  find_map_seq evs (fun (s : History.stamped) ->
+      match s.event with
+      | History.Commit { txn = t } when Ids.equal_txn t txn -> Some s.seq
+      | _ -> None)
+
+let committed evs txn = commit_seq evs txn <> None
+
+(* A committed read of a non-genesis version whose writer committed — on
+   the reader's own node — before the reader began: exactly the reads whose
+   falsification a session-level external-consistency check must catch. *)
+let find_anchored_read evs =
+  find_map_seq evs (fun (s : History.stamped) ->
+      match s.event with
+      | History.Read { txn; key; writer }
+        when (not (Ids.equal_txn writer Ids.genesis)) && committed evs txn -> (
+          match (node_of evs txn, node_of evs writer, begin_seq evs txn, commit_seq evs writer)
+          with
+          | Some nr, Some nw, Some bs, Some cw when nr = nw && cw < bs ->
+              Some (s.seq, txn, key, writer)
+          | _ -> None)
+      | _ -> None)
+
+let test_mutation_stale_read () =
+  let evs = real_history () in
+  check_ok "unmutated history is clean" (Checker.external_consistency (rebuild evs));
+  match find_anchored_read evs with
+  | None -> Alcotest.fail "no anchored read in the real history (workload too small?)"
+  | Some (seq, txn, key, _writer) ->
+      (* the bug: a replica answers from a version the reader's own session
+         has already seen superseded *)
+      let mutated =
+        List.map
+          (fun (s : History.stamped) ->
+            if s.seq = seq then
+              { s with event = History.Read { txn; key; writer = Ids.genesis } }
+            else s)
+          evs
+      in
+      check_err "stale read rejected" (Checker.external_consistency (rebuild mutated))
+
+let test_mutation_swapped_commit_order () =
+  let evs = real_history () in
+  check_ok "unmutated history is clean" (Checker.external_consistency (rebuild evs));
+  match find_anchored_read evs with
+  | None -> Alcotest.fail "no anchored read in the real history"
+  | Some (_, reader, _, _writer) ->
+      (* the bug: the coordinator acknowledges the reader's commit before
+         the writer it depends on even began — recorded completion order
+         contradicts the wr dependency *)
+      let is_reader (s : History.stamped) =
+        match s.event with
+        | History.Begin { txn; _ } | History.Read { txn; _ } | History.Install { txn; _ }
+        | History.Commit { txn } | History.Abort { txn } ->
+            Ids.equal_txn txn reader
+      in
+      let mine, rest = List.partition is_reader evs in
+      let reordered =
+        List.mapi
+          (fun i (s : History.stamped) -> { s with at = float_of_int i })
+          (mine @ rest)
+      in
+      check_err "inverted completion order rejected"
+        (Checker.external_consistency (rebuild reordered))
+
+let test_mutation_dropped_install () =
+  let evs = real_history () in
+  check_ok "unmutated history is clean" (Checker.no_lost_updates (rebuild evs));
+  (* a committed RMW chain: R read W's version of a key and installed its
+     own version of the same key *)
+  let target =
+    find_map_seq evs (fun (s : History.stamped) ->
+        match s.event with
+        | History.Read { txn = r; key; writer = w }
+          when (not (Ids.equal_txn w Ids.genesis)) && committed evs r && committed evs w
+               && List.exists
+                    (fun (s2 : History.stamped) ->
+                      match s2.event with
+                      | History.Install { txn; key = k2 } -> Ids.equal_txn txn r && k2 = key
+                      | _ -> false)
+                    evs ->
+            Some (key, w)
+        | _ -> None)
+  in
+  match target with
+  | None -> Alcotest.fail "no committed RMW chain in the real history"
+  | Some (key, w) ->
+      (* the bug: a replica loses the predecessor's install, so the chain's
+         version order no longer contains the version the RMW observed *)
+      let mutated =
+        List.filter
+          (fun (s : History.stamped) ->
+            match s.event with
+            | History.Install { txn; key = k } -> not (Ids.equal_txn txn w && k = key)
+            | _ -> true)
+          evs
+      in
+      check_err "dropped install rejected" (Checker.no_lost_updates (rebuild mutated))
+
 let () =
   Alcotest.run "consistency"
     [
@@ -292,5 +448,13 @@ let () =
           Alcotest.test_case "disabled recorder" `Quick test_disabled_recorder;
           Alcotest.test_case "to_dot" `Quick test_to_dot_renders_edges;
           Alcotest.test_case "strict vs session" `Quick test_strict_vs_session_semantics;
+        ] );
+      ( "mutations",
+        [
+          Alcotest.test_case "stale read in a real history" `Quick test_mutation_stale_read;
+          Alcotest.test_case "swapped commit order in a real history" `Quick
+            test_mutation_swapped_commit_order;
+          Alcotest.test_case "dropped install in a real history" `Quick
+            test_mutation_dropped_install;
         ] );
     ]

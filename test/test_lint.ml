@@ -57,12 +57,22 @@ let test_r3_bad () =
 let test_r4_bad () =
   expect "r4_bad.ml" [ ("R4", 4, "Hashtbl.fold"); ("R4", 7, "Hashtbl.iter") ]
 
+let test_r5_bad () =
+  expect "r5_bad.ml"
+    [
+      ("R5", 6, "print_endline");
+      ("R5", 8, "Printf.printf");
+      ("R5", 10, "Format.eprintf");
+      ("R5", 12, "prerr_string");
+      ("R5", 14, "print_string");
+    ]
+
 (* ---------- annotated twins are clean ---------- *)
 
 let test_clean_twins () =
   List.iter
     (fun f -> expect f [])
-    [ "r1_clean.ml"; "r2_clean.ml"; "r3_clean.ml"; "r4_clean.ml" ]
+    [ "r1_clean.ml"; "r2_clean.ml"; "r3_clean.ml"; "r4_clean.ml"; "r5_clean.ml" ]
 
 (* Deleting a single annotation resurrects the finding: the clean twin
    minus its attribute must flag.  We prove the mechanism on the bad/clean
@@ -88,6 +98,9 @@ let test_scoping () =
   expect ~scope:"lib/sim/fixture.ml" "r4_bad.ml" [];
   (* bin/ is exempt from everything, R1 included *)
   expect ~scope:"bin/fixture.ml" "r1_bad.ml" [];
+  (* R5 is off in the figure printer and outside lib/ *)
+  expect ~scope:"lib/experiments/fixture.ml" "r5_bad.ml" [];
+  expect ~scope:"bench/fixture.ml" "r5_bad.ml" [];
   (* rule selection: R1 alone sees nothing in the R2 fixture *)
   expect ~rules:[ Lint.R1 ] "r2_bad.ml" []
 
@@ -107,7 +120,7 @@ let test_fingerprints_unique () =
   let all =
     List.concat_map
       (fun f -> check f)
-      [ "r1_bad.ml"; "r2_bad.ml"; "r3_bad.ml"; "r4_bad.ml" ]
+      [ "r1_bad.ml"; "r2_bad.ml"; "r3_bad.ml"; "r4_bad.ml"; "r5_bad.ml" ]
   in
   let fps = List.map (fun (f : Lint.finding) -> f.fingerprint) all in
   Alcotest.(check int)
@@ -141,7 +154,7 @@ let test_repo_is_clean () =
      lib/ tree.  Here we only assert the engine accepts the fixtures dir
      discovery path used by the CLI. *)
   let files = Lint.collect_ml "lint_fixtures" in
-  Alcotest.(check bool) "collect_ml finds fixtures" true (List.length files >= 9)
+  Alcotest.(check bool) "collect_ml finds fixtures" true (List.length files >= 11)
 
 let () =
   Alcotest.run "lint"
@@ -152,6 +165,7 @@ let () =
           Alcotest.test_case "R2 polymorphic compare fires" `Quick test_r2_bad;
           Alcotest.test_case "R3 Vclock ownership fires" `Quick test_r3_bad;
           Alcotest.test_case "R4 iteration order fires" `Quick test_r4_bad;
+          Alcotest.test_case "R5 ad-hoc printing fires" `Quick test_r5_bad;
         ] );
       ( "suppressions",
         [

@@ -177,6 +177,104 @@ let test_gather_extra_ignored () =
         (Rpc.Gather.await sim g ~timeout:1.0));
   Sim.run sim
 
+(* --- Reliable transport edge cases ------------------------------------- *)
+
+type rmsg = Tracked of { token : int; inner : string } | Delivered of { token : int }
+
+(* A two-node cell wired exactly as the reliable.mli example prescribes: the
+   receiver sends a receipt for *every* copy and processes the payload only
+   when [Reliable.receive] says the token is new. *)
+let reliable_cell ~retry () =
+  let sim, net = make ~nodes:2 () in
+  let rel = Reliable.create sim net ~retry in
+  let processed = ref [] and copies = ref 0 in
+  Network.set_handler net 1 (fun ~src msg ->
+      match msg with
+      | Tracked { token; inner } ->
+          incr copies;
+          Network.send net ~src:1 ~dst:src (Delivered { token });
+          if Reliable.receive rel token then processed := inner :: !processed
+      | Delivered _ -> ());
+  Network.set_handler net 0 (fun ~src:_ msg ->
+      match msg with Delivered { token } -> Reliable.delivered rel token | Tracked _ -> ());
+  (sim, net, rel, processed, copies)
+
+let test_reliable_ack_after_stall () =
+  (* A tiny retry budget against a severed link exhausts into a stall; a
+     receipt showing up *after* the stall must be ignored — no state change,
+     no resurrected retry fiber — and fresh sends must still work. *)
+  let retry = Reliable.{ initial = 100e-6; max = 100e-6; limit = 2 } in
+  let sim, net, rel, processed, copies = reliable_cell ~retry () in
+  Network.sever net 0 1;
+  let token = ref (-1) in
+  Reliable.send rel ~src:0 ~dst:1 (fun t ->
+      token := t;
+      Tracked { token = t; inner = "stalled" });
+  Sim.run sim;
+  Alcotest.(check int) "gave up after the budget" 1 (Reliable.stalled rel);
+  Alcotest.(check int) "no copy got through" 0 !copies;
+  let retries_before = Reliable.retries rel in
+  Network.heal net 0 1;
+  Reliable.delivered rel !token;
+  Reliable.delivered rel !token;
+  Sim.run sim;
+  Alcotest.(check int) "late receipt is a no-op (retries)" retries_before (Reliable.retries rel);
+  Alcotest.(check int) "late receipt is a no-op (stalls)" 1 (Reliable.stalled rel);
+  Reliable.send rel ~src:0 ~dst:1 (fun t -> Tracked { token = t; inner = "fresh" });
+  Sim.run sim;
+  Alcotest.(check (list string)) "fresh send processed" [ "fresh" ] !processed
+
+let test_reliable_duplicate_copies () =
+  (* The chaos duplication rule hands the receiver extra copies of the same
+     envelope; the token dedups them to a single processing.  The retry
+     schedule sits far beyond the test horizon so every copy below comes from
+     the perturbation, not from a retry racing the receipt. *)
+  let retry = Reliable.{ initial = 10.0; max = 10.0; limit = 3 } in
+  let sim, net, rel, processed, copies = reliable_cell ~retry () in
+  Network.set_perturb net
+    (Some
+       (fun ~src:_ ~dst:_ msg ->
+         match msg with
+         | Tracked _ -> { Network.no_fault with duplicates = 2 }
+         | Delivered _ -> Network.no_fault));
+  Reliable.send rel ~src:0 ~dst:1 (fun t -> Tracked { token = t; inner = "dup" });
+  Sim.run sim;
+  Alcotest.(check int) "three copies arrived" 3 !copies;
+  Alcotest.(check (list string)) "processed exactly once" [ "dup" ] !processed;
+  Alcotest.(check int) "no retries needed" 0 (Reliable.retries rel)
+
+let test_reliable_dedup_across_crash () =
+  (* Receipts are lost at first, so the sender keeps re-sending a payload the
+     receiver has already processed; mid-stream the receiver crashes and
+     recovers.  Duplicates landing after the restart must still be rejected by
+     the token, and the send must settle (not stall) once receipts flow. *)
+  let retry = Reliable.{ initial = 100e-6; max = 100e-6; limit = 200 } in
+  let sim, net, rel, processed, copies = reliable_cell ~retry () in
+  let token = ref (-1) in
+  let lose_receipts = ref true in
+  Network.set_perturb net
+    (Some
+       (fun ~src:_ ~dst:_ msg ->
+         match msg with
+         | Delivered _ when !lose_receipts -> { Network.no_fault with drop = true }
+         | _ -> Network.no_fault));
+  Reliable.send rel ~src:0 ~dst:1 (fun t ->
+      token := t;
+      Tracked { token = t; inner = "once" });
+  let copies_at_recovery = ref 0 in
+  Sim.schedule sim ~delay:350e-6 (fun () -> Network.crash net 1);
+  Sim.schedule sim ~delay:800e-6 (fun () ->
+      Network.recover net 1;
+      copies_at_recovery := !copies);
+  Sim.schedule sim ~delay:1.5e-3 (fun () -> lose_receipts := false);
+  Sim.run sim;
+  Alcotest.(check bool) "sender retried" true (Reliable.retries rel > 0);
+  Alcotest.(check bool) "duplicates reached the receiver" true (!copies > 1);
+  Alcotest.(check bool) "duplicates landed after the restart" true (!copies > !copies_at_recovery);
+  Alcotest.(check (list string)) "processed exactly once" [ "once" ] !processed;
+  Alcotest.(check int) "settled, not stalled" 0 (Reliable.stalled rel);
+  Alcotest.(check bool) "token stays seen after restart" false (Reliable.receive rel !token)
+
 let () =
   Alcotest.run "net"
     [
@@ -199,5 +297,11 @@ let () =
           Alcotest.test_case "gather complete" `Quick test_gather_complete;
           Alcotest.test_case "gather timeout" `Quick test_gather_timeout;
           Alcotest.test_case "gather extra ignored" `Quick test_gather_extra_ignored;
+        ] );
+      ( "reliable",
+        [
+          Alcotest.test_case "ack after stall" `Quick test_reliable_ack_after_stall;
+          Alcotest.test_case "duplicate copies" `Quick test_reliable_duplicate_copies;
+          Alcotest.test_case "dedup across crash" `Quick test_reliable_dedup_across_crash;
         ] );
     ]

@@ -1,0 +1,391 @@
+(* Tests for the observability layer (lib/obs): histogram and trace-ring
+   unit/property tests, trace-driven assertions over a real SSS run, and
+   the observer-effect contract — observe=true must not change a
+   trajectory, observe=false must not even allocate a sink. *)
+
+open Sss_sim
+open Sss_data
+open Sss_kv
+open Sss_consistency
+module Obs = Sss_obs.Obs
+module Hist = Sss_obs.Hist
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* ---------- histograms: bucket boundaries ---------- *)
+
+let test_hist_buckets () =
+  let h = Hist.create ~lo:1.0 ~ratio:2.0 ~buckets:4 () in
+  (* buckets: [0,1) [1,2) [2,4) [4,inf) *)
+  Alcotest.(check int) "below lo" 0 (Hist.bucket_of h 0.5);
+  Alcotest.(check int) "at lo" 1 (Hist.bucket_of h 1.0);
+  Alcotest.(check int) "inside bucket 1" 1 (Hist.bucket_of h 1.999);
+  Alcotest.(check int) "at edge 2" 2 (Hist.bucket_of h 2.0);
+  Alcotest.(check int) "last bucket lower edge" 3 (Hist.bucket_of h 4.0);
+  Alcotest.(check int) "last bucket absorbs" 3 (Hist.bucket_of h 1e12);
+  Alcotest.(check (pair (float 0.0) (float 0.0))) "bucket 0 bounds" (0.0, 1.0)
+    (Hist.bucket_bounds h 0);
+  let lo3, hi3 = Hist.bucket_bounds h 3 in
+  Alcotest.(check (float 0.0)) "last lower" 4.0 lo3;
+  Alcotest.(check bool) "last upper is inf" true (hi3 = infinity)
+
+let test_hist_stats () =
+  let h = Hist.create ~lo:1.0 ~ratio:2.0 ~buckets:4 () in
+  List.iter (Hist.observe h) [ 0.5; 1.5; 3.0; 6.0 ];
+  Alcotest.(check int) "count" 4 (Hist.count h);
+  Alcotest.(check (float 1e-9)) "sum" 11.0 (Hist.sum h);
+  Alcotest.(check (float 1e-9)) "mean" 2.75 (Hist.mean h);
+  Alcotest.(check (float 1e-9)) "min" 0.5 (Hist.min_value h);
+  Alcotest.(check (float 1e-9)) "max" 6.0 (Hist.max_value h);
+  Alcotest.(check (list int)) "per-bucket counts" [ 1; 1; 1; 1 ]
+    (Array.to_list (Hist.counts h));
+  (* negative values clamp to 0 instead of being lost *)
+  Hist.observe h (-3.0);
+  Alcotest.(check int) "negative clamped into bucket 0" 2 (Hist.counts h).(0);
+  Alcotest.(check (float 1e-9)) "clamped min" 0.0 (Hist.min_value h)
+
+let test_hist_percentile () =
+  let h = Hist.create ~lo:1.0 ~ratio:2.0 ~buckets:4 () in
+  Alcotest.(check (float 0.0)) "empty percentile" 0.0 (Hist.percentile h 0.5);
+  for _ = 1 to 99 do Hist.observe h 1.5 done;
+  Hist.observe h 6.0;
+  (* p50 rank lands in bucket [1,2): reported as that bucket's upper edge *)
+  Alcotest.(check (float 1e-9)) "p50 bucket upper edge" 2.0 (Hist.percentile h 0.5);
+  (* p100 lands in the last occupied bucket; its upper edge (inf for the
+     overflow bucket) clamps to the observed max *)
+  Alcotest.(check (float 1e-9)) "p100 clamps to vmax" 6.0 (Hist.percentile h 1.0);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Hist.percentile: p outside (0, 1]") (fun () ->
+      ignore (Hist.percentile h 1.5))
+
+let test_hist_merge () =
+  let mk () = Hist.create ~lo:1.0 ~ratio:2.0 ~buckets:4 () in
+  let a = mk () and b = mk () in
+  List.iter (Hist.observe a) [ 0.5; 3.0 ];
+  List.iter (Hist.observe b) [ 1.5; 9.0 ];
+  let m = Hist.merge a b in
+  Alcotest.(check int) "merged count" 4 (Hist.count m);
+  Alcotest.(check (float 1e-9)) "merged sum" 14.0 (Hist.sum m);
+  Alcotest.(check (float 1e-9)) "merged min" 0.5 (Hist.min_value m);
+  Alcotest.(check (float 1e-9)) "merged max" 9.0 (Hist.max_value m);
+  Alcotest.(check (list int)) "merged buckets" [ 1; 1; 1; 1 ]
+    (Array.to_list (Hist.counts m));
+  let odd = Hist.create ~lo:1.0 ~ratio:2.0 ~buckets:6 () in
+  Alcotest.check_raises "shape mismatch"
+    (Invalid_argument "Hist.merge: shape mismatch") (fun () ->
+      ignore (Hist.merge a odd))
+
+(* ---------- histogram properties ---------- *)
+
+let pos_floats = QCheck.(list_of_size Gen.(int_range 0 200) (float_bound_exclusive 1e6))
+
+let prop_count_preserved =
+  QCheck.Test.make ~name:"hist: total bucket count = observations" ~count:200
+    pos_floats (fun xs ->
+      let h = Hist.create () in
+      List.iter (Hist.observe h) xs;
+      Array.fold_left ( + ) 0 (Hist.counts h) = List.length xs
+      && Hist.count h = List.length xs)
+
+let prop_bucket_monotone =
+  QCheck.Test.make ~name:"hist: bucket_of monotone in the value" ~count:500
+    QCheck.(pair (float_bound_exclusive 1e9) (float_bound_exclusive 1e9))
+    (fun (a, b) ->
+      let h = Hist.create () in
+      let lo = Float.min a b and hi = Float.max a b in
+      Hist.bucket_of h lo <= Hist.bucket_of h hi)
+
+let prop_merge_is_concat =
+  QCheck.Test.make ~name:"hist: merge = observing the concatenation" ~count:100
+    QCheck.(pair pos_floats pos_floats) (fun (xs, ys) ->
+      let mk l =
+        let h = Hist.create () in
+        List.iter (Hist.observe h) l;
+        h
+      in
+      let merged = Hist.merge (mk xs) (mk ys) in
+      let both = mk (xs @ ys) in
+      Hist.counts merged = Hist.counts both [@poly_ok]
+      && Hist.count merged = Hist.count both)
+
+(* ---------- the trace ring ---------- *)
+
+let ev i = Obs.Vclock_advance { node = 0; value = i }
+
+let test_ring_basic () =
+  let o = Obs.create ~capacity:4 () in
+  for i = 1 to 3 do Obs.emit o ~at:(float_of_int i) (ev i) done;
+  Alcotest.(check int) "emitted" 3 (Obs.emitted o);
+  Alcotest.(check int) "nothing dropped" 0 (Obs.dropped o);
+  Alcotest.(check (list int)) "seq 0,1,2" [ 0; 1; 2 ]
+    (List.map (fun (s : Obs.stamped) -> s.seq) (Obs.events o))
+
+let test_ring_wraparound () =
+  let o = Obs.create ~capacity:4 () in
+  for i = 1 to 10 do Obs.emit o ~at:(float_of_int i) (ev i) done;
+  Alcotest.(check int) "emitted" 10 (Obs.emitted o);
+  Alcotest.(check int) "dropped = emitted - capacity" 6 (Obs.dropped o);
+  let seqs = List.map (fun (s : Obs.stamped) -> s.seq) (Obs.events o) in
+  Alcotest.(check (list int)) "retains the newest, oldest first" [ 6; 7; 8; 9 ] seqs;
+  let ats = List.map (fun (s : Obs.stamped) -> s.at) (Obs.events o) in
+  Alcotest.(check (list (float 0.0))) "timestamps follow" [ 7.0; 8.0; 9.0; 10.0 ] ats
+
+let test_counters_and_gauges () =
+  let o = Obs.create () in
+  Obs.incr o "b";
+  Obs.incr o "a";
+  Obs.incr o "b";
+  Obs.add o "a" 10;
+  Alcotest.(check int) "counter a" 11 (Obs.counter o "a");
+  Alcotest.(check int) "unknown counter" 0 (Obs.counter o "zzz");
+  Alcotest.(check (list (pair string int))) "sorted read-back"
+    [ ("a", 11); ("b", 2) ] (Obs.counters o);
+  Obs.gauge_set o "depth" 3;
+  Obs.gauge_set o "depth" 7;
+  Obs.gauge_set o "depth" 2;
+  Alcotest.(check (list (pair string (pair int int)))) "gauge current+peak"
+    [ ("depth", (2, 7)) ] (Obs.gauges o)
+
+let test_json_shapes () =
+  let o = Obs.create ~capacity:8 () in
+  Obs.incr o "txn.commit.ro";
+  Obs.observe o "lat.txn.ro" 0.001;
+  Obs.gauge_set o "net.queue.node0" 2;
+  Obs.emit o ~at:0.5 (Obs.Txn_commit { txn = "t<0,1>"; node = 0; ro = true });
+  let m = Obs.metrics_json o in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "metrics has %s" needle)
+        true
+        (contains ~needle m))
+    [ "\"counters\""; "\"histograms\""; "\"gauges\""; "\"trace\""; "txn.commit.ro" ];
+  let lines = String.split_on_char '\n' (String.trim (Obs.trace_jsonl o)) in
+  Alcotest.(check int) "one line per retained event" 1 (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "line is a JSON object" true
+        (String.length l > 2 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines;
+  (* identical registries render identically *)
+  let o2 = Obs.create ~capacity:8 () in
+  Obs.incr o2 "txn.commit.ro";
+  Obs.observe o2 "lat.txn.ro" 0.001;
+  Obs.gauge_set o2 "net.queue.node0" 2;
+  Obs.emit o2 ~at:0.5 (Obs.Txn_commit { txn = "t<0,1>"; node = 0; ro = true });
+  Alcotest.(check string) "deterministic rendering" m (Obs.metrics_json o2)
+
+(* ---------- trace-driven assertions over a real SSS run ---------- *)
+
+let run_sss ~observe ~seed =
+  let sim = Sim.create () in
+  let config =
+    {
+      Config.default with
+      nodes = 3;
+      replication_degree = 1;
+      total_keys = 24;
+      seed;
+      observe;
+    }
+  in
+  let cl = Kv.create sim config in
+  let ops =
+    {
+      Sss_workload.Driver.begin_txn = (fun ~node ~read_only -> Kv.begin_txn cl ~node ~read_only);
+      read = Kv.read;
+      write = Kv.write;
+      commit = Kv.commit;
+    }
+  in
+  let result =
+    Sss_workload.Driver.run sim ~nodes:3 ~total_keys:24
+      ~local_keys:(fun n -> Replication.keys_at cl.State.repl n)
+      ~profile:(Sss_workload.Driver.paper_profile ~read_only_ratio:0.5)
+      ~load:
+        {
+          Sss_workload.Driver.default_load with
+          clients_per_node = 4;
+          warmup = 0.005;
+          duration = 0.04;
+          seed;
+        }
+      ~ops
+  in
+  (sim, cl, result)
+
+let obs_exn cl =
+  match Kv.obs cl with
+  | Some o -> o
+  | None -> Alcotest.fail "observe=true but no sink attached"
+
+let test_traced_run_events () =
+  let _, cl, result = run_sss ~observe:true ~seed:7 in
+  let o = obs_exn cl in
+  Alcotest.(check bool) "made progress" true (result.Sss_workload.Driver.committed > 50);
+  Alcotest.(check bool) "ran read-only transactions" true (Obs.counter o "txn.begin.ro" > 0);
+  let events = Obs.events o in
+  Alcotest.(check bool) "trace retained events" true (events <> []);
+  (* the paper's headline property, visible in the trace: no read-only
+     transaction ever aborts *)
+  List.iter
+    (fun (s : Obs.stamped) ->
+      match s.event with
+      | Obs.Txn_abort { ro = true; txn; _ } ->
+          Alcotest.fail (Printf.sprintf "read-only transaction %s aborted" txn)
+      | _ -> ())
+    events;
+  (* vclock advances are strictly monotone per node *)
+  let last = Array.make 3 min_int in
+  List.iter
+    (fun (s : Obs.stamped) ->
+      match s.event with
+      | Obs.Vclock_advance { node; value } ->
+          if value <= last.(node) then
+            Alcotest.fail
+              (Printf.sprintf "vclock on node %d went %d -> %d" node last.(node) value);
+          last.(node) <- value
+      | _ -> ())
+    events;
+  Alcotest.(check bool) "saw vclock advances" true (Array.exists (fun v -> v > 0) last);
+  (* sequence numbers are the emission order *)
+  ignore
+    (List.fold_left
+       (fun prev (s : Obs.stamped) ->
+         Alcotest.(check bool) "seq strictly increasing" true (s.seq > prev);
+         s.seq)
+       (-1) events);
+  (* every park is matched by an unpark before quiescence *)
+  Alcotest.(check int) "park = unpark at quiescence" (Obs.counter o "sq.park")
+    (Obs.counter o "sq.unpark");
+  Alcotest.(check bool) "parking actually happened" true (Obs.counter o "sq.park" > 0);
+  (* the observed run is still checker-clean *)
+  let h = Kv.history cl in
+  (match Checker.external_consistency h with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("external consistency: " ^ e));
+  (match Checker.read_only_abort_free h with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("ro abort-free: " ^ e));
+  match Kv.quiescent cl with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("quiescent: " ^ e)
+
+let test_traced_run_metrics () =
+  let _, cl, _ = run_sss ~observe:true ~seed:7 in
+  let o = obs_exn cl in
+  (* non-zero latency histograms for the protocol's message kinds *)
+  List.iter
+    (fun kind ->
+      let name = "lat.msg." ^ kind in
+      match Obs.hist o name with
+      | Some h ->
+          Alcotest.(check bool) (name ^ " non-empty") true (Hist.count h > 0);
+          Alcotest.(check bool) (name ^ " positive mean") true (Hist.mean h > 0.0)
+      | None -> Alcotest.fail (name ^ " missing"))
+    [ "read_request"; "read_return"; "prepare"; "vote"; "decide"; "ack" ];
+  (* per-class transaction latency *)
+  List.iter
+    (fun name ->
+      match Obs.hist o name with
+      | Some h -> Alcotest.(check bool) (name ^ " non-empty") true (Hist.count h > 0)
+      | None -> Alcotest.fail (name ^ " missing"))
+    [ "lat.txn.ro"; "lat.txn.update" ];
+  (* sent/recv counters pair up per kind on a lossless network *)
+  List.iter
+    (fun kind ->
+      Alcotest.(check int)
+        (Printf.sprintf "sent=recv for %s" kind)
+        (Obs.counter o ("msg.sent." ^ kind))
+        (Obs.counter o ("msg.recv." ^ kind)))
+    [ "prepare"; "vote"; "decide"; "read_request"; "read_return" ];
+  (* queue-depth gauges were sampled for every node *)
+  let gauges = Obs.gauges o in
+  List.iter
+    (fun n ->
+      let name = Printf.sprintf "net.queue.node%d" n in
+      Alcotest.(check bool) (name ^ " present") true (List.mem_assoc name gauges))
+    [ 0; 1; 2 ];
+  (* the metrics JSON carries it all *)
+  match Kv.metrics_json cl with
+  | None -> Alcotest.fail "metrics_json absent"
+  | Some json ->
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("metrics has " ^ needle) true
+            (contains ~needle json))
+        [ "lat.msg.prepare"; "lat.txn.ro"; "txn.commit.ro"; "vclock.advance"; "\"trace\"" ]
+
+(* ---------- the observer-effect contract ---------- *)
+
+let test_observer_effect_zero () =
+  let sim_off, cl_off, r_off = run_sss ~observe:false ~seed:13 in
+  let sim_on, cl_on, r_on = run_sss ~observe:true ~seed:13 in
+  Alcotest.(check (option unit)) "observe=false allocates no sink" None
+    (Option.map ignore (Kv.obs cl_off));
+  Alcotest.(check int) "same DES event count" (Sim.events_processed sim_off)
+    (Sim.events_processed sim_on);
+  Alcotest.(check (float 0.0)) "same virtual end time" (Sim.now sim_off) (Sim.now sim_on);
+  Alcotest.(check int) "same committed" r_off.Sss_workload.Driver.committed
+    r_on.Sss_workload.Driver.committed;
+  Alcotest.(check int) "same aborted" r_off.Sss_workload.Driver.aborted
+    r_on.Sss_workload.Driver.aborted;
+  let verdict cl =
+    let h = Kv.history cl in
+    ( Result.is_ok (Checker.external_consistency h),
+      Result.is_ok (Checker.serializability h),
+      Result.is_ok (Checker.no_lost_updates h),
+      Result.is_ok (Checker.read_only_abort_free h) )
+  in
+  Alcotest.(check (pair (pair bool bool) (pair bool bool)))
+    "same checker verdicts"
+    (let a, b, c, d = verdict cl_off in
+     ((a, b), (c, d)))
+    (let a, b, c, d = verdict cl_on in
+     ((a, b), (c, d)))
+
+let test_observed_runs_deterministic () =
+  let metrics seed =
+    let _, cl, _ = run_sss ~observe:true ~seed in
+    match Kv.metrics_json cl with Some m -> m | None -> Alcotest.fail "no metrics"
+  in
+  Alcotest.(check string) "same seed => identical metrics JSON" (metrics 21) (metrics 21);
+  Alcotest.(check bool) "different seed => different metrics" true
+    (metrics 21 <> metrics 22)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "hist",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_hist_buckets;
+          Alcotest.test_case "count/sum/mean/min/max" `Quick test_hist_stats;
+          Alcotest.test_case "percentiles" `Quick test_hist_percentile;
+          Alcotest.test_case "merge" `Quick test_hist_merge;
+          QCheck_alcotest.to_alcotest prop_count_preserved;
+          QCheck_alcotest.to_alcotest prop_bucket_monotone;
+          QCheck_alcotest.to_alcotest prop_merge_is_concat;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "below capacity" `Quick test_ring_basic;
+          Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "counters and gauges" `Quick test_counters_and_gauges;
+          Alcotest.test_case "json shapes" `Quick test_json_shapes;
+        ] );
+      ( "traced-run",
+        [
+          Alcotest.test_case "event stream invariants" `Quick test_traced_run_events;
+          Alcotest.test_case "metrics registry" `Quick test_traced_run_metrics;
+        ] );
+      ( "observer-effect",
+        [
+          Alcotest.test_case "observe on/off: identical trajectory" `Quick
+            test_observer_effect_zero;
+          Alcotest.test_case "observed runs are deterministic" `Quick
+            test_observed_runs_deterministic;
+        ] );
+    ]

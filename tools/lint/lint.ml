@@ -1,7 +1,7 @@
 (** sss_lint engine: a compiler-libs static-analysis pass over the
     Parsetree that mechanizes the project conventions of DESIGN.md §8.
 
-    Four rules, each scoped by directory (the scope is derived from the
+    Five rules, each scoped by directory (the scope is derived from the
     file's path, so the tool never needs type information or a build):
 
     - R1 [determinism]: no wall-clock or ambient entropy anywhere under
@@ -26,18 +26,24 @@
       history-affecting libraries ([lib/core], [lib/consistency],
       [lib/data], [lib/twopc], [lib/walter], [lib/rococo]) must carry
       [@order_ok], asserting the result is insensitive to bucket order.
+    - R5 [no ad-hoc printing]: the stdout/stderr printers
+      ([print_string], [Printf.printf], [Format.eprintf], ...) are banned
+      under [lib/] — trace emission goes through [Obs.emit]
+      (docs/OBSERVABILITY.md) so it is ring-buffered, virtual-time-stamped,
+      and absent when [Config.observe] is off.  [lib/experiments] (the
+      figure printers) is exempt by scope; [@print_ok] suppresses.
 
     The checker is syntactic by design: [@poly_ok] therefore means
     "reviewed: this comparison is statically monomorphic at a scalar type,
     or deliberately polymorphic on a cold path", not merely "silence". *)
 
-type rule = R1 | R2 | R3 | R4
+type rule = R1 | R2 | R3 | R4 | R5
 
-let all_rules = [ R1; R2; R3; R4 ]
+let all_rules = [ R1; R2; R3; R4; R5 ]
 
-let rule_name = function R1 -> "R1" | R2 -> "R2" | R3 -> "R3" | R4 -> "R4"
+let rule_name = function R1 -> "R1" | R2 -> "R2" | R3 -> "R3" | R4 -> "R4" | R5 -> "R5"
 
-let rule_index = function R1 -> 0 | R2 -> 1 | R3 -> 2 | R4 -> 3
+let rule_index = function R1 -> 0 | R2 -> 1 | R3 -> 2 | R4 -> 3 | R5 -> 4
 
 let rule_of_string s =
   match String.uppercase_ascii (String.trim s) with
@@ -45,6 +51,7 @@ let rule_of_string s =
   | "R2" | "POLY" | "POLYCOMPARE" -> Some R2
   | "R3" | "OWNED" | "VCLOCK" -> Some R3
   | "R4" | "ORDER" | "ITERATION" -> Some R4
+  | "R5" | "PRINT" | "TRACE" -> Some R5
   | _ -> None
 
 let rule_doc = function
@@ -52,6 +59,7 @@ let rule_doc = function
   | R2 -> "no bare polymorphic compare in hot libraries"
   | R3 -> "Vclock in-place ops require [@owned]"
   | R4 -> "Hashtbl iteration must be [@order_ok] in history-affecting code"
+  | R5 -> "no stdout/stderr printing in lib/; trace through Obs.emit"
 
 type finding = {
   rule : rule;
@@ -90,7 +98,10 @@ let rule_applies rule path =
       match rule with
       | R1 | R3 -> true
       | R2 -> List.mem sub hot_libs
-      | R4 -> List.mem sub history_libs)
+      | R4 -> List.mem sub history_libs
+      (* the experiment harness IS the figure printer; everything else in
+         lib/ must trace through the observability sink *)
+      | R5 -> sub <> "experiments")
 
 (* ---- identifier tables ----------------------------------------------- *)
 
@@ -116,6 +127,19 @@ let scalar_funs =
   ]
 
 let vclock_owned_ops = [ "set_into"; "max_into"; "blit"; "unsafe_of_array" ]
+
+(* R5: direct stdout/stderr printers.  [Printf.sprintf]/[Format.asprintf]
+   and the [pp_print_*] combinators build strings or print to an explicit
+   formatter and stay legal. *)
+let print_funs =
+  [
+    "print_string"; "print_endline"; "print_newline"; "print_char";
+    "print_int"; "print_float"; "print_bytes";
+    "prerr_string"; "prerr_endline"; "prerr_newline"; "prerr_char";
+    "prerr_int"; "prerr_float"; "prerr_bytes";
+    "Printf.printf"; "Printf.eprintf"; "Format.printf"; "Format.eprintf";
+    "Format.print_string"; "Format.print_newline";
+  ]
 
 (* ---- traversal ------------------------------------------------------- *)
 
@@ -188,6 +212,7 @@ let attr_rule (attr : Parsetree.attribute) =
   | "poly_ok" -> Some R2
   | "owned" -> Some R3
   | "order_ok" -> Some R4
+  | "print_ok" -> Some R5
   | _ -> None
 
 type state = {
@@ -286,6 +311,18 @@ let check_iteration st ~loc name =
                name)
     | _ -> ()
 
+(* R5: ad-hoc printing on library code paths. *)
+let check_print st ~loc name =
+  if enabled st R5 then
+    if List.mem (strip_stdlib name) print_funs then
+      report st R5 ~loc ~lexeme:name
+        ~message:
+          (Printf.sprintf
+             "%s prints directly from library code; emit a typed trace event \
+              through Obs.emit instead (docs/OBSERVABILITY.md), or annotate \
+              [@print_ok] for deliberate CLI output"
+             name)
+
 (* R2, bare mention (e.g. [List.sort compare]). *)
 let check_poly_bare st ~loc name =
   if enabled st R2 then
@@ -361,7 +398,8 @@ let make_iterator st =
   let judge_ident ~loc name =
     check_determinism st ~loc name;
     check_vclock st ~loc name;
-    check_iteration st ~loc name
+    check_iteration st ~loc name;
+    check_print st ~loc name
   in
   let expr self (e : Parsetree.expression) =
     let pushed = push_attrs st e.pexp_attributes in
@@ -423,7 +461,7 @@ let check_file ?(rules = all_rules) ?(owned_allow = []) ?scope_as path =
   let st =
     {
       findings = [];
-      suppressed = Array.make 4 0;
+      suppressed = Array.make 5 0;
       context = [];
       occurrences = Hashtbl.create 64;
       rules;

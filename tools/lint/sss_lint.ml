@@ -50,7 +50,7 @@ let run rules paths baseline update_baseline format owned_allow =
         with
         | ok, [] -> List.filter_map snd ok
         | _, (bad, _) :: _ ->
-            Printf.eprintf "sss_lint: unknown rule %S (use R1..R4)\n" bad;
+            Printf.eprintf "sss_lint: unknown rule %S (use R1..R5)\n" bad;
             exit 2)
   in
   let files = List.concat_map Lint.collect_ml paths in
@@ -97,7 +97,8 @@ open Cmdliner
 let rules_arg =
   let doc =
     "Comma-separated rules to run (R1 determinism, R2 polymorphic compare, \
-     R3 Vclock ownership, R4 iteration order). Default: all."
+     R3 Vclock ownership, R4 iteration order, R5 no ad-hoc printing). \
+     Default: all."
   in
   Arg.(value & opt (list string) [] & info [ "rules" ] ~docv:"RULES" ~doc)
 
@@ -142,9 +143,10 @@ let cmd =
       `P (Printf.sprintf "R2: %s" (Lint.rule_doc Lint.R2));
       `P (Printf.sprintf "R3: %s" (Lint.rule_doc Lint.R3));
       `P (Printf.sprintf "R4: %s" (Lint.rule_doc Lint.R4));
+      `P (Printf.sprintf "R5: %s" (Lint.rule_doc Lint.R5));
       `P
-        "Suppressions: [@poly_ok] (R2), [@owned] (R3), [@order_ok] (R4), or \
-         a fingerprint baseline file (all rules).";
+        "Suppressions: [@poly_ok] (R2), [@owned] (R3), [@order_ok] (R4), \
+         [@print_ok] (R5), or a fingerprint baseline file (all rules).";
     ]
   in
   Cmd.v
