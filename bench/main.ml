@@ -1,7 +1,7 @@
 (* Benchmark harness.
 
    Usage:  dune exec bench/main.exe -- [--scale full|quick|smoke]
-             [--json FILE] [--observe] [targets]
+             [--json FILE] [--observe] [-j N|max] [--speedup] [targets]
 
    Targets are the paper's evaluation artefacts: fig3 fig4a fig4b fig5 fig6
    fig7 fig8 abort-rate (see DESIGN.md §3 for the mapping), plus `micro`
@@ -21,7 +21,14 @@
    [--observe] additionally runs one traced SSS cell (Config.observe = true)
    and emits its sss_obs metrics — printed, and embedded as a "metrics"
    object when [--json] is also given.  By the observer-effect contract
-   (docs/OBSERVABILITY.md) tracing never changes the measured numbers. *)
+   (docs/OBSERVABILITY.md) tracing never changes the measured numbers.
+
+   [-j N] fans the independent simulator runs behind each figure across N
+   domains (sss_par pool; "max" = Pool.default_jobs).  Output — figure text
+   and every deterministic JSON field — is byte-identical at any N; only
+   wall-clock fields change.  The smoke.sh parallel gate pins this.
+   [--speedup] additionally times a quiet -j1 baseline per figure target
+   and records jobs + per-target speedup in a "parallel" JSON block. *)
 
 open Sss_experiments.Experiments
 
@@ -99,10 +106,8 @@ let run_micro () =
 type target_report = {
   target : string;
   wall_seconds : float;
-  des_events : int;
-  virtual_seconds : float;
-  committed_txns : int;
-  runs : int;
+  baseline_wall : float option;  (* --speedup: the quiet -j1 wall clock *)
+  m : meters;
 }
 
 let json_escape s =
@@ -127,29 +132,32 @@ let config_fingerprint scale =
           p.nodes p.degree p.keys p.ro_ratio p.ro_ops p.locality p.clients p.warmup p.duration
           p.seed p.strict p.priority_network p.compress))
 
-let write_json file ~scale ~scale_v ~observe ~metrics reports =
+let write_json file ~scale ~scale_v ~observe ~jobs ~speedup ~metrics reports =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     (Printf.sprintf
        "{\n\
        \  \"scale\": \"%s\",\n\
        \  \"meta\": {\n\
-       \    \"schema\": 2,\n\
+       \    \"schema\": 3,\n\
        \    \"scale\": \"%s\",\n\
        \    \"seed\": %d,\n\
        \    \"config_md5\": \"%s\",\n\
-       \    \"observe\": %b\n\
+       \    \"observe\": %b,\n\
+       \    \"jobs\": %d\n\
        \  },\n\
        \  \"targets\": ["
-       scale scale (base_params scale_v).seed (config_fingerprint scale_v) observe);
+       scale scale (base_params scale_v).seed (config_fingerprint scale_v) observe jobs);
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_char buf ',';
       let events_per_sec =
-        if r.wall_seconds > 0.0 then float_of_int r.des_events /. r.wall_seconds else 0.0
+        if r.wall_seconds > 0.0 then float_of_int r.m.des_events /. r.wall_seconds
+        else 0.0
       in
       let virtual_tput =
-        if r.virtual_seconds > 0.0 then float_of_int r.committed_txns /. r.virtual_seconds
+        if r.m.virtual_seconds > 0.0 then
+          float_of_int r.m.committed_txns /. r.m.virtual_seconds
         else 0.0
       in
       Buffer.add_string buf
@@ -164,10 +172,27 @@ let write_json file ~scale ~scale_v ~observe ~metrics reports =
            \      \"virtual_throughput_txns_per_vsec\": %.1f,\n\
            \      \"runs\": %d\n\
            \    }"
-           (json_escape r.target) r.wall_seconds r.des_events events_per_sec
-           r.virtual_seconds r.committed_txns virtual_tput r.runs))
+           (json_escape r.target) r.wall_seconds r.m.des_events events_per_sec
+           r.m.virtual_seconds r.m.committed_txns virtual_tput r.m.runs))
     reports;
   Buffer.add_string buf "\n  ]";
+  if speedup then begin
+    Buffer.add_string buf
+      (Printf.sprintf ",\n  \"parallel\": {\n    \"jobs\": %d,\n    \"speedup_vs_j1\": {" jobs);
+    let first = ref true in
+    List.iter
+      (fun r ->
+        match r.baseline_wall with
+        | Some base when r.wall_seconds > 0.0 ->
+            if not !first then Buffer.add_char buf ',';
+            first := false;
+            Buffer.add_string buf
+              (Printf.sprintf "\n      \"%s\": %.2f" (json_escape r.target)
+                 (base /. r.wall_seconds))
+        | _ -> ())
+      reports;
+    Buffer.add_string buf "\n    }\n  }"
+  end;
   (match metrics with
   | Some m -> Buffer.add_string buf (Printf.sprintf ",\n  \"metrics\": %s" m)
   | None -> ());
@@ -179,12 +204,35 @@ let write_json file ~scale ~scale_v ~observe ~metrics reports =
 
 (* ---------- dispatch ---------- *)
 
+let figure_of = function
+  | "fig3" -> Some fig3
+  | "fig4a" -> Some fig4a
+  | "fig4b" -> Some fig4b
+  | "fig5" -> Some fig5
+  | "fig6" -> Some fig6
+  | "fig7" -> Some fig7
+  | "fig8" -> Some fig8
+  | "abort-rate" -> Some abort_rate
+  | "ablation" -> Some ablation
+  | "skewed" -> Some skewed
+  | "all" -> Some all
+  | _ -> None
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let scale = ref Full in
   let json_file = ref None in
   let observe = ref false in
+  let jobs = ref 1 in
+  let speedup = ref false in
   let targets = ref [] in
+  let parse_jobs = function
+    | "max" -> Sss_par.Pool.default_jobs ()
+    | s -> (
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> n
+        | _ -> failwith ("bad -j value " ^ s))
+  in
   let rec parse = function
     | [] -> ()
     | "--scale" :: s :: rest ->
@@ -201,6 +249,12 @@ let () =
     | "--observe" :: rest ->
         observe := true;
         parse rest
+    | ("-j" | "--jobs") :: n :: rest ->
+        jobs := parse_jobs n;
+        parse rest
+    | "--speedup" :: rest ->
+        speedup := true;
+        parse rest
     | t :: rest ->
         targets := t :: !targets;
         parse rest
@@ -212,45 +266,41 @@ let () =
     | ts -> ts
   in
   let scale = !scale in
-  set_observe_all !observe;
+  let jobs = !jobs in
+  let speedup = !speedup && jobs > 1 in
+  (* Resize the minor heap before any domain exists (Sim's comment). *)
+  Sss_sim.Sim.tune_gc ();
+  let run_ctx = ctx ~jobs ~observe_all:!observe () in
+  let quiet_ctx = ctx ~jobs:1 ~observe_all:!observe ~out:ignore () in
   let scale_name = match scale with Full -> "full" | Quick -> "quick" | Smoke -> "smoke" in
-  Printf.printf "SSS reproduction benchmarks (scale: %s)\n" scale_name;
+  Printf.printf "SSS reproduction benchmarks (scale: %s, jobs: %d)\n" scale_name jobs;
   let reports = ref [] in
+  let time f =
+    let start = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. start)
+  in
   List.iter
     (fun t ->
-      reset_meters ();
-      let start = Unix.gettimeofday () in
-      let known = ref true in
-      (match t with
-      | "fig3" -> fig3 scale
-      | "fig4a" -> fig4a scale
-      | "fig4b" -> fig4b scale
-      | "fig5" -> fig5 scale
-      | "fig6" -> fig6 scale
-      | "fig7" -> fig7 scale
-      | "fig8" -> fig8 scale
-      | "abort-rate" -> abort_rate scale
-      | "ablation" -> ablation scale
-      | "skewed" -> skewed scale
-      | "all" -> all scale
-      | "micro" -> run_micro ()
-      | other ->
-          known := false;
-          Printf.eprintf "unknown target %s (skipped)\n" other);
-      if !known then begin
-        let wall = Unix.gettimeofday () -. start in
-        let m = meters () in
-        reports :=
-          {
-            target = t;
-            wall_seconds = wall;
-            des_events = m.des_events;
-            virtual_seconds = m.virtual_seconds;
-            committed_txns = m.committed_txns;
-            runs = m.runs;
-          }
-          :: !reports
-      end)
+      match figure_of t with
+      | Some fig ->
+          let baseline_wall =
+            if speedup then begin
+              let _, wall = time (fun () -> fig quiet_ctx scale) in
+              Some wall
+            end
+            else None
+          in
+          let m, wall_seconds = time (fun () -> fig run_ctx scale) in
+          reports := { target = t; wall_seconds; baseline_wall; m } :: !reports
+      | None ->
+          if t = "micro" then begin
+            let (), wall_seconds = time run_micro in
+            reports :=
+              { target = t; wall_seconds; baseline_wall = None; m = meters_zero }
+              :: !reports
+          end
+          else Printf.eprintf "unknown target %s (skipped)\n" t)
     targets;
   let metrics =
     if !observe then begin
@@ -264,5 +314,6 @@ let () =
   match !json_file with
   | None -> ()
   | Some f ->
-      write_json f ~scale:scale_name ~scale_v:scale ~observe:!observe ~metrics
+      write_json f ~scale:scale_name ~scale_v:scale ~observe:!observe ~jobs ~speedup
+        ~metrics
         (List.rev !reports)

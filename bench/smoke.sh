@@ -29,4 +29,36 @@ for key in des_events virtual_seconds committed_txns; do
 done
 rm -f BENCH_smoke_observed.json
 echo "smoke: observer-effect gate OK (observe=on trajectory identical)"
+
+# Parallel gate: the same fig3 smoke run fanned across every core (-j max,
+# sss_par pool) must report the exact same deterministic fields as -j1 —
+# the pool merges results in submission order, so only wall-clock keys may
+# differ.  With >= 4 cores the run must also be at least 2x faster than
+# the quiet -j1 baseline --speedup times alongside it.
+JOBS=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+dune exec bench/main.exe -- --scale smoke fig3 -j max --speedup \
+  --json BENCH_smoke_par.json >/dev/null
+for key in des_events virtual_seconds committed_txns runs; do
+  j1=$(grep "\"$key\"" BENCH_smoke.json)
+  jn=$(sed -n '/"targets"/,/\]/p' BENCH_smoke_par.json | grep "\"$key\"")
+  if [ "$j1" != "$jn" ]; then
+    echo "smoke FAIL: -j$JOBS diverged from -j1 ($key differs: '$j1' vs '$jn')" >&2
+    exit 1
+  fi
+done
+echo "smoke: parallel gate OK (-j$JOBS targets identical to -j1)"
+speedup=$(sed -n '/"speedup_vs_j1"/,/}/p' BENCH_smoke_par.json \
+  | sed -n 's/.*"fig3": \([0-9.]*\).*/\1/p')
+if [ "$JOBS" -ge 4 ]; then
+  if [ -z "$speedup" ] || ! awk "BEGIN { exit !($speedup >= 2.0) }"; then
+    echo "smoke FAIL: fig3 speedup at -j$JOBS is '${speedup:-none}', need >= 2.0" >&2
+    exit 1
+  fi
+  echo "smoke: speedup gate OK (fig3 ${speedup}x at -j$JOBS)"
+else
+  echo "smoke: speedup gate skipped ($JOBS core(s); fig3 ${speedup:-n/a}x)"
+fi
+# Keep the parallel run as the recorded artifact: same deterministic fields,
+# plus the jobs count and measured speedup.
+mv BENCH_smoke_par.json BENCH_smoke.json
 echo "smoke OK"

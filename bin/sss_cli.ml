@@ -113,22 +113,46 @@ let figure_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"FIGURE" ~doc:"fig3 fig4a fig4b fig5 fig6 fig7 fig8 abort-rate all")
   in
-  let run_figure name scale =
-    match name with
-    | "fig3" -> fig3 scale
-    | "fig4a" -> fig4a scale
-    | "fig4b" -> fig4b scale
-    | "fig5" -> fig5 scale
-    | "fig6" -> fig6 scale
-    | "fig7" -> fig7 scale
-    | "fig8" -> fig8 scale
-    | "abort-rate" -> abort_rate scale
-    | "ablation" -> ablation scale
-    | "skewed" -> skewed scale
-    | "all" -> all scale
-    | other -> Printf.eprintf "unknown figure %s\n" other
+  let jobs_t =
+    let jobs_conv =
+      Arg.conv
+        ( (fun s ->
+            if s = "max" then Ok (Sss_par.Pool.default_jobs ())
+            else
+              match int_of_string_opt s with
+              | Some n when n >= 1 -> Ok n
+              | _ -> Error (`Msg (Printf.sprintf "bad jobs value %S (N or \"max\")" s))),
+          fun ppf n -> Format.fprintf ppf "%d" n )
+    in
+    Arg.(
+      value & opt jobs_conv 1
+      & info [ "j"; "jobs" ]
+          ~doc:"Fan the figure's runs across $(docv) domains (\"max\" = all cores)."
+          ~docv:"N")
   in
-  let term = Term.(const run_figure $ figure_t $ scale_t) in
+  let run_figure name scale jobs =
+    Sss_sim.Sim.tune_gc ();
+    let c = ctx ~jobs () in
+    let fig =
+      match name with
+      | "fig3" -> Some fig3
+      | "fig4a" -> Some fig4a
+      | "fig4b" -> Some fig4b
+      | "fig5" -> Some fig5
+      | "fig6" -> Some fig6
+      | "fig7" -> Some fig7
+      | "fig8" -> Some fig8
+      | "abort-rate" -> Some abort_rate
+      | "ablation" -> Some ablation
+      | "skewed" -> Some skewed
+      | "all" -> Some all
+      | _ -> None
+    in
+    match fig with
+    | Some fig -> ignore (fig c scale)
+    | None -> Printf.eprintf "unknown figure %s\n" name
+  in
+  let term = Term.(const run_figure $ figure_t $ scale_t $ jobs_t) in
   Cmd.v (Cmd.info "figure" ~doc:"Regenerate one of the paper's figures") term
 
 let verify_cmd =

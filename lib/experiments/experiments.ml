@@ -64,47 +64,25 @@ type outcome = {
   wait_covered_timeouts : int;
   wire_bytes : int;  (* SSS only: total message bytes (see compress_metadata) *)
   metrics : string option;  (* observe=true: the run's Obs.metrics_json *)
+  des_events : int;  (* simulator events this run executed *)
+  virtual_seconds : float;  (* virtual time this run simulated *)
 }
 
-(* ---------- simulator meters ----------
+(* ---------- execution context ----------
 
-   Cumulative counters across [run] calls, so the bench harness can report
-   DES events/sec and virtual-time throughput per target without threading
-   anything through the figure printers.  Each [run] creates its own [Sim.t];
-   we bank its totals when the drive finishes. *)
+   Every figure runs its points through a [ctx]: the domain pool that fans
+   independent runs across cores (jobs = 1 by default, so nothing changes
+   for existing callers), the bench [--observe] override, and the output
+   sink the figure's text is printed through.  There is deliberately no
+   module-level mutable state here — each run builds its own [Sim.t] and
+   cluster, so runs are domain-safe by construction (lint rule R6). *)
 
-type meters = {
-  des_events : int;  (* simulator events executed *)
-  virtual_seconds : float;  (* virtual time simulated *)
-  committed_txns : int;
-  runs : int;
-}
+type ctx = { pool : Sss_par.Pool.t; observe_all : bool; out : string -> unit }
 
-let m_events = ref 0
-let m_virtual = ref 0.0
-let m_committed = ref 0
-let m_runs = ref 0
+let ctx ?(jobs = 1) ?(observe_all = false) ?(out = print_string) () =
+  { pool = Sss_par.Pool.create ~jobs; observe_all; out }
 
-let reset_meters () =
-  m_events := 0;
-  m_virtual := 0.0;
-  m_committed := 0;
-  m_runs := 0
-
-let meters () =
-  {
-    des_events = !m_events;
-    virtual_seconds = !m_virtual;
-    committed_txns = !m_committed;
-    runs = !m_runs;
-  }
-
-(* bench --observe: force every [run] to attach the sss_obs sink, whatever
-   the figure's params say.  The observer-effect gate in bench/smoke.sh
-   diffs a run with this on against one with it off. *)
-let observe_all = ref false
-
-let set_observe_all b = observe_all := b
+let jobs c = Sss_par.Pool.jobs c.pool
 
 let config_of (p : params) : Sss_kv.Config.t =
   {
@@ -121,7 +99,6 @@ let config_of (p : params) : Sss_kv.Config.t =
   }
 
 let run (p : params) =
-  let p = if !observe_all then { p with observe = true } else p in
   let sim = Sim.create () in
   let config = config_of p in
   let profile =
@@ -206,10 +183,6 @@ let run (p : params) =
         let r = drive ~ops ~local_keys:(fun n -> Replication.keys_at (Rococo_kv.Rococo.repl cl) n) in
         (r, None, metrics_of (Rococo_kv.Rococo.obs cl))
   in
-  m_events := !m_events + Sim.events_processed sim;
-  m_virtual := !m_virtual +. Sim.now sim;
-  m_committed := !m_committed + result.Sss_workload.Driver.committed;
-  incr m_runs;
   let wire_bytes =
     match sss_cluster with
     | None -> 0
@@ -249,7 +222,96 @@ let run (p : params) =
     wait_covered_timeouts = timeouts;
     wire_bytes;
     metrics;
+    des_events = Sim.events_processed sim;
+    virtual_seconds = Sim.now sim;
   }
+
+let run_in ctx p = run (if ctx.observe_all then { p with observe = true } else p)
+
+let run_seeds ctx p ~seeds =
+  Sss_par.Pool.map_list ctx.pool (fun seed -> run_in ctx { p with seed }) seeds
+
+(* ---------- simulator meters ----------
+
+   Per-figure simulator totals, for the bench harness's --json report (DES
+   events/sec and virtual-time throughput per target).  Summed from the
+   outcomes in submission order, so the totals — float additions included —
+   are identical at every jobs count. *)
+
+type meters = {
+  des_events : int;  (* simulator events executed *)
+  virtual_seconds : float;  (* virtual time simulated *)
+  committed_txns : int;
+  runs : int;
+}
+
+let meters_zero = { des_events = 0; virtual_seconds = 0.0; committed_txns = 0; runs = 0 }
+
+let meters_add m (o : outcome) =
+  {
+    des_events = m.des_events + o.des_events;
+    virtual_seconds = m.virtual_seconds +. o.virtual_seconds;
+    committed_txns = m.committed_txns + o.committed;
+    runs = m.runs + 1;
+  }
+
+let meters_sum a b =
+  {
+    des_events = a.des_events + b.des_events;
+    virtual_seconds = a.virtual_seconds +. b.virtual_seconds;
+    committed_txns = a.committed_txns + b.committed_txns;
+    runs = a.runs + b.runs;
+  }
+
+(* ---------- staged (two-phase) figure evaluation ----------
+
+   A figure body is a function of [~run] and [~out] whose sequence of [run]
+   calls depends only on its own parameters — never on outcomes.  That
+   contract lets the same body be interpreted twice:
+
+     phase 1 (record): [run] files the params away in submission order and
+       returns a placeholder; [out] discards.  No simulation happens.
+     fan-out: the recorded params are executed through the ctx's domain
+       pool; results come back in submission-index order (Pool.map's
+       ordering guarantee).
+     phase 2 (replay): the body runs again, [run] now dealing the banked
+       outcomes back in order and [out] printing for real.
+
+   Because phase 2 is the only phase that prints and consumes results
+   strictly in submission order, the figure's text and meters are
+   byte-identical at any [jobs] — the smoke.sh -j1-vs-jmax gate pins it. *)
+
+let placeholder_outcome =
+  {
+    throughput = 0.0;
+    committed = 0;
+    aborted = 0;
+    abort_rate = 0.0;
+    mean_latency = 0.0;
+    p99_latency = 0.0;
+    mean_update_latency = 0.0;
+    mean_ro_latency = 0.0;
+    sss_internal = None;
+    sss_wait = None;
+    wait_covered_timeouts = 0;
+    wire_bytes = 0;
+    metrics = None;
+    des_events = 0;
+    virtual_seconds = 0.0;
+  }
+
+let staged ctx body =
+  let specs = ref [] in
+  body ~run:(fun p -> specs := p :: !specs; placeholder_outcome) ~out:ignore;
+  let outs = Sss_par.Pool.map ctx.pool (run_in ctx) (Array.of_list (List.rev !specs)) in
+  let idx = ref 0 in
+  body
+    ~run:(fun _ ->
+      let o = outs.(!idx) in
+      incr idx;
+      o)
+    ~out:ctx.out;
+  Array.fold_left meters_add meters_zero outs
 
 (* ---------- scales ---------- *)
 
@@ -272,48 +334,51 @@ let base_params = function
 
 let ktxs o = o.throughput /. 1000.0
 
-let header title =
-  Printf.printf "\n== %s ==\n%!" title
+let pr out fmt = Printf.ksprintf out fmt
+
+let header out title = pr out "\n== %s ==\n" title
 
 (* ---------- figures ---------- *)
 
-let fig3 scale =
-  header "Figure 3: throughput vs nodes, replication degree 2 (KTxs/sec)";
+let fig3_body scale ~run ~out =
+  header out "Figure 3: throughput vs nodes, replication degree 2 (KTxs/sec)";
   let base = base_params scale in
   List.iter
     (fun ro ->
-      Printf.printf "-- %d%% read-only --\n" (int_of_float (ro *. 100.));
-      Printf.printf "%-6s" "nodes";
+      pr out "-- %d%% read-only --\n" (int_of_float (ro *. 100.));
+      pr out "%-6s" "nodes";
       List.iter
         (fun sys ->
           List.iter
-            (fun keys -> Printf.printf "%14s" (Printf.sprintf "%s-%dk" (system_name sys) (keys / 1000)))
+            (fun keys -> pr out "%14s" (Printf.sprintf "%s-%dk" (system_name sys) (keys / 1000)))
             (keyspaces scale))
         [ Twopc; Walter; Sss ];
-      print_newline ();
+      pr out "\n";
       List.iter
         (fun nodes ->
-          Printf.printf "%-6d" nodes;
+          pr out "%-6d" nodes;
           List.iter
             (fun sys ->
               List.iter
                 (fun keys ->
                   let o = run { base with system = sys; nodes; keys; ro_ratio = ro; degree = 2 } in
-                  Printf.printf "%14.1f" (ktxs o))
+                  pr out "%14.1f" (ktxs o))
                 (keyspaces scale))
             [ Twopc; Walter; Sss ];
-          Printf.printf "\n%!")
+          pr out "\n")
         (node_counts scale))
     [ 0.2; 0.5; 0.8 ]
 
-let fig4a scale =
-  header "Figure 4(a): maximum attainable throughput, 50% read-only, 5k keys (KTxs/sec)";
+let fig3 ctx scale = staged ctx (fig3_body scale)
+
+let fig4a_body scale ~run ~out =
+  header out "Figure 4(a): maximum attainable throughput, 50% read-only, 5k keys (KTxs/sec)";
   let base = base_params scale in
   let keys = List.hd (keyspaces scale) in
   let client_options =
     match scale with Full -> [ 5; 10; 16 ] | Quick -> [ 5; 10 ] | Smoke -> [ 4 ]
   in
-  Printf.printf "%-6s%14s%14s\n" "nodes" "SSS" "2PC";
+  pr out "%-6s%14s%14s\n" "nodes" "SSS" "2PC";
   List.iter
     (fun nodes ->
       let best sys =
@@ -323,13 +388,15 @@ let fig4a scale =
             Stdlib.max acc (ktxs o))
           0.0 client_options
       in
-      Printf.printf "%-6d%14.1f%14.1f\n%!" nodes (best Sss) (best Twopc))
+      pr out "%-6d%14.1f%14.1f\n" nodes (best Sss) (best Twopc))
     (node_counts scale)
+
+let fig4a ctx scale = staged ctx (fig4a_body scale)
 
 let latency_nodes = function Full -> 20 | Quick -> 10 | Smoke -> 5
 
-let fig4b scale =
-  header
+let fig4b_body scale ~run ~out =
+  header out
     "Figure 4(b): transaction latency begin->external commit (ms), 50% read-only, 5k keys";
   let base = base_params scale in
   let keys = List.hd (keyspaces scale) in
@@ -337,24 +404,27 @@ let fig4b scale =
   (* mean over ALL committed transactions: the paper's measurement includes
      read-only transactions, whose cost is where SSS and the 2PC baseline
      differ most (2PC validates and locks them). *)
-  Printf.printf "(nodes = %d)\n%-10s%14s%14s%16s%16s\n" nodes "clients" "SSS" "2PC"
+  pr out "(nodes = %d)\n%-10s%14s%14s%16s%16s\n" nodes "clients" "SSS" "2PC"
     "SSS(update)" "2PC(update)";
   List.iter
     (fun clients ->
       let sss = run { base with system = Sss; nodes; keys; ro_ratio = 0.5; clients } in
       let tp = run { base with system = Twopc; nodes; keys; ro_ratio = 0.5; clients } in
-      Printf.printf "%-10d%14.3f%14.3f%16.3f%16.3f\n%!" clients (sss.mean_latency *. 1e3)
+      pr out "%-10d%14.3f%14.3f%16.3f%16.3f\n" clients (sss.mean_latency *. 1e3)
         (tp.mean_latency *. 1e3)
         (sss.mean_update_latency *. 1e3)
         (tp.mean_update_latency *. 1e3))
     [ 1; 3; 5; 10 ]
 
-let fig5 scale =
-  header "Figure 5: SSS update latency breakdown (ms): execution+internal vs snapshot-queue wait";
+let fig4b ctx scale = staged ctx (fig4b_body scale)
+
+let fig5_body scale ~run ~out =
+  header out
+    "Figure 5: SSS update latency breakdown (ms): execution+internal vs snapshot-queue wait";
   let base = base_params scale in
   let keys = List.hd (keyspaces scale) in
   let nodes = latency_nodes scale in
-  Printf.printf "(nodes = %d)\n%-10s%14s%14s%14s%10s\n" nodes "clients" "total" "internal"
+  pr out "(nodes = %d)\n%-10s%14s%14s%14s%10s\n" nodes "clients" "total" "internal"
     "sq-wait" "wait%";
   List.iter
     (fun clients ->
@@ -362,43 +432,47 @@ let fig5 scale =
       match (o.sss_internal, o.sss_wait) with
       | Some internal, Some wait ->
           let total = internal +. wait in
-          Printf.printf "%-10d%14.3f%14.3f%14.3f%9.1f%%\n%!" clients (total *. 1e3)
+          pr out "%-10d%14.3f%14.3f%14.3f%9.1f%%\n" clients (total *. 1e3)
             (internal *. 1e3) (wait *. 1e3)
             (100.0 *. wait /. total)
-      | _ -> Printf.printf "%-10d (no committed update transactions)\n" clients)
+      | _ -> pr out "%-10d (no committed update transactions)\n" clients)
     [ 1; 3; 5; 10 ]
 
-let fig6 scale =
-  header "Figure 6: SSS vs ROCOCO vs 2PC, no replication, 5k keys (KTxs/sec)";
+let fig5 ctx scale = staged ctx (fig5_body scale)
+
+let fig6_body scale ~run ~out =
+  header out "Figure 6: SSS vs ROCOCO vs 2PC, no replication, 5k keys (KTxs/sec)";
   let base = base_params scale in
   let keys = List.hd (keyspaces scale) in
   List.iter
     (fun ro ->
-      Printf.printf "-- %d%% read-only --\n%-6s%14s%14s%14s\n"
+      pr out "-- %d%% read-only --\n%-6s%14s%14s%14s\n"
         (int_of_float (ro *. 100.))
         "nodes" "SSS" "2PC" "ROCOCO";
       List.iter
         (fun nodes ->
           let o sys = run { base with system = sys; nodes; keys; ro_ratio = ro; degree = 1 } in
-          Printf.printf "%-6d%14.1f%14.1f%14.1f\n%!" nodes (ktxs (o Sss)) (ktxs (o Twopc))
+          pr out "%-6d%14.1f%14.1f%14.1f\n" nodes (ktxs (o Sss)) (ktxs (o Twopc))
             (ktxs (o Rococo)))
         (node_counts scale))
     [ 0.2; 0.8 ]
 
-let fig7 scale =
-  header "Figure 7: throughput, 80% read-only, 50% locality, degree 2 (KTxs/sec)";
+let fig6 ctx scale = staged ctx (fig6_body scale)
+
+let fig7_body scale ~run ~out =
+  header out "Figure 7: throughput, 80% read-only, 50% locality, degree 2 (KTxs/sec)";
   let base = base_params scale in
-  Printf.printf "%-6s" "nodes";
+  pr out "%-6s" "nodes";
   List.iter
     (fun sys ->
       List.iter
-        (fun keys -> Printf.printf "%14s" (Printf.sprintf "%s-%dk" (system_name sys) (keys / 1000)))
+        (fun keys -> pr out "%14s" (Printf.sprintf "%s-%dk" (system_name sys) (keys / 1000)))
         (keyspaces scale))
     [ Twopc; Walter; Sss ];
-  print_newline ();
+  pr out "\n";
   List.iter
     (fun nodes ->
-      Printf.printf "%-6d" nodes;
+      pr out "%-6d" nodes;
       List.iter
         (fun sys ->
           List.iter
@@ -408,27 +482,29 @@ let fig7 scale =
                   { base with system = sys; nodes; keys; ro_ratio = 0.8; locality = 0.5;
                     degree = 2 }
               in
-              Printf.printf "%14.1f" (ktxs o))
+              pr out "%14.1f" (ktxs o))
             (keyspaces scale))
         [ Twopc; Walter; Sss ];
-      Printf.printf "\n%!")
+      pr out "\n")
     (node_counts scale)
 
-let fig8 scale =
-  header "Figure 8: speedup of SSS as read-only size grows (15 nodes, 80% read-only)";
+let fig7 ctx scale = staged ctx (fig7_body scale)
+
+let fig8_body scale ~run ~out =
+  header out "Figure 8: speedup of SSS as read-only size grows (15 nodes, 80% read-only)";
   let base = base_params scale in
   let nodes = match scale with Full -> 15 | Quick -> 10 | Smoke -> 5 in
-  Printf.printf "(nodes = %d)\n%-8s" nodes "ro-size";
+  pr out "(nodes = %d)\n%-8s" nodes "ro-size";
   List.iter
     (fun keys ->
-      Printf.printf "%18s%18s"
+      pr out "%18s%18s"
         (Printf.sprintf "SSS/ROCOCO-%dk" (keys / 1000))
         (Printf.sprintf "SSS/2PC-%dk" (keys / 1000)))
     (keyspaces scale);
-  print_newline ();
+  pr out "\n";
   List.iter
     (fun ro_ops ->
-      Printf.printf "%-8d" ro_ops;
+      pr out "%-8d" ro_ops;
       List.iter
         (fun keys ->
           let o sys =
@@ -438,35 +514,39 @@ let fig8 scale =
           let sss = (o Sss).throughput in
           let roc = (o Rococo).throughput in
           let tp = (o Twopc).throughput in
-          Printf.printf "%18.2f%18.2f" (sss /. roc) (sss /. tp))
+          pr out "%18.2f%18.2f" (sss /. roc) (sss /. tp))
         (keyspaces scale);
-      Printf.printf "\n%!")
+      pr out "\n")
     [ 2; 4; 8; 16 ]
 
-let abort_rate scale =
-  header "In-text: SSS abort rate at 20% read-only (paper: 6-28% at 5k, 4-14% at 10k)";
+let fig8 ctx scale = staged ctx (fig8_body scale)
+
+let abort_rate_body scale ~run ~out =
+  header out "In-text: SSS abort rate at 20% read-only (paper: 6-28% at 5k, 4-14% at 10k)";
   let base = base_params scale in
-  Printf.printf "%-6s" "nodes";
-  List.iter (fun keys -> Printf.printf "%14s" (Printf.sprintf "%dk keys" (keys / 1000))) (keyspaces scale);
-  print_newline ();
+  pr out "%-6s" "nodes";
+  List.iter (fun keys -> pr out "%14s" (Printf.sprintf "%dk keys" (keys / 1000))) (keyspaces scale);
+  pr out "\n";
   List.iter
     (fun nodes ->
-      Printf.printf "%-6d" nodes;
+      pr out "%-6d" nodes;
       List.iter
         (fun keys ->
           let o = run { base with system = Sss; nodes; keys; ro_ratio = 0.2; degree = 2 } in
-          Printf.printf "%13.1f%%" (o.abort_rate *. 100.0))
+          pr out "%13.1f%%" (o.abort_rate *. 100.0))
         (keyspaces scale);
-      Printf.printf "\n%!")
+      pr out "\n")
     (node_counts scale)
 
-let ablation scale =
-  header
+let abort_rate ctx scale = staged ctx (abort_rate_body scale)
+
+let ablation_body scale ~run ~out =
+  header out
     "Ablation: SSS paper-literal release vs hardened external-commit ordering (KTxs/sec)";
   let base = base_params scale in
   let keys = List.hd (keyspaces scale) in
   let nodes = latency_nodes scale in
-  Printf.printf "(nodes = %d, 80%% read-only)\n%-8s%14s%14s%10s\n" nodes "ro-size" "paper"
+  pr out "(nodes = %d, 80%% read-only)\n%-8s%14s%14s%10s\n" nodes "ro-size" "paper"
     "hardened" "cost";
   List.iter
     (fun ro_ops ->
@@ -474,12 +554,12 @@ let ablation scale =
         run { base with system = Sss; nodes; keys; ro_ratio = 0.8; ro_ops; degree = 1; strict }
       in
       let paper = ktxs (o false) and hard = ktxs (o true) in
-      Printf.printf "%-8d%14.1f%14.1f%9.0f%%\n%!" ro_ops paper hard
+      pr out "%-8d%14.1f%14.1f%9.0f%%\n" ro_ops paper hard
         (100. *. (paper -. hard) /. paper))
     [ 2; 8; 16 ];
-  header "Ablation: prioritized network queues (the §V optimization) (KTxs/sec)";
+  header out "Ablation: prioritized network queues (the §V optimization) (KTxs/sec)";
   let nodes2 = latency_nodes scale in
-  Printf.printf "(nodes = %d, 50%% read-only, saturated clients)\n%-12s%14s%14s\n" nodes2
+  pr out "(nodes = %d, 50%% read-only, saturated clients)\n%-12s%14s%14s\n" nodes2
     "" "prioritized" "fifo";
   let o pn =
     run
@@ -487,28 +567,30 @@ let ablation scale =
         clients = base.clients * 2; priority_network = pn }
   in
   let yes = o true and no = o false in
-  Printf.printf "%-12s%14.1f%14.1f\n" "throughput" (ktxs yes) (ktxs no);
-  Printf.printf "%-12s%13.3fms%13.3fms\n%!" "p99 latency" (yes.p99_latency *. 1e3)
+  pr out "%-12s%14.1f%14.1f\n" "throughput" (ktxs yes) (ktxs no);
+  pr out "%-12s%13.3fms%13.3fms\n" "p99 latency" (yes.p99_latency *. 1e3)
     (no.p99_latency *. 1e3);
-  header "Ablation: vector-clock metadata compression (bytes on the wire)";
+  header out "Ablation: vector-clock metadata compression (bytes on the wire)";
   let o compress =
     run { base with system = Sss; nodes = nodes2; keys; ro_ratio = 0.5; compress }
   in
   let comp = o true and rawb = o false in
-  Printf.printf "%-14s%16s%16s\n" "" "compressed" "raw";
-  Printf.printf "%-14s%13.1f KB%13.1f KB\n" "total traffic"
+  pr out "%-14s%16s%16s\n" "" "compressed" "raw";
+  pr out "%-14s%13.1f KB%13.1f KB\n" "total traffic"
     (float_of_int comp.wire_bytes /. 1024.)
     (float_of_int rawb.wire_bytes /. 1024.);
-  Printf.printf "%-14s%13.0f  B%13.0f  B\n%!" "per txn"
+  pr out "%-14s%13.0f  B%13.0f  B\n" "per txn"
     (float_of_int comp.wire_bytes /. float_of_int (max 1 comp.committed))
     (float_of_int rawb.wire_bytes /. float_of_int (max 1 rawb.committed))
 
-let skewed scale =
-  header "Extra (not in the paper): zipfian key popularity, 50% read-only (KTxs/sec)";
+let ablation ctx scale = staged ctx (ablation_body scale)
+
+let skewed_body scale ~run ~out =
+  header out "Extra (not in the paper): zipfian key popularity, 50% read-only (KTxs/sec)";
   let base = base_params scale in
   let keys = List.hd (keyspaces scale) in
   let nodes = latency_nodes scale in
-  Printf.printf "(nodes = %d, theta on X)\n%-8s%14s%14s%14s%14s\n" nodes "theta" "SSS" "Walter"
+  pr out "(nodes = %d, theta on X)\n%-8s%14s%14s%14s%14s\n" nodes "theta" "SSS" "Walter"
     "2PC" "ROCOCO";
   List.iter
     (fun theta ->
@@ -518,9 +600,11 @@ let skewed scale =
             zipf = (if theta = 0.0 then None else Some theta);
             degree = (if sys = Rococo then 1 else 2) }
       in
-      Printf.printf "%-8.2f%14.1f%14.1f%14.1f%14.1f\n%!" theta (ktxs (o Sss)) (ktxs (o Walter))
+      pr out "%-8.2f%14.1f%14.1f%14.1f%14.1f\n" theta (ktxs (o Sss)) (ktxs (o Walter))
         (ktxs (o Twopc)) (ktxs (o Rococo)))
     [ 0.0; 0.6; 0.9; 0.99 ]
+
+let skewed ctx scale = staged ctx (skewed_body scale)
 
 let observed_metrics scale =
   let base = base_params scale in
@@ -529,14 +613,8 @@ let observed_metrics scale =
   let o = run { base with system = Sss; nodes; keys; ro_ratio = 0.5; observe = true } in
   match o.metrics with Some m -> m | None -> "{}"
 
-let all scale =
-  fig3 scale;
-  fig4a scale;
-  fig4b scale;
-  fig5 scale;
-  fig6 scale;
-  fig7 scale;
-  fig8 scale;
-  abort_rate scale;
-  ablation scale;
-  skewed scale
+let all ctx scale =
+  List.fold_left
+    (fun m fig -> meters_sum m (fig ctx scale))
+    meters_zero
+    [ fig3; fig4a; fig4b; fig5; fig6; fig7; fig8; abort_rate; ablation; skewed ]

@@ -4,7 +4,12 @@
     cluster and prints the same series the paper plots; EXPERIMENTS.md
     records the paper-vs-measured comparison.  Absolute numbers are
     simulator numbers — the meaningful output is the shape: orderings,
-    ratios, crossovers. *)
+    ratios, crossovers.
+
+    Figures execute through a {!ctx}: the independent simulator runs behind
+    a figure are fanned across a {!Sss_par.Pool} (jobs = 1 by default) and
+    their results consumed strictly in submission order, so a figure's text
+    and {!meters} are byte-identical at every jobs count. *)
 
 type system = Sss | Walter | Twopc | Rococo
 
@@ -61,19 +66,45 @@ type outcome = {
   metrics : string option;
       (** [Some json] iff the run had [observe = true]: the
           {!Sss_obs.Obs.metrics_json} of the cluster's sink *)
+  des_events : int;  (** simulator events this run executed *)
+  virtual_seconds : float;  (** virtual time this run simulated *)
 }
-
-val set_observe_all : bool -> unit
-(** Force [observe = true] for every subsequent {!run}, whatever its params
-    say (bench's [--observe] flag; the smoke.sh observer-effect gate diffs
-    trajectories with this on vs off). *)
 
 val run : params -> outcome
 (** Build the cluster, drive the closed-loop workload, return the measured
-    window's statistics.  History recording is off (benchmark mode). *)
+    window's statistics.  History recording is off (benchmark mode).
 
-(** Cumulative simulator totals across {!run} calls, for the bench
-    harness's [--json] report (DES events/sec, virtual-time throughput). *)
+    [run] is a pure function of its params: it builds its own simulator and
+    cluster and touches no module-level state, so concurrent calls from
+    pool domains are safe (lint rule R6 polices the library). *)
+
+(** Execution context for the figure harness: the domain pool fan-out
+    width, the bench [--observe] override, and the sink the figure's text
+    goes to. *)
+type ctx
+
+val ctx :
+  ?jobs:int -> ?observe_all:bool -> ?out:(string -> unit) -> unit -> ctx
+(** [jobs] defaults to 1 (fully sequential, no domains spawned);
+    [Sss_par.Pool.default_jobs ()] gives the machine width.  [observe_all]
+    forces [observe = true] on every run the ctx executes (bench's
+    [--observe] flag; the smoke.sh observer-effect gate diffs trajectories
+    with this on vs off).  [out] receives every byte the figures print
+    (default [print_string]); pass [ignore] for a quiet timing run. *)
+
+val jobs : ctx -> int
+
+val run_in : ctx -> params -> outcome
+(** {!run}, with the ctx's [observe_all] override applied. *)
+
+val run_seeds : ctx -> params -> seeds:int list -> outcome list
+(** The same experiment point at each seed, fanned through the ctx's pool;
+    results in the seeds' list order.  The shared seed-sweep entry point —
+    harnesses build the seed list with {!Sss_par.Sweep.seeds}. *)
+
+(** Per-figure simulator totals, for the bench harness's [--json] report
+    (DES events/sec, virtual-time throughput).  Summed from the outcomes in
+    submission order, so identical at every jobs count. *)
 type meters = {
   des_events : int;  (** simulator events executed *)
   virtual_seconds : float;  (** virtual time simulated *)
@@ -81,9 +112,9 @@ type meters = {
   runs : int;  (** number of {!run} calls banked *)
 }
 
-val reset_meters : unit -> unit
+val meters_zero : meters
 
-val meters : unit -> meters
+val meters_sum : meters -> meters -> meters
 
 (** Experiment scale: [Full] mirrors the paper's parameters (up to 20
     nodes, 5k/10k keys); [Quick] shrinks node counts and durations for a
@@ -94,46 +125,46 @@ val base_params : scale -> params
 (** The parameter template every figure at that scale derives its points
     from (bench/main.ml fingerprints it for the report's meta block). *)
 
-val fig3 : scale -> unit
+val fig3 : ctx -> scale -> meters
 (** Throughput vs node count for SSS/Walter/2PC, replication degree 2,
     read-only ratio in {20, 50, 80}%, 5k and 10k keys. *)
 
-val fig4a : scale -> unit
+val fig4a : ctx -> scale -> meters
 (** Maximum attainable throughput (best over clients-per-node) for SSS vs
     2PC-baseline, 50% read-only, 5k keys. *)
 
-val fig4b : scale -> unit
+val fig4b : ctx -> scale -> meters
 (** Update-transaction latency (begin to external commit) vs clients per
     node, 20 nodes, 50% read-only, 5k keys, SSS vs 2PC-baseline. *)
 
-val fig5 : scale -> unit
+val fig5 : ctx -> scale -> meters
 (** Breakdown of SSS update latency: execution+internal commit vs the
     pre-commit (snapshot-queue) wait; the paper reports the wait at ~30% of
     total, and below 28% on average. *)
 
-val fig6 : scale -> unit
+val fig6 : ctx -> scale -> meters
 (** SSS vs ROCOCO vs 2PC-baseline, no replication, 5k keys, 20% and 80%
     read-only. *)
 
-val fig7 : scale -> unit
+val fig7 : ctx -> scale -> meters
 (** Throughput at 80% read-only with 50% access locality, degree 2, 5k and
     10k keys, SSS/Walter/2PC. *)
 
-val fig8 : scale -> unit
+val fig8 : ctx -> scale -> meters
 (** Speedup of SSS over ROCOCO and over 2PC-baseline as the read-only size
     grows through {2,4,8,16} reads; 15 nodes, 80% read-only, no
     replication. *)
 
-val abort_rate : scale -> unit
+val abort_rate : ctx -> scale -> meters
 (** In-text measurement: SSS abort rate from 5 to 20 nodes at 20% read-only
     with 5k and 10k keys (paper: 6-28% and 4-14%). *)
 
-val ablation : scale -> unit
+val ablation : ctx -> scale -> meters
 (** Design-choice ablation (not in the paper): throughput cost of the
     hardened external-commit ordering that makes the checker properties
     airtight, versus the paper's literal per-key snapshot-queue release. *)
 
-val skewed : scale -> unit
+val skewed : ctx -> scale -> meters
 (** Extra experiment (not in the paper): all four systems under zipfian
     key popularity of increasing skew — contention sensitivity beyond the
     paper's uniform-access evaluation. *)
@@ -143,5 +174,5 @@ val observed_metrics : scale -> string
     [observe = true]) and return its metrics JSON — the "metrics" section
     of [bench --json --observe] and [stress --observe]. *)
 
-val all : scale -> unit
+val all : ctx -> scale -> meters
 (** Run every experiment in order. *)

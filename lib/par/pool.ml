@@ -1,0 +1,68 @@
+type t = { jobs : int }
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  { jobs }
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let jobs t = t.jobs
+
+(* First failure by task index: several tasks can fail in the same round on
+   different domains, and which one *finishes* first is scheduling-dependent,
+   so the winner is chosen by submission index, not arrival. *)
+type failure = {
+  mutable index : int;
+  mutable exn : exn;
+  mutable bt : Printexc.raw_backtrace;
+  lock : Mutex.t;
+}
+
+let sequential_map f tasks = Array.map f tasks
+
+let parallel_map t f tasks =
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let failure =
+    { index = max_int; exn = Not_found; bt = Printexc.get_callstack 0; lock = Mutex.create () }
+  in
+  let record_failure i exn bt =
+    Atomic.set stop true;
+    Mutex.lock failure.lock;
+    if i < failure.index then begin
+      failure.index <- i;
+      failure.exn <- exn;
+      failure.bt <- bt
+    end;
+    Mutex.unlock failure.lock
+  in
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      if Atomic.get stop then continue := false
+      else begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          match f tasks.(i) with
+          | v -> results.(i) <- Some v
+          | exception exn -> record_failure i exn (Printexc.get_raw_backtrace ())
+      end
+    done
+  in
+  let spawned = Array.init (min t.jobs n - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join spawned;
+  if failure.index < max_int then Printexc.raise_with_backtrace failure.exn failure.bt
+  else
+    Array.map
+      (function Some v -> v | None -> assert false (* no failure => every slot filled *))
+      results
+
+let map t f tasks =
+  if t.jobs = 1 || Array.length tasks <= 1 then sequential_map f tasks
+  else parallel_map t f tasks
+
+let map_list t f tasks = Array.to_list (map t f (Array.of_list tasks))

@@ -1,0 +1,37 @@
+(** Deterministic domain-pool runner for independent DES runs.
+
+    Each task is a pure-by-contract function of its input: it must build its
+    own [Sim.t], PRNG streams, and protocol state, and must not print or
+    touch shared mutable toplevel state (lint rule R6 polices the latter —
+    see docs/LINT.md).  Under that contract, [map] with any [jobs] value
+    returns the exact array a sequential [Array.map] would: tasks are
+    claimed from a shared index by self-scheduling workers, but every
+    result is written to its submission-index slot, so the merged output —
+    and anything printed from it afterwards — is byte-identical to a
+    [jobs = 1] run.  Only wall-clock time varies with [jobs]. *)
+
+type t
+
+val create : jobs:int -> t
+(** A pool that runs at most [jobs] tasks concurrently ([jobs - 1] spawned
+    domains plus the calling domain).  [jobs = 1] never spawns a domain:
+    tasks run sequentially on the caller, so existing single-core
+    trajectories are untouched.  Raises [Invalid_argument] if [jobs < 1].
+    Domains are spawned per [map] call and joined before it returns; the
+    pool itself holds no threads, so it needs no shutdown. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [-j max] resolves to. *)
+
+val jobs : t -> int
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f tasks] applies [f] to every element and returns the results in
+    submission-index order.  If any [f] raises, no further tasks are
+    started, all domains are joined, and the exception of the
+    lowest-indexed failed task is re-raised with its backtrace (so the
+    failure surfaced is deterministic even when several tasks fail in the
+    same round). *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map] over lists, preserving order. *)

@@ -1,0 +1,3 @@
+let seeds ?(base = 0) n = List.init (max 0 n) (fun i -> base + i + 1)
+
+let cross xs ys = List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs

@@ -1,0 +1,13 @@
+(** Shared sweep vocabulary for the experiment surfaces (bench, stress,
+    experiments): one place that builds seed lists, so every harness fans
+    the same seeds through {!Pool} instead of growing its own
+    [for seed = 1 to n] loop. *)
+
+val seeds : ?base:int -> int -> int list
+(** [seeds n] is [[1; ...; n]]; [seeds ~base n] is
+    [[base + 1; ...; base + n]].  [n <= 0] is the empty list. *)
+
+val cross : 'a list -> 'b list -> ('a * 'b) list
+(** Row-major cartesian product: for each element of the first list, every
+    element of the second — the submission order every sweep surface uses
+    when fanning a (config x seed) grid through {!Pool.map}. *)

@@ -3,7 +3,12 @@
    plain callbacks that need no effect-handler context at all. *)
 type event = { time : float; prio : int; seq : int; fiber : bool; run : unit -> unit }
 
-let dummy_event = { time = neg_infinity; prio = 0; seq = -1; fiber = false; run = ignore }
+(* Immutable sentinel (every [event] field is immutable; it only shares the
+   [seq] field name with the mutable [t] below), so sharing it across
+   domains is safe. *)
+let dummy_event =
+  { time = neg_infinity; prio = 0; seq = -1; fiber = false; run = ignore }
+[@@domain_safe]
 
 (* Specialized binary min-heap over events.  Compared to the generic [Heap],
    the comparator is a direct inlined test instead of a closure call (the
@@ -93,12 +98,15 @@ type t = {
    benchmarks); the default 256k-word minor heap forces a minor collection
    every few thousand events and promotes long queues of in-flight events.
    Growing it once to 8M words is worth ~15% wall clock on the figure
-   benchmarks.  Only ever grow — respect a larger value from OCAMLRUNPARAM. *)
-let gc_tuned = ref false
+   benchmarks.  Only ever grow — respect a larger value from OCAMLRUNPARAM.
+   The guard is an Atomic so concurrent [create] calls from pool domains
+   (Sss_par) race benignly: exactly one domain performs the [Gc.set].
+   Harnesses that fan out should call [tune_gc] once before spawning so the
+   resize happens while the runtime is single-domain. *)
+let gc_tuned = Atomic.make false
 
 let tune_gc () =
-  if not !gc_tuned then begin
-    gc_tuned := true;
+  if (not (Atomic.get gc_tuned)) && Atomic.compare_and_set gc_tuned false true then begin
     let g = Gc.get () in
     let want = 8 * 1024 * 1024 in
     if g.Gc.minor_heap_size < want then Gc.set { g with Gc.minor_heap_size = want }

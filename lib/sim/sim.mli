@@ -16,6 +16,12 @@ type t
 val create : unit -> t
 (** A fresh simulator at virtual time 0.0. *)
 
+val tune_gc : unit -> unit
+(** Grow the minor heap once for the simulator's allocation profile
+    (idempotent; also invoked by {!create}).  Harnesses that fan runs across
+    domains should call it before spawning, so the resize happens while the
+    runtime is single-domain. *)
+
 val now : t -> float
 (** Current virtual time, in seconds. *)
 

@@ -1,0 +1,33 @@
+(* R6 fixture, clean twin: per-run state built inside functions, immutable
+   module-level values, the sanctioned Atomic primitive, and deliberate
+   sharing justified with [@@domain_safe]. *)
+
+(* per-run state: constructed per call, never shared *)
+let fresh_counter () = ref 0
+
+let fresh_memo () = Hashtbl.create 64
+
+(* immutable module-level values are fine *)
+let golden_ratio = 1.618
+
+let default_widths = [ 6; 14; 14 ]
+
+type gauge = { mutable current : int; peak : int }
+
+let bump g = g.current <- g.current + 1
+
+(* Atomic is the sanctioned cross-domain primitive: not flagged *)
+let initialized = Atomic.make false
+
+(* deliberate, reviewed sharing: an immutable sentinel that merely shares a
+   field name with a mutable record elsewhere in the file *)
+let zero_gauge = { current = 0; peak = 0 } [@@domain_safe]
+
+(* binding-level justification on genuinely shared state *)
+let interned = Hashtbl.create 16 [@@domain_safe]
+
+(* module-level suppression covers the whole body *)
+module Registry = struct
+  let slots = Array.make 8 None
+end
+[@@domain_safe]

@@ -67,12 +67,26 @@ let test_r5_bad () =
       ("R5", 14, "print_string");
     ]
 
+let test_r6_bad () =
+  expect "r6_bad.ml"
+    [
+      ("R6", 5, "ref");
+      ("R6", 7, "Hashtbl.create");
+      ("R6", 11, "{mutable record}");
+      ("R6", 13, "Array.make");
+      ("R6", 15, "lazy");
+      ("R6", 18, "ref");
+    ]
+
 (* ---------- annotated twins are clean ---------- *)
 
 let test_clean_twins () =
   List.iter
     (fun f -> expect f [])
-    [ "r1_clean.ml"; "r2_clean.ml"; "r3_clean.ml"; "r4_clean.ml"; "r5_clean.ml" ]
+    [
+      "r1_clean.ml"; "r2_clean.ml"; "r3_clean.ml"; "r4_clean.ml"; "r5_clean.ml";
+      "r6_clean.ml";
+    ]
 
 (* Deleting a single annotation resurrects the finding: the clean twin
    minus its attribute must flag.  We prove the mechanism on the bad/clean
@@ -101,6 +115,11 @@ let test_scoping () =
   (* R5 is off in the figure printer and outside lib/ *)
   expect ~scope:"lib/experiments/fixture.ml" "r5_bad.ml" [];
   expect ~scope:"bench/fixture.ml" "r5_bad.ml" [];
+  (* R6 covers all of lib/ (the figure printer included) but not bin/ *)
+  Alcotest.(check int)
+    "R6 armed in lib/experiments" 6
+    (List.length (check ~rules:[ Lint.R6 ] ~scope:"lib/experiments/fixture.ml" "r6_bad.ml"));
+  expect ~scope:"bin/fixture.ml" "r6_bad.ml" [];
   (* rule selection: R1 alone sees nothing in the R2 fixture *)
   expect ~rules:[ Lint.R1 ] "r2_bad.ml" []
 
@@ -120,7 +139,7 @@ let test_fingerprints_unique () =
   let all =
     List.concat_map
       (fun f -> check f)
-      [ "r1_bad.ml"; "r2_bad.ml"; "r3_bad.ml"; "r4_bad.ml"; "r5_bad.ml" ]
+      [ "r1_bad.ml"; "r2_bad.ml"; "r3_bad.ml"; "r4_bad.ml"; "r5_bad.ml"; "r6_bad.ml" ]
   in
   let fps = List.map (fun (f : Lint.finding) -> f.fingerprint) all in
   Alcotest.(check int)
@@ -154,7 +173,7 @@ let test_repo_is_clean () =
      lib/ tree.  Here we only assert the engine accepts the fixtures dir
      discovery path used by the CLI. *)
   let files = Lint.collect_ml "lint_fixtures" in
-  Alcotest.(check bool) "collect_ml finds fixtures" true (List.length files >= 11)
+  Alcotest.(check bool) "collect_ml finds fixtures" true (List.length files >= 13)
 
 let () =
   Alcotest.run "lint"
@@ -166,6 +185,7 @@ let () =
           Alcotest.test_case "R3 Vclock ownership fires" `Quick test_r3_bad;
           Alcotest.test_case "R4 iteration order fires" `Quick test_r4_bad;
           Alcotest.test_case "R5 ad-hoc printing fires" `Quick test_r5_bad;
+          Alcotest.test_case "R6 toplevel mutable state fires" `Quick test_r6_bad;
         ] );
       ( "suppressions",
         [

@@ -32,18 +32,35 @@
       (docs/OBSERVABILITY.md) so it is ring-buffered, virtual-time-stamped,
       and absent when [Config.observe] is off.  [lib/experiments] (the
       figure printers) is exempt by scope; [@print_ok] suppresses.
+    - R6 [no toplevel mutable state]: module-level bindings under [lib/]
+      must not construct mutable state — [ref], [Hashtbl.create] (and the
+      other stdlib mutable containers), [Array.make]/[init], [Bytes], or a
+      literal of a record type that declares a [mutable] field in the same
+      file.  Such a binding is shared by every domain once runs fan out
+      through [Sss_par.Pool], so it is both a data race and a determinism
+      leak between runs.  State belongs in per-run values threaded through
+      [Config]/run setup, or in [Atomic.t] (exempt: it is the sanctioned
+      cross-domain primitive).  [@@domain_safe] on the binding suppresses,
+      asserting the value is either never mutated after initialization or
+      safe and intended to be shared.
 
     The checker is syntactic by design: [@poly_ok] therefore means
     "reviewed: this comparison is statically monomorphic at a scalar type,
     or deliberately polymorphic on a cold path", not merely "silence". *)
 
-type rule = R1 | R2 | R3 | R4 | R5
+type rule = R1 | R2 | R3 | R4 | R5 | R6
 
-let all_rules = [ R1; R2; R3; R4; R5 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6 ]
 
-let rule_name = function R1 -> "R1" | R2 -> "R2" | R3 -> "R3" | R4 -> "R4" | R5 -> "R5"
+let rule_name = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+  | R6 -> "R6"
 
-let rule_index = function R1 -> 0 | R2 -> 1 | R3 -> 2 | R4 -> 3 | R5 -> 4
+let rule_index = function R1 -> 0 | R2 -> 1 | R3 -> 2 | R4 -> 3 | R5 -> 4 | R6 -> 5
 
 let rule_of_string s =
   match String.uppercase_ascii (String.trim s) with
@@ -52,6 +69,7 @@ let rule_of_string s =
   | "R3" | "OWNED" | "VCLOCK" -> Some R3
   | "R4" | "ORDER" | "ITERATION" -> Some R4
   | "R5" | "PRINT" | "TRACE" -> Some R5
+  | "R6" | "DOMAIN" | "TOPLEVEL" -> Some R6
   | _ -> None
 
 let rule_doc = function
@@ -60,6 +78,7 @@ let rule_doc = function
   | R3 -> "Vclock in-place ops require [@owned]"
   | R4 -> "Hashtbl iteration must be [@order_ok] in history-affecting code"
   | R5 -> "no stdout/stderr printing in lib/; trace through Obs.emit"
+  | R6 -> "no toplevel mutable state in lib/ (domain-shared across parallel runs)"
 
 type finding = {
   rule : rule;
@@ -101,7 +120,8 @@ let rule_applies rule path =
       | R4 -> List.mem sub history_libs
       (* the experiment harness IS the figure printer; everything else in
          lib/ must trace through the observability sink *)
-      | R5 -> sub <> "experiments")
+      | R5 -> sub <> "experiments"
+      | R6 -> true)
 
 (* ---- identifier tables ----------------------------------------------- *)
 
@@ -213,6 +233,7 @@ let attr_rule (attr : Parsetree.attribute) =
   | "owned" -> Some R3
   | "order_ok" -> Some R4
   | "print_ok" -> Some R5
+  | "domain_safe" -> Some R6
   | _ -> None
 
 type state = {
@@ -375,6 +396,111 @@ let check_poly_apply st ~loc name args =
               Vclock.equal, ...) or annotate [@poly_ok]"
              name)
 
+(* ---- R6: toplevel mutable state -------------------------------------- *)
+
+(* Applications of these construct mutable state.  [Atomic.make] is
+   deliberately absent: atomics are the sanctioned cross-domain primitive. *)
+let mutable_creators =
+  [
+    "ref"; "Hashtbl.create"; "Queue.create"; "Stack.create"; "Buffer.create";
+    "Array.make"; "Array.create_float"; "Array.init"; "Bytes.create";
+    "Bytes.make"; "Weak.create";
+  ]
+
+(* Field names declared [mutable] anywhere in the file: the syntactic
+   stand-in for "this record literal builds a mutable record".  Records
+   whose type lives in another module are invisible to this approximation;
+   the creator table above catches the common stdlib cases. *)
+let mutable_field_names structure =
+  let acc = ref [] in
+  let open Ast_iterator in
+  let type_declaration self (td : Parsetree.type_declaration) =
+    (match td.ptype_kind with
+    | Ptype_record labels ->
+        List.iter
+          (fun (l : Parsetree.label_declaration) ->
+            if l.pld_mutable = Asttypes.Mutable then acc := l.pld_name.txt :: !acc)
+          labels
+    | _ -> ());
+    default_iterator.type_declaration self td
+  in
+  let it = { default_iterator with type_declaration } in
+  it.structure it structure;
+  !acc
+
+(* The RHS shapes that put mutable state (or a lazy thunk, which is not
+   safe to force from two domains) in a module-level binding.  Functions
+   are fine: they build their state per call. *)
+let rec r6_suspect mut_fields (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+      let s = strip_stdlib (ident_string txt) in
+      if List.mem s mutable_creators then Some s else None
+  | Pexp_record (fields, _) ->
+      if
+        List.exists
+          (fun ((lid : _ Asttypes.loc), _) ->
+            let name =
+              match List.rev (Longident.flatten lid.txt) with n :: _ -> n | [] -> ""
+            in
+            List.mem name mut_fields)
+          fields
+      then Some "{mutable record}"
+      else None
+  | Pexp_lazy _ -> Some "lazy"
+  | Pexp_tuple es -> List.find_map (r6_suspect mut_fields) es
+  | Pexp_constraint (inner, _) -> r6_suspect mut_fields inner
+  | Pexp_let (_, _, body) | Pexp_sequence (_, body) -> r6_suspect mut_fields body
+  | _ -> None
+
+let check_r6_binding st ~mut_fields (vb : Parsetree.value_binding) =
+  if
+    enabled st R6
+    && not (List.exists (fun a -> attr_rule a = Some R6) vb.pvb_attributes)
+  then
+    match r6_suspect mut_fields vb.pvb_expr with
+    | None -> ()
+    | Some lexeme ->
+        let name =
+          match vb.pvb_pat.ppat_desc with Ppat_var { txt; _ } -> Some txt | _ -> None
+        in
+        st.context <- name :: st.context;
+        report st R6 ~loc:vb.pvb_loc ~lexeme
+          ~message:
+            (Printf.sprintf
+               "module-level binding constructs mutable state (%s), shared \
+                across domains when runs fan out in parallel; make it per-run \
+                state threaded through Config/run setup, use Atomic.t, or \
+                annotate [@@domain_safe] with a justification"
+               lexeme);
+        st.context <- List.tl st.context
+
+(* Module-level bindings only: a [let] inside a function builds per-call
+   state and is exempt.  Nested [module X = struct ... end] items are still
+   module-level state, so the walk descends; functor bodies are skipped
+   (their bindings are per-application). *)
+let rec r6_structure st ~mut_fields (str : Parsetree.structure) =
+  List.iter
+    (fun (item : Parsetree.structure_item) ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) -> List.iter (check_r6_binding st ~mut_fields) vbs
+      | Pstr_module mb -> r6_module_binding st ~mut_fields mb
+      | Pstr_recmodule mbs -> List.iter (r6_module_binding st ~mut_fields) mbs
+      | Pstr_include { pincl_mod = me; _ } -> r6_module_expr st ~mut_fields me
+      | _ -> ())
+    str
+
+and r6_module_binding st ~mut_fields (mb : Parsetree.module_binding) =
+  (* [@@domain_safe] on the module suppresses for its whole body *)
+  if not (List.exists (fun a -> attr_rule a = Some R6) mb.pmb_attributes) then
+    r6_module_expr st ~mut_fields mb.pmb_expr
+
+and r6_module_expr st ~mut_fields (me : Parsetree.module_expr) =
+  match me.pmod_desc with
+  | Pmod_structure str -> r6_structure st ~mut_fields str
+  | Pmod_constraint (inner, _) -> r6_module_expr st ~mut_fields inner
+  | _ -> ()
+
 let push_attrs st attrs =
   let pushed =
     List.filter_map
@@ -461,7 +587,7 @@ let check_file ?(rules = all_rules) ?(owned_allow = []) ?scope_as path =
   let st =
     {
       findings = [];
-      suppressed = Array.make 5 0;
+      suppressed = Array.make (List.length all_rules) 0;
       context = [];
       occurrences = Hashtbl.create 64;
       rules;
@@ -473,6 +599,8 @@ let check_file ?(rules = all_rules) ?(owned_allow = []) ?scope_as path =
   in
   let it = make_iterator st in
   it.structure it structure;
+  if List.mem R6 rules then
+    r6_structure st ~mut_fields:(mutable_field_names structure) structure;
   List.rev st.findings
 
 (* Recursively collect the [.ml] files under [path] (a file or directory),

@@ -97,8 +97,8 @@ open Cmdliner
 let rules_arg =
   let doc =
     "Comma-separated rules to run (R1 determinism, R2 polymorphic compare, \
-     R3 Vclock ownership, R4 iteration order, R5 no ad-hoc printing). \
-     Default: all."
+     R3 Vclock ownership, R4 iteration order, R5 no ad-hoc printing, R6 no \
+     toplevel mutable state). Default: all."
   in
   Arg.(value & opt (list string) [] & info [ "rules" ] ~docv:"RULES" ~doc)
 
@@ -144,9 +144,11 @@ let cmd =
       `P (Printf.sprintf "R3: %s" (Lint.rule_doc Lint.R3));
       `P (Printf.sprintf "R4: %s" (Lint.rule_doc Lint.R4));
       `P (Printf.sprintf "R5: %s" (Lint.rule_doc Lint.R5));
+      `P (Printf.sprintf "R6: %s" (Lint.rule_doc Lint.R6));
       `P
         "Suppressions: [@poly_ok] (R2), [@owned] (R3), [@order_ok] (R4), \
-         [@print_ok] (R5), or a fingerprint baseline file (all rules).";
+         [@print_ok] (R5), [@@domain_safe] (R6), or a fingerprint baseline \
+         file (all rules).";
     ]
   in
   Cmd.v
