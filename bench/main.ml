@@ -108,6 +108,13 @@ type target_report = {
   wall_seconds : float;
   baseline_wall : float option;  (* --speedup: the quiet -j1 wall clock *)
   m : meters;
+  (* Allocation probe: Gc deltas around the target, so allocation
+     regressions show up in the recorded artifact, not just wall clock.
+     [Gc.allocated_bytes] is per-domain, so at -j > 1 the numbers cover
+     only the main domain's share — the smoke gate measures at -j 1. *)
+  alloc_words : float;
+  minor_collections : int;
+  major_collections : int;
 }
 
 let json_escape s =
@@ -139,7 +146,7 @@ let write_json file ~scale ~scale_v ~observe ~jobs ~speedup ~metrics reports =
        "{\n\
        \  \"scale\": \"%s\",\n\
        \  \"meta\": {\n\
-       \    \"schema\": 3,\n\
+       \    \"schema\": 4,\n\
        \    \"scale\": \"%s\",\n\
        \    \"seed\": %d,\n\
        \    \"config_md5\": \"%s\",\n\
@@ -160,6 +167,9 @@ let write_json file ~scale ~scale_v ~observe ~jobs ~speedup ~metrics reports =
           float_of_int r.m.committed_txns /. r.m.virtual_seconds
         else 0.0
       in
+      let words_per_event =
+        if r.m.des_events > 0 then r.alloc_words /. float_of_int r.m.des_events else 0.0
+      in
       Buffer.add_string buf
         (Printf.sprintf
            "\n    {\n\
@@ -170,10 +180,15 @@ let write_json file ~scale ~scale_v ~observe ~jobs ~speedup ~metrics reports =
            \      \"virtual_seconds\": %.6f,\n\
            \      \"committed_txns\": %d,\n\
            \      \"virtual_throughput_txns_per_vsec\": %.1f,\n\
-           \      \"runs\": %d\n\
+           \      \"runs\": %d,\n\
+           \      \"allocated_words\": %.0f,\n\
+           \      \"words_per_des_event\": %.2f,\n\
+           \      \"minor_collections\": %d,\n\
+           \      \"major_collections\": %d\n\
            \    }"
            (json_escape r.target) r.wall_seconds r.m.des_events events_per_sec
-           r.m.virtual_seconds r.m.committed_txns virtual_tput r.m.runs))
+           r.m.virtual_seconds r.m.committed_txns virtual_tput r.m.runs r.alloc_words
+           words_per_event r.minor_collections r.major_collections))
     reports;
   Buffer.add_string buf "\n  ]";
   if speedup then begin
@@ -280,6 +295,19 @@ let () =
     let v = f () in
     (v, Unix.gettimeofday () -. start)
   in
+  (* Wrap a measured target with the Gc allocation probe (main domain). *)
+  let time_alloc f =
+    let s0 = Gc.quick_stat () in
+    let b0 = Gc.allocated_bytes () in
+    let v, wall = time f in
+    let b1 = Gc.allocated_bytes () in
+    let s1 = Gc.quick_stat () in
+    ( v,
+      wall,
+      (b1 -. b0) /. float_of_int (Sys.word_size / 8),
+      s1.Gc.minor_collections - s0.Gc.minor_collections,
+      s1.Gc.major_collections - s0.Gc.major_collections )
+  in
   List.iter
     (fun t ->
       match figure_of t with
@@ -291,13 +319,19 @@ let () =
             end
             else None
           in
-          let m, wall_seconds = time (fun () -> fig run_ctx scale) in
-          reports := { target = t; wall_seconds; baseline_wall; m } :: !reports
+          let m, wall_seconds, alloc_words, minor_collections, major_collections =
+            time_alloc (fun () -> fig run_ctx scale)
+          in
+          reports :=
+            { target = t; wall_seconds; baseline_wall; m; alloc_words;
+              minor_collections; major_collections }
+            :: !reports
       | None ->
           if t = "micro" then begin
             let (), wall_seconds = time run_micro in
             reports :=
-              { target = t; wall_seconds; baseline_wall = None; m = meters_zero }
+              { target = t; wall_seconds; baseline_wall = None; m = meters_zero;
+                alloc_words = 0.0; minor_collections = 0; major_collections = 0 }
               :: !reports
           end
           else Printf.eprintf "unknown target %s (skipped)\n" t)

@@ -1,8 +1,14 @@
 #!/bin/sh
 # One-command sanity pass: build, run the test suite, lint, then a
 # seconds-long fig3 benchmark at smoke scale with the JSON perf report.
-# Run from the repository root; leaves BENCH_smoke.json (gitignored) behind.
+# Run from the repository root; refreshes BENCH_smoke.json (the committed
+# baseline — commit the refresh when a perf change is intentional).
 set -eu
+
+# Engine-throughput baseline for the regression gate below: the committed
+# BENCH_smoke.json (HEAD copy, so a previous local run can't move the bar).
+baseline_eps=$(git show HEAD:BENCH_smoke.json 2>/dev/null \
+  | grep '"des_events_per_sec"' | head -1 | tr -cd '0-9' || true)
 
 dune build
 dune runtest
@@ -13,6 +19,22 @@ else
   echo "smoke: odoc not installed; skipping doc build"
 fi
 dune exec bench/main.exe -- --scale smoke fig3 --json BENCH_smoke.json
+
+# Throughput-regression gate: the fresh -j1 run must stay within 10% of
+# the committed baseline's DES events/sec.  Machine drift is real, so the
+# bar is deliberately loose; a trip means either a genuine engine
+# regression or a slower machine — investigate, and if the new number is
+# the truth, commit the refreshed BENCH_smoke.json.
+new_eps=$(grep '"des_events_per_sec"' BENCH_smoke.json | head -1 | tr -cd '0-9')
+if [ -n "$baseline_eps" ] && [ -n "$new_eps" ]; then
+  if awk "BEGIN { exit !($new_eps < 0.9 * $baseline_eps) }"; then
+    echo "smoke FAIL: des_events_per_sec $new_eps < 90% of baseline $baseline_eps" >&2
+    exit 1
+  fi
+  echo "smoke: throughput gate OK ($new_eps ev/s vs baseline $baseline_eps)"
+else
+  echo "smoke: throughput gate skipped (no committed baseline)"
+fi
 
 # Observer-effect gate: the same fig3 smoke run traced (--observe) must
 # execute the exact same trajectory — identical DES event counts, virtual

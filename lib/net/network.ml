@@ -10,57 +10,105 @@ type config = {
 let default_config =
   { latency_base = 20e-6; latency_jitter = 2e-6; self_latency = 1e-6; cpu_per_message = 2e-6 }
 
-(* [sent] is the virtual send time, carried only so an observer can report
-   end-to-end message latency at dispatch; the heap order ignores it. *)
-type 'msg ingress = { prio : int; seq : int; src : Sss_data.Ids.node; sent : float; msg : 'msg }
+(* Ingress order is (prio, seq) packed into one int — seq is unique and
+   assigned at delivery, prio < 2^18, so a single int comparison reproduces
+   the lexicographic order exactly (the same packing the simulator uses for
+   its event keys). *)
+let[@inline] pack_key ~prio ~seq = (prio lsl 44) lor seq
 
-(* Specialized ingress min-heap on (prio, seq): the comparator is inlined
-   instead of a closure call, pop allocates nothing, and sifts fill a hole
-   instead of swapping.  One push and one pop per delivered message makes
-   this one of the simulator's hottest structures.  (seq is unique, so the
-   order is total and pop order independent of heap internals.)  Like the
-   generic [Heap], growth fills fresh slots with the pushed element; popped
-   slots may pin their last message until overwritten, which is bounded by
-   the queue's high-water mark. *)
+(* Specialized ingress min-heap on the packed key, struct-of-arrays: keys
+   are immediate ints, [sents] is a flat float array (no boxed-float
+   traffic), and messages are recycled [Obj.t] slots.  One push and one pop
+   per delivered message makes this one of the simulator's hottest
+   structures.  [pop_min] writes the minimum into the [p_*] slots — there
+   is at most one outstanding dispatch per node, so the slots stay valid
+   until the next pop — and poisons the vacated message slot so nothing is
+   pinned past its dispatch.  The [Obj] casts are confined to this module;
+   push and pop sites repair the ['msg] type. *)
 module Iq = struct
-  type 'msg t = { mutable data : 'msg ingress array; mutable size : int }
+  type t = {
+    mutable keys : int array;
+    mutable srcs : int array;
+    mutable sents : float array;
+    mutable msgs : Obj.t array;
+    mutable size : int;
+    mutable p_key : int;
+    mutable p_src : int;
+    p_sent : float array;  (* 1 element; flat so reuse doesn't box *)
+    mutable p_msg : Obj.t;
+  }
 
-  let create () = { data = [||]; size = 0 }
+  let no_msg : Obj.t = Obj.repr ()
+
+  let create () =
+    {
+      keys = [||];
+      srcs = [||];
+      sents = [||];
+      msgs = [||];
+      size = 0;
+      p_key = 0;
+      p_src = 0;
+      p_sent = Array.make 1 0.0;
+      p_msg = no_msg;
+    }
 
   let is_empty q = q.size = 0
 
-  let[@inline] less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+  let grow q =
+    let cap = Array.length q.keys in
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let nk = Array.make ncap 0
+    and ns = Array.make ncap 0
+    and nt = Array.make ncap 0.0
+    and nm = Array.make ncap no_msg in
+    Array.blit q.keys 0 nk 0 q.size;
+    Array.blit q.srcs 0 ns 0 q.size;
+    Array.blit q.sents 0 nt 0 q.size;
+    Array.blit q.msgs 0 nm 0 q.size;
+    q.keys <- nk;
+    q.srcs <- ns;
+    q.sents <- nt;
+    q.msgs <- nm
 
-  let push q x =
-    let cap = Array.length q.data in
-    if q.size = cap then begin
-      let ndata = Array.make (if cap = 0 then 16 else cap * 2) x in
-      Array.blit q.data 0 ndata 0 q.size;
-      q.data <- ndata
-    end;
-    let data = q.data in
+  let push q key src sent msg =
+    if q.size = Array.length q.keys then grow q;
+    let ks = q.keys and ss = q.srcs and ts = q.sents and ms = q.msgs in
     let i = ref q.size in
     q.size <- q.size + 1;
     let moving = ref true in
     while !moving && !i > 0 do
       let p = (!i - 1) / 2 in
-      let pe = Array.unsafe_get data p in
-      if less x pe then begin
-        Array.unsafe_set data !i pe;
+      let pk = Array.unsafe_get ks p in
+      if key < pk then begin
+        Array.unsafe_set ks !i pk;
+        Array.unsafe_set ss !i (Array.unsafe_get ss p);
+        Array.unsafe_set ts !i (Array.unsafe_get ts p);
+        Array.unsafe_set ms !i (Array.unsafe_get ms p);
         i := p
       end
       else moving := false
     done;
-    Array.unsafe_set data !i x
+    Array.unsafe_set ks !i key;
+    Array.unsafe_set ss !i src;
+    Array.unsafe_set ts !i sent;
+    Array.unsafe_set ms !i msg
 
   (* precondition: size > 0 *)
   let pop_min q =
-    let data = q.data in
-    let top = Array.unsafe_get data 0 in
+    let ks = q.keys and ss = q.srcs and ts = q.sents and ms = q.msgs in
+    q.p_key <- Array.unsafe_get ks 0;
+    q.p_src <- Array.unsafe_get ss 0;
+    q.p_sent.(0) <- Array.unsafe_get ts 0;
+    q.p_msg <- Array.unsafe_get ms 0;
     let n = q.size - 1 in
     q.size <- n;
+    let lk = Array.unsafe_get ks n in
+    let lsrc = Array.unsafe_get ss n in
+    let lt = Array.unsafe_get ts n in
+    let lm = Array.unsafe_get ms n in
+    Array.unsafe_set ms n no_msg;
     if n > 0 then begin
-      let last = Array.unsafe_get data n in
       let i = ref 0 in
       let moving = ref true in
       while !moving do
@@ -69,27 +117,44 @@ module Iq = struct
         else begin
           let r = l + 1 in
           let c =
-            if r < n && less (Array.unsafe_get data r) (Array.unsafe_get data l) then r
-            else l
+            if r < n && Array.unsafe_get ks r < Array.unsafe_get ks l then r else l
           in
-          let ce = Array.unsafe_get data c in
-          if less ce last then begin
-            Array.unsafe_set data !i ce;
+          let ck = Array.unsafe_get ks c in
+          if ck < lk then begin
+            Array.unsafe_set ks !i ck;
+            Array.unsafe_set ss !i (Array.unsafe_get ss c);
+            Array.unsafe_set ts !i (Array.unsafe_get ts c);
+            Array.unsafe_set ms !i (Array.unsafe_get ms c);
             i := c
           end
           else moving := false
         end
       done;
-      Array.unsafe_set data !i last
-    end;
-    top
+      Array.unsafe_set ks !i lk;
+      Array.unsafe_set ss !i lsrc;
+      Array.unsafe_set ts !i lt;
+      Array.unsafe_set ms !i lm
+    end
 end
 
+(* Sentinel handler: a node without one installed.  Compared by physical
+   identity on the dispatch path, so the common case is one pointer test
+   instead of an option probe, and the no-handler case keeps the exact
+   event accounting of the old [None] branch. *)
+let no_handler : src:Sss_data.Ids.node -> 'a -> unit = fun ~src:_ _ -> ()
+
+let nop () = ()
+
 type 'msg node_state = {
-  mutable handler : (src:Sss_data.Ids.node -> 'msg -> unit) option;
-  queue : 'msg Iq.t;
+  mutable handler : src:Sss_data.Ids.node -> 'msg -> unit;
+  queue : Iq.t;
   mutable serving : bool;
   mutable crashed : bool;
+  (* Persistent per-node closures, created once at [create]: the serve
+     chain schedules these instead of allocating a closure per message. *)
+  mutable serve_cb : unit -> unit;
+  mutable dispatch_cb : unit -> unit;
+  mutable handler_thunk : unit -> unit;
 }
 
 type fault = { drop : bool; extra_delay : float; duplicates : int }
@@ -108,6 +173,10 @@ type 'msg t = {
   config : config;
   size_of : 'msg -> int;
   nodes : 'msg node_state array;
+  (* Free list of flight envelopes (see [flight] below): steady-state send
+     and delivery recycle envelopes instead of allocating per message. *)
+  mutable pool : 'msg flight array;
+  mutable pool_n : int;
   mutable severed : (Sss_data.Ids.node * Sss_data.Ids.node) list;
   mutable drop_probability : float;
   mutable perturb : (src:Sss_data.Ids.node -> dst:Sss_data.Ids.node -> 'msg -> fault) option;
@@ -120,29 +189,25 @@ type 'msg t = {
   mutable bytes : int;
 }
 
-let create ?(size_of = fun _ -> 0) ?(fast_dispatch = true) sim rng ~nodes ~config =
-  let mk _ = { handler = None; queue = Iq.create (); serving = false; crashed = false } in
-  {
-    sim;
-    rng;
-    config;
-    size_of;
-    nodes = Array.init nodes mk;
-    severed = [];
-    drop_probability = 0.0;
-    perturb = None;
-    fast_dispatch;
-    observer = None;
-    seq = 0;
-    sent = 0;
-    delivered = 0;
-    dropped = 0;
-    bytes = 0;
-  }
+(* A message in flight between [send] and its delivery event: the recycled
+   envelope [Sim.schedule_apply] threads through the queue, so a send
+   allocates no closure and no fresh record.  [f_sent] is a 1-element float
+   array because a mutable float field of a mixed record would box on every
+   reuse.  [f_src] doubles as the poison marker: -1 while the envelope sits
+   in the free list, so delivery of a double-freed envelope fails fast in
+   debug builds. *)
+and 'msg flight = {
+  f_net : 'msg t;
+  mutable f_prio : int;
+  mutable f_src : int;
+  mutable f_dst : int;
+  f_sent : float array;
+  mutable f_msg : Obj.t;
+}
 
 let nodes t = Array.length t.nodes
 
-let set_handler t n f = t.nodes.(n).handler <- Some f
+let set_handler t n f = t.nodes.(n).handler <- f
 
 let set_fast_dispatch t b = t.fast_dispatch <- b
 
@@ -150,62 +215,145 @@ let set_observer t o = t.observer <- o
 
 let queue_depth t n = t.nodes.(n).queue.Iq.size
 
+(* ---- flight pool ---- *)
+
+let take_flight t =
+  let n = t.pool_n in
+  if n = 0 then
+    { f_net = t; f_prio = 0; f_src = 0; f_dst = 0; f_sent = Array.make 1 0.0; f_msg = Iq.no_msg }
+  else begin
+    t.pool_n <- n - 1;
+    Array.unsafe_get t.pool (n - 1)
+  end
+
+let return_flight t fl =
+  fl.f_msg <- Iq.no_msg;
+  fl.f_src <- -1;
+  let cap = Array.length t.pool in
+  if t.pool_n = cap then begin
+    let np = Array.make (if cap = 0 then 16 else cap * 2) fl in
+    Array.blit t.pool 0 np 0 cap;
+    t.pool <- np
+  end;
+  Array.unsafe_set t.pool t.pool_n fl;
+  t.pool_n <- t.pool_n + 1
+
+(* ---- dispatch ---- *)
+
+(* Observation of a dispatch: end-to-end latency histogram per message
+   kind plus a Dequeue trace event.  Reads the queue's popped slots; called
+   only when an observer is installed. *)
+let observe_dispatch t n (o : _ observer) =
+  let q = t.nodes.(n).queue in
+  let kind = o.kind_of (Obj.obj q.Iq.p_msg) in
+  let at = Sim.now t.sim in
+  let waited = at -. q.Iq.p_sent.(0) in
+  Sss_obs.Obs.observe o.obs ("lat.msg." ^ kind) waited;
+  Sss_obs.Obs.emit o.obs ~at
+    (Sss_obs.Obs.Dequeue { kind; node = n; depth = q.Iq.size; waited })
+
 (* Drain a node's ingress queue — slow (reference) path: each message
    occupies the CPU for the configured service time via a fiber sleep, then
    its handler runs in its own spawned fiber so that a blocking handler
    never stalls the queue. *)
-(* Observation of a dispatch: end-to-end latency histogram per message
-   kind plus a Dequeue trace event.  Shared by both serve paths; called
-   only when an observer is installed. *)
-let observe_dispatch t n (o : _ observer) ing =
-  let kind = o.kind_of ing.msg in
-  let at = Sim.now t.sim in
-  let waited = at -. ing.sent in
-  Sss_obs.Obs.observe o.obs ("lat.msg." ^ kind) waited;
-  Sss_obs.Obs.emit o.obs ~at
-    (Sss_obs.Obs.Dequeue { kind; node = n; depth = t.nodes.(n).queue.Iq.size; waited })
-
 let rec serve_slow t n =
   let st = t.nodes.(n) in
   if Iq.is_empty st.queue then st.serving <- false
   else begin
-    let ing = Iq.pop_min st.queue in
+    Iq.pop_min st.queue;
+    let src = st.queue.Iq.p_src in
+    let msg = Obj.obj st.queue.Iq.p_msg in
     Sim.sleep t.sim t.config.cpu_per_message;
     if not st.crashed then begin
       t.delivered <- t.delivered + 1;
-      (match t.observer with Some o -> observe_dispatch t n o ing | None -> ());
-      match st.handler with
-      | Some f -> Sim.spawn t.sim (fun () -> f ~src:ing.src ing.msg)
-      | None -> ()
+      (match t.observer with Some o -> observe_dispatch t n o | None -> ());
+      let f = st.handler in
+      if f != no_handler then Sim.spawn t.sim (fun () -> f ~src msg)
     end;
+    st.queue.Iq.p_msg <- Iq.no_msg;
     serve_slow t n
   end
 
 (* Fast path: one plain-callback event per message instead of a fiber sleep
    plus a spawned handler fiber.  The CPU charge is the event's delay; when
-   it fires, the handler runs inline under its own effect handler at the
-   same virtual instant the slow path would have started its handler fiber.
-   A handler that suspends simply parks its continuation and the serve
-   chain moves on — blocking handlers still never stall the queue. *)
-let rec serve_fast t n =
+   it fires, [dispatch] runs the handler inline under its own effect
+   handler at the same virtual instant the slow path would have started its
+   handler fiber.  A handler that suspends simply parks its continuation
+   and the serve chain moves on — blocking handlers still never stall the
+   queue.  The chain runs entirely on the node's persistent closures: a
+   serve step pops into the queue's slots and schedules [dispatch_cb]; at
+   most one dispatch per node is outstanding, so the slots survive until it
+   reads them. *)
+let serve_fast t n =
   let st = t.nodes.(n) in
   if Iq.is_empty st.queue then st.serving <- false
   else begin
-    let ing = Iq.pop_min st.queue in
-    Sim.schedule_callback t.sim ~delay:t.config.cpu_per_message (fun () ->
-        if not st.crashed then begin
-          t.delivered <- t.delivered + 1;
-          (match t.observer with Some o -> observe_dispatch t n o ing | None -> ());
-          match st.handler with
-          | Some f ->
-              (* the fused handler still counts as one simulator event so
-                 DES events/sec stays comparable across dispatch modes *)
-              Sim.tick t.sim;
-              Sim.run_fiber (fun () -> f ~src:ing.src ing.msg)
-          | None -> ()
-        end;
-        serve_fast t n)
+    Iq.pop_min st.queue;
+    Sim.schedule_callback t.sim ~delay:t.config.cpu_per_message st.dispatch_cb
   end
+
+let dispatch t n =
+  let st = t.nodes.(n) in
+  if not st.crashed then begin
+    t.delivered <- t.delivered + 1;
+    (match t.observer with Some o -> observe_dispatch t n o | None -> ());
+    if st.handler != no_handler then begin
+      (* the fused handler still counts as one simulator event so DES
+         events/sec stays comparable across dispatch modes *)
+      Sim.tick t.sim;
+      Sim.run_fiber st.handler_thunk
+    end
+  end;
+  (* unpin after the handler: a suspended fiber already read its args *)
+  st.queue.Iq.p_msg <- Iq.no_msg;
+  serve_fast t n
+
+let install_node_cbs t n =
+  let st = t.nodes.(n) in
+  st.serve_cb <- (fun () -> serve_fast t n);
+  st.dispatch_cb <- (fun () -> dispatch t n);
+  st.handler_thunk <-
+    (fun () ->
+      let q = st.queue in
+      st.handler ~src:q.Iq.p_src (Obj.obj q.Iq.p_msg))
+
+let create ?(size_of = fun _ -> 0) ?(fast_dispatch = true) sim rng ~nodes ~config =
+  let mk _ =
+    {
+      handler = no_handler;
+      queue = Iq.create ();
+      serving = false;
+      crashed = false;
+      serve_cb = nop;
+      dispatch_cb = nop;
+      handler_thunk = nop;
+    }
+  in
+  let t =
+    {
+      sim;
+      rng;
+      config;
+      size_of;
+      nodes = Array.init nodes mk;
+      pool = [||];
+      pool_n = 0;
+      severed = [];
+      drop_probability = 0.0;
+      perturb = None;
+      fast_dispatch;
+      observer = None;
+      seq = 0;
+      sent = 0;
+      delivered = 0;
+      dropped = 0;
+      bytes = 0;
+    }
+  in
+  for n = 0 to nodes - 1 do
+    install_node_cbs t n
+  done;
+  t
 
 let deliver t ~prio ~src ~dst ~sent msg =
   let st = t.nodes.(dst) in
@@ -219,7 +367,7 @@ let deliver t ~prio ~src ~dst ~sent msg =
   end
   else begin
     t.seq <- t.seq + 1;
-    Iq.push st.queue { prio; seq = t.seq; src; sent; msg };
+    Iq.push st.queue (pack_key ~prio ~seq:t.seq) src sent (Obj.repr msg);
     (match t.observer with
     | Some o ->
         let kind = o.kind_of msg in
@@ -232,11 +380,22 @@ let deliver t ~prio ~src ~dst ~sent msg =
     | None -> ());
     if not st.serving then begin
       st.serving <- true;
-      if t.fast_dispatch then
-        Sim.schedule_callback t.sim ~delay:0.0 (fun () -> serve_fast t dst)
+      if t.fast_dispatch then Sim.schedule_callback t.sim ~delay:0.0 st.serve_cb
       else Sim.spawn t.sim (fun () -> serve_slow t dst)
     end
   end
+
+(* The delivery event's handler: a static function applied to the recycled
+   flight envelope via [Sim.schedule_apply], so the send path allocates
+   neither a closure nor an envelope in steady state. *)
+let deliver_flight : type a. a flight -> unit = fun fl ->
+  assert (fl.f_src >= 0);
+  let t = fl.f_net in
+  let prio = fl.f_prio and src = fl.f_src and dst = fl.f_dst in
+  let sent = fl.f_sent.(0) in
+  let msg : a = Obj.obj fl.f_msg in
+  return_flight t fl;
+  deliver t ~prio ~src ~dst ~sent msg
 
 let link_severed t a b =
   List.exists (fun (x, y) -> (x = a && y = b) || (x = b && y = a)) t.severed
@@ -290,12 +449,23 @@ let send t ?(prio = 100) ~src ~dst msg =
       in
       let latency = latency +. fault.extra_delay in
       let sent = Sim.now t.sim in
-      (* delivery never suspends: a bare callback event, not a fiber *)
-      Sim.schedule_callback t.sim ~delay:latency (fun () ->
-          deliver t ~prio ~src ~dst ~sent msg);
+      (* delivery never suspends: a bare callback event applying the static
+         [deliver_flight] to a recycled envelope — no closure per send *)
+      let fl = take_flight t in
+      fl.f_prio <- prio;
+      fl.f_src <- src;
+      fl.f_dst <- dst;
+      fl.f_sent.(0) <- sent;
+      fl.f_msg <- Obj.repr msg;
+      Sim.schedule_apply t.sim ~delay:latency deliver_flight fl;
       for _ = 1 to fault.duplicates do
-        Sim.schedule_callback t.sim ~delay:latency (fun () ->
-            deliver t ~prio ~src ~dst ~sent msg)
+        let fl = take_flight t in
+        fl.f_prio <- prio;
+        fl.f_src <- src;
+        fl.f_dst <- dst;
+        fl.f_sent.(0) <- sent;
+        fl.f_msg <- Obj.repr msg;
+        Sim.schedule_apply t.sim ~delay:latency deliver_flight fl
       done
     end
   end

@@ -12,7 +12,15 @@
 
    Everything runs on virtual time and plain data: no wall clock, no
    ambient randomness, so retries are as deterministic as the rest of the
-   simulation. *)
+   simulation.
+
+   Allocation audit: this module is inactive in healthy runs
+   ([Config.fault_tolerance] defaults to [false]; [State.send] then calls
+   [Network.send] directly), so nothing here sits on the benchmark hot
+   path.  In fault-tolerance mode the per-send cost is one envelope, one
+   ivar, two hashtable entries and a retry fiber — all inherent to the
+   at-least-once contract, none carrying floats across non-inlined
+   boundaries (timeouts stay inside the fiber's own frames). *)
 
 open Sss_sim
 

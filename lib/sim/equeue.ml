@@ -1,0 +1,473 @@
+(* The blessed event queue: a calendar/ladder queue specialized for the
+   timestamp distributions the simulator's network models produce (a dense
+   cluster of events within a few tens of microseconds of [now], plus a thin
+   tail of far-future timers).
+
+   Structure:
+
+   - a window of [nb] *buckets*, each [width] virtual seconds wide, covering
+     [origin, origin + nb*width).  A push whose time falls in the window is
+     an O(1) append to its bucket's unsorted stack; an occupancy bitmap (32
+     buckets per word) lets the cursor skip empty stretches a word at a
+     time.
+   - the *current* bucket is drained in place: each pop scans its stack for
+     the (time, key) minimum and swap-deletes it.  Occupancy is a handful
+     of events (bursts of a protocol cascade), so the scan is a few
+     contiguous float compares — no sift writes, no copying.  Same-bucket
+     pushes (delay-0 wakeups, the highest-volume events) append to it
+     directly.
+   - the *front* rung: a binary min-heap that absorbs the current bucket
+     when its occupancy exceeds [spill] (a broadcast storm landing on one
+     microsecond), restoring O(log k) pops in the degenerate case.
+   - the *overflow* rung: a min-heap for events at or beyond the horizon
+     (timers).  When the window drains, the queue re-anchors at the
+     earliest overflow event and migrates the events that now fall inside
+     the window into buckets.
+
+   Order is the caller's total order (time, key): ties in time are broken by
+   the int [key], which the simulator packs as (priority, sequence) — seq is
+   unique, so pop order is fully determined regardless of rung internals,
+   and matches a global sort by (time, prio, seq) exactly.  The global
+   minimum always lives in the front rung or the current bucket: appends to
+   the current bucket are bounded by its upper edge, future buckets start at
+   or above that edge, and the overflow rung starts at the horizon.
+
+   Storage is struct-of-arrays: times live in flat [float array]s (no boxed
+   floats on push/pop), keys are immediate ints, and the payload is an
+   (fn, arg) pair applied on pop — [fn] is a long-lived closure and [arg]
+   its argument, so scheduling allocates nothing.  Every slot is recycled
+   in place; popped and drained slots are overwritten with poison values so
+   spent closures are not kept alive and (in debug builds) reuse of a dead
+   slot fails fast.  The (time, key) "less than" test is written out inline
+   at each use site rather than as a helper: without flambda a call to a
+   comparator boxes both float arguments, which at several comparisons per
+   heap level would dominate the engine's allocation profile. *)
+
+type fn = Obj.t -> unit
+
+let dummy_fn : fn = fun _ -> ()
+
+let dummy_arg : Obj.t = Obj.repr ()
+
+(* A rung: binary min-heap on (time, key), struct-of-arrays. *)
+type rung = {
+  mutable h_times : float array;
+  mutable h_keys : int array;
+  mutable h_fns : fn array;
+  mutable h_args : Obj.t array;
+  mutable h_size : int;
+}
+
+(* A bucket: unsorted stack, struct-of-arrays. *)
+type bucket = {
+  mutable b_times : float array;
+  mutable b_keys : int array;
+  mutable b_fns : fn array;
+  mutable b_args : Obj.t array;
+  mutable b_size : int;
+}
+
+(* Scalar floats that are written on the hot path live in [fl] (a flat float
+   array) rather than as mutable record fields: a mutable float field of a
+   mixed record is boxed, so every store would allocate. *)
+let f_origin = 0
+
+let f_horizon = 1
+
+let f_inv_width = 2
+
+let f_width = 3
+
+let f_pop_time = 4
+
+(* Current-bucket occupancy beyond which it spills into the front rung. *)
+let spill = 64
+
+type t = {
+  buckets : bucket array;
+  nb : int;
+  front : rung;
+  overflow : rung;
+  fl : float array;
+  (* Occupancy bitmap over the buckets strictly after [cur], 32 buckets per
+     word: the advance scan skips empty buckets a word at a time instead of
+     probing each bucket record. *)
+  occ : int array;
+  mutable cur : int;  (* current bucket index; drained in place *)
+  mutable in_window : int;  (* events parked in buckets strictly after [cur] *)
+  mutable size : int;  (* total events across front, buckets and overflow *)
+  (* Index of the current bucket's (time, key) minimum, or -1 when it must
+     be rescanned.  [min_time] followed by [pop] shares one scan, and an
+     append only compares itself against the cached minimum. *)
+  mutable sc_i : int;
+  mutable pop_key : int;
+  mutable pop_fn : fn;
+  mutable pop_arg : Obj.t;
+}
+
+let mk_rung () =
+  { h_times = [||]; h_keys = [||]; h_fns = [||]; h_args = [||]; h_size = 0 }
+
+let mk_bucket () =
+  { b_times = [||]; b_keys = [||]; b_fns = [||]; b_args = [||]; b_size = 0 }
+
+(* Defaults tuned to the network models: 1 microsecond buckets, a ~1 ms
+   window.  Self-delivery (1us), CPU service (2us) and LAN latency
+   (20us + exponential jitter) all land well inside the window; retry
+   backoffs and await timeouts (0.5 ms - 0.1 s) take the overflow rung. *)
+let create ?(buckets = 1024) ?(width = 1e-6) () =
+  if buckets < 1 || width <= 0.0 then invalid_arg "Equeue.create";
+  let fl = Array.make 5 0.0 in
+  fl.(f_origin) <- 0.0;
+  fl.(f_horizon) <- width *. float_of_int buckets;
+  fl.(f_inv_width) <- 1.0 /. width;
+  fl.(f_width) <- width;
+  {
+    buckets = Array.init buckets (fun _ -> mk_bucket ());
+    nb = buckets;
+    front = mk_rung ();
+    overflow = mk_rung ();
+    fl;
+    occ = Array.make ((buckets + 31) / 32) 0;
+    cur = 0;
+    in_window = 0;
+    size = 0;
+    sc_i = -1;
+    pop_key = 0;
+    pop_fn = dummy_fn;
+    pop_arg = dummy_arg;
+  }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+(* ---- rung (heap) operations ---- *)
+
+let rung_grow r =
+  let cap = Array.length r.h_times in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  let nt = Array.make ncap 0.0
+  and nk = Array.make ncap 0
+  and nf = Array.make ncap dummy_fn
+  and na = Array.make ncap dummy_arg in
+  Array.blit r.h_times 0 nt 0 r.h_size;
+  Array.blit r.h_keys 0 nk 0 r.h_size;
+  Array.blit r.h_fns 0 nf 0 r.h_size;
+  Array.blit r.h_args 0 na 0 r.h_size;
+  r.h_times <- nt;
+  r.h_keys <- nk;
+  r.h_fns <- nf;
+  r.h_args <- na
+
+let rung_push r time key fn arg =
+  if r.h_size = Array.length r.h_times then rung_grow r;
+  let ts = r.h_times and ks = r.h_keys and fs = r.h_fns and xs = r.h_args in
+  let i = ref r.h_size in
+  r.h_size <- r.h_size + 1;
+  let moving = ref true in
+  while !moving && !i > 0 do
+    let p = (!i - 1) / 2 in
+    let pt = Array.unsafe_get ts p and pk = Array.unsafe_get ks p in
+    if time < pt || (time = pt && key < pk) then begin
+      Array.unsafe_set ts !i pt;
+      Array.unsafe_set ks !i pk;
+      Array.unsafe_set fs !i (Array.unsafe_get fs p);
+      Array.unsafe_set xs !i (Array.unsafe_get xs p);
+      i := p
+    end
+    else moving := false
+  done;
+  Array.unsafe_set ts !i time;
+  Array.unsafe_set ks !i key;
+  Array.unsafe_set fs !i fn;
+  Array.unsafe_set xs !i arg
+
+(* precondition: r.h_size > 0.  Writes the minimum into t's popped slots and
+   re-establishes the heap, poisoning the vacated tail slot. *)
+let rung_pop r t =
+  let ts = r.h_times and ks = r.h_keys and fs = r.h_fns and xs = r.h_args in
+  t.fl.(f_pop_time) <- Array.unsafe_get ts 0;
+  t.pop_key <- Array.unsafe_get ks 0;
+  t.pop_fn <- Array.unsafe_get fs 0;
+  t.pop_arg <- Array.unsafe_get xs 0;
+  let n = r.h_size - 1 in
+  r.h_size <- n;
+  let lt = Array.unsafe_get ts n and lk = Array.unsafe_get ks n in
+  let lf = Array.unsafe_get fs n and lx = Array.unsafe_get xs n in
+  Array.unsafe_set fs n dummy_fn;
+  Array.unsafe_set xs n dummy_arg;
+  if n > 0 then begin
+    let i = ref 0 in
+    let moving = ref true in
+    while !moving do
+      let l = (2 * !i) + 1 in
+      if l >= n then moving := false
+      else begin
+        let r' = l + 1 in
+        let c =
+          if
+            r' < n
+            &&
+            let rt = Array.unsafe_get ts r' and lt' = Array.unsafe_get ts l in
+            rt < lt'
+            || (rt = lt' && Array.unsafe_get ks r' < Array.unsafe_get ks l)
+          then r'
+          else l
+        in
+        let ct = Array.unsafe_get ts c and ck = Array.unsafe_get ks c in
+        if ct < lt || (ct = lt && ck < lk) then begin
+          Array.unsafe_set ts !i ct;
+          Array.unsafe_set ks !i ck;
+          Array.unsafe_set fs !i (Array.unsafe_get fs c);
+          Array.unsafe_set xs !i (Array.unsafe_get xs c);
+          i := c
+        end
+        else moving := false
+      end
+    done;
+    Array.unsafe_set ts !i lt;
+    Array.unsafe_set ks !i lk;
+    Array.unsafe_set fs !i lf;
+    Array.unsafe_set xs !i lx
+  end
+
+(* ---- bucket operations ---- *)
+
+let bucket_grow b =
+  let cap = Array.length b.b_times in
+  let ncap = if cap = 0 then 8 else cap * 2 in
+  let nt = Array.make ncap 0.0
+  and nk = Array.make ncap 0
+  and nf = Array.make ncap dummy_fn
+  and na = Array.make ncap dummy_arg in
+  Array.blit b.b_times 0 nt 0 b.b_size;
+  Array.blit b.b_keys 0 nk 0 b.b_size;
+  Array.blit b.b_fns 0 nf 0 b.b_size;
+  Array.blit b.b_args 0 na 0 b.b_size;
+  b.b_times <- nt;
+  b.b_keys <- nk;
+  b.b_fns <- nf;
+  b.b_args <- na
+
+let[@inline] bucket_push b time key fn arg =
+  if b.b_size = Array.length b.b_times then bucket_grow b;
+  let i = b.b_size in
+  b.b_size <- i + 1;
+  Array.unsafe_set b.b_times i time;
+  Array.unsafe_set b.b_keys i key;
+  Array.unsafe_set b.b_fns i fn;
+  Array.unsafe_set b.b_args i arg
+
+(* Index of [b]'s (time, key) minimum, using the cache when valid.
+   precondition: b.b_size > 0 and b is the current bucket. *)
+let bucket_min_idx t b =
+  let c = t.sc_i in
+  if c >= 0 then c
+  else begin
+    let ts = b.b_times and ks = b.b_keys in
+    let bi = ref 0 in
+    for j = 1 to b.b_size - 1 do
+      let tj = Array.unsafe_get ts j and tb = Array.unsafe_get ts !bi in
+      if tj < tb || (tj = tb && Array.unsafe_get ks j < Array.unsafe_get ks !bi)
+      then bi := j
+    done;
+    t.sc_i <- !bi;
+    !bi
+  end
+
+(* Remove slot [i] from the current bucket into t's popped slots: the last
+   element moves into the hole and the vacated tail slot is poisoned. *)
+let take_bucket t b i =
+  t.fl.(f_pop_time) <- Array.unsafe_get b.b_times i;
+  t.pop_key <- Array.unsafe_get b.b_keys i;
+  t.pop_fn <- Array.unsafe_get b.b_fns i;
+  t.pop_arg <- Array.unsafe_get b.b_args i;
+  let n = b.b_size - 1 in
+  b.b_size <- n;
+  Array.unsafe_set b.b_times i (Array.unsafe_get b.b_times n);
+  Array.unsafe_set b.b_keys i (Array.unsafe_get b.b_keys n);
+  Array.unsafe_set b.b_fns i (Array.unsafe_get b.b_fns n);
+  Array.unsafe_set b.b_args i (Array.unsafe_get b.b_args n);
+  Array.unsafe_set b.b_fns n dummy_fn;
+  Array.unsafe_set b.b_args n dummy_arg;
+  t.sc_i <- -1
+
+(* Move a bucket's events into the front rung (degenerate occupancy, or a
+   re-anchored window's first bucket), poisoning the vacated slots so
+   nothing is pinned past its dispatch. *)
+let spill_bucket t b =
+  for i = 0 to b.b_size - 1 do
+    rung_push t.front
+      (Array.unsafe_get b.b_times i)
+      (Array.unsafe_get b.b_keys i)
+      (Array.unsafe_get b.b_fns i)
+      (Array.unsafe_get b.b_args i);
+    Array.unsafe_set b.b_fns i dummy_fn;
+    Array.unsafe_set b.b_args i dummy_arg
+  done;
+  b.b_size <- 0;
+  t.sc_i <- -1
+
+(* ---- push ---- *)
+
+let push t ~time ~key fn arg =
+  t.size <- t.size + 1;
+  let fl = t.fl in
+  if time >= Array.unsafe_get fl f_horizon then
+    rung_push t.overflow time key fn arg
+  else begin
+    let idx =
+      int_of_float ((time -. Array.unsafe_get fl f_origin) *. Array.unsafe_get fl f_inv_width)
+    in
+    (* clamp: float rounding may land exactly on nb even though
+       time < horizon; monotonicity in [time] is preserved. *)
+    let idx = if idx >= t.nb then t.nb - 1 else idx in
+    if idx <= t.cur then begin
+      (* current-bucket append; delay-0 pushes (wakeups, serve kicks) take
+         this path.  Beyond [spill] events the bucket overflows into the
+         front rung instead, keeping the pop scan bounded. *)
+      let b = Array.unsafe_get t.buckets t.cur in
+      let i = b.b_size in
+      if i >= spill then rung_push t.front time key fn arg
+      else begin
+        bucket_push b time key fn arg;
+        if i = 0 then t.sc_i <- 0
+        else begin
+          let c = t.sc_i in
+          if c >= 0 then begin
+            let mt = Array.unsafe_get b.b_times c in
+            if time < mt || (time = mt && key < Array.unsafe_get b.b_keys c)
+            then t.sc_i <- i
+          end
+        end
+      end
+    end
+    else begin
+      bucket_push (Array.unsafe_get t.buckets idx) time key fn arg;
+      let w = idx lsr 5 in
+      Array.unsafe_set t.occ w (Array.unsafe_get t.occ w lor (1 lsl (idx land 31)));
+      t.in_window <- t.in_window + 1
+    end
+  end
+
+(* ---- pop ---- *)
+
+(* Re-anchor the window at the earliest overflow event and migrate every
+   overflow event that now falls inside it into buckets. *)
+let re_anchor t =
+  let ov = t.overflow in
+  let fl = t.fl in
+  let origin = ov.h_times.(0) in
+  let horizon = origin +. (Array.unsafe_get fl f_width *. float_of_int t.nb) in
+  fl.(f_origin) <- origin;
+  fl.(f_horizon) <- horizon;
+  (* -1, not 0: the migrated minimum lands in bucket 0, and the advance
+     scan starts at [cur + 1].  No push can observe the transient value —
+     re-anchoring happens inside a pop. *)
+  t.cur <- -1;
+  let inv = Array.unsafe_get fl f_inv_width in
+  while ov.h_size > 0 && Array.unsafe_get ov.h_times 0 < horizon do
+    rung_pop ov t;
+    let time = Array.unsafe_get fl f_pop_time in
+    let idx = int_of_float ((time -. origin) *. inv) in
+    let idx = if idx >= t.nb then t.nb - 1 else idx in
+    bucket_push (Array.unsafe_get t.buckets idx) time t.pop_key t.pop_fn t.pop_arg;
+    let w = idx lsr 5 in
+    Array.unsafe_set t.occ w (Array.unsafe_get t.occ w lor (1 lsl (idx land 31)));
+    t.in_window <- t.in_window + 1
+  done
+
+(* Ensure the front rung or the current bucket holds the globally minimal
+   event (advancing over empty buckets and re-anchoring from overflow as
+   needed).  Returns false iff the queue is empty.  On return with [true],
+   [t.cur] is a valid bucket index. *)
+let rec ensure_avail t =
+  if t.front.h_size > 0 then true
+  else if t.cur >= 0 && (Array.unsafe_get t.buckets t.cur).b_size > 0 then true
+  else if t.size = 0 then false
+  else if t.in_window > 0 then begin
+    (* advance to the next occupied bucket via the occupancy bitmap;
+       [in_window] > 0 guarantees a set bit before [nb] *)
+    let start = t.cur + 1 in
+    let w = ref (start lsr 5) in
+    let bits = ref (Array.unsafe_get t.occ !w land ((-1) lsl (start land 31))) in
+    while !bits = 0 do
+      incr w;
+      assert (!w < Array.length t.occ);
+      bits := Array.unsafe_get t.occ !w
+    done;
+    (* index of the lowest set bit (b is a power of two < 2^32) *)
+    let b = !bits land (- !bits) in
+    let j = ref 0 in
+    if b land 0xFFFF0000 <> 0 then j := 16;
+    if b land 0xFF00FF00 <> 0 then j := !j + 8;
+    if b land 0xF0F0F0F0 <> 0 then j := !j + 4;
+    if b land 0xCCCCCCCC <> 0 then j := !j + 2;
+    if b land 0xAAAAAAAA <> 0 then j := !j + 1;
+    let idx = (!w lsl 5) lor !j in
+    (* clearing the bit in the masked word is safe: buckets below [start]
+       are drained, so their bits are already clear *)
+    Array.unsafe_set t.occ !w (!bits lxor b);
+    t.cur <- idx;
+    t.sc_i <- -1;
+    let bk = Array.unsafe_get t.buckets idx in
+    t.in_window <- t.in_window - bk.b_size;
+    if bk.b_size > spill then spill_bucket t bk;
+    true
+  end
+  else begin
+    re_anchor t;
+    ensure_avail t
+  end
+
+let pop t =
+  if not (ensure_avail t) then false
+  else begin
+    let f = t.front in
+    let b = Array.unsafe_get t.buckets t.cur in
+    (if b.b_size = 0 then rung_pop f t
+     else begin
+       let i = bucket_min_idx t b in
+       if
+         f.h_size > 0
+         &&
+         let ft = Array.unsafe_get f.h_times 0
+         and bt = Array.unsafe_get b.b_times i in
+         ft < bt
+         || (ft = bt && Array.unsafe_get f.h_keys 0 < Array.unsafe_get b.b_keys i)
+       then rung_pop f t
+       else take_bucket t b i
+     end);
+    t.size <- t.size - 1;
+    true
+  end
+
+let[@inline] popped_time t = Array.unsafe_get t.fl f_pop_time
+
+(* Apply the popped event's [fn] to its [arg], clearing the slots first so
+   the payload is unreachable from the queue while (and after) it runs. *)
+let[@inline] run_popped t =
+  let fn = t.pop_fn and arg = t.pop_arg in
+  t.pop_fn <- dummy_fn;
+  t.pop_arg <- dummy_arg;
+  fn arg
+
+(* Smallest time in the queue without removing anything; [infinity] when
+   empty.  May advance internal cursors (observationally pure). *)
+let min_time t =
+  if not (ensure_avail t) then infinity
+  else begin
+    let f = t.front in
+    let b = Array.unsafe_get t.buckets t.cur in
+    if b.b_size = 0 then Array.unsafe_get f.h_times 0
+    else begin
+      let i = bucket_min_idx t b in
+      let bt = Array.unsafe_get b.b_times i in
+      if f.h_size > 0 then begin
+        let ft = Array.unsafe_get f.h_times 0 in
+        if ft < bt then ft else bt
+      end
+      else bt
+    end
+  end

@@ -1,0 +1,56 @@
+(** The simulator's event queue: a calendar/ladder queue ordered by
+    [(time, key)].
+
+    The queue is O(1) amortized for the timestamp distributions the network
+    models produce: a window of fixed-width buckets absorbs near-future
+    events, the current bucket is drained in place by a scan for its
+    minimum (a handful of contiguous float compares at typical occupancy —
+    no sift, no copy), a small {e front} min-heap takes the spill when one
+    bucket grows pathological, and far-future timers fall back to an
+    {e overflow} rung that re-anchors the window when it drains.  Ties in
+    [time] are broken by the int [key];
+    when keys are unique (the simulator packs [(priority, sequence)] into
+    one), pop order equals a global sort by [(time, key)] exactly,
+    independent of rung internals.
+
+    Payloads are an [(fn, arg)] application rather than a thunk so callers
+    with a long-lived handler (the simulator's fiber/callback wrappers, the
+    network's delivery handler) can schedule without allocating a closure
+    per event.  All internal storage is struct-of-arrays with recycled
+    slots: steady-state push/pop allocates nothing, and vacated slots are
+    poisoned so spent payloads are not kept alive. *)
+
+type t
+
+val create : ?buckets:int -> ?width:float -> unit -> t
+(** [create ()] returns an empty queue anchored at time 0.0 with [buckets]
+    rungs of [width] virtual seconds each (defaults: 1024 x 1e-6 s, sized
+    for the microsecond-scale network models).  Times pushed must be
+    non-decreasing relative to the last pop (the simulator's no-past-events
+    invariant); far-future times are unrestricted. *)
+
+val length : t -> int
+(** Number of queued events. *)
+
+val is_empty : t -> bool
+(** [length t = 0], without counting. *)
+
+val push : t -> time:float -> key:int -> (Obj.t -> unit) -> Obj.t -> unit
+(** Insert an event.  O(1) amortized within the window; O(log overflow) for
+    far-future times.  The [(fn, arg)] pair is applied by {!run_popped}. *)
+
+val pop : t -> bool
+(** Remove the minimal event, exposing it via {!popped_time} and
+    {!run_popped}.  Returns [false] iff the queue is empty. *)
+
+val popped_time : t -> float
+(** Timestamp of the event removed by the last successful {!pop}. *)
+
+val run_popped : t -> unit
+(** Apply the last popped event's [fn] to its [arg], clearing the queue's
+    references to both first (so the payload is collectable once it
+    returns).  Must be called at most once per successful {!pop}. *)
+
+val min_time : t -> float
+(** Smallest queued time, [infinity] when empty.  May advance internal
+    cursors but never changes the pop order. *)

@@ -1,138 +1,14 @@
-(* Flat event representation: a [fiber] flag instead of a variant saves one
-   block per event, and most events (message deliveries, resumptions) are
-   plain callbacks that need no effect-handler context at all. *)
-type event = { time : float; prio : int; seq : int; fiber : bool; run : unit -> unit }
+(* Event order is the total order (time, prio, seq).  The priority and the
+   per-simulator sequence number are packed into one int key — seq is unique
+   and bounded by 2^44 events per simulator (20+ days of wall clock at 10M
+   events/sec), so a single int comparison reproduces the lexicographic
+   (prio, seq) tie-break exactly and the ladder queue's pop order is fully
+   determined regardless of rung internals. *)
+let seq_bits = 44
 
-(* Immutable sentinel (every [event] field is immutable; it only shares the
-   [seq] field name with the mutable [t] below), so sharing it across
-   domains is safe. *)
-let dummy_event =
-  { time = neg_infinity; prio = 0; seq = -1; fiber = false; run = ignore }
-[@@domain_safe]
+let max_prio = 1 lsl (62 - seq_bits)
 
-(* Specialized binary min-heap over events.  Compared to the generic [Heap],
-   the comparator is a direct inlined test instead of a closure call (the
-   event queue sees two heap operations per simulator event, each a
-   logarithmic number of comparisons), [pop_min] allocates no option, sifts
-   move elements into a hole instead of swapping, and popped slots are
-   overwritten with [dummy_event] so spent closures are not kept alive into
-   the major heap.  Order is the total order (time, prio, seq) — seq is
-   unique, so pop order is fully determined regardless of heap internals. *)
-module Eq = struct
-  type t = { mutable data : event array; mutable size : int }
-
-  let create () = { data = Array.make 256 dummy_event; size = 0 }
-
-  let[@inline] less a b =
-    a.time < b.time
-    || (a.time = b.time && (a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)))
-
-  let push q ev =
-    let cap = Array.length q.data in
-    if q.size = cap then begin
-      let ndata = Array.make (cap * 2) dummy_event in
-      Array.blit q.data 0 ndata 0 q.size;
-      q.data <- ndata
-    end;
-    let data = q.data in
-    let i = ref q.size in
-    q.size <- q.size + 1;
-    let moving = ref true in
-    while !moving && !i > 0 do
-      let p = (!i - 1) / 2 in
-      let pe = Array.unsafe_get data p in
-      if less ev pe then begin
-        Array.unsafe_set data !i pe;
-        i := p
-      end
-      else moving := false
-    done;
-    Array.unsafe_set data !i ev
-
-  (* precondition: size > 0 *)
-  let pop_min q =
-    let data = q.data in
-    let top = Array.unsafe_get data 0 in
-    let n = q.size - 1 in
-    q.size <- n;
-    let last = Array.unsafe_get data n in
-    Array.unsafe_set data n dummy_event;
-    if n > 0 then begin
-      let i = ref 0 in
-      let moving = ref true in
-      while !moving do
-        let l = (2 * !i) + 1 in
-        if l >= n then moving := false
-        else begin
-          let r = l + 1 in
-          let c =
-            if r < n && less (Array.unsafe_get data r) (Array.unsafe_get data l) then r
-            else l
-          in
-          let ce = Array.unsafe_get data c in
-          if less ce last then begin
-            Array.unsafe_set data !i ce;
-            i := c
-          end
-          else moving := false
-        end
-      done;
-      Array.unsafe_set data !i last
-    end;
-    top
-end
-
-type t = {
-  mutable now : float;
-  mutable seq : int;
-  mutable processed : int;
-  events : Eq.t;
-  (* Observation tap: called after every executed event.  The probe must be
-     passive — no scheduling, no PRNG draws — so installing one cannot
-     change a trajectory; the observability layer uses it to sample gauges
-     "on DES ticks" without the simulator depending on it. *)
-  mutable probe : (unit -> unit) option;
-}
-
-(* The simulator is allocation-heavy (~75 words/event across the KV
-   benchmarks); the default 256k-word minor heap forces a minor collection
-   every few thousand events and promotes long queues of in-flight events.
-   Growing it once to 8M words is worth ~15% wall clock on the figure
-   benchmarks.  Only ever grow — respect a larger value from OCAMLRUNPARAM.
-   The guard is an Atomic so concurrent [create] calls from pool domains
-   (Sss_par) race benignly: exactly one domain performs the [Gc.set].
-   Harnesses that fan out should call [tune_gc] once before spawning so the
-   resize happens while the runtime is single-domain. *)
-let gc_tuned = Atomic.make false
-
-let tune_gc () =
-  if (not (Atomic.get gc_tuned)) && Atomic.compare_and_set gc_tuned false true then begin
-    let g = Gc.get () in
-    let want = 8 * 1024 * 1024 in
-    if g.Gc.minor_heap_size < want then Gc.set { g with Gc.minor_heap_size = want }
-  end
-
-let create () =
-  tune_gc ();
-  { now = 0.0; seq = 0; processed = 0; events = Eq.create (); probe = None }
-
-let now t = t.now
-
-let events_processed t = t.processed
-
-let enqueue t ~prio ~delay ~fiber run =
-  assert (delay >= 0.0);
-  let ev = { time = t.now +. delay; prio; seq = t.seq; fiber; run } in
-  t.seq <- t.seq + 1;
-  Eq.push t.events ev
-
-let schedule t ?(prio = 100) ~delay f = enqueue t ~prio ~delay ~fiber:true f
-
-let schedule_callback t ?(prio = 100) ~delay f = enqueue t ~prio ~delay ~fiber:false f
-
-let spawn t ?prio f = schedule t ?prio ~delay:0.0 f
-
-let tick t = t.processed <- t.processed + 1
+let[@inline] pack_key ~prio ~seq = (prio lsl seq_bits) lor seq
 
 type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
 
@@ -155,10 +31,96 @@ let fiber_handler : (unit, unit) Effect.Deep.handler =
 
 let run_fiber f = Effect.Deep.match_with f () fiber_handler
 
+(* The queue stores events as an (fn, arg) application.  Thunk events (the
+   classic [schedule]/[spawn] interface) go through one of these two static
+   appliers, so the fiber/callback distinction costs no per-event storage;
+   [schedule_apply] events pass the caller's long-lived handler directly.
+   The Obj casts are confined to these appliers and [schedule_apply], whose
+   types guarantee fn and arg were paired at push time. *)
+let call_thunk : Obj.t -> unit = fun f -> (Obj.obj f : unit -> unit) ()
+
+let call_fiber : Obj.t -> unit = fun f -> run_fiber (Obj.obj f : unit -> unit)
+
+type t = {
+  (* The clock lives in a flat float array rather than a mutable float
+     field: a mixed record's float field is boxed, so writing it would
+     allocate on every executed event. *)
+  clock : float array;
+  mutable seq : int;
+  mutable processed : int;
+  events : Equeue.t;
+  (* Observation tap, run after every executed event.  The probe must be
+     passive — no scheduling, no PRNG draws — so installing one cannot
+     change a trajectory; the observability layer uses it to sample gauges
+     "on DES ticks" without the simulator depending on it.  Stored as a
+     bare closure ([ignore] when absent) so the per-event path has no
+     option check. *)
+  mutable probe : unit -> unit;
+}
+
+(* The protocols above the simulator remain allocation-heavy (message
+   payloads, vector clocks); the default 256k-word minor heap forces a
+   minor collection every few thousand events and promotes long-lived
+   in-flight state.  Growing it once to 8M words is worth ~15% wall clock
+   on the figure benchmarks.  Only ever grow — respect a larger value from
+   OCAMLRUNPARAM.  The guard is an Atomic so concurrent [create] calls from
+   pool domains (Sss_par) race benignly: exactly one domain performs the
+   [Gc.set].  Harnesses that fan out should call [tune_gc] once before
+   spawning so the resize happens while the runtime is single-domain. *)
+let gc_tuned = Atomic.make false
+
+let tune_gc () =
+  if (not (Atomic.get gc_tuned)) && Atomic.compare_and_set gc_tuned false true then begin
+    let g = Gc.get () in
+    let want = 8 * 1024 * 1024 in
+    if g.Gc.minor_heap_size < want then Gc.set { g with Gc.minor_heap_size = want }
+  end
+
+let create () =
+  tune_gc ();
+  {
+    clock = Array.make 1 0.0;
+    seq = 0;
+    processed = 0;
+    events = Equeue.create ();
+    probe = ignore;
+  }
+
+let[@inline] now t = Array.unsafe_get t.clock 0
+
+let events_processed t = t.processed
+
+let[@inline] enqueue t ~prio ~delay ~fiber run =
+  assert (delay >= 0.0);
+  assert (prio >= 0 && prio < max_prio);
+  let key = pack_key ~prio ~seq:t.seq in
+  t.seq <- t.seq + 1;
+  Equeue.push t.events ~time:(now t +. delay) ~key
+    (if fiber then call_fiber else call_thunk)
+    (Obj.repr run)
+
+let schedule t ?(prio = 100) ~delay f = enqueue t ~prio ~delay ~fiber:true f
+
+let schedule_callback t ?(prio = 100) ~delay f = enqueue t ~prio ~delay ~fiber:false f
+
+let schedule_apply (type a) t ?(prio = 100) ~delay (fn : a -> unit) (arg : a) =
+  assert (delay >= 0.0);
+  assert (prio >= 0 && prio < max_prio);
+  let key = pack_key ~prio ~seq:t.seq in
+  t.seq <- t.seq + 1;
+  Equeue.push t.events ~time:(now t +. delay) ~key
+    (Obj.magic (fn : a -> unit) : Obj.t -> unit)
+    (Obj.repr arg)
+
+let spawn t ?prio f = schedule t ?prio ~delay:0.0 f
+
+let tick t = t.processed <- t.processed + 1
+
 (* [raw_suspend register] parks the fiber and hands [register] the raw
-   continuation.  Whoever holds it must arrange for it to run as an event
-   body, exactly once.  The public [suspend] below enforces this by routing
-   through the event queue. *)
+   continuation.  Whoever holds it must arrange for it to run (directly or
+   as an event body), exactly once, at the current or a later virtual
+   time.  The public [suspend] below enforces this by routing through the
+   event queue. *)
 let raw_suspend register = Effect.perform (Suspend register)
 
 let suspend t ?(prio = 100) register =
@@ -168,28 +130,53 @@ let suspend t ?(prio = 100) register =
 let sleep t delay =
   raw_suspend (fun resume -> enqueue t ~prio:100 ~delay ~fiber:false resume)
 
-let set_probe t p = t.probe <- p
+let set_probe t p = t.probe <- (match p with None -> ignore | Some f -> f)
 
-let exec t ev =
-  t.now <- ev.time;
+let[@inline] exec_popped t =
+  let q = t.events in
+  Array.unsafe_set t.clock 0 (Equeue.popped_time q);
   t.processed <- t.processed + 1;
-  if ev.fiber then run_fiber ev.run else ev.run ();
-  match t.probe with None -> () | Some f -> f ()
+  Equeue.run_popped q;
+  t.probe ()
 
 let run t =
   let q = t.events in
-  while q.Eq.size > 0 do
-    exec t (Eq.pop_min q)
+  while Equeue.pop q do
+    exec_popped t
   done
 
 let run_until t limit =
   let q = t.events in
-  let continue_ = ref true in
-  while !continue_ && q.Eq.size > 0 do
-    if (Array.unsafe_get q.Eq.data 0).time > limit then continue_ := false
-    else exec t (Eq.pop_min q)
+  while Equeue.min_time q <= limit && Equeue.pop q do
+    exec_popped t
   done;
-  if t.now < limit then t.now <- limit
+  if now t < limit then t.clock.(0) <- limit
+
+(* Waiter batching: waking W parked fibers used to enqueue W separate
+   events — one heap push and one event-loop turn per waiter.  A broadcast
+   or fill now enqueues a single run-queue drain that resumes every waiter
+   in FIFO order at the same (time, prio) instant.  Trajectories are
+   unchanged: the old per-waiter events held consecutive sequence numbers,
+   so nothing could interleave between them, and anything a resumed fiber
+   schedules lands after the drain either way.  [tick] keeps
+   [events_processed] comparable across engines (one logical event per
+   waiter). *)
+let drain_waiters ((sim, ws) : t * (unit -> unit) list) =
+  match ws with
+  | [] -> ()
+  | w :: rest ->
+      w ();
+      List.iter
+        (fun r ->
+          tick sim;
+          r ())
+        rest
+
+let wake_all sim ws =
+  match ws with
+  | [] -> ()
+  | [ w ] -> enqueue sim ~prio:100 ~delay:0.0 ~fiber:false w
+  | ws -> schedule_apply sim ~prio:100 ~delay:0.0 drain_waiters (sim, List.rev ws)
 
 module Cond = struct
 
@@ -200,9 +187,9 @@ module Cond = struct
   let wait _sim c = raw_suspend (fun resume -> c.waiters <- resume :: c.waiters)
 
   let broadcast sim c =
-    let ws = List.rev c.waiters in
+    let ws = c.waiters in
     c.waiters <- [];
-    List.iter (fun resume -> enqueue sim ~prio:100 ~delay:0.0 ~fiber:false resume) ws
+    wake_all sim ws
 
   let await sim c pred =
     let rec loop () =
@@ -219,18 +206,28 @@ module Cond = struct
       if pred () then true
       else if now sim >= deadline then false
       else begin
-        (* Park on the condition but also arm a timer; whichever fires first
-           wins, the other becomes a no-op through the [fired] flag. *)
+        (* Park on the condition but also arm a timer; whichever fires
+           first wins through the [fired] flag.  When the timer wins, the
+           dead waiter is compacted out of [c.waiters] immediately — a
+           long-lived condition whose waiters keep timing out (lock waits,
+           vote timeouts) must not accumulate cancelled closures until the
+           next broadcast. *)
         let fired = ref false in
         raw_suspend (fun resume ->
-            let once () =
+            let wake () =
               if not !fired then begin
                 fired := true;
                 resume ()
               end
             in
-            c.waiters <- once :: c.waiters;
-            enqueue sim ~prio:100 ~delay:(deadline -. now sim) ~fiber:false once);
+            c.waiters <- wake :: c.waiters;
+            enqueue sim ~prio:100 ~delay:(deadline -. now sim) ~fiber:false
+              (fun () ->
+                if not !fired then begin
+                  fired := true;
+                  c.waiters <- List.filter (fun w -> w != wake) c.waiters;
+                  resume ()
+                end));
         loop ()
       end
     in
@@ -252,9 +249,9 @@ module Ivar = struct
     | Some _ -> invalid_arg "Sim.Ivar.fill: already filled"
     | None ->
         iv.value <- Some v;
-        let ws = List.rev iv.waiters in
+        let ws = iv.waiters in
         iv.waiters <- [];
-        List.iter (fun resume -> enqueue sim ~prio:100 ~delay:0.0 ~fiber:false resume) ws
+        wake_all sim ws
 
   let read sim iv =
     ignore sim;
@@ -272,13 +269,19 @@ module Ivar = struct
     | None ->
         let fired = ref false in
         raw_suspend (fun resume ->
-            let once () =
+            let wake () =
               if not !fired then begin
                 fired := true;
                 resume ()
               end
             in
-            iv.waiters <- once :: iv.waiters;
-            enqueue sim ~prio:100 ~delay:timeout ~fiber:false once);
+            iv.waiters <- wake :: iv.waiters;
+            enqueue sim ~prio:100 ~delay:timeout ~fiber:false (fun () ->
+                if not !fired then begin
+                  fired := true;
+                  (* compact the dead waiter, as in [Cond.await_timeout] *)
+                  iv.waiters <- List.filter (fun w -> w != wake) iv.waiters;
+                  resume ()
+                end));
         iv.value
 end

@@ -43,6 +43,14 @@ val schedule_callback : t -> ?prio:int -> delay:float -> (unit -> unit) -> unit
     the simulator's highest-volume events (message deliveries, CPU
     charges). *)
 
+val schedule_apply : t -> ?prio:int -> delay:float -> ('a -> unit) -> 'a -> unit
+(** [schedule_apply t ~delay fn arg] runs [fn arg] as a bare callback at
+    [now t +. delay] — semantically [schedule_callback t ~delay (fun () ->
+    fn arg)], but without allocating the closure.  Callers with a
+    long-lived handler (the network's delivery and dispatch paths) pass it
+    directly and thread the per-event state through [arg], so scheduling
+    an event allocates nothing.  [fn] must not suspend. *)
+
 val run_fiber : (unit -> unit) -> unit
 (** Run [f] immediately under a fresh effect handler.  If [f] suspends,
     the call returns and [f]'s continuation is parked exactly as a
@@ -91,7 +99,10 @@ module Cond : sig
 
   val broadcast : sim -> t -> unit
   (** Wake every parked fiber (they resume at the current time, in the order
-      they started waiting). *)
+      they started waiting).  Multi-waiter broadcasts are batched: one
+      drain event resumes all waiters back-to-back instead of enqueueing
+      one event per waiter; {!events_processed} still counts one logical
+      event per waiter. *)
 
   val await : sim -> t -> (unit -> bool) -> unit
   (** [await sim c pred] returns when [pred ()] holds, re-checking after
@@ -100,7 +111,10 @@ module Cond : sig
 
   val await_timeout : sim -> t -> timeout:float -> (unit -> bool) -> bool
   (** Like {!await} but gives up after [timeout] seconds of virtual time.
-      Returns [true] if the predicate held, [false] on timeout. *)
+      Returns [true] if the predicate held, [false] on timeout.  A waiter
+      whose timer fires is compacted out of the condition's waiter list
+      immediately, so long-lived conditions do not accumulate cancelled
+      closures. *)
 end
 
 (** Write-once cells, used for request/response rendezvous. *)

@@ -209,12 +209,18 @@ let test_pretty_printers () =
   Alcotest.(check bool) "squeue pp nonempty" true
     (String.length (Format.asprintf "%a" Squeue.pp q) > 0)
 
-let test_heap_clear_and_tolist () =
-  let h = Heap.create ~cmp:Int.compare in
-  List.iter (Heap.push h) [ 3; 1; 2 ];
-  Alcotest.(check int) "to_list size" 3 (List.length (Heap.to_list h));
-  Heap.clear h;
-  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+let test_equeue_surface () =
+  let q = Equeue.create ~buckets:64 ~width:1e-6 () in
+  let ran = ref 0 in
+  let bump _ = incr ran in
+  List.iter (fun t -> Equeue.push q ~time:t ~key:0 bump (Obj.repr ())) [ 3e-6; 1e-6; 2e-6 ];
+  Alcotest.(check int) "length" 3 (Equeue.length q);
+  Alcotest.(check bool) "min_time" true (Equeue.min_time q = 1e-6);
+  Alcotest.(check bool) "pop" true (Equeue.pop q);
+  Alcotest.(check (float 1e-18)) "popped_time" 1e-6 (Equeue.popped_time q);
+  Equeue.run_popped q;
+  Alcotest.(check int) "payload ran" 1 !ran;
+  Alcotest.(check int) "length after pop" 2 (Equeue.length q)
 
 let test_prng_pick () =
   let g = Prng.create ~seed:1 in
@@ -263,7 +269,7 @@ let () =
       ( "utilities",
         [
           Alcotest.test_case "pretty printers" `Quick test_pretty_printers;
-          Alcotest.test_case "heap clear/to_list" `Quick test_heap_clear_and_tolist;
+          Alcotest.test_case "equeue surface" `Quick test_equeue_surface;
           Alcotest.test_case "prng pick" `Quick test_prng_pick;
           Alcotest.test_case "network byte stats" `Quick test_network_stats_accumulate;
         ] );

@@ -6,31 +6,107 @@ open Sss_data
 
 let tx node local : Ids.txn = { node; local }
 
-(* ---------- Heap vs sorted-list model ---------- *)
+(* ---------- Ladder queue vs sorted-list model ----------
 
-let heap_mixed_ops =
-  QCheck.Test.make ~name:"heap mixed push/pop matches model" ~count:200
-    QCheck.(list (option int))
+   The reference model is a list kept sorted by [(time, key)]; the queue
+   must pop in exactly that order.  Pushes respect the simulator's
+   no-past-events invariant (never before the last popped time), and the
+   delay profile is chosen to cross every rung: sub-window delays land in
+   calendar buckets, mid delays exercise the occupancy-bitmap scan, and
+   far-future delays go through the overflow heap and its re-anchoring. *)
+
+let eq_record out o = out := (Obj.obj o : float * int) :: !out
+
+let eq_delay d =
+  if d < 80 then float_of_int d *. 1e-7 (* in-window: calendar buckets *)
+  else if d < 95 then 1e-4 +. (float_of_int (d - 80) *. 1e-5) (* bitmap scan *)
+  else 0.01 +. (float_of_int (d - 95) *. 0.2) (* overflow rung *)
+
+let equeue_mixed_ops =
+  QCheck.Test.make ~name:"equeue mixed push/pop matches model" ~count:300
+    QCheck.(list (option (int_bound 99)))
     (fun ops ->
-      (* Some x = push x, None = pop *)
-      let h = Heap.create ~cmp:Int.compare in
-      let model = ref [] in
-      List.for_all
-        (fun op ->
-          match op with
-          | Some x ->
-              Heap.push h x;
-              model := List.sort Int.compare (x :: !model);
-              true
-          | None -> (
-              match (Heap.pop h, !model) with
-              | None, [] -> true
-              | Some a, b :: rest ->
-                  model := rest;
-                  a = b
-              | _ -> false))
-        ops
-      && Heap.length h = List.length !model)
+      (* Some d = push at watermark + profile delay, None = pop *)
+      let q = Sss_sim.Equeue.create () in
+      let out = ref [] in
+      let model = ref [] and watermark = ref 0.0 and next_key = ref 0 in
+      let ok =
+        List.for_all
+          (fun op ->
+            match op with
+            | Some d ->
+                let time = !watermark +. eq_delay d in
+                let key = !next_key in
+                incr next_key;
+                Sss_sim.Equeue.push q ~time ~key (eq_record out) (Obj.repr (time, key));
+                model := List.sort compare ((time, key) :: !model);
+                true
+            | None -> (
+                match !model with
+                | [] -> not (Sss_sim.Equeue.pop q)
+                | ((t, _) as hd) :: rest ->
+                    Sss_sim.Equeue.min_time q = t
+                    && Sss_sim.Equeue.pop q
+                    &&
+                    (Sss_sim.Equeue.run_popped q;
+                     model := rest;
+                     watermark := t;
+                     Sss_sim.Equeue.popped_time q = t
+                     && (match !out with x :: _ -> x = hd | [] -> false))))
+          ops
+      in
+      ok && Sss_sim.Equeue.length q = List.length !model)
+
+let equeue_spill_bucket =
+  (* Many events colliding in one calendar bucket must overflow into the
+     spill heap without disturbing the (time, key) order. *)
+  QCheck.Test.make ~name:"equeue same-bucket spill keeps order" ~count:50
+    QCheck.(list_of_size (Gen.int_range 150 250) (int_bound 9))
+    (fun ds ->
+      let q = Sss_sim.Equeue.create () in
+      let out = ref [] in
+      let expect =
+        List.mapi (fun i d -> (float_of_int d *. 1e-8, i)) ds |> List.sort compare
+      in
+      List.iteri
+        (fun i d ->
+          let time = float_of_int d *. 1e-8 in
+          Sss_sim.Equeue.push q ~time ~key:i (eq_record out) (Obj.repr (time, i)))
+        ds;
+      while Sss_sim.Equeue.pop q do
+        Sss_sim.Equeue.run_popped q
+      done;
+      List.rev !out = expect)
+
+let equeue_arena_reuse =
+  (* Fill/drain cycles on one queue: recycled slots must behave exactly
+     like fresh ones, and the queue must return to empty every cycle. *)
+  QCheck.Test.make ~name:"equeue slot recycling across cycles" ~count:50
+    QCheck.(pair (int_range 2 5) (list_of_size (Gen.int_range 20 80) (int_bound 99)))
+    (fun (cycles, ds) ->
+      let q = Sss_sim.Equeue.create () in
+      let base = ref 0.0 and key = ref 0 and ok = ref true in
+      for _ = 1 to cycles do
+        let out = ref [] in
+        let expect =
+          List.map
+            (fun d ->
+              let time = !base +. eq_delay d in
+              let k = !key in
+              incr key;
+              Sss_sim.Equeue.push q ~time ~key:k (eq_record out) (Obj.repr (time, k));
+              (time, k))
+            ds
+          |> List.sort compare
+        in
+        while Sss_sim.Equeue.pop q do
+          Sss_sim.Equeue.run_popped q;
+          base := Stdlib.max !base (Sss_sim.Equeue.popped_time q)
+        done;
+        if List.rev !out <> expect then ok := false;
+        if not (Sss_sim.Equeue.is_empty q) then ok := false
+      done;
+      !ok)
 
 (* ---------- Prng statistical sanity ---------- *)
 
@@ -250,9 +326,11 @@ let squeue_remove_model =
 let () =
   Alcotest.run "props"
     [
-      ( "heap+prng",
+      ( "equeue+prng",
         [
-          QCheck_alcotest.to_alcotest heap_mixed_ops;
+          QCheck_alcotest.to_alcotest equeue_mixed_ops;
+          QCheck_alcotest.to_alcotest equeue_spill_bucket;
+          QCheck_alcotest.to_alcotest equeue_arena_reuse;
           Alcotest.test_case "chi-square uniformity" `Quick test_prng_chi_square_uniform;
           Alcotest.test_case "copy independence" `Quick test_prng_copy_independent;
           Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;

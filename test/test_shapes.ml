@@ -105,6 +105,30 @@ let test_hardening_overhead_bounded_at_standard_profile () =
     true
     (hard >= 0.6 *. paper)
 
+(* Fig. 3 at smoke scale, pinned byte-for-byte.  The figure's text and the
+   run's simulator totals are a complete fingerprint of the DES trajectory:
+   an engine change that reorders even two equal-time events shifts commit
+   counts and shows up here.  Intentional trajectory changes (new event
+   types, protocol edits) must regenerate the fixture:
+
+     dune exec bin/sss_cli.exe -- figure fig3 --scale smoke \
+       > test/golden/fig3_smoke.txt
+   then append the meter lines in the format below. *)
+let test_fig3_smoke_golden () =
+  let buf = Buffer.create 4096 in
+  let c = ctx ~jobs:1 ~out:(Buffer.add_string buf) () in
+  let m = fig3 c Smoke in
+  Buffer.add_string buf
+    (Printf.sprintf "des_events %d\nvirtual_seconds %.6f\ncommitted_txns %d\nruns %d\n"
+       m.des_events m.virtual_seconds m.committed_txns m.runs);
+  let fixture =
+    (* cwd is test/ under [dune runtest], the repo root under [dune exec] *)
+    if Sys.file_exists "golden/fig3_smoke.txt" then "golden/fig3_smoke.txt"
+    else "test/golden/fig3_smoke.txt"
+  in
+  let expected = In_channel.with_open_text fixture In_channel.input_all in
+  Alcotest.(check string) "fig3 smoke trajectory" expected (Buffer.contents buf)
+
 let () =
   Alcotest.run "shapes"
     [
@@ -121,5 +145,6 @@ let () =
           Alcotest.test_case "abort-rate shape" `Slow test_abort_rate_shape;
           Alcotest.test_case "hardening overhead bounded" `Slow
             test_hardening_overhead_bounded_at_standard_profile;
+          Alcotest.test_case "fig3 smoke golden trajectory" `Slow test_fig3_smoke_golden;
         ] );
     ]

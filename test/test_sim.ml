@@ -1,5 +1,5 @@
-(* Tests for the discrete-event simulator substrate: PRNG, heap, fibers,
-   virtual time, condition variables and ivars. *)
+(* Tests for the discrete-event simulator substrate: PRNG, event queue,
+   fibers, virtual time, condition variables and ivars. *)
 
 open Sss_sim
 
@@ -55,33 +55,60 @@ let test_prng_exponential_mean () =
     true
     (abs_float (mean -. 2.0) < 0.1)
 
-let test_heap_sorts () =
-  let h = Heap.create ~cmp:Int.compare in
+(* The ladder queue is exercised through its payload API: each event
+   records its own identity when run, making pop order observable. *)
+
+let eq_drain q out =
+  while Equeue.pop q do
+    Equeue.run_popped q
+  done;
+  List.rev !out
+
+let test_equeue_sorts () =
+  let q = Equeue.create () in
+  let out = ref [] in
+  let record o = out := (Obj.obj o : int) :: !out in
   let input = [ 5; 3; 8; 1; 9; 2; 7; 4; 6; 0 ] in
-  List.iter (Heap.push h) input;
-  let rec drain acc =
-    match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
-  in
-  Alcotest.(check (list int)) "sorted" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (drain [])
+  List.iter
+    (fun k -> Equeue.push q ~time:(float_of_int k *. 1e-6) ~key:k record (Obj.repr k))
+    input;
+  Alcotest.(check int) "length" 10 (Equeue.length q);
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (eq_drain q out);
+  Alcotest.(check bool) "drained" true (Equeue.is_empty q)
 
-let test_heap_empty () =
-  let h = Heap.create ~cmp:Int.compare in
-  Alcotest.(check bool) "empty" true (Heap.is_empty h);
-  Alcotest.(check (option int)) "peek none" None (Heap.peek h);
-  Alcotest.(check (option int)) "pop none" None (Heap.pop h);
-  Alcotest.check_raises "pop_exn raises" (Invalid_argument "Heap.pop_exn: empty heap")
-    (fun () -> ignore (Heap.pop_exn h))
+let test_equeue_key_ties () =
+  (* Same timestamp: the int key (packed priority, sequence) decides. *)
+  let q = Equeue.create () in
+  let out = ref [] in
+  let record o = out := (Obj.obj o : int) :: !out in
+  List.iter
+    (fun k -> Equeue.push q ~time:42e-6 ~key:k record (Obj.repr k))
+    [ 3; 1; 4; 0; 2 ];
+  Alcotest.(check (list int)) "key order" [ 0; 1; 2; 3; 4 ] (eq_drain q out)
 
-let heap_property =
-  QCheck.Test.make ~name:"heap pop order matches List.sort" ~count:200
-    QCheck.(list int)
+let test_equeue_empty () =
+  let q = Equeue.create () in
+  Alcotest.(check bool) "empty" true (Equeue.is_empty q);
+  Alcotest.(check int) "length 0" 0 (Equeue.length q);
+  Alcotest.(check bool) "pop on empty" false (Equeue.pop q);
+  Alcotest.(check bool) "min_time infinity" true (Equeue.min_time q = infinity)
+
+let equeue_property =
+  QCheck.Test.make ~name:"equeue pop order matches sort by (time, key)" ~count:200
+    QCheck.(list (int_bound 2000))
     (fun xs ->
-      let h = Heap.create ~cmp:Int.compare in
-      List.iter (Heap.push h) xs;
-      let rec drain acc =
-        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      let q = Equeue.create () in
+      let out = ref [] in
+      let record o = out := (Obj.obj o : float * int) :: !out in
+      List.iteri
+        (fun i us ->
+          let time = float_of_int us *. 1e-6 in
+          Equeue.push q ~time ~key:i record (Obj.repr (time, i)))
+        xs;
+      let expect =
+        List.sort compare (List.mapi (fun i us -> (float_of_int us *. 1e-6, i)) xs)
       in
-      drain [] = List.sort Int.compare xs)
+      eq_drain q out = expect)
 
 let test_sim_time_order () =
   let sim = Sim.create () in
@@ -306,11 +333,12 @@ let () =
           Alcotest.test_case "split independence" `Quick test_prng_split_independent;
           Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
         ] );
-      ( "heap",
+      ( "equeue",
         [
-          Alcotest.test_case "sorts" `Quick test_heap_sorts;
-          Alcotest.test_case "empty behaviour" `Quick test_heap_empty;
-          QCheck_alcotest.to_alcotest heap_property;
+          Alcotest.test_case "sorts" `Quick test_equeue_sorts;
+          Alcotest.test_case "key ties" `Quick test_equeue_key_ties;
+          Alcotest.test_case "empty behaviour" `Quick test_equeue_empty;
+          QCheck_alcotest.to_alcotest equeue_property;
         ] );
       ( "engine",
         [
