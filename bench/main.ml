@@ -291,9 +291,9 @@ let () =
   Printf.printf "SSS reproduction benchmarks (scale: %s, jobs: %d)\n" scale_name jobs;
   let reports = ref [] in
   let time f =
-    let start = Unix.gettimeofday () in
+    let start = (Unix.gettimeofday () [@wallclock_ok]) in
     let v = f () in
-    (v, Unix.gettimeofday () -. start)
+    (v, (Unix.gettimeofday () [@wallclock_ok]) -. start)
   in
   (* Wrap a measured target with the Gc allocation probe (main domain). *)
   let time_alloc f =
@@ -327,7 +327,7 @@ let () =
               minor_collections; major_collections }
             :: !reports
       | None ->
-          if t = "micro" then begin
+          if String.equal t "micro" then begin
             let (), wall_seconds = time run_micro in
             reports :=
               { target = t; wall_seconds; baseline_wall = None; m = meters_zero;

@@ -117,7 +117,7 @@ let figure_cmd =
     let jobs_conv =
       Arg.conv
         ( (fun s ->
-            if s = "max" then Ok (Sss_par.Pool.default_jobs ())
+            if String.equal s "max" then Ok (Sss_par.Pool.default_jobs ())
             else
               match int_of_string_opt s with
               | Some n when n >= 1 -> Ok n

@@ -366,7 +366,7 @@ let () =
         Arg.String
           (fun s ->
             jobs :=
-              if s = "max" then Pool.default_jobs ()
+              if String.equal s "max" then Pool.default_jobs ()
               else
                 match int_of_string_opt s with
                 | Some n when n >= 1 -> n

@@ -13,7 +13,8 @@ let compare_txn a b =
 let equal_txn a b = compare_txn a b = 0
 
 let txn_to_string t =
-  if t = genesis then "T<genesis>" else Printf.sprintf "T<%d.%d>" t.node t.local
+  if equal_txn t genesis then "T<genesis>"
+  else Printf.sprintf "T<%d.%d>" t.node t.local
 
 let pp_txn fmt t = Format.pp_print_string fmt (txn_to_string t)
 

@@ -25,7 +25,7 @@ let set t i v =
   c.(i) <- v;
   c
 
-let set_into t i v = t.(i) <- v
+let[@hot] set_into t i v = t.(i) <- v
 
 let bump t i = set t i (t.(i) + 1)
 
@@ -54,16 +54,20 @@ let max a b =
     c
   end
 
-let max_into dst src =
+(* The [t] annotations below are load-bearing: without them the .ml body
+   infers ['a array] (the .mli only constrains the boundary, not the
+   generated code) and every comparison compiles to the generic
+   [caml_compare] path. *)
+let[@hot] max_into (dst : t) (src : t) =
   assert (Array.length dst = Array.length src);
   for i = 0 to Array.length dst - 1 do
     let s = Array.unsafe_get src i in
     if s > Array.unsafe_get dst i then Array.unsafe_set dst i s
   done
 
-let blit ~src ~dst = Array.blit src 0 dst 0 (Array.length src)
+let[@hot] blit ~src ~dst = Array.blit src 0 dst 0 (Array.length src)
 
-let leq a b =
+let leq (a : t) (b : t) =
   assert (Array.length a = Array.length b);
   let n = Array.length a in
   let rec loop i =
@@ -71,7 +75,7 @@ let leq a b =
   in
   loop 0
 
-let equal a b =
+let equal (a : t) (b : t) =
   Array.length a = Array.length b
   &&
   let n = Array.length a in

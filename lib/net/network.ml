@@ -71,7 +71,7 @@ module Iq = struct
     q.sents <- nt;
     q.msgs <- nm
 
-  let push q key src sent msg =
+  let[@hot] push q key src sent msg =
     if q.size = Array.length q.keys then grow q;
     let ks = q.keys and ss = q.srcs and ts = q.sents and ms = q.msgs in
     let i = ref q.size in
@@ -95,7 +95,7 @@ module Iq = struct
     Array.unsafe_set ms !i msg
 
   (* precondition: size > 0 *)
-  let pop_min q =
+  let[@hot] pop_min q =
     let ks = q.keys and ss = q.srcs and ts = q.sents and ms = q.msgs in
     q.p_key <- Array.unsafe_get ks 0;
     q.p_src <- Array.unsafe_get ss 0;
@@ -217,7 +217,7 @@ let queue_depth t n = t.nodes.(n).queue.Iq.size
 
 (* ---- flight pool ---- *)
 
-let take_flight t =
+let[@hot] take_flight t =
   let n = t.pool_n in
   if n = 0 then
     { f_net = t; f_prio = 0; f_src = 0; f_dst = 0; f_sent = Array.make 1 0.0; f_msg = Iq.no_msg }
@@ -226,7 +226,7 @@ let take_flight t =
     Array.unsafe_get t.pool (n - 1)
   end
 
-let return_flight t fl =
+let[@hot] return_flight t fl =
   fl.f_msg <- Iq.no_msg;
   fl.f_src <- -1;
   let cap = Array.length t.pool in
@@ -284,7 +284,7 @@ let rec serve_slow t n =
    serve step pops into the queue's slots and schedules [dispatch_cb]; at
    most one dispatch per node is outstanding, so the slots survive until it
    reads them. *)
-let serve_fast t n =
+let[@hot] serve_fast t n =
   let st = t.nodes.(n) in
   if Iq.is_empty st.queue then st.serving <- false
   else begin
@@ -292,7 +292,7 @@ let serve_fast t n =
     Sim.schedule_callback t.sim ~delay:t.config.cpu_per_message st.dispatch_cb
   end
 
-let dispatch t n =
+let[@hot] dispatch t n =
   let st = t.nodes.(n) in
   if not st.crashed then begin
     t.delivered <- t.delivered + 1;
@@ -355,7 +355,7 @@ let create ?(size_of = fun _ -> 0) ?(fast_dispatch = true) sim rng ~nodes ~confi
   done;
   t
 
-let deliver t ~prio ~src ~dst ~sent msg =
+let[@hot] deliver t ~prio ~src ~dst ~sent msg =
   let st = t.nodes.(dst) in
   if st.crashed then begin
     t.dropped <- t.dropped + 1;
@@ -381,14 +381,14 @@ let deliver t ~prio ~src ~dst ~sent msg =
     if not st.serving then begin
       st.serving <- true;
       if t.fast_dispatch then Sim.schedule_callback t.sim ~delay:0.0 st.serve_cb
-      else Sim.spawn t.sim (fun () -> serve_slow t dst)
+      else Sim.spawn t.sim ((fun () -> serve_slow t dst) [@alloc_ok])
     end
   end
 
 (* The delivery event's handler: a static function applied to the recycled
    flight envelope via [Sim.schedule_apply], so the send path allocates
    neither a closure nor an envelope in steady state. *)
-let deliver_flight : type a. a flight -> unit = fun fl ->
+let[@hot] deliver_flight : type a. a flight -> unit = fun fl ->
   assert (fl.f_src >= 0);
   let t = fl.f_net in
   let prio = fl.f_prio and src = fl.f_src and dst = fl.f_dst in
@@ -397,10 +397,24 @@ let deliver_flight : type a. a flight -> unit = fun fl ->
   return_flight t fl;
   deliver t ~prio ~src ~dst ~sent msg
 
-let link_severed t a b =
-  List.exists (fun (x, y) -> (x = a && y = b) || (x = b && y = a)) t.severed
+(* [node] annotations keep the body monomorphic (int compares); untyped it
+   would generalize to ['a] and compile to [caml_equal]. *)
+let[@hot] rec severed_mem sev (a : Sss_data.Ids.node) (b : Sss_data.Ids.node) =
+  match sev with
+  | [] -> false
+  | (x, y) :: tl -> (x = a && y = b) || (x = b && y = a) || severed_mem tl a b
 
-let send t ?(prio = 100) ~src ~dst msg =
+let[@hot] link_severed t a b = severed_mem t.severed a b
+
+let observe_loss t ~src ~dst msg =
+  match t.observer with
+  | Some o ->
+      let kind = o.kind_of msg in
+      Sss_obs.Obs.incr o.obs ("msg.lost." ^ kind);
+      Sss_obs.Obs.emit o.obs ~at:(Sim.now t.sim) (Sss_obs.Obs.Drop { kind; src; dst })
+  | None -> ()
+
+let[@hot] send t ?(prio = 100) ~src ~dst msg =
   t.sent <- t.sent + 1;
   t.bytes <- t.bytes + t.size_of msg;
   (match t.observer with
@@ -410,14 +424,6 @@ let send t ?(prio = 100) ~src ~dst msg =
       Sss_obs.Obs.emit o.obs ~at:(Sim.now t.sim)
         (Sss_obs.Obs.Send { kind; src; dst; bytes = t.size_of msg })
   | None -> ());
-  let observe_loss () =
-    match t.observer with
-    | Some o ->
-        let kind = o.kind_of msg in
-        Sss_obs.Obs.incr o.obs ("msg.lost." ^ kind);
-        Sss_obs.Obs.emit o.obs ~at:(Sim.now t.sim) (Sss_obs.Obs.Drop { kind; src; dst })
-    | None -> ()
-  in
   let lost =
     t.nodes.(src).crashed
     || link_severed t src dst
@@ -425,7 +431,7 @@ let send t ?(prio = 100) ~src ~dst msg =
   in
   if lost then begin
     t.dropped <- t.dropped + 1;
-    observe_loss ()
+    observe_loss t ~src ~dst msg
   end
   else begin
     (* Installed fault plans see the message after the built-in loss checks;
@@ -436,7 +442,7 @@ let send t ?(prio = 100) ~src ~dst msg =
     in
     if fault.drop then begin
       t.dropped <- t.dropped + 1;
-      observe_loss ()
+      observe_loss t ~src ~dst msg
     end
     else begin
       let latency =

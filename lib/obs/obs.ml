@@ -86,14 +86,16 @@ let counter t name = match Hashtbl.find_opt t.counters name with Some r -> !r | 
 let sorted_bindings fold tbl =
   List.sort (fun (a, _) (b, _) -> String.compare a b) (fold (fun k v acc -> (k, v) :: acc) tbl [])
 
-let counters t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings Hashtbl.fold t.counters)
+let counters t =
+  List.map (fun (k, r) -> (k, !r))
+    (sorted_bindings (Hashtbl.fold [@order_ok]) t.counters)
 
 let hist t name = Hashtbl.find_opt t.hists name
 
-let hists t = sorted_bindings Hashtbl.fold t.hists
+let hists t = sorted_bindings (Hashtbl.fold [@order_ok]) t.hists
 
 let gauges t =
-  List.map (fun (k, g) -> (k, (g.current, g.peak))) (sorted_bindings Hashtbl.fold t.gauges)
+  List.map (fun (k, g) -> (k, (g.current, g.peak))) (sorted_bindings (Hashtbl.fold [@order_ok]) t.gauges)
 
 let kind_of_event = function
   | Send _ -> "send"

@@ -144,7 +144,7 @@ let is_empty t = t.size = 0
 
 (* ---- rung (heap) operations ---- *)
 
-let rung_grow r =
+let[@hot] rung_grow r =
   let cap = Array.length r.h_times in
   let ncap = if cap = 0 then 16 else cap * 2 in
   let nt = Array.make ncap 0.0
@@ -160,7 +160,7 @@ let rung_grow r =
   r.h_fns <- nf;
   r.h_args <- na
 
-let rung_push r time key fn arg =
+let[@hot] rung_push r time key fn arg =
   if r.h_size = Array.length r.h_times then rung_grow r;
   let ts = r.h_times and ks = r.h_keys and fs = r.h_fns and xs = r.h_args in
   let i = ref r.h_size in
@@ -185,7 +185,7 @@ let rung_push r time key fn arg =
 
 (* precondition: r.h_size > 0.  Writes the minimum into t's popped slots and
    re-establishes the heap, poisoning the vacated tail slot. *)
-let rung_pop r t =
+let[@hot] rung_pop r t =
   let ts = r.h_times and ks = r.h_keys and fs = r.h_fns and xs = r.h_args in
   t.fl.(f_pop_time) <- Array.unsafe_get ts 0;
   t.pop_key <- Array.unsafe_get ks 0;
@@ -234,7 +234,7 @@ let rung_pop r t =
 
 (* ---- bucket operations ---- *)
 
-let bucket_grow b =
+let[@hot] bucket_grow b =
   let cap = Array.length b.b_times in
   let ncap = if cap = 0 then 8 else cap * 2 in
   let nt = Array.make ncap 0.0
@@ -261,7 +261,7 @@ let[@inline] bucket_push b time key fn arg =
 
 (* Index of [b]'s (time, key) minimum, using the cache when valid.
    precondition: b.b_size > 0 and b is the current bucket. *)
-let bucket_min_idx t b =
+let[@hot] bucket_min_idx t b =
   let c = t.sc_i in
   if c >= 0 then c
   else begin
@@ -278,7 +278,7 @@ let bucket_min_idx t b =
 
 (* Remove slot [i] from the current bucket into t's popped slots: the last
    element moves into the hole and the vacated tail slot is poisoned. *)
-let take_bucket t b i =
+let[@hot] take_bucket t b i =
   t.fl.(f_pop_time) <- Array.unsafe_get b.b_times i;
   t.pop_key <- Array.unsafe_get b.b_keys i;
   t.pop_fn <- Array.unsafe_get b.b_fns i;
@@ -296,7 +296,7 @@ let take_bucket t b i =
 (* Move a bucket's events into the front rung (degenerate occupancy, or a
    re-anchored window's first bucket), poisoning the vacated slots so
    nothing is pinned past its dispatch. *)
-let spill_bucket t b =
+let[@hot] spill_bucket t b =
   for i = 0 to b.b_size - 1 do
     rung_push t.front
       (Array.unsafe_get b.b_times i)
@@ -311,7 +311,7 @@ let spill_bucket t b =
 
 (* ---- push ---- *)
 
-let push t ~time ~key fn arg =
+let[@hot] push t ~time ~key fn arg =
   t.size <- t.size + 1;
   let fl = t.fl in
   if time >= Array.unsafe_get fl f_horizon then
@@ -355,7 +355,7 @@ let push t ~time ~key fn arg =
 
 (* Re-anchor the window at the earliest overflow event and migrate every
    overflow event that now falls inside it into buckets. *)
-let re_anchor t =
+let[@hot] re_anchor t =
   let ov = t.overflow in
   let fl = t.fl in
   let origin = ov.h_times.(0) in
@@ -382,7 +382,7 @@ let re_anchor t =
    event (advancing over empty buckets and re-anchoring from overflow as
    needed).  Returns false iff the queue is empty.  On return with [true],
    [t.cur] is a valid bucket index. *)
-let rec ensure_avail t =
+let[@hot] rec ensure_avail t =
   if t.front.h_size > 0 then true
   else if t.cur >= 0 && (Array.unsafe_get t.buckets t.cur).b_size > 0 then true
   else if t.size = 0 then false
@@ -421,7 +421,7 @@ let rec ensure_avail t =
     ensure_avail t
   end
 
-let pop t =
+let[@hot] pop t =
   if not (ensure_avail t) then false
   else begin
     let f = t.front in

@@ -29,7 +29,7 @@ let float t bound =
   let unit = Int64.to_float bits /. 9007199254740992.0 in
   unit *. bound
 
-let bool t = Int64.logand (next_int64 t) 1L = 1L
+let bool t = Int64.equal (Int64.logand (next_int64 t) 1L) 1L
 
 let exponential t ~mean =
   assert (mean > 0.);

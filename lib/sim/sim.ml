@@ -90,7 +90,7 @@ let[@inline] now t = Array.unsafe_get t.clock 0
 
 let events_processed t = t.processed
 
-let[@inline] enqueue t ~prio ~delay ~fiber run =
+let[@inline] [@hot] enqueue t ~prio ~delay ~fiber run =
   assert (delay >= 0.0);
   assert (prio >= 0 && prio < max_prio);
   let key = pack_key ~prio ~seq:t.seq in
@@ -103,7 +103,7 @@ let schedule t ?(prio = 100) ~delay f = enqueue t ~prio ~delay ~fiber:true f
 
 let schedule_callback t ?(prio = 100) ~delay f = enqueue t ~prio ~delay ~fiber:false f
 
-let schedule_apply (type a) t ?(prio = 100) ~delay (fn : a -> unit) (arg : a) =
+let[@hot] schedule_apply (type a) t ?(prio = 100) ~delay (fn : a -> unit) (arg : a) =
   assert (delay >= 0.0);
   assert (prio >= 0 && prio < max_prio);
   let key = pack_key ~prio ~seq:t.seq in
@@ -132,7 +132,7 @@ let sleep t delay =
 
 let set_probe t p = t.probe <- (match p with None -> ignore | Some f -> f)
 
-let[@inline] exec_popped t =
+let[@inline] [@hot] exec_popped t =
   let q = t.events in
   Array.unsafe_set t.clock 0 (Equeue.popped_time q);
   t.processed <- t.processed + 1;

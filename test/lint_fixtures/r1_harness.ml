@@ -1,0 +1,5 @@
+(* [@wallclock_ok] fixture: harness trees (bin/, bench/, tools/) may
+   measure wall clock when annotated; the same annotation buys nothing in
+   lib/, where there is no legitimate wall clock. *)
+
+let elapsed () = (Unix.gettimeofday () [@wallclock_ok])

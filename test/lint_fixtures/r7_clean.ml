@@ -1,0 +1,10 @@
+(* Clean twin of r7_bad: the same alias-laundered wall clock, but the
+   boundary is audited with [@deterministic], which is an R7 taint barrier
+   (R1 still applies to the direct occurrence when enabled). *)
+
+module U = Unix
+module V = U
+
+let[@deterministic] now () = V.gettimeofday ()
+
+let step () = now () +. 1.0

@@ -1,0 +1,9 @@
+(* R8 fixture: allocation in [@hot] code — a closure passed as an
+   argument, a tuple in result position, and a float boxed into a
+   polymorphic formal. *)
+
+let[@hot] fanout fs x = List.map (fun f -> f x) fs
+
+let[@hot] pair a b = (a, b)
+
+let[@hot] stash tbl (v : float) = Hashtbl.replace tbl 0 v

@@ -1,0 +1,13 @@
+(* Clean twin of r8_bad: fully applied helpers instead of closures, no
+   tuples, floats kept in float arrays (flat, exempt), and a deliberate
+   cold-branch closure annotated [@alloc_ok]. *)
+
+let apply f x = f x
+
+let[@hot] fanout f x = apply f x
+
+let[@hot] pair a b = a + b
+
+let[@hot] stash (arr : float array) i (v : float) = arr.(i) <- v
+
+let[@hot] cold x = ((fun () -> x + 1) [@alloc_ok]) ()

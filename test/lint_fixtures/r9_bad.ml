@@ -1,0 +1,15 @@
+(* R9 fixture: module-level closures over locally created mutable state —
+   directly ([lookup]) and via a factory function whose result escapes into
+   a toplevel binding ([counter]). *)
+
+let make_counter () =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    !n
+
+let counter = make_counter ()
+
+let lookup =
+  let cache = Hashtbl.create 16 in
+  fun k -> Hashtbl.mem cache k

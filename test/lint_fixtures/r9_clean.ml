@@ -1,0 +1,22 @@
+(* Clean twin of r9_bad: the factory stays (calling it per run is the
+   pattern R9 pushes toward), escaping instances are either created inside
+   a function (per call, nothing shared) or annotated [@@domain_safe]. *)
+
+let make_counter () =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    !n
+
+let fresh_counter () = make_counter ()
+
+let counter = make_counter () [@@domain_safe]
+
+let lookup_fresh k =
+  let cache = Hashtbl.create 16 in
+  Hashtbl.mem cache k
+
+let lookup =
+  let cache = Hashtbl.create 16 in
+  fun k -> Hashtbl.mem cache k
+[@@domain_safe]

@@ -1,0 +1,14 @@
+(* Typed-R2 fixture: the judgment is the *instantiated* type at the use
+   site.  Scalars and scalar aliases pass; structured types and
+   still-generalized comparisons (the mli-boundary trap: the body infers
+   ['a] even when the interface says [int array]) are flagged. *)
+
+type id = int
+
+let same_id (a : id) (b : id) = a = b
+
+let same_int a b = a + 0 = b
+
+let diff_list (a : int list) b = a = b
+
+let generalized a b = a = b

@@ -1,9 +1,15 @@
-(* Fixture-based tests for sss_lint (tools/lint): each rule fires exactly
-   where expected on a known-bad snippet, stays silent on the annotated
-   clean twin, and respects scoping, allowlists, and baselines.
+(* Fixture-based tests for sss_lint (tools/lint), covering both engines:
 
-   The fixtures under lint_fixtures/ are parsed, never compiled, so they
-   may reference modules freely. *)
+   - the legacy syntactic Parsetree pass ({!Lint.check_file}): each rule
+     fires exactly where expected on a known-bad snippet, stays silent on
+     the annotated clean twin, and respects scoping, allowlists, and
+     baselines.  These fixtures are parsed, never compiled, so they may
+     reference modules freely.
+   - the typed whole-program engine ({!Typed_lint.check_source}): R7/R8/R9
+     fixtures plus the typed-R2 instantiation judgment.  These fixtures are
+     typechecked in-process, so they are self-contained (stdlib + unix
+     only).  The r7 pair doubles as the regression proof that the syntactic
+     pass cannot see alias laundering. *)
 
 let fixture name = Filename.concat "lint_fixtures" name
 
@@ -11,6 +17,9 @@ let fixture name = Filename.concat "lint_fixtures" name
    armed. *)
 let check ?rules ?owned_allow ?(scope = "lib/core/fixture.ml") name =
   Lint.check_file ?rules ?owned_allow ~scope_as:scope (fixture name)
+
+let tcheck ?rules ?owned_allow ?(scope = "lib/core/fixture.ml") name =
+  Typed_lint.check_source ?rules ?owned_allow ~scope_as:scope (fixture name)
 
 let summary (f : Lint.finding) = (Lint.rule_name f.rule, f.line, f.lexeme)
 
@@ -21,7 +30,12 @@ let expect ?rules ?owned_allow ?scope name expected =
     name expected
     (List.map summary (check ?rules ?owned_allow ?scope name))
 
-(* ---------- each rule fires exactly where expected ---------- *)
+let texpect ?rules ?owned_allow ?scope name expected =
+  Alcotest.(check (list finding_t))
+    name expected
+    (List.map summary (tcheck ?rules ?owned_allow ?scope name))
+
+(* ---------- each syntactic rule fires exactly where expected ---------- *)
 
 let test_r1_bad () =
   expect "r1_bad.ml"
@@ -106,12 +120,21 @@ let test_suppression_is_the_attribute () =
 (* ---------- scoping ---------- *)
 
 let test_scoping () =
-  (* R2 is armed only in hot libraries *)
+  (* R2 is armed only in hot libraries (within lib/) *)
   expect ~scope:"lib/workload/fixture.ml" "r2_bad.ml" [];
   (* R4 is armed only in history-affecting libraries *)
   expect ~scope:"lib/sim/fixture.ml" "r4_bad.ml" [];
-  (* bin/ is exempt from everything, R1 included *)
-  expect ~scope:"bin/fixture.ml" "r1_bad.ml" [];
+  (* harness trees are covered since lint v2: R1 fires in bin/ too *)
+  expect ~scope:"bin/fixture.ml" "r1_bad.ml"
+    [
+      ("R1", 3, "Unix.gettimeofday");
+      ("R1", 5, "Sys.time");
+      ("R1", 7, "Random.int");
+      ("R1", 9, "Stdlib.Random.float");
+    ];
+  (* ... but the lib-only rules stay off outside lib/ *)
+  expect ~scope:"bin/fixture.ml" "r6_bad.ml" [];
+  expect ~scope:"tools/fixture.ml" "r4_bad.ml" [];
   (* R5 is off in the figure printer and outside lib/ *)
   expect ~scope:"lib/experiments/fixture.ml" "r5_bad.ml" [];
   expect ~scope:"bench/fixture.ml" "r5_bad.ml" [];
@@ -119,9 +142,17 @@ let test_scoping () =
   Alcotest.(check int)
     "R6 armed in lib/experiments" 6
     (List.length (check ~rules:[ Lint.R6 ] ~scope:"lib/experiments/fixture.ml" "r6_bad.ml"));
-  expect ~scope:"bin/fixture.ml" "r6_bad.ml" [];
   (* rule selection: R1 alone sees nothing in the R2 fixture *)
   expect ~rules:[ Lint.R1 ] "r2_bad.ml" []
+
+(* [@wallclock_ok] buys suppression only in harness scopes. *)
+let test_wallclock_scoping () =
+  expect ~scope:"bench/fixture.ml" "r1_harness.ml" [];
+  expect ~scope:"lib/core/fixture.ml" "r1_harness.ml"
+    [ ("R1", 5, "Unix.gettimeofday") ];
+  texpect ~scope:"bench/fixture.ml" "r1_harness.ml" [];
+  texpect ~rules:[ Lint.R1 ] ~scope:"lib/core/fixture.ml" "r1_harness.ml"
+    [ ("R1", 5, "Unix.gettimeofday") ]
 
 (* ---------- R3 allowlist ---------- *)
 
@@ -133,22 +164,97 @@ let test_owned_allowlist () =
   expect ~owned_allow:[ "other_fn" ] "r3_allow.ml"
     [ ("R3", 4, "Vclock.unsafe_of_array") ]
 
+(* ---------- typed engine: R7 determinism taint ---------- *)
+
+let test_typed_r7 () =
+  (* the source is reported once, at its occurrence, with the shortest
+     entry-point chain *)
+  texpect ~rules:[ Lint.R7 ] "r7_bad.ml" [ ("R7", 9, "Unix.gettimeofday") ];
+  (match tcheck ~rules:[ Lint.R7 ] "r7_bad.ml" with
+  | [ f ] ->
+      Alcotest.(check (list string))
+        "taint chain is entry -> source"
+        [ "R7_bad.step"; "R7_bad.now" ]
+        f.Lint.chain
+  | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs));
+  (* [@deterministic] on the boundary is a barrier *)
+  texpect ~rules:[ Lint.R7 ] "r7_clean.ml" []
+
+(* The typed engine resolves the alias chain for the intraprocedural rules
+   too: R1 flags [V.gettimeofday] as Unix. *)
+let test_typed_r1_alias () =
+  texpect ~rules:[ Lint.R1 ] "r7_bad.ml" [ ("R1", 9, "Unix.gettimeofday") ]
+
+(* Regression: the syntactic pass string-matches module heads, so the same
+   fixture passes it clean — the laundering the typed engine exists to
+   kill. *)
+let test_syntactic_misses_alias () =
+  expect "r7_bad.ml" [];
+  expect ~rules:[ Lint.R1 ] "r7_bad.ml" []
+
+(* ---------- typed engine: R8 hot-path allocation ---------- *)
+
+let test_typed_r8 () =
+  texpect ~rules:[ Lint.R8 ] "r8_bad.ml"
+    [ ("R8", 5, "fun"); ("R8", 7, "(,)"); ("R8", 9, "Hashtbl.replace") ];
+  texpect ~rules:[ Lint.R8 ] "r8_clean.ml" [];
+  (* R8 is [@hot]-driven, not scope-gated: it fires in harness trees too *)
+  texpect ~rules:[ Lint.R8 ] ~scope:"bench/fixture.ml" "r8_bad.ml"
+    [ ("R8", 5, "fun"); ("R8", 7, "(,)"); ("R8", 9, "Hashtbl.replace") ]
+
+(* ---------- typed engine: R9 escaping mutable state ---------- *)
+
+let test_typed_r9 () =
+  texpect ~rules:[ Lint.R9 ] "r9_bad.ml"
+    [ ("R9", 11, "R9_bad.make_counter"); ("R9", 13, "Hashtbl.create") ];
+  (match tcheck ~rules:[ Lint.R9 ] "r9_bad.ml" with
+  | [ via_factory; direct ] ->
+      Alcotest.(check (list string))
+        "factory chain"
+        [ "R9_bad.counter"; "R9_bad.make_counter" ]
+        via_factory.Lint.chain;
+      Alcotest.(check (list string)) "direct chain" [ "R9_bad.lookup" ] direct.Lint.chain
+  | fs -> Alcotest.failf "expected 2 findings, got %d" (List.length fs));
+  texpect ~rules:[ Lint.R9 ] "r9_clean.ml" []
+
+(* ---------- typed engine: R2 on instantiated types ---------- *)
+
+let test_typed_r2 () =
+  (* scalars and aliases-to-scalar pass; structured types and
+     still-generalized bodies (the mli-boundary trap) are flagged *)
+  texpect ~rules:[ Lint.R2 ] "typed_r2.ml" [ ("R2", 12, "="); ("R2", 14, "=") ]
+
+(* ---------- rule metadata ---------- *)
+
+let test_rule_families () =
+  let fam r = Lint.rule_family r in
+  Alcotest.(check string) "R1 family" "determinism" (fam Lint.R1);
+  Alcotest.(check string) "R7 family" "determinism" (fam Lint.R7);
+  Alcotest.(check string) "R8 family" "allocation" (fam Lint.R8);
+  Alcotest.(check string) "R6 family" "domain-safety" (fam Lint.R6);
+  Alcotest.(check string) "R9 family" "domain-safety" (fam Lint.R9)
+
 (* ---------- fingerprints and baselines ---------- *)
 
 let test_fingerprints_unique () =
-  let all =
+  let syntactic =
     List.concat_map
       (fun f -> check f)
       [ "r1_bad.ml"; "r2_bad.ml"; "r3_bad.ml"; "r4_bad.ml"; "r5_bad.ml"; "r6_bad.ml" ]
   in
-  let fps = List.map (fun (f : Lint.finding) -> f.fingerprint) all in
+  let typed =
+    List.concat_map
+      (fun f -> tcheck f)
+      [ "r7_bad.ml"; "r8_bad.ml"; "r9_bad.ml"; "typed_r2.ml" ]
+  in
+  let fps = List.map (fun (f : Lint.finding) -> f.fingerprint) (syntactic @ typed) in
   Alcotest.(check int)
     "fingerprints are pairwise distinct" (List.length fps)
     (List.length (List.sort_uniq String.compare fps))
 
 let test_baseline_roundtrip () =
   let findings = check "r1_bad.ml" in
-  Alcotest.(check bool) "has findings" true (findings <> []);
+  Alcotest.(check bool) "has findings" true (match findings with [] -> false | _ -> true);
   let path = Filename.temp_file "sss_lint_baseline" ".txt" in
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
@@ -166,14 +272,27 @@ let test_baseline_roundtrip () =
       in
       Alcotest.(check int) "new findings stay fresh" 4 (List.length fresh))
 
-(* ---------- the real tree is clean (mirrors the @lint alias) ---------- *)
+(* Fingerprints carry no positions (rule|scope|context|lexeme|n), so a
+   baseline written against one engine survives the other: same code, same
+   identity, different line/col conventions. *)
+let test_baseline_survives_engines () =
+  let typed = tcheck ~rules:[ Lint.R1 ] "r1_harness.ml" in
+  let path = Filename.temp_file "sss_lint_baseline" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Lint.write_baseline path typed;
+      let known = Lint.read_baseline path in
+      let syntactic = check ~rules:[ Lint.R1 ] "r1_harness.ml" in
+      let fresh, baselined = Lint.apply_baseline ~known syntactic in
+      Alcotest.(check int) "typed baseline masks syntactic" 0 (List.length fresh);
+      Alcotest.(check int) "all masked" (List.length syntactic) (List.length baselined))
 
-let test_repo_is_clean () =
-  (* Tests run from test/ inside _build; the lint alias covers the real
-     lib/ tree.  Here we only assert the engine accepts the fixtures dir
-     discovery path used by the CLI. *)
+(* ---------- fixture discovery (mirrors the CLI) ---------- *)
+
+let test_collect_ml () =
   let files = Lint.collect_ml "lint_fixtures" in
-  Alcotest.(check bool) "collect_ml finds fixtures" true (List.length files >= 13)
+  Alcotest.(check bool) "collect_ml finds fixtures" true (List.length files >= 21)
 
 let () =
   Alcotest.run "lint"
@@ -187,12 +306,26 @@ let () =
           Alcotest.test_case "R5 ad-hoc printing fires" `Quick test_r5_bad;
           Alcotest.test_case "R6 toplevel mutable state fires" `Quick test_r6_bad;
         ] );
+      ( "typed",
+        [
+          Alcotest.test_case "R7 taint + chain + barrier" `Quick test_typed_r7;
+          Alcotest.test_case "typed R1 kills alias laundering" `Quick
+            test_typed_r1_alias;
+          Alcotest.test_case "regression: syntactic misses the alias" `Quick
+            test_syntactic_misses_alias;
+          Alcotest.test_case "R8 hot-path allocation" `Quick test_typed_r8;
+          Alcotest.test_case "R9 escaping mutable state" `Quick test_typed_r9;
+          Alcotest.test_case "R2 judges instantiated types" `Quick test_typed_r2;
+          Alcotest.test_case "rule families" `Quick test_rule_families;
+        ] );
       ( "suppressions",
         [
           Alcotest.test_case "annotated twins are clean" `Quick test_clean_twins;
           Alcotest.test_case "attribute is the only difference" `Quick
             test_suppression_is_the_attribute;
           Alcotest.test_case "owned allowlist" `Quick test_owned_allowlist;
+          Alcotest.test_case "wallclock_ok is harness-only" `Quick
+            test_wallclock_scoping;
         ] );
       ( "scoping",
         [ Alcotest.test_case "path scoping and rule selection" `Quick test_scoping ] );
@@ -200,6 +333,8 @@ let () =
         [
           Alcotest.test_case "fingerprints unique" `Quick test_fingerprints_unique;
           Alcotest.test_case "baseline roundtrip" `Quick test_baseline_roundtrip;
-          Alcotest.test_case "collect_ml discovery" `Quick test_repo_is_clean;
+          Alcotest.test_case "baseline survives engine change" `Quick
+            test_baseline_survives_engines;
+          Alcotest.test_case "collect_ml discovery" `Quick test_collect_ml;
         ] );
     ]

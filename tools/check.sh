@@ -1,0 +1,32 @@
+#!/bin/sh
+# Full local gate, in dependency order:
+#
+#   1. dune build           — the tree compiles (warn-error in every scope)
+#   2. dune runtest         — unit/property/golden suites (includes @lint via
+#                             the runtest alias, but run the linter explicitly
+#                             below so a lint failure is unmistakable)
+#   3. sss_lint, no baseline — typed whole-program engine over all four
+#                             source trees; the repo promise is an EMPTY
+#                             baseline, so any finding fails the gate
+#   4. bench/smoke.sh       — fig3 smoke benchmark + throughput-regression
+#                             gate against the committed BENCH_smoke.json
+#
+# Run from the repository root.
+set -eu
+
+echo "check: dune build"
+dune build
+
+echo "check: dune runtest"
+dune runtest
+
+echo "check: sss_lint (typed, empty baseline)"
+# @check materializes fresh .cmt artifacts for every scope, including the
+# executables' (plain `dune build` does not refresh those).
+dune build @check
+dune exec tools/lint/sss_lint.exe -- lib bin bench tools
+
+echo "check: bench smoke"
+sh bench/smoke.sh
+
+echo "check: all gates passed"

@@ -1,8 +1,16 @@
-(** sss_lint engine: a compiler-libs static-analysis pass over the
-    Parsetree that mechanizes the project conventions of DESIGN.md §8.
+(** sss_lint shared core + the legacy syntactic engine.
 
-    Five rules, each scoped by directory (the scope is derived from the
-    file's path, so the tool never needs type information or a build):
+    This module owns the rule vocabulary shared with the typed
+    whole-program engine in {!Typed_lint} — rule names R1-R9, families,
+    directory scoping, suppression attributes, fingerprints, baselines —
+    and implements the original per-file Parsetree pass for R1-R6.  The
+    syntactic pass needs no build (scope derives from the file path alone)
+    but a single [module U = Unix] alias defeats it, which is why
+    {!Typed_lint} is the default engine; this pass survives as
+    [--engine syntactic] and as the regression baseline demonstrating what
+    typed resolution catches that string matching cannot.
+
+    The syntactic rules, each scoped by directory:
 
     - R1 [determinism]: no wall-clock or ambient entropy anywhere under
       [lib/] — [Unix.*], [Sys.time], and the stdlib [Random.*] are banned
@@ -48,9 +56,13 @@
     "reviewed: this comparison is statically monomorphic at a scalar type,
     or deliberately polymorphic on a cold path", not merely "silence". *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
 
-let all_rules = [ R1; R2; R3; R4; R5; R6 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9 ]
+
+(* The rules the legacy per-file Parsetree pass implements.  R7-R9 need
+   resolved paths and a whole-program call graph: Typed_lint only. *)
+let syntactic_rules = [ R1; R2; R3; R4; R5; R6 ]
 
 let rule_name = function
   | R1 -> "R1"
@@ -59,8 +71,20 @@ let rule_name = function
   | R4 -> "R4"
   | R5 -> "R5"
   | R6 -> "R6"
+  | R7 -> "R7"
+  | R8 -> "R8"
+  | R9 -> "R9"
 
-let rule_index = function R1 -> 0 | R2 -> 1 | R3 -> 2 | R4 -> 3 | R5 -> 4 | R6 -> 5
+let rule_index = function
+  | R1 -> 0
+  | R2 -> 1
+  | R3 -> 2
+  | R4 -> 3
+  | R5 -> 4
+  | R6 -> 5
+  | R7 -> 6
+  | R8 -> 7
+  | R9 -> 8
 
 let rule_of_string s =
   match String.uppercase_ascii (String.trim s) with
@@ -70,15 +94,32 @@ let rule_of_string s =
   | "R4" | "ORDER" | "ITERATION" -> Some R4
   | "R5" | "PRINT" | "TRACE" -> Some R5
   | "R6" | "DOMAIN" | "TOPLEVEL" -> Some R6
+  | "R7" | "TAINT" -> Some R7
+  | "R8" | "HOT" | "ALLOC" -> Some R8
+  | "R9" | "ESCAPE" -> Some R9
   | _ -> None
 
 let rule_doc = function
-  | R1 -> "determinism: no Unix/Sys.time/Random under lib/"
-  | R2 -> "no bare polymorphic compare in hot libraries"
+  | R1 -> "determinism: no Unix/Sys.time/Random under lib/ (annotated uses ok in harnesses)"
+  | R2 -> "no bare polymorphic compare in hot libraries and harnesses"
   | R3 -> "Vclock in-place ops require [@owned]"
   | R4 -> "Hashtbl iteration must be [@order_ok] in history-affecting code"
   | R5 -> "no stdout/stderr printing in lib/; trace through Obs.emit"
   | R6 -> "no toplevel mutable state in lib/ (domain-shared across parallel runs)"
+  | R7 -> "determinism taint: no nondeterminism source reachable from protocol/engine code"
+  | R8 -> "[@hot] functions must not allocate closures, boxed floats, or tuples"
+  | R9 -> "no toplevel closures over mutable state (R6 through the call graph)"
+
+(* Rule families group the rules by the invariant they protect; reported in
+   the schema-2 JSON output so downstream tooling can bucket findings. *)
+let rule_family = function
+  | R1 | R7 -> "determinism"
+  | R2 -> "poly-compare"
+  | R3 -> "ownership"
+  | R4 -> "iteration-order"
+  | R5 -> "printing"
+  | R6 | R9 -> "domain-safety"
+  | R8 -> "allocation"
 
 type finding = {
   rule : rule;
@@ -88,6 +129,9 @@ type finding = {
   context : string;  (** innermost enclosing let-binding, or "<toplevel>" *)
   lexeme : string;  (** the flagged identifier or operator *)
   message : string;
+  chain : string list;
+      (** call-graph path for interprocedural findings (R7/R9): entry point
+          first, flagged definition last; [[]] for intraprocedural rules *)
   fingerprint : string;
       (** line-number independent identity: rule|file|context|lexeme|n *)
 }
@@ -106,22 +150,52 @@ let lib_sub path =
   in
   go (String.split_on_char '/' path)
 
+(* The first path component naming a linted top-level tree decides the
+   scope: library code ([lib/<sub>]) carries every determinism obligation,
+   while the harness trees ([bin/], [bench/], [tools/]) are self-linted for
+   the rules that still make sense off the simulator ([@wallclock_ok] and
+   [@print_ok] mark their deliberate wall-clock/printing uses). *)
+type scope_dir = Lib of string | Bin | Bench | Tools | Unscoped
+
+let scope_dir path =
+  let rec go = function
+    | "lib" :: rest ->
+        Lib (match rest with [] | [ _ ] -> "" | sub :: _ -> sub)
+    | "bin" :: _ -> Bin
+    | "bench" :: _ -> Bench
+    | "tools" :: _ -> Tools
+    | _ :: rest -> go rest
+    | [] -> Unscoped
+  in
+  go (String.split_on_char '/' path)
+
 let hot_libs = [ "data"; "sim"; "net"; "core" ]
 
 let history_libs = [ "core"; "consistency"; "data"; "twopc"; "walter"; "rococo" ]
 
+(* R7 taint chains must end in protocol/engine code: a nondeterminism source
+   only matters if the deterministic core can actually reach it. *)
+let entry_libs =
+  [ "core"; "sim"; "net"; "data"; "consistency"; "twopc"; "walter"; "rococo" ]
+
 let rule_applies rule path =
-  match lib_sub path with
-  | None -> false
-  | Some sub -> (
+  match scope_dir path with
+  | Lib sub -> (
       match rule with
-      | R1 | R3 -> true
+      | R1 | R3 | R6 | R9 -> true
       | R2 -> List.mem sub hot_libs
       | R4 -> List.mem sub history_libs
       (* the experiment harness IS the figure printer; everything else in
          lib/ must trace through the observability sink *)
-      | R5 -> sub <> "experiments"
-      | R6 -> true)
+      | R5 -> not (String.equal sub "experiments")
+      (* sss_par owns the sanctioned Domain fan-out *)
+      | R7 -> not (String.equal sub "par")
+      | R8 -> true)
+  | Bin | Bench | Tools -> (
+      match rule with
+      | R1 | R2 | R3 | R8 -> true
+      | R4 | R5 | R6 | R7 | R9 -> false)
+  | Unscoped -> false
 
 (* ---- identifier tables ----------------------------------------------- *)
 
@@ -169,7 +243,7 @@ let ident_string (lid : Longident.t) = String.concat "." (Longident.flatten lid)
    same lexeme. *)
 let strip_stdlib name =
   match String.index_opt name '.' with
-  | Some 6 when String.sub name 0 6 = "Stdlib" ->
+  | Some 6 when String.equal (String.sub name 0 6) "Stdlib" ->
       String.sub name 7 (String.length name - 7)
   | _ -> name
 
@@ -209,7 +283,7 @@ let vclock_named name =
     in
     String.sub last 0 (start n)
   in
-  stem = "vc" || stem = "vclock"
+  String.equal stem "vc" || String.equal stem "vclock"
   || String.ends_with ~suffix:"_vc" stem
   || String.ends_with ~suffix:"_vclock" stem
 
@@ -234,6 +308,10 @@ let attr_rule (attr : Parsetree.attribute) =
   | "order_ok" -> Some R4
   | "print_ok" -> Some R5
   | "domain_safe" -> Some R6
+  (* harness-side wall-clock measurement; honoured outside lib/ only
+     (push_attrs gates on scope) *)
+  | "wallclock_ok" -> Some R1
+  | "alloc_ok" -> Some R8  (* deliberate cold-branch allocation in [@hot] code *)
   | _ -> None
 
 type state = {
@@ -272,6 +350,7 @@ let report st rule ~loc ~lexeme ~message =
       context;
       lexeme;
       message;
+      chain = [];
       fingerprint = Printf.sprintf "%s|%d" base n;
     }
     :: st.findings
@@ -303,7 +382,8 @@ let vclock_owned_op name =
 let owned_allowed st =
   let ctx = context_name st in
   List.exists
-    (fun entry -> entry = ctx || entry = st.modname ^ "." ^ ctx)
+    (fun entry ->
+      String.equal entry ctx || String.equal entry (st.modname ^ "." ^ ctx))
     st.owned_allow
 
 let check_vclock st ~loc name =
@@ -348,7 +428,8 @@ let check_print st ~loc name =
 let check_poly_bare st ~loc name =
   if enabled st R2 then
     let s = strip_stdlib name in
-    if List.mem s poly_named || List.mem s poly_ops || s = "Hashtbl.hash" then
+    if List.mem s poly_named || List.mem s poly_ops || String.equal s "Hashtbl.hash"
+    then
       report st R2 ~loc ~lexeme:name
         ~message:
           (Printf.sprintf
@@ -363,14 +444,16 @@ let check_poly_bare st ~loc name =
 let operand_poly_ok args =
   List.exists
     (fun ((_, a) : _ * Parsetree.expression) ->
-      List.exists (fun at -> attr_rule at = Some R2) a.pexp_attributes)
+      List.exists
+        (fun at -> match attr_rule at with Some R2 -> true | _ -> false)
+        a.pexp_attributes)
     args
 
 let check_poly_apply st ~loc name args =
   if enabled st R2 && not (operand_poly_ok args) then
     let s = strip_stdlib name in
     let scalar_operand = List.exists (fun (_, a) -> scalarish a) args in
-    if s = "Hashtbl.hash" then
+    if String.equal s "Hashtbl.hash" then
       report st R2 ~loc ~lexeme:name
         ~message:
           "polymorphic Hashtbl.hash in a hot library; use a monomorphic hash \
@@ -456,7 +539,10 @@ let rec r6_suspect mut_fields (e : Parsetree.expression) =
 let check_r6_binding st ~mut_fields (vb : Parsetree.value_binding) =
   if
     enabled st R6
-    && not (List.exists (fun a -> attr_rule a = Some R6) vb.pvb_attributes)
+    && not
+         (List.exists
+            (fun a -> match attr_rule a with Some R6 -> true | _ -> false)
+            vb.pvb_attributes)
   then
     match r6_suspect mut_fields vb.pvb_expr with
     | None -> ()
@@ -492,7 +578,12 @@ let rec r6_structure st ~mut_fields (str : Parsetree.structure) =
 
 and r6_module_binding st ~mut_fields (mb : Parsetree.module_binding) =
   (* [@@domain_safe] on the module suppresses for its whole body *)
-  if not (List.exists (fun a -> attr_rule a = Some R6) mb.pmb_attributes) then
+  if
+    not
+      (List.exists
+         (fun a -> match attr_rule a with Some R6 -> true | _ -> false)
+         mb.pmb_attributes)
+  then
     r6_module_expr st ~mut_fields mb.pmb_expr
 
 and r6_module_expr st ~mut_fields (me : Parsetree.module_expr) =
@@ -502,10 +593,15 @@ and r6_module_expr st ~mut_fields (me : Parsetree.module_expr) =
   | _ -> ()
 
 let push_attrs st attrs =
+  let in_lib = match scope_dir st.scope with Lib _ -> true | _ -> false in
   let pushed =
     List.filter_map
-      (fun a ->
+      (fun (a : Parsetree.attribute) ->
         match attr_rule a with
+        (* lib/ has no legitimate wall clock: [@wallclock_ok] only buys
+           suppression in the harness trees *)
+        | Some R1 when in_lib && String.equal a.attr_name.txt "wallclock_ok" ->
+            None
         | Some r ->
             st.suppressed.(rule_index r) <- st.suppressed.(rule_index r) + 1;
             Some r
@@ -630,7 +726,8 @@ let read_baseline path =
           | line ->
               let line = String.trim line in
               let acc =
-                if line = "" || line.[0] = '#' then acc else line :: acc
+                if String.equal line "" || Char.equal line.[0] '#' then acc
+                else line :: acc
               in
               go acc
           | exception End_of_file -> List.rev acc

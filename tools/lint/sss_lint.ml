@@ -1,4 +1,16 @@
-(* sss_lint CLI: run the Lint engine over source trees.
+(* sss_lint CLI: run the lint engines over the project.
+
+   Two engines share the CLI, the rule set, and the baseline format:
+
+   - [typed] (default): the whole-program Typedtree analysis
+     (tools/lint/typed_lint.ml).  Input paths are source directories; the
+     CLI locates the corresponding dune [.cmt] artifacts (under the path
+     itself when invoked from inside [_build/default], or under
+     [_build/default/PATH] when invoked from the repo root).  Requires a
+     prior [dune build @check] (or any full build).
+   - [syntactic]: the legacy per-file Parsetree pass (tools/lint/lint.ml),
+     kept for comparison and for the regression test proving what string
+     matching misses.
 
    Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/parse errors. *)
 
@@ -17,56 +29,107 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let print_json findings =
-  print_string "[";
+(* Schema 2: top-level object with engine identification; each finding
+   carries its rule family and, for interprocedural rules (R7/R9), the
+   call-graph chain from entry point to source. *)
+let print_json ~engine_name ~engine_version findings =
+  Printf.printf
+    "{\"schema\": 2, \"engine\": {\"name\": \"%s\", \"version\": \"%s\"}, \
+     \"findings\": ["
+    engine_name engine_version;
   List.iteri
     (fun i (f : Lint.finding) ->
       if i > 0 then print_string ",";
+      let chain =
+        String.concat ", "
+          (List.map (fun c -> Printf.sprintf "\"%s\"" (json_escape c)) f.chain)
+      in
       Printf.printf
-        "\n  {\"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, \"col\": %d, \
-         \"context\": \"%s\", \"lexeme\": \"%s\", \"fingerprint\": \"%s\", \
-         \"message\": \"%s\"}"
-        (Lint.rule_name f.rule) (json_escape f.file) f.line f.col
-        (json_escape f.context) (json_escape f.lexeme)
-        (json_escape f.fingerprint) (json_escape f.message))
+        "\n  {\"rule\": \"%s\", \"family\": \"%s\", \"file\": \"%s\", \
+         \"line\": %d, \"col\": %d, \"context\": \"%s\", \"lexeme\": \"%s\", \
+         \"chain\": [%s], \"fingerprint\": \"%s\", \"message\": \"%s\"}"
+        (Lint.rule_name f.rule)
+        (Lint.rule_family f.rule)
+        (json_escape f.file) f.line f.col (json_escape f.context)
+        (json_escape f.lexeme) chain (json_escape f.fingerprint)
+        (json_escape f.message))
     findings;
-  print_string "\n]\n"
+  print_string "\n]}\n"
 
 let print_human findings =
   List.iter
     (fun (f : Lint.finding) ->
-      Printf.printf "%s:%d:%d: [%s] %s\n  fingerprint: %s\n" f.file f.line
-        f.col (Lint.rule_name f.rule) f.message f.fingerprint)
+      Printf.printf "%s:%d:%d: [%s] %s\n" f.file f.line f.col
+        (Lint.rule_name f.rule) f.message;
+      (match f.chain with
+      | [] -> ()
+      | chain -> Printf.printf "  chain: %s\n" (String.concat " -> " chain));
+      Printf.printf "  fingerprint: %s\n" f.fingerprint)
     findings
 
-let run rules paths baseline update_baseline format owned_allow =
+(* .cmt discovery for the typed engine: recursively scan both PATH and
+   _build/default/PATH, so the CLI works from the repo root and from inside
+   a dune rule's working directory. *)
+let rec collect_cmts path =
+  if not (Sys.file_exists path) then []
+  else if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.sort String.compare
+    |> List.concat_map (fun entry -> collect_cmts (Filename.concat path entry))
+  else if Filename.check_suffix path ".cmt" then [ path ]
+  else []
+
+let cmts_for_path p =
+  collect_cmts p @ collect_cmts (Filename.concat "_build/default" p)
+
+let run engine rules paths baseline update_baseline format owned_allow =
   let rules =
     match rules with
     | [] -> Lint.all_rules
     | names -> (
         match
           List.map (fun n -> (n, Lint.rule_of_string n)) names
-          |> List.partition (fun (_, r) -> r <> None)
+          |> List.partition (fun (_, r) -> Option.is_some r)
         with
         | ok, [] -> List.filter_map snd ok
         | _, (bad, _) :: _ ->
-            Printf.eprintf "sss_lint: unknown rule %S (use R1..R5)\n" bad;
+            Printf.eprintf "sss_lint: unknown rule %S (use R1..R9)\n" bad;
             exit 2)
   in
-  let files = List.concat_map Lint.collect_ml paths in
-  if files = [] then begin
-    Printf.eprintf "sss_lint: no .ml files under %s\n"
-      (String.concat ", " paths);
-    exit 2
-  end;
-  let findings =
-    List.concat_map
-      (fun file ->
-        try Lint.check_file ~rules ~owned_allow file
-        with Lint.Parse_error msg ->
-          Printf.eprintf "sss_lint: parse error: %s\n" msg;
-          exit 2)
-      files
+  let engine_name, engine_version, findings =
+    match engine with
+    | `Typed -> (
+        match List.concat_map cmts_for_path paths with
+        | [] ->
+            Printf.eprintf
+              "sss_lint: no .cmt files under %s (run `dune build @check` \
+               first, or pass --engine syntactic)\n"
+              (String.concat ", " paths);
+            exit 2
+        | cmts -> (
+            try
+              ( "typed",
+                Typed_lint.engine_version,
+                Typed_lint.check_cmts ~rules ~owned_allow cmts )
+            with Lint.Parse_error msg ->
+              Printf.eprintf "sss_lint: %s\n" msg;
+              exit 2))
+    | `Syntactic -> (
+        match List.concat_map Lint.collect_ml paths with
+        | [] ->
+            Printf.eprintf "sss_lint: no .ml files under %s\n"
+              (String.concat ", " paths);
+            exit 2
+        | files ->
+            ( "syntactic",
+              "1.0",
+              List.concat_map
+                (fun file ->
+                  try Lint.check_file ~rules ~owned_allow file
+                  with Lint.Parse_error msg ->
+                    Printf.eprintf "sss_lint: parse error: %s\n" msg;
+                    exit 2)
+                files ))
   in
   (match (update_baseline, baseline) with
   | true, Some path ->
@@ -81,29 +144,44 @@ let run rules paths baseline update_baseline format owned_allow =
   let fresh, baselined = Lint.apply_baseline ~known findings in
   if update_baseline then exit 0;
   (match format with
-  | `Json -> print_json fresh
+  | `Json -> print_json ~engine_name ~engine_version fresh
   | `Human ->
       print_human fresh;
-      Printf.printf
-        "sss_lint: %d file(s), rules %s: %d finding(s)%s\n" (List.length files)
+      Printf.printf "sss_lint: engine %s, rules %s: %d finding(s)%s\n"
+        engine_name
         (String.concat "," (List.map Lint.rule_name rules))
         (List.length fresh)
-        (if baselined = [] then ""
-         else Printf.sprintf " (+%d baselined)" (List.length baselined)));
-  if fresh = [] then exit 0 else exit 1
+        (match baselined with
+        | [] -> ""
+        | l -> Printf.sprintf " (+%d baselined)" (List.length l)));
+  match fresh with [] -> exit 0 | _ -> exit 1
 
 open Cmdliner
+
+let engine_arg =
+  let doc =
+    "Analysis engine: $(b,typed) (whole-program Typedtree over dune .cmt \
+     artifacts; default) or $(b,syntactic) (legacy per-file Parsetree pass)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("typed", `Typed); ("syntactic", `Syntactic) ]) `Typed
+    & info [ "engine" ] ~docv:"ENGINE" ~doc)
 
 let rules_arg =
   let doc =
     "Comma-separated rules to run (R1 determinism, R2 polymorphic compare, \
      R3 Vclock ownership, R4 iteration order, R5 no ad-hoc printing, R6 no \
-     toplevel mutable state). Default: all."
+     toplevel mutable state, R7 determinism taint, R8 hot-path allocation, \
+     R9 escaping mutable state). Default: all."
   in
   Arg.(value & opt (list string) [] & info [ "rules" ] ~docv:"RULES" ~doc)
 
 let paths_arg =
-  let doc = "Files or directories to lint (.ml files, recursively)." in
+  let doc =
+    "Source directories to lint (scope comes from the source path; the \
+     typed engine reads the matching _build .cmt artifacts)."
+  in
   Arg.(value & pos_all string [ "lib" ] & info [] ~docv:"PATH" ~doc)
 
 let baseline_arg =
@@ -115,7 +193,7 @@ let update_baseline_arg =
   Arg.(value & flag & info [ "update-baseline" ] ~doc)
 
 let format_arg =
-  let doc = "Output format: $(b,human) or $(b,json)." in
+  let doc = "Output format: $(b,human) or $(b,json) (schema 2)." in
   Arg.(
     value
     & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
@@ -137,24 +215,29 @@ let cmd =
     [
       `S Manpage.s_description;
       `P
-        "Parses every .ml file under the given paths with compiler-libs and \
-         enforces the project rules of DESIGN.md §8 / docs/LINT.md:";
+        "Analyzes the project (typed whole-program over dune .cmt files by \
+         default) and enforces the project rules of DESIGN.md §8 / \
+         docs/LINT.md:";
       `P (Printf.sprintf "R1: %s" (Lint.rule_doc Lint.R1));
       `P (Printf.sprintf "R2: %s" (Lint.rule_doc Lint.R2));
       `P (Printf.sprintf "R3: %s" (Lint.rule_doc Lint.R3));
       `P (Printf.sprintf "R4: %s" (Lint.rule_doc Lint.R4));
       `P (Printf.sprintf "R5: %s" (Lint.rule_doc Lint.R5));
       `P (Printf.sprintf "R6: %s" (Lint.rule_doc Lint.R6));
+      `P (Printf.sprintf "R7: %s" (Lint.rule_doc Lint.R7));
+      `P (Printf.sprintf "R8: %s" (Lint.rule_doc Lint.R8));
+      `P (Printf.sprintf "R9: %s" (Lint.rule_doc Lint.R9));
       `P
         "Suppressions: [@poly_ok] (R2), [@owned] (R3), [@order_ok] (R4), \
-         [@print_ok] (R5), [@@domain_safe] (R6), or a fingerprint baseline \
-         file (all rules).";
+         [@print_ok] (R5), [@@domain_safe] (R6/R9), [@wallclock_ok] (R1, \
+         harness scopes only), [@alloc_ok] (R8), [@deterministic] (R7 \
+         barrier), or a fingerprint baseline file (all rules).";
     ]
   in
   Cmd.v
-    (Cmd.info "sss_lint" ~version:"1.0" ~doc ~man)
+    (Cmd.info "sss_lint" ~version:"2.0" ~doc ~man)
     Term.(
-      const run $ rules_arg $ paths_arg $ baseline_arg $ update_baseline_arg
-      $ format_arg $ owned_allow_arg)
+      const run $ engine_arg $ rules_arg $ paths_arg $ baseline_arg
+      $ update_baseline_arg $ format_arg $ owned_allow_arg)
 
 let () = exit (Cmd.eval cmd)
