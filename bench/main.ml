@@ -230,6 +230,7 @@ let figure_of = function
   | "abort-rate" -> Some abort_rate
   | "ablation" -> Some ablation
   | "skewed" -> Some skewed
+  | "durability" -> Some durability
   | "all" -> Some all
   | _ -> None
 
@@ -277,7 +278,7 @@ let () =
   parse args;
   let targets =
     match List.rev !targets with
-    | [] -> [ "fig3"; "fig4a"; "fig4b"; "fig5"; "fig6"; "fig7"; "fig8"; "abort-rate"; "ablation"; "skewed"; "micro" ]
+    | [] -> [ "fig3"; "fig4a"; "fig4b"; "fig5"; "fig6"; "fig7"; "fig8"; "abort-rate"; "ablation"; "skewed"; "durability"; "micro" ]
     | ts -> ts
   in
   let scale = !scale in

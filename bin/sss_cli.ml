@@ -56,8 +56,12 @@ let strict_t =
 let observe_t =
   Arg.(value & flag & info [ "observe" ] ~doc:"attach the sss_obs sink and print its metrics JSON")
 
+let durable_t =
+  Arg.(value & flag & info [ "durable" ] ~doc:"write-ahead logging on every node")
+
 let point_cmd =
-  let run_point system nodes degree keys ro ro_ops locality clients duration seed strict observe =
+  let run_point system nodes degree keys ro ro_ops locality clients duration seed strict observe
+      durable =
     let o =
       run
         {
@@ -77,6 +81,9 @@ let point_cmd =
           compress = true;
           zipf = None;
           observe;
+          durability = durable;
+          checkpoint_interval = None;
+          crash = None;
         }
     in
     Printf.printf "system      : %s\n" (system_name system);
@@ -102,7 +109,7 @@ let point_cmd =
   let term =
     Term.(
       const run_point $ system_t $ nodes_t $ degree_t $ keys_t $ ro_t $ ro_ops_t $ locality_t
-      $ clients_t $ duration_t $ seed_t $ strict_t $ observe_t)
+      $ clients_t $ duration_t $ seed_t $ strict_t $ observe_t $ durable_t)
   in
   Cmd.v (Cmd.info "point" ~doc:"Run a single experiment point") term
 
@@ -111,7 +118,8 @@ let figure_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"FIGURE" ~doc:"fig3 fig4a fig4b fig5 fig6 fig7 fig8 abort-rate all")
+      & info [] ~docv:"FIGURE"
+          ~doc:"fig3 fig4a fig4b fig5 fig6 fig7 fig8 abort-rate ablation skewed durability all")
   in
   let jobs_t =
     let jobs_conv =
@@ -145,6 +153,7 @@ let figure_cmd =
       | "abort-rate" -> Some abort_rate
       | "ablation" -> Some ablation
       | "skewed" -> Some skewed
+      | "durability" -> Some durability
       | "all" -> Some all
       | _ -> None
     in

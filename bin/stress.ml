@@ -181,9 +181,9 @@ let baseline_sweep pool =
    so both the workload and the injected faults vary together.  Chaos runs
    never feed the paper-shape figures (see EXPERIMENTS.md). *)
 
-let chaos_config ~degree ~seed =
+let chaos_config ?(durable = false) ~degree ~seed () =
   { Config.default with nodes = 4; replication_degree = degree; total_keys = 24; seed;
-    fault_tolerance = true }
+    fault_tolerance = true; durability = durable }
 
 let chaos_drive sim ~seed ~ops =
   Sss_workload.Driver.run sim ~nodes:4 ~total_keys:24
@@ -200,14 +200,21 @@ let chaos_drive sim ~seed ~ops =
     ~ops
 
 (* One chaos seed: all four systems; returns the committed total and the
-   per-system checks, in SSS, 2PC, Walter, ROCOCO order. *)
-let chaos_one base_plan seed =
+   per-system checks, in SSS, 2PC, Walter, ROCOCO order.  [durable] turns
+   on write-ahead logging and wires the Chaos crash/restart hooks so a
+   fail-stopped node replays its log instead of just dropping messages. *)
+let chaos_one ?(durable = false) base_plan seed =
   let module Chaos = Sss_chaos.Chaos in
   let plan = { base_plan with Chaos.seed = base_plan.Chaos.seed + seed } in
   (* SSS *)
   let sim = Sim.create () in
-  let cl = Kv.create sim (chaos_config ~degree:2 ~seed) in
-  ignore (Chaos.install sim (Kv.network cl) ~kind_of:Message.kind_name plan);
+  let cl = Kv.create sim (chaos_config ~durable ~degree:2 ~seed ()) in
+  (if durable then
+     ignore
+       (Chaos.install sim (Kv.network cl) ~kind_of:Message.kind_name
+          ~on_crash:(Kv.crash_node cl)
+          ~on_restart:(Kv.restart_node cl) plan)
+   else ignore (Chaos.install sim (Kv.network cl) ~kind_of:Message.kind_name plan));
   let r =
     chaos_drive sim ~seed
       ~ops:
@@ -227,15 +234,23 @@ let chaos_one base_plan seed =
         ("external-consistency", Checker.external_consistency h);
         ("serializability", Checker.serializability h);
         ("no-lost-updates", Checker.no_lost_updates h);
+        ("no-torn-commits", Checker.no_torn_commits h);
         ("ro-abort-free", Checker.read_only_abort_free h);
         ("quiescent", Kv.quiescent cl);
       ] )
   in
   (* 2PC *)
   let sim = Sim.create () in
-  let cl = Twopc_kv.Twopc.create sim (chaos_config ~degree:2 ~seed) in
-  ignore
-    (Chaos.install sim (Twopc_kv.Twopc.network cl) ~kind_of:Twopc_kv.Twopc.message_kind plan);
+  let cl = Twopc_kv.Twopc.create sim (chaos_config ~durable ~degree:2 ~seed ()) in
+  (if durable then
+     ignore
+       (Chaos.install sim (Twopc_kv.Twopc.network cl) ~kind_of:Twopc_kv.Twopc.message_kind
+          ~on_crash:(Twopc_kv.Twopc.crash_node cl)
+          ~on_restart:(Twopc_kv.Twopc.restart_node cl) plan)
+   else
+     ignore
+       (Chaos.install sim (Twopc_kv.Twopc.network cl) ~kind_of:Twopc_kv.Twopc.message_kind
+          plan));
   let r =
     chaos_drive sim ~seed
       ~ops:
@@ -254,15 +269,22 @@ let chaos_one base_plan seed =
       [
         ("external-consistency", Checker.external_consistency h);
         ("no-lost-updates", Checker.no_lost_updates h);
+        ("no-torn-commits", Checker.no_torn_commits h);
         ("quiescent", Twopc_kv.Twopc.quiescent cl);
       ] )
   in
   (* Walter *)
   let sim = Sim.create () in
-  let cl = Walter_kv.Walter.create sim (chaos_config ~degree:2 ~seed) in
-  ignore
-    (Chaos.install sim (Walter_kv.Walter.network cl) ~kind_of:Walter_kv.Walter.message_kind
-       plan);
+  let cl = Walter_kv.Walter.create sim (chaos_config ~durable ~degree:2 ~seed ()) in
+  (if durable then
+     ignore
+       (Chaos.install sim (Walter_kv.Walter.network cl) ~kind_of:Walter_kv.Walter.message_kind
+          ~on_crash:(Walter_kv.Walter.crash_node cl)
+          ~on_restart:(Walter_kv.Walter.restart_node cl) plan)
+   else
+     ignore
+       (Chaos.install sim (Walter_kv.Walter.network cl) ~kind_of:Walter_kv.Walter.message_kind
+          plan));
   let r =
     chaos_drive sim ~seed
       ~ops:
@@ -280,16 +302,23 @@ let chaos_one base_plan seed =
     ( "walter",
       [
         ("no-lost-updates", Checker.no_lost_updates h);
+        ("no-torn-commits", Checker.no_torn_commits h);
         ("ro-abort-free", Checker.read_only_abort_free h);
         ("quiescent", Walter_kv.Walter.quiescent cl);
       ] )
   in
   (* ROCOCO *)
   let sim = Sim.create () in
-  let cl = Rococo_kv.Rococo.create sim (chaos_config ~degree:1 ~seed) in
-  ignore
-    (Chaos.install sim (Rococo_kv.Rococo.network cl) ~kind_of:Rococo_kv.Rococo.message_kind
-       plan);
+  let cl = Rococo_kv.Rococo.create sim (chaos_config ~durable ~degree:1 ~seed ()) in
+  (if durable then
+     ignore
+       (Chaos.install sim (Rococo_kv.Rococo.network cl) ~kind_of:Rococo_kv.Rococo.message_kind
+          ~on_crash:(Rococo_kv.Rococo.crash_node cl)
+          ~on_restart:(Rococo_kv.Rococo.restart_node cl) plan)
+   else
+     ignore
+       (Chaos.install sim (Rococo_kv.Rococo.network cl) ~kind_of:Rococo_kv.Rococo.message_kind
+          plan));
   let r =
     chaos_drive sim ~seed
       ~ops:
@@ -308,10 +337,47 @@ let chaos_one base_plan seed =
       [
         ("serializability", Checker.serializability h);
         ("no-lost-updates", Checker.no_lost_updates h);
+        ("no-torn-commits", Checker.no_torn_commits h);
         ("quiescent", Rococo_kv.Rococo.quiescent cl);
       ] )
   in
   (!committed, [ sss_checks; twopc_checks; walter_checks; rococo_checks ])
+
+(* Durable crash-recovery sweep (always on): every system with write-ahead
+   logging enabled, one node fail-stopped mid-run and restarted through log
+   replay, across 10 seeds.  Histories must stay checker-accepted —
+   including no torn commits — and the cluster must end quiescent. *)
+let durability_sweep pool =
+  let module Chaos = Sss_chaos.Chaos in
+  let plan =
+    {
+      Chaos.seed = 0;
+      rules = [];
+      events = [ Chaos.Crash { at = 0.015; restart_at = Some 0.019; node = 2 } ];
+    }
+  in
+  let failures = ref 0 in
+  let committed = ref 0 in
+  let seeds = Sweep.seeds 10 in
+  let results = Pool.map_list pool (chaos_one ~durable:true plan) seeds in
+  List.iter2
+    (fun seed (c, per_system) ->
+      committed := !committed + c;
+      List.iter
+        (fun (system, checks) ->
+          List.iter
+            (fun (name, res) ->
+              match res with
+              | Ok () -> ()
+              | Error msg ->
+                  incr failures;
+                  Printf.printf "FAIL durable %s seed=%d %s: %s\n%!" system seed name msg)
+            checks)
+        per_system)
+    seeds results;
+  Printf.printf "durability sweep: %d seeds x 4 systems, %d committed, %d failures\n%!"
+    (List.length seeds) !committed !failures;
+  !failures
 
 let chaos_sweep pool plan_text =
   let module Chaos = Sss_chaos.Chaos in
@@ -485,6 +551,7 @@ let () =
     "paper mode: %d runs, %d committed, %d divergence reports (the documented §8 finding)\n"
     (List.length pm_grid) !pm_committed !pm_div;
   failures := !failures + baseline_sweep pool;
+  failures := !failures + durability_sweep pool;
   (match !first_metrics with
   | Some json -> Printf.printf "metrics (first observed SSS run): %s\n" json
   | None -> ());

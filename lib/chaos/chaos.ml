@@ -291,7 +291,7 @@ let cross_pairs groups =
   in
   pairs groups
 
-let install sim net ~kind_of plan =
+let install sim net ~kind_of ?on_crash ?on_restart plan =
   let rng = Prng.create ~seed:plan.seed in
   let h =
     { drops = 0; dups = 0; delays = 0; parts = 0; heals_n = 0; crashes_n = 0; restarts_n = 0 }
@@ -312,12 +312,17 @@ let install sim net ~kind_of plan =
       | Crash { at; restart_at; node } ->
           Sim.schedule_callback sim ~delay:(delay_until at) (fun () ->
               h.crashes_n <- h.crashes_n + 1;
-              Network.crash net node);
+              Network.crash net node;
+              match on_crash with Some f -> f node | None -> ());
           Option.iter
             (fun r ->
               Sim.schedule_callback sim ~delay:(delay_until r) (fun () ->
                   h.restarts_n <- h.restarts_n + 1;
-                  Network.recover net node))
+                  (* a durable protocol replays its log first and reconnects
+                     the NIC itself once recovery completes *)
+                  match on_restart with
+                  | Some f -> f node
+                  | None -> Network.recover net node))
             restart_at)
     plan.events;
   if plan.rules <> [] then

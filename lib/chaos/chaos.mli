@@ -14,11 +14,15 @@
     byte-identical trajectory: same event count, same message counts, same
     history.  Replays of a failing chaos run are therefore exact.
 
-    The crash model is {e NIC fail-stop}: a crashed node stops sending and
-    receiving (in-flight messages to it are lost), but its in-memory state
-    and blocked fibers survive to the restart.  Durable-storage recovery is
-    out of scope; see [docs/FAULTS.md] for the full model and the plan
-    syntax.
+    The base crash model is {e NIC fail-stop}: a crashed node stops sending
+    and receiving (in-flight messages to it are lost), but its in-memory
+    state and blocked fibers survive to the restart.  Under
+    [Config.durability] the protocols upgrade it to a {e fail-stop-recover}
+    model through {!install}'s [on_crash]/[on_restart] hooks: the crash
+    additionally discards the node's volatile state, and the restart
+    replays the node's write-ahead log before the NIC reconnects
+    (docs/DURABILITY.md).  See [docs/FAULTS.md] for the full model and the
+    plan syntax.
 
     Plans only make life harder; with [Config.fault_tolerance = true] the
     protocols mask all of it (see [docs/FAULTS.md] for who retries what). *)
@@ -98,13 +102,27 @@ type handle
 (** A plan attached to one network; carries injection counters. *)
 
 val install :
-  Sss_sim.Sim.t -> 'msg Sss_net.Network.t -> kind_of:('msg -> string) -> plan -> handle
+  Sss_sim.Sim.t ->
+  'msg Sss_net.Network.t ->
+  kind_of:('msg -> string) ->
+  ?on_crash:(int -> unit) ->
+  ?on_restart:(int -> unit) ->
+  plan ->
+  handle
 (** Compile [plan] onto the network: schedule its events on the simulator
     (relative to the current virtual time, which should be 0) and register
     its rules as the network's perturb hook.  [kind_of] names a message's
     kind for rule matching (e.g. {!Sss_kv.Message.kind_name}).  The hook's
     PRNG is private to this handle, so installing a plan never changes the
-    network's own latency/drop stream. *)
+    network's own latency/drop stream.
+
+    [on_crash node] runs (as a bare callback) right after the NIC is
+    crashed — a durable protocol uses it to discard the node's volatile
+    state ([Kv.crash_node] and friends).  When [on_restart] is given, it
+    {e replaces} the automatic [Network.recover] at restart time: the
+    protocol is expected to replay its log and reconnect the NIC itself
+    once recovery completes.  Omit both for the legacy liveness-blip
+    crash. *)
 
 type stats = {
   injected_drops : int;  (** messages dropped by a rule *)

@@ -17,6 +17,7 @@ type txn_info = {
   mutable aborted : bool;
   mutable reads : (Ids.key * Ids.txn) list;
   mutable installs : Ids.key list;
+  mutable declared_ws : Ids.key list;
 }
 
 type analysis = {
@@ -34,6 +35,7 @@ let fresh_info seq =
     aborted = false;
     reads = [];
     installs = [];
+    declared_ws = [];
   }
 
 let analyse history =
@@ -60,13 +62,21 @@ let analyse history =
           i.reads <- (key, writer) :: i.reads
       | History.Install { txn; key } ->
           let i = info seq txn in
-          i.installs <- key :: i.installs;
-          let prev = Option.value ~default:[] (Hashtbl.find_opt install_order key) in
-          Hashtbl.replace install_order key (txn :: prev)
-      | History.Commit { txn } ->
+          (* Keep-first dedup: redo recovery can legitimately re-install a
+             version whose apply was recorded but whose log record had not
+             reached the disk before the crash (the Decide is redelivered and
+             reapplied).  The version's position is its first installation;
+             a duplicate must not re-enter the install order. *)
+          if not (List.mem key i.installs) then begin
+            i.installs <- key :: i.installs;
+            let prev = Option.value ~default:[] (Hashtbl.find_opt install_order key) in
+            Hashtbl.replace install_order key (txn :: prev)
+          end
+      | History.Commit { txn; ws } ->
           let i = info seq txn in
           i.committed <- true;
-          i.commit_seq <- seq
+          i.commit_seq <- seq;
+          i.declared_ws <- ws
       | History.Abort { txn } -> (info seq txn).aborted <- true)
     (History.events history);
   (* Collect the keys first: replacing bindings while iterating a Hashtbl
@@ -297,6 +307,30 @@ let no_lost_updates history =
                                  (Ids.txn_to_string expected))
                     | _ -> ())))
           i.installs)
+    a.infos;
+  match !bad with None -> Ok () | Some msg -> Error msg
+
+(* Atomicity across crashes: once the client has been told "committed", the
+   whole declared write set must be installed.  A missing install means the
+   ack escaped before the decision (or an apply) was durable — a torn
+   commit.  The converse — a fully installed transaction with no commit
+   event — is fine: its coordinator died before replying and the writes
+   were driven to completion by recovery (it participates in the graph via
+   [in_graph] but carries no completion edge). *)
+let no_torn_commits history =
+  let a = analyse history in
+  let bad = ref None in
+  TxnMap.iter
+    (fun txn i ->
+      if !bad = None && i.committed && not i.aborted then
+        List.iter
+          (fun key ->
+            if !bad = None && not (List.mem key i.installs) then
+              bad :=
+                Some
+                  (Printf.sprintf "torn commit: %s acked to its client but k%d never installed"
+                     (Ids.txn_to_string txn) key))
+          (List.sort Int.compare i.declared_ws))
     a.infos;
   match !bad with None -> Ok () | Some msg -> Error msg
 

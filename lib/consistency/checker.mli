@@ -56,6 +56,16 @@ val no_lost_updates : History.t -> check_result
     version of the key it overwrote.  (Holds for snapshot-isolation-class
     systems like Walter even when serializability does not.) *)
 
+val no_torn_commits : History.t -> check_result
+(** Crash atomicity: every transaction whose client was told "committed"
+    has its whole declared write set ([History.Commit]'s [ws]) installed.
+    With durability on, a node must flush the commit decision (and
+    participants their applies) before the client ack escapes; a history
+    where the ack survives but an install is missing is torn and rejected.
+    Fully installed transactions {e without} a commit event are accepted —
+    that is a coordinator that died before replying, whose writes recovery
+    drove to completion. *)
+
 val read_only_abort_free : History.t -> check_result
 (** No transaction that began read-only ever aborted. *)
 

@@ -4,7 +4,7 @@ type event =
   | Begin of { txn : Ids.txn; ro : bool; node : Ids.node }
   | Read of { txn : Ids.txn; key : Ids.key; writer : Ids.txn }
   | Install of { txn : Ids.txn; key : Ids.key }
-  | Commit of { txn : Ids.txn }
+  | Commit of { txn : Ids.txn; ws : Ids.key list }
   | Abort of { txn : Ids.txn }
 
 type stamped = { at : float; seq : int; event : event }
@@ -33,5 +33,8 @@ let pp_event fmt = function
   | Read { txn; key; writer } ->
       Format.fprintf fmt "read %a k%d <- %a" Ids.pp_txn txn key Ids.pp_txn writer
   | Install { txn; key } -> Format.fprintf fmt "install %a k%d" Ids.pp_txn txn key
-  | Commit { txn } -> Format.fprintf fmt "commit %a" Ids.pp_txn txn
+  | Commit { txn; ws } ->
+      Format.fprintf fmt "commit %a" Ids.pp_txn txn;
+      if ws <> [] then
+        Format.fprintf fmt " ws{%s}" (String.concat "," (List.map string_of_int ws))
   | Abort { txn } -> Format.fprintf fmt "abort %a" Ids.pp_txn txn

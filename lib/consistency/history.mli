@@ -18,9 +18,11 @@ type event =
   | Install of { txn : Ids.txn; key : Ids.key }
       (** A new version of [key] by [txn] became the newest (recorded once,
           at the key's primary replica, in application order). *)
-  | Commit of { txn : Ids.txn }
+  | Commit of { txn : Ids.txn; ws : Ids.key list }
       (** External commit: the client was informed of success.  For
-          read-only transactions this is their (immediate) commit. *)
+          read-only transactions this is their (immediate) commit.  [ws] is
+          the write set the client believes durable — the {!Checker} uses it
+          to reject torn commits (acked but only partially installed). *)
   | Abort of { txn : Ids.txn }
 
 type stamped = { at : float; seq : int; event : event }

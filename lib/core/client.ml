@@ -27,6 +27,7 @@ type handle = {
 
 let begin_txn cl ~node:home_id ~read_only =
   let home = State.node cl home_id in
+  if not home.alive then Sss_net.Rpc.crashed ~system:"sss" ~node:home_id;
   let id = Ids.Gen.next home.gen in
   Hashtbl.replace home.active id ();
   record cl (History.Begin { txn = id; ro = read_only; node = home_id });
@@ -99,12 +100,15 @@ let read h key =
          plain read keeps the healthy path free of timeout events. *)
       let resp =
         if h.cl.config.Config.fault_tolerance then
-          match Sim.Ivar.read_timeout h.cl.sim ivar ~timeout:h.cl.config.ack_timeout with
+          match
+            Sss_net.Rpc.Pending.await_timeout h.cl.sim ivar
+              ~timeout:h.cl.config.ack_timeout
+          with
           | Some r -> r
           | None ->
               Sss_net.Rpc.stalled ~system:"sss" ~phase:"read"
                 (Printf.sprintf "key %d in %s" key (Ids.txn_to_string h.id))
-        else Sim.Ivar.read h.cl.sim ivar
+        else Sss_net.Rpc.Pending.await h.cl.sim ivar
       in
       h.has_read.(resp.from) <- true;
       h.vc <- Vclock.max h.vc resp.vc;
@@ -147,11 +151,44 @@ let await_observed_parked h =
   in
   List.iter
     (fun ivar ->
-      match Sim.Ivar.read_timeout cl.sim ivar ~timeout:cl.config.ack_timeout with
+      match Sss_net.Rpc.Pending.await_timeout cl.sim ivar ~timeout:cl.config.ack_timeout with
       | Some () -> ()
       | None ->
           Sss_net.Rpc.stalled ~system:"sss" ~phase:"wait-finalized" (Ids.txn_to_string h.id))
     slots
+
+(* Completion waits under durability retry their message: the transport's
+   receipt can outrun the processing fiber a crash kills, so "delivered" is
+   not "acted on" — a recovered participant holds no trace of the Decide or
+   Finalize it receipted.  Re-send to the nodes whose ack is missing every
+   few retry periods; the handlers are idempotent.  Without durability the
+   single-timeout wait is kept bit-for-bit (no extra timer events). *)
+let await_acks cl (h : handle) box ~dsts ~msg ~phase =
+  if cl.config.Config.durability then begin
+    let slice = 4. *. cl.config.Config.retry_max in
+    let deadline = now cl +. cl.config.Config.ack_timeout in
+    let rec wait () =
+      match Sim.Ivar.read_timeout cl.sim box.ack_done ~timeout:slice with
+      | Some () -> ()
+      | None ->
+          (* a crash of the home node fills the ivar; reaching here means
+             the home survives but some participant has not answered *)
+          if not (node_live cl h.home) then
+            Sss_net.Rpc.crashed ~system:"sss" ~node:h.home.id;
+          if now cl >= deadline then
+            Sss_net.Rpc.stalled ~system:"sss" ~phase (Ids.txn_to_string h.id);
+          List.iter
+            (fun dst ->
+              if not (Hashtbl.mem box.acked dst) then send cl ~src:h.home.id ~dst msg)
+            (List.filter (fun d -> not (Hashtbl.mem box.acked d)) dsts [@order_ok]);
+          wait ()
+    in
+    wait ()
+  end
+  else
+    match Sim.Ivar.read_timeout cl.sim box.ack_done ~timeout:cl.config.ack_timeout with
+    | Some () -> ()
+    | None -> Sss_net.Rpc.stalled ~system:"sss" ~phase (Ids.txn_to_string h.id)
 
 (* Read-only (and write-free) commit: the client is informed immediately;
    the Remove message then clears this transaction's snapshot-queue entries
@@ -162,7 +199,7 @@ let commit_read_only h =
      (read-only transactions never do): its response chains as well. *)
   if h.observed_parked <> [] then await_observed_parked h;
   h.home.coordinated_max <- Vclock.max h.home.coordinated_max h.vc;
-  record cl (History.Commit { txn = h.id });
+  record cl (History.Commit { txn = h.id; ws = [] });
   if h.ro then cl.stats.committed_ro <- cl.stats.committed_ro + 1
   else cl.stats.committed_update <- cl.stats.committed_update + 1;
   (match cl.obs with
@@ -229,6 +266,9 @@ let commit_update h =
     false
   end
   else begin
+    (* The vote wait suspended: the home node may have crashed under it, in
+       which case this fiber holds a stale record and must not decide. *)
+    if not (node_live cl h.home) then Sss_net.Rpc.crashed ~system:"sss" ~node:h.home.id;
     (* Alg. 1 lines 18-24: entry-wise maximum of the votes, then equalise
        the write replicas' entries so every CommitQ orders this transaction
        identically. *)
@@ -245,18 +285,40 @@ let commit_update h =
        maximum; we additionally guarantee uniqueness, see State.mint). *)
     let xact_vn = mint_xact_vn cl h.home ~at_least:max_entry in
     List.iter (fun w -> (Vclock.set_into commit_vc w xact_vn [@owned])) write_nodes;
+    (* Durable decision point: the commit clock is logged and flushed
+       before any participant can learn the outcome.  Until the flush
+       completes, an in-doubt Dquery is answered "undecided" — a decision
+       that could still be lost with this node must not leak. *)
+    if cl.config.Config.durability then begin
+      Hashtbl.replace h.home.decided_commits h.id
+        { dvc = commit_vc; ddurable = false; ddriving = true; d_at = now cl };
+      sweep_decided cl h.home;
+      let flush_from = now cl in
+      let lsn = log h.home (SDecided { d_txn = h.id; d_vc = commit_vc }) in
+      if (not (log_sync h.home lsn)) || not (node_live cl h.home) then
+        Sss_net.Rpc.crashed ~system:"sss" ~node:h.home.id;
+      (Hashtbl.find h.home.decided_commits h.id).ddurable <- true;
+      match cl.obs with
+      | Some o -> Sss_obs.Obs.observe o "lat.commit.durable" (now cl -. flush_from)
+      | None -> ()
+    end;
     let ack =
-      { ack_expect = List.length write_nodes; ack_count = 0; ack_done = Sim.Ivar.create () }
+      {
+        ack_expect = List.length write_nodes;
+        acked = Hashtbl.create 8;
+        ack_phase = `Acks;
+        ack_done = Sim.Ivar.create ();
+      }
     in
     Hashtbl.replace h.home.ack_boxes h.id ack;
     let decide_at = now cl in
     send_nodes cl ~src:h.home.id ~dsts:participants
       (Message.Decide { txn = h.id; vc = commit_vc; outcome = true });
-    (match Sim.Ivar.read_timeout cl.sim ack.ack_done ~timeout:cl.config.ack_timeout with
-    | Some () -> ()
-    | None ->
-        Sss_net.Rpc.stalled ~system:"sss" ~phase:"external-commit ack"
-          (Ids.txn_to_string h.id));
+    await_acks cl h ack ~dsts:write_nodes
+      ~msg:(Message.Decide { txn = h.id; vc = commit_vc; outcome = true })
+      ~phase:"external-commit ack";
+    (* a crash fills the ivar to wake this fiber; distinguish it here *)
+    if not (node_live cl h.home) then Sss_net.Rpc.crashed ~system:"sss" ~node:h.home.id;
     Hashtbl.remove h.home.ack_boxes h.id;
     if cl.config.Config.strict_order then begin
       (* wr-chaining: the parked writers we read from must externally commit
@@ -269,22 +331,31 @@ let commit_update h =
          BEFORE informing the client: a reader that finds the entry parked
          can then always safely serialize before this transaction. *)
       let fin =
-        { ack_expect = List.length write_nodes; ack_count = 0; ack_done = Sim.Ivar.create () }
+        {
+          ack_expect = List.length write_nodes;
+          acked = Hashtbl.create 8;
+          ack_phase = `Fin;
+          ack_done = Sim.Ivar.create ();
+        }
       in
       Hashtbl.replace h.home.ack_boxes h.id fin;
       send_nodes cl ~src:h.home.id ~dsts:write_nodes (Message.Finalize { txn = h.id });
-      (match Sim.Ivar.read_timeout cl.sim fin.ack_done ~timeout:cl.config.ack_timeout with
-      | Some () -> ()
-      | None ->
-          Sss_net.Rpc.stalled ~system:"sss" ~phase:"finalize ack" (Ids.txn_to_string h.id));
+      await_acks cl h fin ~dsts:write_nodes ~msg:(Message.Finalize { txn = h.id })
+        ~phase:"finalize ack";
+      if not (node_live cl h.home) then Sss_net.Rpc.crashed ~system:"sss" ~node:h.home.id;
       Hashtbl.remove h.home.ack_boxes h.id
     end;
+    (* Completion protocol done: in-doubt queries no longer need this
+       incarnation (and after a crash the restored decision will say so). *)
+    (match Hashtbl.find_opt h.home.decided_commits h.id with
+    | Some d -> d.ddriving <- false
+    | None -> ());
     mark_finalized h;
     h.home.coordinated_max <- Vclock.max h.home.coordinated_max commit_vc;
     cl.stats.committed_update <- cl.stats.committed_update + 1;
     if cl.stats.collect_latencies then
       cl.stats.latencies <- (h.begin_at, decide_at, now cl) :: cl.stats.latencies;
-    record cl (History.Commit { txn = h.id });
+    record cl (History.Commit { txn = h.id; ws = ws_keys });
     (match cl.obs with
     | Some o ->
         Sss_obs.Obs.incr o "txn.commit.update";

@@ -66,6 +66,27 @@ type t = {
   trace_capacity : int;
       (** ring capacity of the trace sink when [observe] is set; older
           events are overwritten (and counted) once exceeded *)
+  durability : bool;
+      (** give every node a simulated write-ahead log
+          ({!Sss_storage.Storage} over {!Sss_sim.Iodev}): commit-path
+          records are group-flushed before votes, decisions and client
+          acknowledgements; the MV-store is checkpointed periodically; and
+          a crash injected by a fault plan now {e discards volatile state}
+          and replays the log before the node rejoins (docs/DURABILITY.md).
+          Off by default: healthy trajectories are then byte-for-byte
+          identical to a build without this subsystem.  All four systems
+          honour the flag; crash/restart plans under it normally also want
+          [fault_tolerance] so in-flight messages survive the outage. *)
+  fsync_latency : float;
+      (** durability mode: fixed per-operation cost of a log device write
+          (the fsync floor, default 50 µs) *)
+  disk_bandwidth : float;
+      (** durability mode: sustained log-device transfer rate in bytes per
+          second (default 2 GB/s) *)
+  checkpoint_interval : float;
+      (** durability mode: virtual seconds between fuzzy checkpoints of a
+          node's store; [<= 0] disables checkpointing, leaving recovery to
+          replay the whole log (default 50 ms) *)
 }
 
 val default : t

@@ -44,6 +44,14 @@ let set_collect_latencies (t : cluster) flag = t.State.stats.State.collect_laten
 
 let network_stats (t : cluster) = Sss_net.Network.stats t.State.net
 
+let wal_stats (t : cluster) =
+  Array.fold_left
+    (fun acc (n : State.node) ->
+      match n.State.wal with
+      | None -> acc
+      | Some w -> Sss_storage.Storage.add_stats acc (Sss_storage.Storage.stats w))
+    Sss_storage.Storage.zero_stats t.State.nodes
+
 let network (t : cluster) = t.State.net
 
 let obs (t : cluster) = t.State.obs
@@ -55,6 +63,10 @@ let trace_jsonl (t : cluster) = Option.map Sss_obs.Obs.trace_jsonl t.State.obs
 let transport_retries (t : cluster) = Sss_net.Reliable.retries t.State.rel
 
 let transport_stalled (t : cluster) = Sss_net.Reliable.stalled t.State.rel
+
+let crash_node = Server.crash_node
+
+let restart_node = Server.restart_node
 
 let quiescent (t : cluster) =
   let problems = ref [] in

@@ -91,6 +91,10 @@ val set_collect_latencies : cluster -> bool -> unit
 
 val network_stats : cluster -> Sss_net.Network.stats
 
+val wal_stats : cluster -> Sss_storage.Storage.stats
+(** Cluster-wide write-ahead-log telemetry, summed over nodes — all zeros
+    unless {!Config.t.durability} is on. *)
+
 val network : cluster -> Message.payload Sss_net.Network.t
 (** The cluster's simulated network — exposed so fault plans
     ([Sss_chaos.Chaos.install]) can be attached to it.  Message kinds for
@@ -118,3 +122,23 @@ val quiescent : cluster -> (unit, string) result
 (** At a moment with no in-flight transactions, verify that no residue
     remains: snapshot-queues and commit queues empty, no locks held, no
     prepared 2PC state.  Catches protocol leaks in tests. *)
+
+(** {1 Crash & recovery} — durability mode (docs/DURABILITY.md)
+
+    Wired to {!Sss_chaos.Chaos.install}'s [on_crash]/[on_restart] hooks.
+    With [Config.durability = false] both are (nearly) no-ops: the NIC
+    fault is all there is, and [restart_node] merely reconnects it. *)
+
+val crash_node : cluster -> Ids.node -> unit
+(** Discard the node's volatile state: wound every parked waiter with
+    {!Sss_net.Rpc.Crashed}, lose the unflushed log tail, and swap in a
+    pristine node record (not yet alive).  Bare callback — safe from
+    {!Sss_chaos.Chaos} event position. *)
+
+val restart_node : cluster -> Ids.node -> unit
+(** Redo recovery: reload the last checkpoint, replay the durable log tail
+    (re-installing applied writes), re-take locks for in-doubt prepared
+    transactions, re-park applied-but-unfinalized writers, reconnect the
+    NIC, resume interrupted pre-commit/finalize fibers, and spawn
+    termination watchdogs that query each in-doubt transaction's
+    coordinator ([Dquery]) until its outcome is known. *)

@@ -7,6 +7,16 @@
 
 open Sss_data
 
+(* Answer to a [Dquery]: what the coordinator's durable state says about a
+   transaction a recovering participant holds in doubt.  [driving] tells the
+   participant whether the coordinator is still running the completion
+   protocol (Finalize will arrive) or has itself crashed and restarted
+   (the participant must self-finalize). *)
+type verdict =
+  | Vcommitted of { vc : Vclock.t; driving : bool }
+  | Vaborted
+  | Vundecided
+
 type payload =
   | Read_request of {
       req : int;
@@ -55,6 +65,28 @@ type payload =
       (** ask [writer]'s coordinator to answer once [writer] has
           externally committed (immediately if it already has) *)
   | Finalized of { req : int }
+  | Dquery of { req : int; txn : Ids.txn }
+      (** durability mode: a participant holding [txn] in doubt (prepared
+          but without a decide, e.g. after a crash on either side) asks the
+          coordinator for the durable outcome *)
+  | Doutcome of { req : int; verdict : verdict }  (** answer to a {!Dquery} *)
+  | Reader_probe of { reader : Ids.txn }
+      (** durability mode: a pre-commit wait blocked on [reader]'s
+          snapshot-queue entry asks the reader's home node whether it is
+          still running.  Crashes orphan reader entries — a [Remove]
+          processed before the crash leaves no durable trace, so redo of a
+          prepare re-inserts propagated readers that will never be removed
+          again, and a home-node crash kills readers whose [Remove] was
+          never sent at all *)
+  | Reader_done of { reader : Ids.txn }
+      (** answer to a {!Reader_probe}, sent only when the reader has
+          finished: the prober treats it exactly like the reader's own
+          {!Remove} *)
+  | Recovered of { node : int }
+      (** durability mode: [node] finished log replay and rejoined.  Each
+          receiver runs one eager {!Reader_probe} pass over its own
+          snapshot queues — entries orphaned by the crash on keys no
+          writer touches again would otherwise linger forever *)
   | Tracked of { token : int; inner : payload }
       (** fault-tolerance mode only: [inner] sent over the at-least-once
           transport ({!Sss_net.Reliable}); the receiver answers every copy
@@ -64,7 +96,7 @@ type payload =
 let rec priority = function
   | Remove _ | Forward_remove _ | Finalize _ | Finalize_ack _ | Wait_finalized _ | Finalized _ -> 10
   | Decide _ -> 40
-  | Vote _ | Ack _ -> 60
+  | Vote _ | Ack _ | Dquery _ | Doutcome _ | Reader_probe _ | Reader_done _ | Recovered _ -> 60
   | Read_request _ | Read_return _ | Prepare _ -> 100
   | Tracked { inner; _ } -> priority inner  (* the envelope rides at its payload's rank *)
   | Delivered _ -> 10  (* receipts unblock retry bookkeeping; never queue them *)
@@ -98,10 +130,15 @@ let rec wire_size ~compress payload =
       + entries propagated (fun _ -> txn + scalar)
   | Vote { vc; _ } -> txn + 1 + vc_size ~compress vc
   | Decide { vc; _ } -> txn + 1 + vc_size ~compress vc
-  | Ack _ | Finalize _ | Finalize_ack _ | Remove _ -> txn
+  | Ack _ | Finalize _ | Finalize_ack _ | Remove _ | Reader_probe _ | Reader_done _ -> txn
+  | Recovered _ -> scalar
   | Forward_remove _ -> 2 * txn
   | Wait_finalized _ -> txn + scalar
   | Finalized _ -> scalar
+  | Dquery _ -> scalar + txn
+  | Doutcome { verdict; _ } -> (
+      scalar + 1
+      + match verdict with Vcommitted { vc; _ } -> vc_size ~compress vc | _ -> 0)
 
 (* [Tracked] is transparent here: fault plans target logical message kinds,
    not the transport envelope. *)
@@ -120,3 +157,8 @@ let rec kind_name = function
   | Finalized _ -> "finalized"
   | Remove _ -> "remove"
   | Forward_remove _ -> "forward_remove"
+  | Dquery _ -> "dquery"
+  | Doutcome _ -> "doutcome"
+  | Reader_probe _ -> "reader_probe"
+  | Reader_done _ -> "reader_done"
+  | Recovered _ -> "recovered"

@@ -195,55 +195,6 @@ let handle_read t node ~src ~req ~txn ~key ~vc ~has_read ~is_update =
     end
   end
 
-let handle_prepare t node ~txn ~coord ~vc ~rs ~ws ~propagated =
-  let local_rs = List.filter (fun (k, _) -> Replication.is_replica t.repl node.id k) rs in
-  let local_ws = List.filter (fun (k, _) -> Replication.is_replica t.repl node.id k) ws in
-  let got_locks =
-    (not (was_abort_decided node txn))
-    && Locks.acquire_all node.locks txn
-         ~exclusive:(List.map fst local_ws)
-         ~shared:(List.map fst local_rs) ~timeout:t.config.lock_timeout
-  in
-  (* The coordinator's vote timeout can beat a lock wait: its Decide(abort)
-     then overtakes this very Prepare.  A late success here would strand an
-     orphan in the CommitQ, so the abort decision wins. *)
-  let ok = got_locks && validate node local_rs && not (was_abort_decided node txn) in
-  if not ok then begin
-    Locks.release_txn node.locks txn;
-    (match t.obs with
-    | Some o when got_locks ->
-        Sss_obs.Obs.incr o "lock.release";
-        Sss_obs.Obs.emit o ~at:(now t)
-          (Sss_obs.Obs.Lock_release { txn = Ids.txn_to_string txn; node = node.id })
-    | _ -> ());
-    send t ~src:node.id ~dst:coord (Message.Vote { txn; ok = false; vc })
-  end
-  else begin
-    (match t.obs with
-    | Some o ->
-        Sss_obs.Obs.incr o "lock.acquire";
-        Sss_obs.Obs.emit o ~at:(now t)
-          (Sss_obs.Obs.Lock_acquire
-             {
-               txn = Ids.txn_to_string txn;
-               node = node.id;
-               keys = List.length local_ws + List.length local_rs;
-             })
-    | None -> ());
-    let prep_vc =
-      if local_ws <> [] then begin
-        let vc = bump_local t node in
-        Commitq.put node.commitq ~txn ~vc;
-        vc
-      end
-      else Nlog.most_recent_vc node.nlog
-    in
-    Hashtbl.replace node.prepared txn
-      { rs_local = local_rs; ws_local = local_ws; prop_set = propagated; coord;
-        final_vc = None; finalizing = false };
-    send t ~src:node.id ~dst:coord (Message.Vote { txn; ok = true; vc = prep_vc })
-  end
-
 (* Alg. 4, strengthened: wait out every reader that must serialize before
    this writer, then tell the coordinator.  Unlike the per-key pseudocode we
    do NOT drop the writer entries here — they stay until the coordinator's
@@ -255,14 +206,85 @@ let handle_prepare t node ~txn ~coord ~vc ~rs ~ws ~propagated =
    "serializing after a held writer" possible only for readers whose
    visibility bound already covers its (equalised) commit clock, which then
    forces them to wait for its writes on every written key. *)
-let pre_commit_wait t node ~txn ~sid ~keys ~coord =
+let handle_remove t node ~reader =
+  add_tombstone t node reader;
+  let keys = take_reader_keys node reader in
+  List.iter (fun k -> ignore (Squeue.remove (squeue node k) reader)) keys;
+  if keys <> [] then Sim.Cond.broadcast t.sim node.squeue_changed;
+  List.iter
+    (fun (writer, coord) ->
+      send t ~src:node.id ~dst:coord (Message.Forward_remove { reader; writer }))
+    (take_forwards node reader)
+
+(* Wait until no reader entry blocks a writer of stamp [sid] at [key].
+   Without durability a blocking entry always has a live owner whose
+   [Remove] (or abort) clears it, so a bare condition wait suffices — and is
+   kept bit-for-bit.  Crashes break that ownership two ways: a [Remove]
+   processed before the crash leaves no durable trace, so redo of a
+   prepare's apply re-inserts propagated readers nobody will ever remove
+   again; and a home-node crash kills readers whose [Remove] was never sent
+   at all.  So under durability a wait that overstays a retry slice probes
+   each blocking reader's home node — "no longer active there" is exactly
+   the [Remove] promise (ids are never reused and [active] is cleared
+   before the removes go out), and the {!Message.Reader_done} answer runs
+   the normal remove path. *)
+let await_writer_unblocked t node ~sid key =
+  let q = squeue node key in
+  let clear () = not (Squeue.blocks_writer q ~sid) in
+  if not t.config.Config.durability then Sim.Cond.await t.sim node.squeue_changed clear
+  else
+    let slice = 4. *. t.config.Config.retry_max in
+    let rec loop () =
+      if
+        (not (Sim.Cond.await_timeout t.sim node.squeue_changed ~timeout:slice clear))
+        && node_live t node
+      then begin
+        List.iter
+          (fun (e : Squeue.entry) ->
+            if e.Squeue.propagated || e.Squeue.sid < sid then begin
+              let reader = e.Squeue.txn in
+              let home = reader.Ids.node in
+              if home = node.id then begin
+                if not (Hashtbl.mem node.active reader) then handle_remove t node ~reader
+              end
+              else send t ~src:node.id ~dst:home (Message.Reader_probe { reader })
+            end)
+          (Squeue.readers q);
+        loop ()
+      end
+    in
+    loop ()
+
+(* One eager pass of the reader-liveness probe over every entry this node
+   holds — run once per recovery (on the recovered node itself and, via
+   {!Message.Recovered}, on every other node).  The lazy probe above only
+   fires while a writer is blocked; an entry orphaned by the crash on a key
+   no writer touches again would linger forever otherwise (harmless for
+   safety, but residue a quiescence audit rightly rejects).  Probing a
+   reader that is still running is a no-op: its home node stays silent. *)
+let probe_orphans t node =
+  List.iter
+    (fun key ->
+      List.iter
+        (fun (e : Squeue.entry) ->
+          let reader = e.Squeue.txn in
+          let home = reader.Ids.node in
+          if home = node.id then begin
+            if not (Hashtbl.mem node.active reader) then handle_remove t node ~reader
+          end
+          else send t ~src:node.id ~dst:home (Message.Reader_probe { reader }))
+        (Squeue.readers (squeue node key)))
+    (List.sort Int.compare
+       (Hashtbl.fold (fun k _ acc -> k :: acc) node.squeues [] [@order_ok]))
+
+let pre_commit_wait t node ~txn ~sid ~keys ~coord ~lsn =
   if t.config.Config.strict_order then begin
-    List.iter
-      (fun k ->
-        Sim.Cond.await t.sim node.squeue_changed (fun () ->
-            not (Squeue.blocks_writer (squeue node k) ~sid)))
-      keys;
-    send t ~src:node.id ~dst:coord (Message.Ack { txn })
+    List.iter (fun k -> await_writer_unblocked t node ~sid k) keys;
+    (* The Ack promises the writes survive this node: it must not outrun
+       their log records.  [lsn] is the apply record; the device is serial
+       FIFO, so awaiting it covers the whole log prefix. *)
+    if log_sync node lsn && node_live t node then
+      send t ~src:node.id ~dst:coord (Message.Ack { txn })
   end
   else begin
     (* Paper mode: Alg. 4 literally — drop each writer entry as soon as its
@@ -271,17 +293,24 @@ let pre_commit_wait t node ~txn ~sid ~keys ~coord =
        source of the anomalies documented in DESIGN.md. *)
     List.iter
       (fun k ->
-        Sim.Cond.await t.sim node.squeue_changed (fun () ->
-            not (Squeue.blocks_writer (squeue node k) ~sid));
+        await_writer_unblocked t node ~sid k;
         ignore (Squeue.remove (squeue node k) txn);
         Sim.Cond.broadcast t.sim node.squeue_changed)
       keys;
-    (match (Hashtbl.find_opt node.prepared txn : prep option) with
-    | Some { final_vc = Some fvc; _ } -> node.stable_vc <- Vclock.max node.stable_vc fvc
-    | _ -> ());
-    Hashtbl.remove node.prepared txn;
-    unpark_writer t node txn;
-    send t ~src:node.id ~dst:coord (Message.Ack { txn })
+    if node_live t node then begin
+      (match (Hashtbl.find_opt node.prepared txn : prep option) with
+      | Some { final_vc = Some fvc; _ } -> node.stable_vc <- Vclock.max node.stable_vc fvc
+      | _ -> ());
+      Hashtbl.remove node.prepared txn;
+      unpark_writer t node txn;
+      (* The prepared entry retires here in paper mode, so the retirement
+         is what must reach the disk before the Ack (which covers the apply
+         record too — serial device). *)
+      let flsn = log node (SFinalized { f_txn = txn }) in
+      let gate = match flsn with Some _ -> flsn | None -> lsn in
+      if log_sync node gate && node_live t node then
+        send t ~src:node.id ~dst:coord (Message.Ack { txn })
+    end
   end
 
 (* Alg. 2 lines 29-36 fused with Alg. 3: commit ready transactions from the
@@ -326,9 +355,12 @@ let rec try_drain t node =
       | None -> ());
       Sim.Cond.broadcast t.sim node.nlog_changed;
       Sim.Cond.broadcast t.sim node.squeue_changed;
+      (* Logged in the same event as the apply: redo either replays the
+         whole install-park-insert bundle or none of it. *)
+      let lsn = log node (SApplied { ap_txn = txn; ap_vc = vc }) in
       let keys = List.map fst prep.ws_local in
       Sim.spawn t.sim (fun () ->
-          pre_commit_wait t node ~txn ~sid ~keys ~coord:prep.coord);
+          pre_commit_wait t node ~txn ~sid ~keys ~coord:prep.coord ~lsn);
       try_drain t node
   | _ -> ()
 
@@ -338,9 +370,18 @@ let rec try_drain t node =
    so the wait condition is re-checked — the client is only informed after
    every replica confirms removal, keeping "parked" synonymous with "not
    yet externally committed". *)
-let handle_finalize t node ~txn =
+let handle_finalize t node ~txn ~reply_to =
   match Hashtbl.find_opt node.prepared txn with
-  | None -> ()  (* duplicate finalize; the first one answered *)
+  | None -> (
+      (* Duplicate finalize; the first one answered — except under
+         durability, where "no entry" can mean the retirement is durable
+         but the ack died with the crash (or the finalize fiber did).  The
+         coordinator is retrying precisely because it lacks our ack, so
+         answer again. *)
+      match reply_to with
+      | Some coord when t.config.Config.durability ->
+          send t ~src:node.id ~dst:coord (Message.Finalize_ack { txn })
+      | _ -> ())
   | Some prep ->
       prep.finalizing <- true;
       Sim.Cond.broadcast t.sim node.squeue_changed;
@@ -371,18 +412,20 @@ let handle_finalize t node ~txn =
             (fun k ->
               match entry_sid k with
               | None -> ()
-              | Some sid ->
-                  Sim.Cond.await t.sim node.squeue_changed (fun () ->
-                      not (Squeue.blocks_writer (squeue node k) ~sid)))
+              | Some sid -> await_writer_unblocked t node ~sid k)
             keys;
-          List.iter (fun k -> ignore (Squeue.remove (squeue node k) txn)) keys;
-          (match prep.final_vc with
-          | Some fvc -> node.stable_vc <- Vclock.max node.stable_vc fvc
-          | None -> ());
-          Hashtbl.remove node.prepared txn;
-          unpark_writer t node txn;
-          Sim.Cond.broadcast t.sim node.squeue_changed;
-          send t ~src:node.id ~dst:prep.coord (Message.Finalize_ack { txn }))
+          if node_live t node then begin
+            List.iter (fun k -> ignore (Squeue.remove (squeue node k) txn)) keys;
+            (match prep.final_vc with
+            | Some fvc -> node.stable_vc <- Vclock.max node.stable_vc fvc
+            | None -> ());
+            Hashtbl.remove node.prepared txn;
+            unpark_writer t node txn;
+            Sim.Cond.broadcast t.sim node.squeue_changed;
+            let lsn = log node (SFinalized { f_txn = txn }) in
+            if log_sync node lsn && node_live t node then
+              send t ~src:node.id ~dst:prep.coord (Message.Finalize_ack { txn })
+          end)
 
 let handle_decide t node ~txn ~vc ~outcome =
   match Hashtbl.find_opt node.prepared txn with
@@ -392,6 +435,10 @@ let handle_decide t node ~txn ~vc ~outcome =
          cannot resurrect the transaction. *)
       if not outcome then begin
         note_aborted_decide t node txn;
+        (* Fire-and-forget: losing an abort record only resurrects the
+           prepared entry at recovery, and the in-doubt watchdog re-learns
+           the abort from the coordinator. *)
+        ignore (log node (SAborted { a_txn = txn }) : int option);
         Commitq.remove node.commitq txn;
         Locks.release_txn node.locks txn;
         try_drain t node;
@@ -411,10 +458,13 @@ let handle_decide t node ~txn ~vc ~outcome =
         else begin
           Locks.release_txn node.locks txn;
           Hashtbl.remove node.prepared txn;
-          drop_parked_stamp t node txn
+          drop_parked_stamp t node txn;
+          (* read-only participant: retire the prepared entry durably *)
+          ignore (log node (SFinalized { f_txn = txn }) : int option)
         end
       end
       else begin
+        ignore (log node (SAborted { a_txn = txn }) : int option);
         Commitq.remove node.commitq txn;
         Locks.release_txn node.locks txn;
         Hashtbl.remove node.prepared txn;
@@ -423,15 +473,139 @@ let handle_decide t node ~txn ~vc ~outcome =
         Sim.Cond.broadcast t.sim node.nlog_changed
       end
 
-let handle_remove t node ~reader =
-  add_tombstone t node reader;
-  let keys = take_reader_keys node reader in
-  List.iter (fun k -> ignore (Squeue.remove (squeue node k) reader)) keys;
-  if keys <> [] then Sim.Cond.broadcast t.sim node.squeue_changed;
-  List.iter
-    (fun (writer, coord) ->
-      send t ~src:node.id ~dst:coord (Message.Forward_remove { reader; writer }))
-    (take_forwards node reader)
+(* Termination watchdog (durability mode): spawned for every prepared entry
+   at yes-vote time and again at recovery.  While this node holds [txn] in
+   doubt it queries the coordinator's durable decision, completing lost
+   Decides and — when the coordinator itself crashed mid-completion
+   ([driving] false) — self-finalizing applied entries.  The latter is safe:
+   a restarted coordinator answered no client, so finishing without it can
+   violate no completion-order constraint. *)
+let resolve_indoubt t node txn =
+  let live_prep () =
+    if node_live t node then Hashtbl.find_opt node.prepared txn else None
+  in
+  let rec loop attempt =
+    match live_prep () with
+    | None -> ()
+    | Some prep ->
+        if attempt >= t.config.Config.retry_limit then
+          Sss_net.Rpc.stalled ~system:"sss" ~phase:"in-doubt" (Ids.txn_to_string txn)
+        else begin
+          let req, slot = Sss_net.Rpc.Pending.fresh node.pending_outcomes in
+          send t ~src:node.id ~dst:prep.coord (Message.Dquery { req; txn });
+          match
+            Sss_net.Rpc.Pending.await_timeout t.sim slot ~timeout:t.config.Config.retry_max
+          with
+          | Some (Message.Vcommitted { vc; driving }) -> (
+              match live_prep () with
+              | None -> ()
+              | Some prep -> (
+                  match prep.final_vc with
+                  | None ->
+                      (* the Decide was lost: complete the internal commit *)
+                      handle_decide t node ~txn ~vc ~outcome:true;
+                      Sim.sleep t.sim (2. *. t.config.Config.retry_max);
+                      loop 0
+                  | Some _ when driving ->
+                      (* the coordinator is alive and mid-completion: its
+                         Finalize (strict mode) or this node's own
+                         pre-commit fiber retires the entry in due course *)
+                      Sim.sleep t.sim (2. *. t.config.Config.retry_max);
+                      loop 0
+                  | Some _ ->
+                      (* orphaned applied entry: the coordinator restarted
+                         and no longer drives completion.  In paper mode the
+                         (respawned) pre-commit fiber retires the entry; in
+                         strict mode nobody else will. *)
+                      if t.config.Config.strict_order && not prep.finalizing then
+                        handle_finalize t node ~txn ~reply_to:None;
+                      Sim.sleep t.sim (2. *. t.config.Config.retry_max);
+                      loop 0))
+          | Some Message.Vaborted ->
+              if live_prep () <> None then
+                handle_decide t node ~txn ~vc:prep.prep_vc ~outcome:false
+          | Some Message.Vundecided ->
+              Sim.sleep t.sim t.config.Config.retry_initial;
+              loop (attempt + 1)
+          | None ->
+              Sss_net.Rpc.Pending.forget node.pending_outcomes req;
+              Sim.sleep t.sim t.config.Config.retry_initial;
+              loop (attempt + 1)
+        end
+  in
+  try loop 0 with Sss_net.Rpc.Crashed _ -> ()
+
+let handle_prepare t node ~txn ~coord ~vc ~rs ~ws ~propagated =
+  let local_rs = List.filter (fun (k, _) -> Replication.is_replica t.repl node.id k) rs in
+  let local_ws = List.filter (fun (k, _) -> Replication.is_replica t.repl node.id k) ws in
+  let got_locks =
+    (not (was_abort_decided node txn))
+    && Locks.acquire_all node.locks txn
+         ~exclusive:(List.map fst local_ws)
+         ~shared:(List.map fst local_rs) ~timeout:t.config.lock_timeout
+  in
+  (* The coordinator's vote timeout can beat a lock wait: its Decide(abort)
+     then overtakes this very Prepare.  A late success here would strand an
+     orphan in the CommitQ, so the abort decision wins.  The lock wait is
+     also a suspension: the node may have crashed under it, in which case
+     nothing externally visible may happen on this (stale) record. *)
+  let ok =
+    got_locks
+    && validate node local_rs
+    && (not (was_abort_decided node txn))
+    && node_live t node
+  in
+  if not ok then begin
+    Locks.release_txn node.locks txn;
+    (match t.obs with
+    | Some o when got_locks ->
+        Sss_obs.Obs.incr o "lock.release";
+        Sss_obs.Obs.emit o ~at:(now t)
+          (Sss_obs.Obs.Lock_release { txn = Ids.txn_to_string txn; node = node.id })
+    | _ -> ());
+    if node_live t node then
+      send t ~src:node.id ~dst:coord (Message.Vote { txn; ok = false; vc })
+  end
+  else begin
+    (match t.obs with
+    | Some o ->
+        Sss_obs.Obs.incr o "lock.acquire";
+        Sss_obs.Obs.emit o ~at:(now t)
+          (Sss_obs.Obs.Lock_acquire
+             {
+               txn = Ids.txn_to_string txn;
+               node = node.id;
+               keys = List.length local_ws + List.length local_rs;
+             })
+    | None -> ());
+    let prep_vc =
+      if local_ws <> [] then begin
+        let vc = bump_local t node in
+        Commitq.put node.commitq ~txn ~vc;
+        vc
+      end
+      else Nlog.most_recent_vc node.nlog
+    in
+    Hashtbl.replace node.prepared txn
+      { rs_local = local_rs; ws_local = local_ws; prop_set = propagated; coord;
+        prep_vc; final_vc = None; finalizing = false };
+    (* The yes-vote is a durable promise (presumed abort: a no-vote needs
+       no record).  Logged atomically with the CommitQ insertion; the vote
+       leaves only once the record did. *)
+    let lsn =
+      log node
+        (SPrepared
+           { p_txn = txn; p_rs = local_rs; p_ws = local_ws; p_prop = propagated;
+             p_coord = coord; p_vc = prep_vc })
+    in
+    if t.config.Config.durability then
+      Sim.spawn t.sim (fun () ->
+          (* linger past the healthy decide round-trip before querying *)
+          Sim.sleep t.sim (2. *. t.config.Config.retry_max);
+          resolve_indoubt t node txn);
+    if log_sync node lsn && node_live t node then
+      send t ~src:node.id ~dst:coord (Message.Vote { txn; ok = true; vc = prep_vc })
+  end
 
 let handle_forward_remove t node ~reader ~writer =
   if Hashtbl.mem node.active writer then
@@ -444,6 +618,24 @@ let handle_forward_remove t node ~reader ~writer =
         send_nodes t ~src:node.id ~dsts:(replica_nodes t ws_keys)
           (Message.Remove { txn = reader })
     | None -> ()  (* long finished; its propagated entries are already gone *)
+
+(* Completion acknowledgements: deduplicated by sender and matched to the
+   phase the box collects for — a participant's recovery re-sends the Ack of
+   a pre-commit wait that may already have counted, and an Ack arriving
+   while the coordinator collects Finalize_acks must not be mistaken for
+   one. *)
+let same_phase a b =
+  match (a, b) with `Acks, `Acks | `Fin, `Fin -> true | (`Acks | `Fin), _ -> false
+
+let ack_arrival t node ~src ~txn ~phase =
+  match Hashtbl.find_opt node.ack_boxes txn with
+  | Some box when same_phase box.ack_phase phase ->
+      if not (Hashtbl.mem box.acked src) then begin
+        Hashtbl.replace box.acked src ();
+        if Hashtbl.length box.acked = box.ack_expect && not (Sim.Ivar.is_filled box.ack_done)
+        then Sim.Ivar.fill t.sim box.ack_done ()
+      end
+  | Some _ | None -> ()
 
 let rec dispatch t node ~src payload =
   match payload with
@@ -470,21 +662,25 @@ let rec dispatch t node ~src payload =
           Sim.Cond.broadcast t.sim box.vchanged
       | None -> () (* the coordinator timed out and moved on *))
   | Message.Decide { txn; vc; outcome } -> handle_decide t node ~txn ~vc ~outcome
-  | Message.Ack { txn } -> (
-      match Hashtbl.find_opt node.ack_boxes txn with
-      | Some box ->
-          box.ack_count <- box.ack_count + 1;
-          if box.ack_count = box.ack_expect && not (Sim.Ivar.is_filled box.ack_done) then
-            Sim.Ivar.fill t.sim box.ack_done ()
-      | None -> ())
-  | Message.Finalize { txn } -> handle_finalize t node ~txn
-  | Message.Finalize_ack { txn } -> (
-      match Hashtbl.find_opt node.ack_boxes txn with
-      | Some box ->
-          box.ack_count <- box.ack_count + 1;
-          if box.ack_count = box.ack_expect && not (Sim.Ivar.is_filled box.ack_done) then
-            Sim.Ivar.fill t.sim box.ack_done ()
-      | None -> ())
+  | Message.Ack { txn } -> ack_arrival t node ~src ~txn ~phase:`Acks
+  | Message.Finalize { txn } -> handle_finalize t node ~txn ~reply_to:(Some src)
+  | Message.Finalize_ack { txn } -> ack_arrival t node ~src ~txn ~phase:`Fin
+  | Message.Dquery { req; txn } ->
+      (* In-doubt query: answer from the durable decision table.  A not yet
+         flushed decision is "undecided" (it could still be lost with this
+         node); no trace at all means presumed abort — either we never
+         decided, or the decision is older than the retention horizon, by
+         which time no participant can still hold the transaction in doubt. *)
+      let verdict =
+        match Hashtbl.find_opt node.decided_commits txn with
+        | Some d when d.ddurable -> Message.Vcommitted { vc = d.dvc; driving = d.ddriving }
+        | Some _ -> Message.Vundecided
+        | None ->
+            if Hashtbl.mem node.vote_boxes txn then Message.Vundecided else Message.Vaborted
+      in
+      send t ~src:node.id ~dst:src (Message.Doutcome { req; verdict })
+  | Message.Doutcome { req; verdict } ->
+      Sss_net.Rpc.Pending.resolve t.sim node.pending_outcomes req verdict
   | Message.Wait_finalized { writer; req } -> (
       match Hashtbl.find_opt node.unfinalized writer with
       | Some waiters ->
@@ -494,9 +690,206 @@ let rec dispatch t node ~src payload =
   | Message.Finalized { req } -> Sss_net.Rpc.Pending.resolve t.sim node.pending_finalized req ()
   | Message.Remove { txn } -> handle_remove t node ~reader:txn
   | Message.Forward_remove { reader; writer } -> handle_forward_remove t node ~reader ~writer
+  | Message.Reader_probe { reader } ->
+      if not (Hashtbl.mem node.active reader) then
+        send t ~src:node.id ~dst:src (Message.Reader_done { reader })
+  | Message.Reader_done { reader } -> handle_remove t node ~reader
+  | Message.Recovered { node = _ } -> probe_orphans t node
 
 let install t =
   Array.iter
     (fun n ->
       Sss_net.Network.set_handler t.net n.id (fun ~src payload -> dispatch t n ~src payload))
     t.nodes
+
+(* ---- crash & redo recovery (durability mode; docs/DURABILITY.md) ---- *)
+
+let load_snap t node (s : snap) =
+  List.iter
+    (fun (k, vers) ->
+      Mvstore.restore_chain node.store k
+        (List.map (fun (value, vc, writer) -> { Mvstore.value; vc; writer }) vers))
+    s.s_chains;
+  List.iter (fun (txn, vc, ws, at) -> Nlog.add node.nlog ~txn ~vc ~ws ~at) s.s_nlog;
+  node.node_vc <- Vclock.copy s.s_node_vc;
+  node.coordinated_max <- s.s_coordinated_max;
+  node.stable_vc <- s.s_stable_vc;
+  node.minted <- s.s_minted;
+  List.iter
+    (fun (txn, sp) ->
+      Hashtbl.replace node.prepared txn
+        {
+          rs_local = sp.sp_rs;
+          ws_local = sp.sp_ws;
+          prop_set = sp.sp_prop;
+          coord = sp.sp_coord;
+          prep_vc = sp.sp_vc;
+          final_vc = sp.sp_final_vc;
+          finalizing = sp.sp_finalizing;
+        };
+      if sp.sp_ws <> [] && sp.sp_final_vc = None then
+        Commitq.put node.commitq ~txn ~vc:sp.sp_vc)
+    s.s_prepared;
+  List.iter
+    (fun (txn, vc) ->
+      Hashtbl.replace node.decided_commits txn
+        { dvc = vc; ddurable = true; ddriving = false; d_at = now t })
+    s.s_decided;
+  List.iter (fun (txn, at) -> Hashtbl.replace node.aborted_decides txn at) s.s_aborted;
+  List.iter (fun (txn, at) -> Hashtbl.replace node.tombstones txn at) s.s_tombstones;
+  List.iter (fun (r, l) -> Hashtbl.replace node.forwards r (ref l)) s.s_forwards;
+  List.iter (fun (txn, entry) -> Hashtbl.replace node.recent_ws txn entry) s.s_recent_ws
+
+let replay_record t node = function
+  | SPrepared { p_txn; p_rs; p_ws; p_prop; p_coord; p_vc } ->
+      Hashtbl.replace node.prepared p_txn
+        {
+          rs_local = p_rs;
+          ws_local = p_ws;
+          prop_set = p_prop;
+          coord = p_coord;
+          prep_vc = p_vc;
+          final_vc = None;
+          finalizing = false;
+        };
+      (* the prepare's clock bump must stay visible to [bump_local]'s
+         uniqueness argument even though the bump itself was volatile *)
+      (Vclock.max_into node.node_vc p_vc [@owned]);
+      if p_ws <> [] then Commitq.put node.commitq ~txn:p_txn ~vc:p_vc
+  | SAborted { a_txn } ->
+      Hashtbl.replace node.aborted_decides a_txn (now t);
+      Commitq.remove node.commitq a_txn;
+      Hashtbl.remove node.prepared a_txn
+  | SApplied { ap_txn; ap_vc } -> (
+      match Hashtbl.find_opt node.prepared ap_txn with
+      | None -> ()
+      | Some prep ->
+          (* redo of the try_drain bundle, from the prepare's write set *)
+          prep.final_vc <- Some ap_vc;
+          (Vclock.max_into node.node_vc ap_vc [@owned]);
+          List.iter
+            (fun (k, v) -> Mvstore.install node.store k ~value:v ~vc:ap_vc ~writer:ap_txn)
+            prep.ws_local;
+          Nlog.add node.nlog ~txn:ap_txn ~vc:ap_vc
+            ~ws:(List.map fst prep.ws_local)
+            ~at:(now t);
+          List.iter
+            (fun (k, _) -> Mvstore.truncate node.store k ~keep:t.config.Config.chain_keep)
+            prep.ws_local;
+          Commitq.remove node.commitq ap_txn)
+  | SFinalized { f_txn } -> (
+      match Hashtbl.find_opt node.prepared f_txn with
+      | None -> ()
+      | Some prep ->
+          (match prep.final_vc with
+          | Some fvc -> node.stable_vc <- Vclock.max node.stable_vc fvc
+          | None -> ());
+          Hashtbl.remove node.prepared f_txn;
+          Commitq.remove node.commitq f_txn)
+  | SDecided { d_txn; d_vc } ->
+      (* restored decisions no longer drive completion: in-doubt
+         participants asking about them must self-finalize *)
+      Hashtbl.replace node.decided_commits d_txn
+        { dvc = d_vc; ddurable = true; ddriving = false; d_at = now t };
+      (* re-learn the mint floor so this node never re-mints a clock value
+         a pre-crash decision already published *)
+      for i = 0 to Vclock.size d_vc - 1 do
+        if Vclock.get d_vc i > node.minted then node.minted <- Vclock.get d_vc i
+      done
+
+let crash_node t id =
+  if t.config.Config.durability then begin
+    let old = t.nodes.(id) in
+    old.alive <- false;
+    (match old.wal with Some w -> Sss_storage.Storage.crash w | None -> ());
+    let exn = Sss_net.Rpc.Crashed { system = "sss"; node = id } in
+    Sss_net.Rpc.Pending.poison_all t.sim old.pending_reads exn;
+    Sss_net.Rpc.Pending.poison_all t.sim old.pending_finalized exn;
+    Sss_net.Rpc.Pending.poison_all t.sim old.pending_outcomes exn;
+    (* Wake the old record's waiters so their fibers observe the crash
+       (they re-check [node_live] and raise); sorted for determinism. *)
+    List.iter
+      (fun (_, (b : vote_box)) -> Sim.Cond.broadcast t.sim b.vchanged)
+      (sorted_bindings old.vote_boxes);
+    List.iter
+      (fun (_, (b : ack_box)) ->
+        if not (Sim.Ivar.is_filled b.ack_done) then Sim.Ivar.fill t.sim b.ack_done ())
+      (sorted_bindings old.ack_boxes);
+    Sim.Cond.broadcast t.sim old.nlog_changed;
+    Sim.Cond.broadcast t.sim old.squeue_changed;
+    (* Fresh volatile state; the generator is carried over (transaction ids
+       name client requests, not node state) and the log survives on its
+       device.  The genesis versions are re-created exactly as at boot —
+       recovery overwrites them from the checkpoint. *)
+    let fresh = make_node ~gen:old.gen t.sim ~nodes:t.config.Config.nodes ~id in
+    fresh.alive <- false;
+    fresh.wal <- old.wal;
+    Array.iter
+      (fun k -> Mvstore.init_key fresh.store k ~value:(Printf.sprintf "init:%d" k))
+      (Replication.keys_at t.repl id);
+    t.nodes.(id) <- fresh;
+    Sss_net.Network.set_handler t.net id (fun ~src payload -> dispatch t fresh ~src payload)
+  end
+
+let restart_node t id =
+  let node = t.nodes.(id) in
+  match node.wal with
+  | None -> Sss_net.Network.recover t.net id
+  | Some w ->
+      Sss_storage.Storage.recover w (fun ~recovered ~replay ->
+          Sim.run_fiber (fun () ->
+              (match recovered with Some s -> load_snap t node s | None -> ());
+              List.iter (replay_record t node) replay;
+              (* Re-derive the volatile side of the prepared table: in-doubt
+                 entries re-take their locks (mutually compatible — they
+                 co-held them before the crash), applied entries re-park and
+                 re-insert their snapshot-queue writer entries. *)
+              let indoubt = sorted_bindings node.prepared in
+              List.iter
+                (fun (txn, (p : prep)) ->
+                  match p.final_vc with
+                  | None ->
+                      ignore
+                        (Locks.acquire_all node.locks txn
+                           ~exclusive:(List.map fst p.ws_local)
+                           ~shared:(List.map fst p.rs_local)
+                           ~timeout:t.config.Config.lock_timeout
+                          : bool)
+                  | Some fvc ->
+                      let sid = Vclock.get fvc node.id in
+                      park_writer t node txn ~stamp:sid;
+                      List.iter
+                        (fun (k, _) -> Squeue.insert_write (squeue node k) ~txn ~sid)
+                        p.ws_local)
+                indoubt;
+              node.alive <- true;
+              Sss_net.Network.recover t.net id;
+              Sss_storage.Storage.start_checkpoints w
+                ~interval:t.config.Config.checkpoint_interval;
+              Sim.Cond.broadcast t.sim node.nlog_changed;
+              Sim.Cond.broadcast t.sim node.squeue_changed;
+              (* Resume the interrupted lifecycles: applied entries re-enter
+                 the pre-commit wait (their Ack may have been lost with us;
+                 re-sends are deduplicated at the coordinator), finalizing
+                 entries re-enter the release path, and every in-doubt entry
+                 gets a termination watchdog. *)
+              List.iter
+                (fun (txn, (p : prep)) ->
+                  (match p.final_vc with
+                  | Some _ when p.finalizing -> handle_finalize t node ~txn ~reply_to:None
+                  | Some fvc ->
+                      let sid = Vclock.get fvc node.id in
+                      let keys = List.map fst p.ws_local in
+                      Sim.spawn t.sim (fun () ->
+                          pre_commit_wait t node ~txn ~sid ~keys ~coord:p.coord ~lsn:None)
+                  | None -> ());
+                  Sim.spawn t.sim (fun () -> resolve_indoubt t node txn))
+                indoubt;
+              (* Reclaim entries the crash orphaned, here and cluster-wide:
+                 redo just re-inserted propagated readers whose pre-crash
+                 Remove left no durable trace, and readers homed here died
+                 without sending theirs.  One probe pass per node. *)
+              probe_orphans t node;
+              for dst = 0 to t.config.Config.nodes - 1 do
+                if dst <> id then send t ~src:id ~dst (Message.Recovered { node = id })
+              done))

@@ -28,7 +28,18 @@ type vote_box = {
   vchanged : Sim.Cond.t;
 }
 
-type ack_box = { ack_expect : int; mutable ack_count : int; ack_done : unit Sim.Ivar.t }
+(* Completion-phase rendezvous.  Arrivals are deduplicated by sender and
+   tagged with the phase they acknowledge: after a participant crash its
+   recovery re-sends the Ack of a pre-commit wait that already counted, and
+   without the dedup (or with a single shared counter across the Ack and
+   Finalize_ack phases) the coordinator would move on before every replica
+   really confirmed. *)
+type ack_box = {
+  ack_expect : int;
+  acked : (Ids.node, unit) Hashtbl.t;
+  ack_phase : [ `Acks | `Fin ];
+  ack_done : unit Sim.Ivar.t;
+}
 
 (* What a participant remembers between Prepare and Finalize. *)
 type prep = {
@@ -36,12 +47,79 @@ type prep = {
   ws_local : (Ids.key * string) list;
   prop_set : (Ids.txn * int) list;
   coord : Ids.node;
+  prep_vc : Vclock.t;  (* the clock sent with the yes-vote (CommitQ position) *)
   mutable final_vc : Vclock.t option;  (* set when the writes are applied *)
   mutable finalizing : bool;  (* the coordinator's Finalize has arrived *)
 }
 
+(* Coordinator-side durable decision bookkeeping (durability mode).
+   [ddurable] flips once the SDecided record is flushed — until then a
+   participant's Dquery is answered "undecided" (the decision could still be
+   lost with the coordinator).  [ddriving] is true while this incarnation of
+   the coordinator is running the completion protocol; a restarted
+   coordinator loads decisions with [ddriving = false], telling in-doubt
+   participants to finalize themselves. *)
+type decided_rec = {
+  dvc : Vclock.t;
+  mutable ddurable : bool;
+  mutable ddriving : bool;
+  d_at : float;  (* insertion time, for the retention sweep *)
+}
+
+(* ---- write-ahead log records and checkpoint snapshot (durability mode) ---- *)
+
+type logrec =
+  | SPrepared of {
+      p_txn : Ids.txn;
+      p_rs : (Ids.key * Ids.txn) list;
+      p_ws : (Ids.key * string) list;
+      p_prop : (Ids.txn * int) list;
+      p_coord : Ids.node;
+      p_vc : Vclock.t;
+    }  (** logged before the yes-vote leaves the node *)
+  | SAborted of { a_txn : Ids.txn }  (** participant processed Decide(abort) *)
+  | SApplied of { ap_txn : Ids.txn; ap_vc : Vclock.t }
+      (** the CommitQ drain installed the writes (redo uses the ws of the
+          matching [SPrepared]) *)
+  | SFinalized of { f_txn : Ids.txn }
+      (** the prepared entry retired after commit (external commit at a
+          write replica, or a read-only participant's Decide(commit)) *)
+  | SDecided of { d_txn : Ids.txn; d_vc : Vclock.t }
+      (** coordinator's commit decision; flushed before Decide is sent *)
+
+type sprep = {
+  sp_rs : (Ids.key * Ids.txn) list;
+  sp_ws : (Ids.key * string) list;
+  sp_prop : (Ids.txn * int) list;
+  sp_coord : Ids.node;
+  sp_vc : Vclock.t;
+  sp_final_vc : Vclock.t option;
+  sp_finalizing : bool;
+}
+
+type snap = {
+  s_chains : (Ids.key * (string * Vclock.t * Ids.txn) list) list;
+  s_nlog : (Ids.txn * Vclock.t * Ids.key list * float) list;
+  s_node_vc : Vclock.t;
+  s_coordinated_max : Vclock.t;
+  s_stable_vc : Vclock.t;
+  s_minted : int;
+  s_prepared : (Ids.txn * sprep) list;
+  s_decided : (Ids.txn * Vclock.t) list;  (* durable decisions only *)
+  s_aborted : (Ids.txn * float) list;
+  s_tombstones : (Ids.txn * float) list;
+  s_forwards : (Ids.txn * (Ids.txn * Ids.node) list) list;
+  s_recent_ws : (Ids.txn * (Ids.key list * float)) list;
+}
+
 type node = {
   id : Ids.node;
+  (* false between a crash and the end of recovery; begin_txn refuses *)
+  mutable alive : bool;
+  (* the node's log — [None] unless [Config.durability]; survives crashes
+     (the device is the durable medium, the node record is the volatile
+     state) *)
+  mutable wal : (logrec, snap) Sss_storage.Storage.t option;
   store : Mvstore.t;
   nlog : Nlog.t;
   commitq : Commitq.t;
@@ -69,6 +147,10 @@ type node = {
   pending_reads : read_resp Rpc.Pending.t;
   vote_boxes : (Ids.txn, vote_box) Hashtbl.t;
   ack_boxes : (Ids.txn, ack_box) Hashtbl.t;
+  (* durable commit decisions made as a coordinator (durability mode) *)
+  decided_commits : (Ids.txn, decided_rec) Hashtbl.t;
+  (* in-doubt watchdogs' Dquery rendezvous *)
+  pending_outcomes : Message.verdict Rpc.Pending.t;
   (* participant-side 2PC state *)
   prepared : (Ids.txn, prep) Hashtbl.t;
   (* abort decisions that may have overtaken their own Prepare *)
@@ -127,9 +209,14 @@ type t = {
   obs : Sss_obs.Obs.t option;
 }
 
-let make_node sim ~nodes ~id =
+(* [gen] is threaded through crash/restart cycles: transaction ids name
+   client requests, not node state, so a reborn node must never re-mint an
+   id its previous incarnation already handed out. *)
+let make_node ?gen sim ~nodes ~id =
   {
     id;
+    alive = true;
+    wal = None;
     store = Mvstore.create ~nodes;
     nlog = Nlog.create ~nodes ~node:id;
     commitq = Commitq.create ~node:id;
@@ -139,10 +226,12 @@ let make_node sim ~nodes ~id =
     coordinated_max = Vclock.zero nodes;
     stable_vc = Vclock.zero nodes;
     minted = 0;
-    gen = Ids.Gen.create id;
+    gen = (match gen with Some g -> g | None -> Ids.Gen.create id);
     pending_reads = Rpc.Pending.create ();
     vote_boxes = Hashtbl.create 64;
     ack_boxes = Hashtbl.create 64;
+    decided_commits = Hashtbl.create 64;
+    pending_outcomes = Rpc.Pending.create ();
     prepared = Hashtbl.create 64;
     aborted_decides = Hashtbl.create 64;
     tombstones = Hashtbl.create 256;
@@ -160,6 +249,119 @@ let make_node sim ~nodes ~id =
     nlog_changed = Sim.Cond.create ();
     squeue_changed = Sim.Cond.create ();
   }
+
+(* ---- durability helpers ---- *)
+
+(* Deterministic traversal of txn-keyed tables (snapshots, crash sweeps). *)
+let sorted_bindings tbl =
+  (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] [@order_ok])
+  |> List.sort (fun (a, _) (b, _) -> Ids.compare_txn a b)
+
+(* On-disk size model, in the same spirit as [Message.wire_size]: 16-byte
+   record header, 8 bytes per scalar/txn id, raw clocks, values verbatim. *)
+let logrec_bytes = function
+  | SPrepared { p_rs; p_ws; p_prop; p_vc; _ } ->
+      16 + 8 + 8
+      + Vcodec.raw_size p_vc
+      + List.fold_left (fun acc _ -> acc + 12) 0 p_rs
+      + List.fold_left (fun acc (_, v) -> acc + 12 + String.length v) 0 p_ws
+      + (16 * List.length p_prop)
+  | SAborted _ | SFinalized _ -> 16 + 8
+  | SApplied { ap_vc = vc; _ } | SDecided { d_vc = vc; _ } -> 16 + 8 + Vcodec.raw_size vc
+
+let snap_bytes s =
+  let vc = Vcodec.raw_size in
+  let sprep_bytes (_, sp) =
+    8 + 8 + vc sp.sp_vc
+    + (match sp.sp_final_vc with Some f -> vc f | None -> 0)
+    + List.fold_left (fun acc _ -> acc + 12) 0 sp.sp_rs
+    + List.fold_left (fun acc (_, v) -> acc + 12 + String.length v) 0 sp.sp_ws
+    + (16 * List.length sp.sp_prop)
+  in
+  64
+  + List.fold_left
+      (fun acc (_, chain) ->
+        acc + 4
+        + List.fold_left (fun a (v, c, _) -> a + 8 + String.length v + vc c) 0 chain)
+      0 s.s_chains
+  + List.fold_left
+      (fun acc (_, c, ws, _) -> acc + 24 + vc c + (4 * List.length ws))
+      0 s.s_nlog
+  + vc s.s_node_vc + vc s.s_coordinated_max + vc s.s_stable_vc
+  + List.fold_left (fun acc sp -> acc + sprep_bytes sp) 0 s.s_prepared
+  + List.fold_left (fun acc (_, c) -> acc + 8 + vc c) 0 s.s_decided
+  + (16 * (List.length s.s_aborted + List.length s.s_tombstones))
+  + List.fold_left (fun acc (_, l) -> acc + 8 + (16 * List.length l)) 0 s.s_forwards
+  + List.fold_left
+      (fun acc (_, (ks, _)) -> acc + 16 + (4 * List.length ks))
+      0 s.s_recent_ws
+
+(* Fuzzy-checkpoint snapshot: everything a reborn node cannot re-derive
+   from its peers.  [node_vc] is the only clock mutated in place, so it is
+   the only one copied; the rest are published (hence frozen) values.
+   CommitQ entries, snapshot-queues and parked stamps are derived from
+   [prepared] at recovery; reader entries are deliberately volatile (losing
+   one can only make a writer's client answer earlier, never produce a
+   stale read — docs/DURABILITY.md). *)
+let snap_of (node : node) =
+  {
+    s_chains =
+      List.map
+        (fun k ->
+          ( k,
+            List.map
+              (fun v -> (v.Mvstore.value, v.Mvstore.vc, v.Mvstore.writer))
+              (Mvstore.chain node.store k) ))
+        (Mvstore.keys node.store);
+    s_nlog =
+      List.filter_map
+        (fun (e : Nlog.entry) ->
+          if Ids.equal_txn e.txn Ids.genesis then None else Some (e.txn, e.vc, e.ws, e.at))
+        (Nlog.entries node.nlog);
+    s_node_vc = Vclock.copy node.node_vc;
+    s_coordinated_max = node.coordinated_max;
+    s_stable_vc = node.stable_vc;
+    s_minted = node.minted;
+    s_prepared =
+      List.map
+        (fun (txn, (p : prep)) ->
+          ( txn,
+            {
+              sp_rs = p.rs_local;
+              sp_ws = p.ws_local;
+              sp_prop = p.prop_set;
+              sp_coord = p.coord;
+              sp_vc = p.prep_vc;
+              sp_final_vc = p.final_vc;
+              sp_finalizing = p.finalizing;
+            } ))
+        (sorted_bindings node.prepared);
+    s_decided =
+      List.filter_map
+        (fun (txn, (d : decided_rec)) -> if d.ddurable then Some (txn, d.dvc) else None)
+        (sorted_bindings node.decided_commits);
+    s_aborted = sorted_bindings node.aborted_decides;
+    s_tombstones = sorted_bindings node.tombstones;
+    s_forwards = List.map (fun (r, l) -> (r, !l)) (sorted_bindings node.forwards);
+    s_recent_ws = sorted_bindings node.recent_ws;
+  }
+
+let log (node : node) r =
+  match node.wal with Some w -> Some (Sss_storage.Storage.append w r) | None -> None
+
+(* Wait for [lsn] to reach the disk; true without suspending when not in
+   durability mode.  The device is serial FIFO, so a durable [lsn] implies
+   every earlier record is durable too. *)
+let log_sync (node : node) lsn =
+  match (node.wal, lsn) with
+  | Some w, Some l -> Sss_storage.Storage.await w l
+  | _ -> true
+
+(* A fiber that suspended may resume on a node record that crashed in the
+   meantime (the cluster slot then holds the replacement).  Everything
+   externally visible — sends, log appends — must re-check this in the
+   event that performs it. *)
+let node_live (t : t) (node : node) = t.nodes.(node.id) == node
 
 let create sim (config : Config.t) =
   let repl =
@@ -210,26 +412,47 @@ let create sim (config : Config.t) =
         }
   in
   Reliable.set_obs rel obs;
-  {
-    sim;
-    config;
-    repl;
-    net;
-    rel;
-    nodes;
-    history = History.create ~enabled:config.record_history ();
-    stats =
-      {
-        wait_covered_timeouts = 0;
-        committed_update = 0;
-        committed_ro = 0;
-        aborted = 0;
-        reads_served = 0;
-        latencies = [];
-        collect_latencies = false;
-      };
-    obs;
-  }
+  let t =
+    {
+      sim;
+      config;
+      repl;
+      net;
+      rel;
+      nodes;
+      history = History.create ~enabled:config.record_history ();
+      stats =
+        {
+          wait_covered_timeouts = 0;
+          committed_update = 0;
+          committed_ro = 0;
+          aborted = 0;
+          reads_served = 0;
+          latencies = [];
+          collect_latencies = false;
+        };
+      obs;
+    }
+  in
+  if config.durability then
+    Array.iter
+      (fun n ->
+        let id = n.id in
+        let dev =
+          Iodev.create sim ~op_latency:config.fsync_latency ~bandwidth:config.disk_bandwidth
+        in
+        (* The snapshot closure reads through [t.nodes]: checkpoints must
+           cover the node's current incarnation, not the one alive at
+           creation time. *)
+        let w =
+          Sss_storage.Storage.create sim dev ~record_bytes:logrec_bytes
+            ~snapshot:(fun () -> snap_of t.nodes.(id))
+            ~snapshot_bytes:snap_bytes ?obs ()
+        in
+        n.wal <- Some w;
+        Sss_storage.Storage.start_checkpoints w ~interval:config.checkpoint_interval)
+      nodes;
+  t
 
 let node t i = t.nodes.(i)
 
@@ -366,6 +589,24 @@ let note_aborted_decide t node txn =
   end
 
 let was_abort_decided node txn = Hashtbl.mem node.aborted_decides txn
+
+(* Bound the durable-decision table like the tombstone table: entries past
+   the horizon answer no live in-doubt query (watchdogs only exist while a
+   prepared entry does, and those retire well within it).  A swept commit
+   then reads as presumed abort, which is exactly the 2PC convention. *)
+let sweep_decided t node =
+  if Hashtbl.length node.decided_commits > 20_000 then begin
+    let cutoff = now t -. tombstone_horizon in
+    let stale =
+      (Hashtbl.fold
+         (fun k (d : decided_rec) acc ->
+           if d.d_at < cutoff && not d.ddriving then k :: acc else acc)
+         node.decided_commits []
+      [@order_ok])
+      |> List.sort Ids.compare_txn
+    in
+    List.iter (Hashtbl.remove node.decided_commits) stale
+  end
 
 let recent_ws_horizon = 5.0
 

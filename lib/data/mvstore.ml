@@ -44,6 +44,9 @@ let truncate t k ~keep =
   in
   if List.length !r > keep then r := take keep !r
 
+let restore_chain t k versions =
+  match versions with [] -> () | _ -> Hashtbl.replace t.table k (ref versions)
+
 (* Sorted, so callers observe an order independent of Hashtbl internals. *)
 let keys t =
   List.sort Int.compare

@@ -22,6 +22,8 @@ val init_key : t -> Ids.key -> value:string -> unit
 (** Install the genesis version for [key]. Idempotent. *)
 
 val mem : t -> Ids.key -> bool
+(** Whether [key] has been initialised (holds at least its genesis
+    version). *)
 
 val last : t -> Ids.key -> version
 (** Newest version. @raise Not_found if the key was never initialised. *)
@@ -43,7 +45,14 @@ val truncate : t -> Ids.key -> keep:int -> unit
 (** Garbage-collect a chain down to its [keep] newest versions (but never
     dropping the last one). *)
 
+val restore_chain : t -> Ids.key -> version list -> unit
+(** Replace [key]'s whole chain with [versions] (newest first; a no-op when
+    empty).  Used by redo recovery to reload a checkpointed store — normal
+    operation only ever prepends through {!install}. *)
+
 val keys : t -> Ids.key list
+(** Every initialised key, in unspecified order (callers that iterate
+    sort first). *)
 
 val version_count : t -> int
 (** Total number of stored versions, across all keys (for tests and GC

@@ -15,18 +15,26 @@
     never empty. *)
 
 type entry = { txn : Ids.txn; vc : Vclock.t; ws : Ids.key list; at : float }
+(** One internal commit: the transaction, its commit clock, its write set
+    (key names, for propagation bookkeeping), and the virtual time it
+    applied ([at], used only by {!prune}). *)
 
 type t
 
 val create : nodes:int -> node:int -> t
+(** [create ~nodes ~node] is the log of node [node] in a cluster of
+    [nodes] nodes, seeded with the genesis all-zero entry. *)
 
 val node : t -> int
+(** The owning node's index (fixed at {!create}). *)
 
 val add : t -> txn:Ids.txn -> vc:Vclock.t -> ws:Ids.key list -> at:float -> unit
 (** Append an internal commit.  [at] is the virtual time of application,
     used only for pruning. *)
 
 val most_recent_vc : t -> Vclock.t
+(** Commit clock of the latest internally-committed transaction (the
+    genesis all-zero clock while the log is empty). *)
 
 val most_recent_local : t -> int
 (** [most_recent_local t] = entry [node t] of {!most_recent_vc}. *)
@@ -51,6 +59,7 @@ val visible_max :
     provably cannot grow. *)
 
 val size : t -> int
+(** Number of retained entries (shrinks under {!prune}). *)
 
 val prune : t -> before:float -> unit
 (** Drop entries applied strictly before [before], always keeping at least

@@ -28,6 +28,12 @@ type params = {
   compress : bool;  (* SSS only: §III-A metadata compression (byte telemetry) *)
   zipf : float option;  (* skewed key popularity instead of uniform *)
   observe : bool;  (* attach the sss_obs sink; must not change trajectories *)
+  durability : bool;  (* write-ahead logging on every node (lib/storage) *)
+  checkpoint_interval : float option;  (* override Config.checkpoint_interval *)
+  crash : (float * float) option;
+      (* fail-stop-recover one node at (crash, restart) virtual seconds; the
+         run wires Chaos crash/restart hooks so durable protocols replay
+         their log *)
 }
 
 let default_params =
@@ -48,6 +54,9 @@ let default_params =
     compress = true;
     zipf = None;
     observe = false;
+    durability = false;
+    checkpoint_interval = None;
+    crash = None;
   }
 
 type outcome = {
@@ -66,6 +75,9 @@ type outcome = {
   metrics : string option;  (* observe=true: the run's Obs.metrics_json *)
   des_events : int;  (* simulator events this run executed *)
   virtual_seconds : float;  (* virtual time this run simulated *)
+  wal : Sss_storage.Storage.stats;
+      (* SSS only: cluster-wide write-ahead-log telemetry; zeros when
+         durability is off or the system does not expose it *)
 }
 
 (* ---------- execution context ----------
@@ -96,6 +108,15 @@ let config_of (p : params) : Sss_kv.Config.t =
     priority_network = p.priority_network;
     compress_metadata = p.compress;
     observe = p.observe;
+    durability = p.durability;
+    checkpoint_interval =
+      (match p.checkpoint_interval with
+      | Some i -> i
+      | None -> Sss_kv.Config.default.checkpoint_interval);
+    (* a crash needs the fault-tolerant transport so survivors retry around
+       the dead NIC; crash-free runs keep the default so existing figures
+       are untouched *)
+    fault_tolerance = Sss_kv.Config.default.fault_tolerance || p.crash <> None;
   }
 
 let run (p : params) =
@@ -126,11 +147,34 @@ let run (p : params) =
     Sss_workload.Driver.run sim ~nodes:p.nodes ~total_keys:p.keys ~local_keys ~profile ~load
       ~ops
   in
+  let wire_chaos network ~kind_of ~on_crash ~on_restart =
+    match p.crash with
+    | None -> ()
+    | Some (at, restart_at) ->
+        let plan =
+          {
+            Sss_chaos.Chaos.seed = p.seed;
+            rules = [];
+            events =
+              [
+                Sss_chaos.Chaos.Crash
+                  { at; restart_at = Some restart_at; node = min 2 (p.nodes - 1) };
+              ];
+          }
+        in
+        let (_ : Sss_chaos.Chaos.handle) =
+          Sss_chaos.Chaos.install sim network ~kind_of ~on_crash ~on_restart plan
+        in
+        ()
+  in
   let metrics_of obs = Option.map Sss_obs.Obs.metrics_json obs in
   let result, sss_cluster, metrics =
     match p.system with
     | Sss ->
         let cl = Sss_kv.Kv.create sim config in
+        wire_chaos (Sss_kv.Kv.network cl) ~kind_of:Sss_kv.Message.kind_name
+          ~on_crash:(Sss_kv.Kv.crash_node cl)
+          ~on_restart:(Sss_kv.Kv.restart_node cl);
         Sss_kv.Kv.set_collect_latencies cl true;
         let ops =
           {
@@ -145,6 +189,9 @@ let run (p : params) =
         (r, Some cl, Sss_kv.Kv.metrics_json cl)
     | Walter ->
         let cl = Walter_kv.Walter.create sim config in
+        wire_chaos (Walter_kv.Walter.network cl) ~kind_of:Walter_kv.Walter.message_kind
+          ~on_crash:(Walter_kv.Walter.crash_node cl)
+          ~on_restart:(Walter_kv.Walter.restart_node cl);
         let ops =
           {
             Sss_workload.Driver.begin_txn =
@@ -158,6 +205,9 @@ let run (p : params) =
         (r, None, metrics_of (Walter_kv.Walter.obs cl))
     | Twopc ->
         let cl = Twopc_kv.Twopc.create sim config in
+        wire_chaos (Twopc_kv.Twopc.network cl) ~kind_of:Twopc_kv.Twopc.message_kind
+          ~on_crash:(Twopc_kv.Twopc.crash_node cl)
+          ~on_restart:(Twopc_kv.Twopc.restart_node cl);
         let ops =
           {
             Sss_workload.Driver.begin_txn =
@@ -171,6 +221,9 @@ let run (p : params) =
         (r, None, metrics_of (Twopc_kv.Twopc.obs cl))
     | Rococo ->
         let cl = Rococo_kv.Rococo.create sim config in
+        wire_chaos (Rococo_kv.Rococo.network cl) ~kind_of:Rococo_kv.Rococo.message_kind
+          ~on_crash:(Rococo_kv.Rococo.crash_node cl)
+          ~on_restart:(Rococo_kv.Rococo.restart_node cl);
         let ops =
           {
             Sss_workload.Driver.begin_txn =
@@ -224,6 +277,10 @@ let run (p : params) =
     metrics;
     des_events = Sim.events_processed sim;
     virtual_seconds = Sim.now sim;
+    wal =
+      (match sss_cluster with
+      | Some cl -> Sss_kv.Kv.wal_stats cl
+      | None -> Sss_storage.Storage.zero_stats);
   }
 
 let run_in ctx p = run (if ctx.observe_all then { p with observe = true } else p)
@@ -298,6 +355,7 @@ let placeholder_outcome =
     metrics = None;
     des_events = 0;
     virtual_seconds = 0.0;
+    wal = Sss_storage.Storage.zero_stats;
   }
 
 let staged ctx body =
@@ -606,6 +664,52 @@ let skewed_body scale ~run ~out =
 
 let skewed ctx scale = staged ctx (skewed_body scale)
 
+let durability_body scale ~run ~out =
+  header out "Durability: WAL group-commit overhead, and recovery vs checkpoint interval";
+  let base = base_params scale in
+  let keys = List.hd (keyspaces scale) in
+  (* (a) steady-state cost of the log: the same workload with durability
+     off and on; durable commits pay the fsync before acknowledging *)
+  pr out "-- overhead: durability off vs on (4 nodes, 50%% read-only) --\n";
+  pr out "%-8s%12s%12s%14s%14s%8s\n" "system" "off KTxs" "on KTxs" "off upd ms" "on upd ms"
+    "cost";
+  List.iter
+    (fun sys ->
+      let o durability =
+        run
+          { base with system = sys; nodes = 4; keys; ro_ratio = 0.5;
+            degree = (if sys = Rococo then 1 else 2); durability }
+      in
+      let off = o false and on = o true in
+      pr out "%-8s%12.1f%12.1f%14.3f%14.3f%7.0f%%\n" (system_name sys) (ktxs off) (ktxs on)
+        (off.mean_update_latency *. 1e3)
+        (on.mean_update_latency *. 1e3)
+        (100. *. (ktxs off -. ktxs on) /. Float.max 1e-9 (ktxs off)))
+    [ Sss; Walter; Twopc; Rococo ];
+  (* (b) the checkpoint-cadence trade: a crash at 15 ms (restart 19 ms)
+     replays the log tail past the last completed checkpoint, so shorter
+     intervals buy faster recovery with more checkpoint write traffic *)
+  pr out "-- SSS recovery vs checkpoint interval (crash one node at 15 ms, restart 19 ms) --\n";
+  pr out "%-12s%13s%12s%14s%12s\n" "interval ms" "checkpoints" "replayed" "recovery ms" "KTxs";
+  List.iter
+    (fun interval ->
+      let o =
+        run
+          { base with system = Sss; nodes = 4; keys; ro_ratio = 0.5; degree = 2;
+            warmup = 0.005; duration = 0.03; durability = true;
+            checkpoint_interval = Some interval; crash = Some (0.015, 0.019) }
+      in
+      let w = o.wal in
+      pr out "%-12.1f%13d%12d%14.3f%12.1f\n" (interval *. 1e3)
+        w.Sss_storage.Storage.checkpoints w.Sss_storage.Storage.replayed_records
+        (w.Sss_storage.Storage.recovery_seconds *. 1e3)
+        (ktxs o))
+    (match scale with
+    | Smoke -> [ 0.005; 0.05 ]
+    | Quick | Full -> [ 0.002; 0.005; 0.01; 0.02; 0.05 ])
+
+let durability ctx scale = staged ctx (durability_body scale)
+
 let observed_metrics scale =
   let base = base_params scale in
   let keys = List.hd (keyspaces scale) in
@@ -617,4 +721,4 @@ let all ctx scale =
   List.fold_left
     (fun m fig -> meters_sum m (fig ctx scale))
     meters_zero
-    [ fig3; fig4a; fig4b; fig5; fig6; fig7; fig8; abort_rate; ablation; skewed ]
+    [ fig3; fig4a; fig4b; fig5; fig6; fig7; fig8; abort_rate; ablation; skewed; durability ]

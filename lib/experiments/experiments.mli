@@ -42,6 +42,17 @@ type params = {
       (** attach the {!Sss_obs.Obs} sink to the run (default off).  By the
           observer-effect contract this must not change trajectories — see
           docs/OBSERVABILITY.md and the gate in bench/smoke.sh *)
+  durability : bool;
+      (** write-ahead logging on every node (default off; see
+          docs/DURABILITY.md) *)
+  checkpoint_interval : float option;
+      (** override {!Sss_kv.Config.t.checkpoint_interval} (default [None]:
+          the Config default) *)
+  crash : (float * float) option;
+      (** [Some (at, restart_at)]: fail-stop one node mid-run and restart
+          it, with {!Sss_chaos.Chaos} crash/restart hooks wired so durable
+          protocols discard volatile state and replay their log.  Enables
+          the fault-tolerant transport for the run. *)
 }
 
 val default_params : params
@@ -68,6 +79,10 @@ type outcome = {
           {!Sss_obs.Obs.metrics_json} of the cluster's sink *)
   des_events : int;  (** simulator events this run executed *)
   virtual_seconds : float;  (** virtual time this run simulated *)
+  wal : Sss_storage.Storage.stats;
+      (** SSS only: cluster-wide write-ahead-log telemetry —
+          {!Sss_storage.Storage.zero_stats} when [durability] is off or
+          the system does not expose it *)
 }
 
 val run : params -> outcome
@@ -168,6 +183,16 @@ val skewed : ctx -> scale -> meters
 (** Extra experiment (not in the paper): all four systems under zipfian
     key popularity of increasing skew — contention sensitivity beyond the
     paper's uniform-access evaluation. *)
+
+val durability : ctx -> scale -> meters
+(** Extra experiment (not in the paper): the durable storage engine's two
+    trades.  (a) Steady-state overhead — each system with durability off
+    vs on, where durable commits wait for the group-commit fsync before
+    acknowledging.  (b) Recovery cost vs checkpoint cadence — SSS with a
+    mid-run crash/restart, sweeping the checkpoint interval: shorter
+    intervals shrink the replayed log tail (faster recovery) at the price
+    of more checkpoint write traffic.  EXPERIMENTS.md records the
+    measured table. *)
 
 val observed_metrics : scale -> string
 (** Run one traced SSS cell (the fig4b/fig5 configuration with

@@ -4,14 +4,22 @@ exception Stalled of { system : string; phase : string; detail : string }
 
 let stalled ~system ~phase detail = raise (Stalled { system; phase; detail })
 
+exception Crashed of { system : string; node : int }
+
+let crashed ~system ~node = raise (Crashed { system; node })
+
 let () =
   Printexc.register_printer (function
     | Stalled { system; phase; detail } ->
         Some (Printf.sprintf "Rpc.Stalled(%s: %s stalled beyond the retry budget: %s)" system phase detail)
+    | Crashed { system; node } ->
+        Some (Printf.sprintf "Rpc.Crashed(%s: node %d lost its volatile state)" system node)
     | _ -> None)
 
 module Pending = struct
-  type 'a t = { mutable next : int; table : (int, 'a Sim.Ivar.t) Hashtbl.t }
+  type 'a slot = ('a, exn) result Sim.Ivar.t
+
+  type 'a t = { mutable next : int; table : (int, 'a slot) Hashtbl.t }
 
   let create () = { next = 0; table = Hashtbl.create 64 }
 
@@ -26,7 +34,31 @@ module Pending = struct
     | None -> ()
     | Some iv ->
         Hashtbl.remove t.table id;
-        if not (Sim.Ivar.is_filled iv) then Sim.Ivar.fill sim iv v
+        if not (Sim.Ivar.is_filled iv) then Sim.Ivar.fill sim iv (Ok v)
+
+  let await sim slot =
+    match Sim.Ivar.read sim slot with Ok v -> v | Error e -> raise e
+
+  let await_timeout sim slot ~timeout =
+    match Sim.Ivar.read_timeout sim slot ~timeout with
+    | Some (Ok v) -> Some v
+    | Some (Error e) -> raise e
+    | None -> None
+
+  let poison_all sim t e =
+    (* wake the waiters in request-id order: the table's bucket order must
+       not leak into the trajectory *)
+    let ids =
+      List.sort Int.compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.table [] [@order_ok])
+    in
+    List.iter
+      (fun id ->
+        match Hashtbl.find_opt t.table id with
+        | None -> ()
+        | Some iv ->
+            Hashtbl.remove t.table id;
+            if not (Sim.Ivar.is_filled iv) then Sim.Ivar.fill sim iv (Error e))
+      ids
 
   let forget t id = Hashtbl.remove t.table id
 

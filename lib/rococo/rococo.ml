@@ -44,16 +44,20 @@ let ts_compare a b =
 type msg =
   | Dispatch of { req : int; txn : Ids.txn; key : Ids.key }
   | Dispatch_ack of { req : int; counter : int; value : string; writer : Ids.txn }
-  | Commit of { txn : Ids.txn; ts : ts; writes : (Ids.key * string) list }
-  | Commit_ack of { txn : Ids.txn }
+  | Commit of { txn : Ids.txn; ts : ts; writes : (Ids.key * string) list; round : int }
+      (* [round] > 0 only for durability-mode coordinator retries *)
+  | Commit_ack of { txn : Ids.txn; round : int }
   | Ro_read of { req : int; key : Ids.key }
   | Ro_ret of { req : int; value : string; writer : Ids.txn; stable : bool }
   | Cancel of { txn : Ids.txn; keys : Ids.key list }
+  | Alive_query of { req : int; txn : Ids.txn }
+      (* durability: "is this dispatched transaction still being driven?" *)
+  | Alive_ret of { req : int; alive : bool }
   | Tracked of { token : int; inner : msg }
   | Delivered of { token : int }
 
 let rec priority = function
-  | Commit _ | Commit_ack _ | Cancel _ -> 60
+  | Commit _ | Commit_ack _ | Cancel _ | Alive_query _ | Alive_ret _ -> 60
   | Dispatch _ | Dispatch_ack _ | Ro_read _ | Ro_ret _ -> 100
   | Tracked { inner; _ } -> priority inner
   | Delivered _ -> 10
@@ -66,6 +70,8 @@ let rec message_kind = function
   | Ro_read _ -> "ro_read"
   | Ro_ret _ -> "ro_return"
   | Cancel _ -> "cancel"
+  | Alive_query _ -> "alive_query"
+  | Alive_ret _ -> "alive_return"
   | Tracked { inner; _ } -> message_kind inner
   | Delivered _ -> "delivered"
 
@@ -78,7 +84,29 @@ type cell = {
   mutable ready : (ts * string) list;
 }
 
-type ack_box = { ack_expect : int; mutable ack_count : int; ack_done : unit Sim.Ivar.t }
+type ack_box = {
+  ack_expect : int;
+  mutable ack_count : int;
+  mutable ack_round : int;  (* durability: acks from older retry rounds are stale *)
+  ack_done : unit Sim.Ivar.t;
+}
+
+(* Durability-mode write-ahead-log records (docs/DURABILITY.md). *)
+type logrec =
+  | RDispatch of { txn : Ids.txn; key : Ids.key; counter : int }
+      (* a piece was buffered and its ordering counter promised *)
+  | RInsert of { txn : Ids.txn; ts : ts; writes : (Ids.key * string) list }
+      (* a positioned transaction: final timestamp and full write set *)
+
+(* Checkpoint image: deep copy, deterministic (sorted) order. *)
+type snap = {
+  s_cells :
+    (Ids.key * (string * Ids.txn * (Ids.txn * int) list * (ts * string) list)) list;
+  s_counter : int;
+  s_staged : (Ids.txn * (ts * (Ids.key * string) list)) list;
+  s_done : (Ids.txn * int) list;
+  s_seen : Ids.txn list;
+}
 
 type node = {
   id : Ids.node;
@@ -89,6 +117,19 @@ type node = {
   pending_ro : (string * Ids.txn * bool) Rpc.Pending.t;
   ack_boxes : (Ids.txn, ack_box) Hashtbl.t;
   executed : Sim.Cond.t;
+  (* durability mode only *)
+  mutable alive : bool;
+  staged : (Ids.txn, ts * (Ids.key * string) list) Hashtbl.t;
+      (* positioned transactions whose RInsert flush is still in flight *)
+  seen_commits : (Ids.txn, unit) Hashtbl.t;  (* dedup for coordinator retries *)
+  done_pieces : (Ids.txn, int) Hashtbl.t;  (* locally executed pieces per txn *)
+  rounds : (Ids.txn, int) Hashtbl.t;  (* latest Commit retry round seen *)
+  inflight : (Ids.txn, unit) Hashtbl.t;
+      (* home-side registry of update transactions still being driven by a
+         live client fiber; lost in a crash — which is exactly the signal
+         the aliveness protocol needs *)
+  pending_alive : bool Rpc.Pending.t;
+  mutable wal : (logrec, snap) Sss_storage.Storage.t option;
 }
 
 type cluster = {
@@ -150,15 +191,108 @@ let send t ~src ~dst payload =
 
 let await_read cl ivar ~phase ~detail =
   if cl.config.Sss_kv.Config.fault_tolerance then
-    match Sim.Ivar.read_timeout cl.sim ivar ~timeout:cl.config.Sss_kv.Config.ack_timeout with
+    match
+      Rpc.Pending.await_timeout cl.sim ivar ~timeout:cl.config.Sss_kv.Config.ack_timeout
+    with
     | Some r -> r
     | None -> Rpc.stalled ~system:"rococo" ~phase detail
-  else Sim.Ivar.read cl.sim ivar
+  else Rpc.Pending.await cl.sim ivar
 
 let cell (node : node) key =
   match Hashtbl.find_opt node.store key with
   | Some c -> c
   | None -> invalid_arg "Rococo: unknown key"
+
+(* ---------- durability (Config.durability; docs/DURABILITY.md) ---------- *)
+
+(* byte-size model for log records, same flavour as Message.wire_size *)
+let writes_bytes ws = List.fold_left (fun acc (_, v) -> acc + 12 + String.length v) 0 ws
+
+let logrec_bytes = function
+  | RDispatch _ -> 16 + 8 + 8 + 8
+  | RInsert { writes; _ } -> 16 + 8 + 16 + writes_bytes writes
+
+let snap_bytes (s : snap) =
+  64
+  + List.fold_left
+      (fun acc (_, (v, _, pending, ready)) ->
+        acc + 20 + String.length v
+        + (16 * List.length pending)
+        + List.fold_left (fun a (_, w) -> a + 20 + String.length w) 0 ready)
+      0 s.s_cells
+  + List.fold_left (fun acc (_, (_, ws)) -> acc + 24 + writes_bytes ws) 0 s.s_staged
+  + (16 * List.length s.s_done)
+  + (8 * List.length s.s_seen)
+
+let sorted_bindings table =
+  List.sort
+    (fun (a, _) (b, _) -> Ids.compare_txn a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] [@order_ok])
+
+let snap_of (node : node) =
+  {
+    s_cells =
+      List.sort
+        (fun (a, _) (b, _) -> Int.compare a b)
+        (Hashtbl.fold
+           (fun k (c : cell) acc ->
+             (k, (c.value, c.writer, sorted_bindings c.pending, c.ready)) :: acc)
+           node.store [] [@order_ok]);
+    s_counter = node.counter;
+    s_staged = sorted_bindings node.staged;
+    s_done = sorted_bindings node.done_pieces;
+    s_seen = List.map fst (sorted_bindings node.seen_commits);
+  }
+
+let log (node : node) r =
+  match node.wal with
+  | Some w -> Some (Sss_storage.Storage.append w r)
+  | None -> None
+
+(* Await durability of the given append; [true] when it is safe to act on
+   it (immediately so when durability is off). *)
+let log_sync (node : node) lsn =
+  match (node.wal, lsn) with
+  | Some w, Some l -> Sss_storage.Storage.await w l
+  | _ -> true
+
+(* Is this node record still the live one?  A crash under durability
+   replaces the record, so stale fibers observe it here. *)
+let node_live (cl : cluster) (node : node) = cl.nodes.(node.id) == node
+
+(* Request/response reads (dispatch round-1, read-only rounds).  Without
+   durability a single long-timeout wait is enough — the reply can only be
+   slow, not gone.  A crash can eat the request or the reply outright (the
+   transport receipts on receive, before the handler runs), and the lost
+   [Dispatch_ack] is worse than latency: the crashed server's redo restores
+   the piece's counter promise into [pending], where it gates every later
+   position on the key until the client acts.  So under durability the
+   client re-issues the request on a short slice; dispatch re-issue simply
+   replaces this transaction's pending counter, and read-only reads are
+   idempotent. *)
+let read_rpc cl (pending : 'a Rpc.Pending.t) ~(home : node) ~dsts ~mk_msg ~phase ~detail =
+  if cl.config.Sss_kv.Config.durability then
+    let rec attempt n =
+      if n > cl.config.Sss_kv.Config.retry_limit then
+        Rpc.stalled ~system:"rococo" ~phase detail;
+      if not (node_live cl home) then Rpc.crashed ~system:"rococo" ~node:home.id;
+      let req, ivar = Rpc.Pending.fresh pending in
+      List.iter (fun dst -> send cl ~src:home.id ~dst (mk_msg req)) dsts;
+      match
+        Rpc.Pending.await_timeout cl.sim ivar
+          ~timeout:(2. *. cl.config.Sss_kv.Config.retry_max)
+      with
+      | Some r -> r
+      | None ->
+          Rpc.Pending.forget pending req;
+          attempt (n + 1)
+    in
+    attempt 0
+  else begin
+    let req, ivar = Rpc.Pending.fresh pending in
+    List.iter (fun dst -> send cl ~src:home.id ~dst (mk_msg req)) dsts;
+    await_read cl ivar ~phase ~detail
+  end
 
 (* Execute every ready piece that can no longer be preceded: the smallest
    positioned ts on the key runs once every still-unpositioned piece is
@@ -184,14 +318,14 @@ let rec drain t (node : node) key =
         c.writer <- ts.owner;
         c.ready <- rest;
         Sim.Cond.broadcast t.sim node.executed;
-        (match Hashtbl.find_opt node.ack_boxes ts.owner with
-        | Some _ -> ()  (* coordinator-local bookkeeping happens on ack *)
-        | None -> ());
-        send t ~src:node.id ~dst:ts.owner.Ids.node (Commit_ack { txn = ts.owner });
+        Hashtbl.replace node.done_pieces ts.owner
+          (1 + Option.value ~default:0 (Hashtbl.find_opt node.done_pieces ts.owner));
+        let round = Option.value ~default:0 (Hashtbl.find_opt node.rounds ts.owner) in
+        send t ~src:node.id ~dst:ts.owner.Ids.node (Commit_ack { txn = ts.owner; round });
         drain t node key
       end
 
-let handle_commit t (node : node) ~txn ~ts ~writes =
+let insert_positioned t (node : node) ~txn ~ts ~writes =
   (* Lamport rule: never hand out a dispatch counter at or below a position
      that may already have executed here, or a later transaction could be
      ordered before an already-executed piece. *)
@@ -211,6 +345,81 @@ let handle_commit t (node : node) ~txn ~ts ~writes =
       end)
     writes
 
+let handle_commit t (node : node) ~txn ~ts ~writes ~round =
+  match node.wal with
+  | None -> insert_positioned t node ~txn ~ts ~writes
+  | Some _ when Hashtbl.mem node.seen_commits txn ->
+      (* coordinator retry: the position is already durable (or in flight);
+         never re-stage — re-acknowledge what has executed so far at the
+         newest round so the retry can complete *)
+      let prev = Option.value ~default:0 (Hashtbl.find_opt node.rounds txn) in
+      let round = Stdlib.max round prev in
+      Hashtbl.replace node.rounds txn round;
+      let done_ = Option.value ~default:0 (Hashtbl.find_opt node.done_pieces txn) in
+      for _ = 1 to done_ do
+        send t ~src:node.id ~dst:txn.Ids.node (Commit_ack { txn; round })
+      done
+  | Some _ ->
+      Hashtbl.replace node.rounds txn round;
+      Hashtbl.replace node.seen_commits txn ();
+      node.counter <- Stdlib.max node.counter ts.num;
+      (* stage + append in one event: a fuzzy checkpoint sees the position
+         either in [staged] or (after the flush) in the cells *)
+      Hashtbl.replace node.staged txn (ts, writes);
+      let flush_began = Sim.now t.sim in
+      let lsn = log node (RInsert { txn; ts; writes }) in
+      if log_sync node lsn && node_live t node then begin
+        (match t.obs with
+        | Some o ->
+            Sss_obs.Obs.observe o "lat.commit.durable" (Sim.now t.sim -. flush_began)
+        | None -> ());
+        Hashtbl.remove node.staged txn;
+        insert_positioned t node ~txn ~ts ~writes
+      end
+
+(* Durability only: a dispatched-but-unpositioned piece gates every later
+   piece on its key ([could_precede]).  If the driving client is gone — its
+   home crashed, or it abandoned the attempt — nothing will ever position
+   or cancel the piece, so each one gets a watchdog that periodically asks
+   the owner's home whether the transaction is still in flight and
+   withdraws the piece once it is not.  A live answer resets the retry
+   budget; only sustained silence stalls. *)
+let spawn_alive_watchdog t (node : node) ~txn ~key =
+  let still_pending () =
+    node_live t node
+    &&
+    match Hashtbl.find_opt node.store key with
+    | Some c -> Hashtbl.mem c.pending txn
+    | None -> false
+  in
+  Sim.spawn t.sim (fun () ->
+      let rec loop attempt =
+        Sim.sleep t.sim (2. *. t.config.Sss_kv.Config.retry_max);
+        if still_pending () then
+          if attempt >= t.config.Sss_kv.Config.retry_limit then
+            Rpc.stalled ~system:"rococo" ~phase:"alive query" (Ids.txn_to_string txn)
+          else begin
+            let req, slot = Rpc.Pending.fresh node.pending_alive in
+            send t ~src:node.id ~dst:txn.Ids.node (Alive_query { req; txn });
+            match
+              Rpc.Pending.await_timeout t.sim slot
+                ~timeout:t.config.Sss_kv.Config.retry_max
+            with
+            | Some false when still_pending () ->
+                (* orphaned: withdraw the piece so it stops gating drains *)
+                let c = cell node key in
+                Hashtbl.remove c.pending txn;
+                drain t node key;
+                Sim.Cond.broadcast t.sim node.executed
+            | Some false -> ()
+            | Some true -> loop 0
+            | None ->
+                Rpc.Pending.forget node.pending_alive req;
+                loop (attempt + 1)
+          end
+      in
+      try loop 0 with Rpc.Crashed _ -> ())
+
 let rec dispatch t (node : node) ~src payload =
   match payload with
   | Tracked { token; inner } ->
@@ -222,18 +431,29 @@ let rec dispatch t (node : node) ~src payload =
       let c = cell node key in
       node.counter <- node.counter + 1;
       Hashtbl.replace c.pending txn node.counter;
-      send t ~src:node.id ~dst:src
-        (Dispatch_ack { req; counter = node.counter; value = c.value; writer = c.writer })
+      if node.wal = None then
+        send t ~src:node.id ~dst:src
+          (Dispatch_ack { req; counter = node.counter; value = c.value; writer = c.writer })
+      else begin
+        (* the counter promise must survive a crash before the client may
+           build a position on it: recovery rebuilds [pending] from these
+           records, and [could_precede] gating is unsound without them *)
+        let counter = node.counter and value = c.value and writer = c.writer in
+        let lsn = log node (RDispatch { txn; key; counter }) in
+        spawn_alive_watchdog t node ~txn ~key;
+        if log_sync node lsn && node_live t node then
+          send t ~src:node.id ~dst:src (Dispatch_ack { req; counter; value; writer })
+      end
   | Dispatch_ack { req; counter; value; writer } ->
       Rpc.Pending.resolve t.sim node.pending_disp req (counter, value, writer)
-  | Commit { txn; ts; writes } -> handle_commit t node ~txn ~ts ~writes
-  | Commit_ack { txn } -> (
+  | Commit { txn; ts; writes; round } -> handle_commit t node ~txn ~ts ~writes ~round
+  | Commit_ack { txn; round } -> (
       match Hashtbl.find_opt node.ack_boxes txn with
-      | Some box ->
+      | Some box when round = box.ack_round ->
           box.ack_count <- box.ack_count + 1;
           if box.ack_count = box.ack_expect && not (Sim.Ivar.is_filled box.ack_done) then
             Sim.Ivar.fill t.sim box.ack_done ()
-      | None -> ())
+      | Some _ | None -> ())
   | Ro_read { req; key } ->
       (* wait until no buffered update piece conflicts with the read *)
       let c = cell node key in
@@ -255,6 +475,9 @@ let rec dispatch t (node : node) ~src payload =
             Sim.Cond.broadcast t.sim node.executed
           end)
         keys
+  | Alive_query { req; txn } ->
+      send t ~src:node.id ~dst:src (Alive_ret { req; alive = Hashtbl.mem node.inflight txn })
+  | Alive_ret { req; alive } -> Rpc.Pending.resolve t.sim node.pending_alive req alive
 
 let create sim (config : Sss_kv.Config.t) =
   let repl =
@@ -274,6 +497,14 @@ let create sim (config : Sss_kv.Config.t) =
           pending_ro = Rpc.Pending.create ();
           ack_boxes = Hashtbl.create 64;
           executed = Sim.Cond.create ();
+          alive = true;
+          staged = Hashtbl.create 16;
+          seen_commits = Hashtbl.create 64;
+          done_pieces = Hashtbl.create 64;
+          rounds = Hashtbl.create 16;
+          inflight = Hashtbl.create 16;
+          pending_alive = Rpc.Pending.create ();
+          wal = None;
         })
   in
   Array.iter
@@ -314,11 +545,150 @@ let create sim (config : Sss_kv.Config.t) =
     (fun (n : node) ->
       Network.set_handler net n.id (fun ~src payload -> dispatch t n ~src payload))
     nodes;
+  if config.durability then
+    Array.iter
+      (fun (n : node) ->
+        let dev =
+          Iodev.create sim ~op_latency:config.fsync_latency
+            ~bandwidth:config.disk_bandwidth
+        in
+        let w =
+          Sss_storage.Storage.create sim dev ~record_bytes:logrec_bytes
+            ~snapshot:(fun () -> snap_of t.nodes.(n.id))
+            ~snapshot_bytes:snap_bytes ?obs:t.obs ()
+        in
+        n.wal <- Some w;
+        Sss_storage.Storage.start_checkpoints w ~interval:config.checkpoint_interval)
+      nodes;
   t
+
+(* ------------- crash / recovery (durability mode) ------------- *)
+
+let load_snap (node : node) (s : snap) =
+  List.iter
+    (fun (k, (value, writer, pending, ready)) ->
+      let c = cell node k in
+      c.value <- value;
+      c.writer <- writer;
+      List.iter (fun (txn, d) -> Hashtbl.replace c.pending txn d) pending;
+      c.ready <- ready)
+    s.s_cells;
+  node.counter <- s.s_counter;
+  List.iter (fun (txn, sw) -> Hashtbl.replace node.staged txn sw) s.s_staged;
+  List.iter (fun (txn, n) -> Hashtbl.replace node.done_pieces txn n) s.s_done;
+  List.iter (fun txn -> Hashtbl.replace node.seen_commits txn ()) s.s_seen
+
+(* Redo one durable record into the volatile tables; positioned
+   transactions land in [staged] and re-execute after replay, which never
+   records history (first execution already did). *)
+let replay_record (node : node) = function
+  | RDispatch { txn; key; counter } -> (
+      node.counter <- Stdlib.max node.counter counter;
+      match Hashtbl.find_opt node.store key with
+      | Some c -> Hashtbl.replace c.pending txn counter
+      | None -> ())
+  | RInsert { txn; ts; writes } ->
+      Hashtbl.replace node.seen_commits txn ();
+      node.counter <- Stdlib.max node.counter ts.num;
+      Hashtbl.replace node.staged txn (ts, writes)
+
+let crash_node t id =
+  if t.config.Sss_kv.Config.durability then begin
+    let old = t.nodes.(id) in
+    old.alive <- false;
+    (match old.wal with Some w -> Sss_storage.Storage.crash w | None -> ());
+    let e = Rpc.Crashed { system = "rococo"; node = id } in
+    Rpc.Pending.poison_all t.sim old.pending_disp e;
+    Rpc.Pending.poison_all t.sim old.pending_ro e;
+    Rpc.Pending.poison_all t.sim old.pending_alive e;
+    (* wake commit fibers parked on acks; they observe the record swap and
+       raise *)
+    List.iter
+      (fun (_, (b : ack_box)) ->
+        if not (Sim.Ivar.is_filled b.ack_done) then Sim.Ivar.fill t.sim b.ack_done ())
+      (sorted_bindings old.ack_boxes);
+    let fresh =
+      {
+        id;
+        store = Hashtbl.create 256;
+        counter = 0;
+        (* transaction ids name client requests, not node state: the
+           counter persists so a restarted node never re-mints an id *)
+        gen = old.gen;
+        pending_disp = Rpc.Pending.create ();
+        pending_ro = Rpc.Pending.create ();
+        ack_boxes = Hashtbl.create 64;
+        executed = Sim.Cond.create ();
+        alive = false;
+        staged = Hashtbl.create 16;
+        seen_commits = Hashtbl.create 64;
+        done_pieces = Hashtbl.create 64;
+        rounds = Hashtbl.create 16;
+        inflight = Hashtbl.create 16;
+        pending_alive = Rpc.Pending.create ();
+        wal = old.wal;
+      }
+    in
+    Array.iter
+      (fun k ->
+        Hashtbl.replace fresh.store k
+          {
+            value = Printf.sprintf "init:%d" k;
+            writer = Ids.genesis;
+            pending = Hashtbl.create 8;
+            ready = [];
+          })
+      (Replication.keys_at t.repl id);
+    t.nodes.(id) <- fresh;
+    Network.set_handler t.net id (fun ~src payload -> dispatch t fresh ~src payload)
+  end
+
+let restart_node t id =
+  let node = t.nodes.(id) in
+  match node.wal with
+  | None -> Network.recover t.net id
+  | Some w ->
+      Sss_storage.Storage.recover w (fun ~recovered ~replay ->
+          Sim.run_fiber (fun () ->
+              (match recovered with Some s -> load_snap node s | None -> ());
+              List.iter (replay_record node) replay;
+              node.alive <- true;
+              Network.recover t.net id;
+              (* re-execute positioned transactions whose insert was cut
+                 short, in final-position order; their first durable record
+                 fixes the order, so this reconstructs the same state *)
+              List.iter
+                (fun (txn, (ts, writes)) ->
+                  Hashtbl.remove node.staged txn;
+                  insert_positioned t node ~txn ~ts ~writes)
+                (List.sort
+                   (fun (_, (a, _)) (_, (b, _)) -> ts_compare a b)
+                   (sorted_bindings node.staged));
+              let keys =
+                List.sort Int.compare
+                  (Hashtbl.fold (fun k _ acc -> k :: acc) node.store [] [@order_ok])
+              in
+              (* gates may have vanished with the crash (their Cancel was
+                 volatile); drains + watchdogs settle every restored key *)
+              List.iter (fun key -> drain t node key) keys;
+              Sss_storage.Storage.start_checkpoints w
+                ~interval:t.config.Sss_kv.Config.checkpoint_interval;
+              List.iter
+                (fun key ->
+                  let c = cell node key in
+                  List.iter
+                    (fun (txn, _) -> spawn_alive_watchdog t node ~txn ~key)
+                    (sorted_bindings c.pending))
+                keys))
 
 let begin_txn cl ~node ~read_only =
   let home = cl.nodes.(node) in
+  if not home.alive then Rpc.crashed ~system:"rococo" ~node;
   let id = Ids.Gen.next home.gen in
+  if cl.config.Sss_kv.Config.durability && not read_only then
+    (* the aliveness protocol answers for this transaction from here until
+       commit/abort deregisters it (or a crash wipes the table) *)
+    Hashtbl.replace home.inflight id ();
   record cl (History.Begin { txn = id; ro = read_only; node });
   obs_begin cl ~txn:id ~node ~ro:read_only;
   { cl; home; id; ro = read_only; rs = []; ws = []; counters = []; finished = false;
@@ -335,23 +705,21 @@ let read h key =
       match List.assoc_opt key h.rs with
       | Some v -> v
       | None ->
-          let req, ivar = Rpc.Pending.fresh h.home.pending_ro in
-          List.iter
-            (fun dst -> send h.cl ~src:h.home.id ~dst (Ro_read { req; key }))
-            (Replication.replicas h.cl.repl key);
           let value, _writer, _stable =
-            await_read h.cl ivar ~phase:"ro read"
+            read_rpc h.cl h.home.pending_ro ~home:h.home
+              ~dsts:(Replication.replicas h.cl.repl key)
+              ~mk_msg:(fun req -> Ro_read { req; key })
+              ~phase:"ro read"
               ~detail:(Printf.sprintf "key %d in %s" key (Ids.txn_to_string h.id))
           in
           h.rs <- (key, value) :: h.rs;
           value)
   | None ->
-      let req, ivar = Rpc.Pending.fresh h.home.pending_disp in
-      List.iter
-        (fun dst -> send h.cl ~src:h.home.id ~dst (Dispatch { req; txn = h.id; key }))
-        (Replication.replicas h.cl.repl key);
       let counter, value, _writer =
-        await_read h.cl ivar ~phase:"dispatch"
+        read_rpc h.cl h.home.pending_disp ~home:h.home
+          ~dsts:(Replication.replicas h.cl.repl key)
+          ~mk_msg:(fun req -> Dispatch { req; txn = h.id; key })
+          ~phase:"dispatch"
           ~detail:(Printf.sprintf "key %d in %s" key (Ids.txn_to_string h.id))
       in
       h.counters <- counter :: h.counters;
@@ -384,20 +752,49 @@ let commit_update h =
           (fun acc (k, _) -> acc + List.length (Replication.replicas cl.repl k))
           0 h.ws;
       ack_count = 0;
+      ack_round = 0;
       ack_done = Sim.Ivar.create ();
     }
   in
   Hashtbl.replace h.home.ack_boxes h.id box;
-  List.iter
-    (fun dst -> send cl ~src:h.home.id ~dst (Commit { txn = h.id; ts; writes = h.ws }))
-    servers;
-  (match
-     Sim.Ivar.read_timeout cl.sim box.ack_done ~timeout:cl.config.Sss_kv.Config.ack_timeout
-   with
-  | Some () -> ()
-  | None -> Rpc.stalled ~system:"rococo" ~phase:"commit ack" (Ids.txn_to_string h.id));
+  let broadcast round =
+    List.iter
+      (fun dst ->
+        send cl ~src:h.home.id ~dst (Commit { txn = h.id; ts; writes = h.ws; round }))
+      servers
+  in
+  if not cl.config.Sss_kv.Config.durability then begin
+    broadcast 0;
+    match
+      Sim.Ivar.read_timeout cl.sim box.ack_done
+        ~timeout:cl.config.Sss_kv.Config.ack_timeout
+    with
+    | Some () -> ()
+    | None -> Rpc.stalled ~system:"rococo" ~phase:"commit ack" (Ids.txn_to_string h.id)
+  end
+  else begin
+    (* a server crash can eat Commit or its acks; retry in numbered rounds
+       so re-acknowledgements of stale rounds are never double-counted *)
+    let rec rounds round =
+      if round > cl.config.Sss_kv.Config.retry_limit then
+        Rpc.stalled ~system:"rococo" ~phase:"commit ack" (Ids.txn_to_string h.id);
+      if not (node_live cl h.home) then Rpc.crashed ~system:"rococo" ~node:h.home.id;
+      box.ack_round <- round;
+      box.ack_count <- 0;
+      broadcast round;
+      match
+        Sim.Ivar.read_timeout cl.sim box.ack_done
+          ~timeout:(2. *. cl.config.Sss_kv.Config.retry_max)
+      with
+      | Some () -> ()
+      | None -> rounds (round + 1)
+    in
+    rounds 0;
+    if not (node_live cl h.home) then Rpc.crashed ~system:"rococo" ~node:h.home.id
+  end;
   Hashtbl.remove h.home.ack_boxes h.id;
-  record cl (History.Commit { txn = h.id });
+  Hashtbl.remove h.home.inflight h.id;
+  record cl (History.Commit { txn = h.id; ws = List.map fst h.ws });
   obs_commit cl ~txn:h.id ~node:h.home.id ~ro:false ~began:h.begin_at;
   true
 
@@ -409,12 +806,11 @@ let commit_read_only h =
   let read_round () =
     List.map
       (fun key ->
-        let req, ivar = Rpc.Pending.fresh h.home.pending_ro in
-        List.iter
-          (fun dst -> send cl ~src:h.home.id ~dst (Ro_read { req; key }))
-          (Replication.replicas cl.repl key);
         let value, writer, stable =
-          await_read cl ivar ~phase:"ro round"
+          read_rpc cl h.home.pending_ro ~home:h.home
+            ~dsts:(Replication.replicas cl.repl key)
+            ~mk_msg:(fun req -> Ro_read { req; key })
+            ~phase:"ro round"
             ~detail:(Printf.sprintf "key %d in %s" key (Ids.txn_to_string h.id))
         in
         (key, value, writer, stable))
@@ -441,7 +837,7 @@ let commit_read_only h =
       List.iter
         (fun (key, _, writer, _) -> record cl (History.Read { txn = h.id; key; writer }))
         round;
-      record cl (History.Commit { txn = h.id });
+      record cl (History.Commit { txn = h.id; ws = [] });
       obs_commit cl ~txn:h.id ~node:h.home.id ~ro:true ~began:h.begin_at;
       true
   | None ->
@@ -454,12 +850,13 @@ let commit h =
   h.finished <- true;
   if h.ro then
     if h.rs = [] then (
-      record h.cl (History.Commit { txn = h.id });
+      record h.cl (History.Commit { txn = h.id; ws = [] });
       obs_commit h.cl ~txn:h.id ~node:h.home.id ~ro:true ~began:h.begin_at;
       true)
     else commit_read_only h
   else if h.ws = [] && h.rs = [] then (
-    record h.cl (History.Commit { txn = h.id });
+    Hashtbl.remove h.home.inflight h.id;
+    record h.cl (History.Commit { txn = h.id; ws = [] });
     obs_commit h.cl ~txn:h.id ~node:h.home.id ~ro:false ~began:h.begin_at;
     true)
   else commit_update h
@@ -467,6 +864,10 @@ let commit h =
 let abort h =
   if h.finished then invalid_arg "Rococo: abort on a finished transaction";
   h.finished <- true;
+  (* deregister first: even if the Cancel below is lost to a crash, the
+     aliveness watchdogs now see a dead transaction and withdraw its
+     pieces *)
+  Hashtbl.remove h.home.inflight h.id;
   (* withdraw any dispatched pieces so they never gate other transactions *)
   let keys = List.map fst h.rs in
   if (not h.ro) && keys <> [] then

@@ -54,3 +54,21 @@ val message_kind : msg -> string
     fault rules; transport wrappers report their payload's kind. *)
 
 val quiescent : cluster -> (unit, string) result
+
+(** {1 Crash & recovery} — durability mode (docs/DURABILITY.md)
+
+    Wired to {!Sss_chaos.Chaos.install}'s [on_crash]/[on_restart] hooks.
+    With [Config.durability = false] both are (nearly) no-ops: the NIC
+    fault is all there is, and [restart_node] merely reconnects it. *)
+
+val crash_node : cluster -> Ids.node -> unit
+(** Discard the node's volatile state: wound every parked waiter with
+    {!Sss_net.Rpc.Crashed}, lose the unflushed log tail, and swap in a
+    pristine node record (not yet [alive]).  Bare callback — safe from
+    {!Sss_chaos.Chaos} event position. *)
+
+val restart_node : cluster -> Ids.node -> unit
+(** Redo recovery: reload the last checkpoint, replay the durable log
+    tail, re-take locks for in-doubt prepared transactions, reconnect the
+    NIC, and spawn termination watchdogs that query each in-doubt
+    transaction's coordinator until its outcome is known. *)

@@ -34,6 +34,10 @@ type version = {
   wstart : Vclock.t;  (* the writer's start snapshot: orders same-key versions *)
 }
 
+(* What a recovered participant learns about an in-doubt transaction when
+   it queries the coordinator (durability mode, docs/DURABILITY.md). *)
+type verdict = Vcommitted | Vaborted | Vundecided
+
 type msg =
   | Read_req of { req : int; key : Ids.key; start : Vclock.t }
   | Read_ret of { req : int; value : string; writer : Ids.txn }
@@ -52,13 +56,17 @@ type msg =
       start : Vclock.t;
       writes : (Ids.key * string) list;  (* full write set; nodes filter *)
     }
+  | Query of { req : int; txn : Ids.txn }
+  | Outcome of { req : int; verdict : verdict }
+  | Pull of { have : Vclock.t }
+      (* recovery: "re-send me your own commits past [have]" *)
   | Tracked of { token : int; inner : msg }
   | Delivered of { token : int }
 
 let rec priority = function
   | Wdecide _ -> 40
-  | Wvote _ -> 60
-  | Propagate _ -> 80
+  | Wvote _ | Query _ | Outcome _ -> 60
+  | Propagate _ | Pull _ -> 80
   | Read_req _ | Read_ret _ | Wprepare _ -> 100
   | Tracked { inner; _ } -> priority inner
   | Delivered _ -> 10
@@ -70,6 +78,9 @@ let rec message_kind = function
   | Wvote _ -> "vote"
   | Wdecide _ -> "decide"
   | Propagate _ -> "propagate"
+  | Query _ -> "query"
+  | Outcome _ -> "outcome"
+  | Pull _ -> "pull"
   | Tracked { inner; _ } -> message_kind inner
   | Delivered _ -> "delivered"
 
@@ -80,6 +91,32 @@ type vote_box = {
   vchanged : Sim.Cond.t;
 }
 
+(* A yes-vote's local state: enough to restore locks and find the
+   coordinator after a restart. *)
+type wprep = { keys : Ids.key list; coord : Ids.node }
+
+(* Durability-mode write-ahead-log records (docs/DURABILITY.md). *)
+type logrec =
+  | WCommit of {
+      txn : Ids.txn;
+      seq : int;
+      start : Vclock.t;
+      writes : (Ids.key * string) list;
+    }  (* commit decided at this (home) site *)
+  | WPrepared of { txn : Ids.txn; prep : wprep }  (* slow-path yes vote *)
+  | WAborted of { txn : Ids.txn }  (* slow-path Wdecide(false) seen *)
+
+(* Checkpoint image: deep copy, deterministic (sorted) order. *)
+type snap = {
+  s_chains : (Ids.key * version list) list;
+  s_applied : Vclock.t;
+  s_site_seq : int;
+  s_origin : (int * (Ids.txn * Vclock.t * (Ids.key * string) list)) list;
+  s_committed : Ids.txn list;
+  s_prepared : (Ids.txn * wprep) list;
+  s_aborted : Ids.txn list;
+}
+
 type node = {
   id : Ids.node;
   chains : (Ids.key, version list ref) Hashtbl.t;  (* newest first by kver *)
@@ -88,12 +125,21 @@ type node = {
   holdback :
     (Ids.node, (int * (Ids.txn * Vclock.t * (Ids.key * string) list)) list ref) Hashtbl.t;
   locks : Locks.t;
-  prepared : (Ids.txn, Ids.key list) Hashtbl.t;
+  prepared : (Ids.txn, wprep) Hashtbl.t;
   aborted_decides : (Ids.txn, unit) Hashtbl.t;
   gen : Ids.Gen.t;
   pending_reads : (string * Ids.txn) Rpc.Pending.t;
   vote_boxes : (Ids.txn, vote_box) Hashtbl.t;
   applied_changed : Sim.Cond.t;
+  (* durability mode only *)
+  mutable alive : bool;
+  origin_log : (int, Ids.txn * Vclock.t * (Ids.key * string) list) Hashtbl.t;
+      (* own-site commit order, seq -> payload; serves Pull re-sends *)
+  committed : (Ids.txn, bool) Hashtbl.t;
+      (* commits decided at this site; [true] once the WCommit record is
+         durable — only then may a Query be answered "committed" *)
+  pending_outcomes : verdict Rpc.Pending.t;
+  mutable wal : (logrec, snap) Sss_storage.Storage.t option;
 }
 
 type cluster = {
@@ -158,6 +204,75 @@ let chain (node : node) key =
   match Hashtbl.find_opt node.chains key with
   | Some r -> r
   | None -> invalid_arg "Walter: unknown key"
+
+(* ---------- durability (Config.durability; docs/DURABILITY.md) ---------- *)
+
+(* byte-size model for log records, same flavour as Message.wire_size *)
+let writes_bytes ws = List.fold_left (fun acc (_, v) -> acc + 12 + String.length v) 0 ws
+
+let logrec_bytes nodes = function
+  | WCommit { writes; _ } -> 16 + 16 + (8 * nodes) + writes_bytes writes
+  | WPrepared { prep; _ } -> 16 + 16 + (8 * List.length prep.keys)
+  | WAborted _ -> 16 + 8
+
+let snap_bytes nodes (s : snap) =
+  64
+  + List.fold_left
+      (fun acc (_, vers) ->
+        acc + 8
+        + List.fold_left
+            (fun a (v : version) -> a + 24 + (8 * nodes) + String.length v.value)
+            0 vers)
+      0 s.s_chains
+  + (8 * nodes)
+  + List.fold_left
+      (fun acc (_, (_, _, ws)) -> acc + 16 + (8 * nodes) + writes_bytes ws)
+      0 s.s_origin
+  + (8 * List.length s.s_committed)
+  + List.fold_left (fun acc (_, p) -> acc + 16 + (8 * List.length p.keys)) 0 s.s_prepared
+  + (8 * List.length s.s_aborted)
+
+let sorted_bindings table =
+  List.sort
+    (fun (a, _) (b, _) -> Ids.compare_txn a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] [@order_ok])
+
+let snap_of (node : node) =
+  {
+    s_chains =
+      List.sort
+        (fun (a, _) (b, _) -> Int.compare a b)
+        (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) node.chains [] [@order_ok]);
+    s_applied = node.applied;
+    s_site_seq = node.site_seq;
+    s_origin =
+      List.sort
+        (fun (a, _) (b, _) -> Int.compare a b)
+        (Hashtbl.fold (fun s p acc -> (s, p) :: acc) node.origin_log [] [@order_ok]);
+    s_committed =
+      List.sort Ids.compare_txn
+        (Hashtbl.fold
+           (fun txn durable acc -> if durable then txn :: acc else acc)
+           node.committed [] [@order_ok]);
+    s_prepared = sorted_bindings node.prepared;
+    s_aborted = List.map fst (sorted_bindings node.aborted_decides);
+  }
+
+let log (node : node) r =
+  match node.wal with
+  | Some w -> Some (Sss_storage.Storage.append w r)
+  | None -> None
+
+(* Await durability of the given append; [true] when it is safe to act on
+   it (immediately so when durability is off). *)
+let log_sync (node : node) lsn =
+  match (node.wal, lsn) with
+  | Some w, Some l -> Sss_storage.Storage.await w l
+  | _ -> true
+
+(* Is this node record still the live one?  A crash under durability
+   replaces the record, so stale fibers observe it here. *)
+let node_live (cl : cluster) (node : node) = cl.nodes.(node.id) == node
 
 (* Newest version whose writer's commit is within the snapshot.  The caller
    guarantees the snapshot is applied locally, so the first visible version
@@ -236,6 +351,38 @@ let rec apply_committed t (node : node) ~txn ~site ~seq ~start ~writes =
       pending := (seq, (txn, start, writes)) :: !pending
   end
 
+(* Termination protocol for a prepared transaction whose outcome this
+   participant does not know — because the participant restarted with the
+   prepare on disk, or because the coordinator crashed before deciding.
+   On "committed" nothing is done here: the (re-)propagated write applies
+   the transaction and releases its locks. *)
+let resolve_indoubt t (node : node) txn (prep : wprep) =
+  let rec loop attempt =
+    if node_live t node && Hashtbl.mem node.prepared txn then
+      if attempt >= t.config.Sss_kv.Config.retry_limit then
+        Rpc.stalled ~system:"walter" ~phase:"in-doubt" (Ids.txn_to_string txn)
+      else begin
+        let req, slot = Rpc.Pending.fresh node.pending_outcomes in
+        send t ~src:node.id ~dst:prep.coord (Query { req; txn });
+        match
+          Rpc.Pending.await_timeout t.sim slot ~timeout:t.config.Sss_kv.Config.retry_max
+        with
+        | Some Vcommitted -> ()
+        | Some Vaborted ->
+            if node_live t node && Hashtbl.mem node.prepared txn then begin
+              Hashtbl.replace node.aborted_decides txn ();
+              Hashtbl.remove node.prepared txn;
+              ignore (log node (WAborted { txn }) : int option);
+              Locks.release_txn node.locks txn
+            end
+        | Some Vundecided | None ->
+            Rpc.Pending.forget node.pending_outcomes req;
+            Sim.sleep t.sim t.config.Sss_kv.Config.retry_initial;
+            loop (attempt + 1)
+      end
+  in
+  try loop 0 with Rpc.Crashed _ -> ()
+
 let handle_prepare t (node : node) ~txn ~coord ~start ~keys =
   let ok =
     (not (Hashtbl.mem node.aborted_decides txn))
@@ -243,9 +390,28 @@ let handle_prepare t (node : node) ~txn ~coord ~start ~keys =
          ~timeout:t.config.Sss_kv.Config.lock_timeout
     && List.for_all (fun k -> ww_ok node k ~start) keys
     && not (Hashtbl.mem node.aborted_decides txn)
+    (* the node may have crashed while this fiber waited for the locks:
+       a stale record must not vote (or log) on behalf of the fresh one *)
+    && node_live t node
   in
-  if ok then Hashtbl.replace node.prepared txn keys else Locks.release_txn node.locks txn;
-  send t ~src:node.id ~dst:coord (Wvote { txn; ok })
+  if not ok then begin
+    Locks.release_txn node.locks txn;
+    send t ~src:node.id ~dst:coord (Wvote { txn; ok = false })
+  end
+  else begin
+    let prep = { keys; coord } in
+    Hashtbl.replace node.prepared txn prep;
+    (* force the prepare record before promising "yes": after a crash this
+       node must still be able to honour a commit decision *)
+    let lsn = log node (WPrepared { txn; prep }) in
+    (* a yes-voter may be orphaned by a coordinator crash: if the decision
+       is still unknown after a couple of retry rounds, go ask for it *)
+    if t.config.Sss_kv.Config.durability then
+      Sim.spawn t.sim (fun () ->
+          Sim.sleep t.sim (2. *. t.config.Sss_kv.Config.retry_max);
+          resolve_indoubt t node txn prep);
+    if log_sync node lsn then send t ~src:node.id ~dst:coord (Wvote { txn; ok = true })
+  end
 
 let rec dispatch t (node : node) ~src payload =
   match payload with
@@ -275,12 +441,44 @@ let rec dispatch t (node : node) ~src payload =
       if not outcome then begin
         Hashtbl.replace node.aborted_decides txn ();
         Hashtbl.remove node.prepared txn;
+        (* presumed abort: the record spares recovery a query, but nothing
+           externally visible depends on it — no flush wait *)
+        ignore (log node (WAborted { txn }) : int option);
         Locks.release_txn node.locks txn
       end
       (* on commit the locks are released when the propagated write applies,
          so no concurrent writer can slip a conflicting check in between *)
   | Propagate { txn; site; seq; start; writes } ->
       apply_committed t node ~txn ~site ~seq ~start ~writes
+  | Query { req; txn } ->
+      (* a participant resolving an in-doubt transaction coordinated here.
+         "Committed" may only be answered once the decision record is
+         durable; an in-flight decision reads as undecided; everything
+         else is presumed aborted. *)
+      let verdict =
+        match Hashtbl.find_opt node.committed txn with
+        | Some true -> Vcommitted
+        | Some false -> Vundecided
+        | None -> if Hashtbl.mem node.vote_boxes txn then Vundecided else Vaborted
+      in
+      send t ~src:node.id ~dst:src (Outcome { req; verdict })
+  | Outcome { req; verdict } -> Rpc.Pending.resolve t.sim node.pending_outcomes req verdict
+  | Pull { have } ->
+      (* recovery catch-up: re-send this site's own commits the puller has
+         not applied yet, in sequence order *)
+      let floor = Vclock.get have node.id in
+      let seqs =
+        List.sort Int.compare
+          (Hashtbl.fold
+             (fun s _ acc -> if s > floor then s :: acc else acc)
+             node.origin_log [] [@order_ok])
+      in
+      List.iter
+        (fun seq ->
+          let txn, start, writes = Hashtbl.find node.origin_log seq in
+          send t ~src:node.id ~dst:src
+            (Propagate { txn; site = node.id; seq; start; writes }))
+        seqs
 
 let create sim (config : Sss_kv.Config.t) =
   let repl =
@@ -304,6 +502,11 @@ let create sim (config : Sss_kv.Config.t) =
           pending_reads = Rpc.Pending.create ();
           vote_boxes = Hashtbl.create 64;
           applied_changed = Sim.Cond.create ();
+          alive = true;
+          origin_log = Hashtbl.create 64;
+          committed = Hashtbl.create 64;
+          pending_outcomes = Rpc.Pending.create ();
+          wal = None;
         })
   in
   Array.iter
@@ -348,10 +551,159 @@ let create sim (config : Sss_kv.Config.t) =
     (fun (n : node) ->
       Network.set_handler net n.id (fun ~src payload -> dispatch t n ~src payload))
     nodes;
+  if config.durability then
+    Array.iter
+      (fun (n : node) ->
+        let dev =
+          Iodev.create sim ~op_latency:config.fsync_latency
+            ~bandwidth:config.disk_bandwidth
+        in
+        let w =
+          Sss_storage.Storage.create sim dev
+            ~record_bytes:(logrec_bytes config.nodes)
+            ~snapshot:(fun () -> snap_of t.nodes.(n.id))
+            ~snapshot_bytes:(snap_bytes config.nodes) ?obs:t.obs ()
+        in
+        n.wal <- Some w;
+        Sss_storage.Storage.start_checkpoints w ~interval:config.checkpoint_interval)
+      nodes;
   t
+
+(* ------------- crash / recovery (durability mode) ------------- *)
+
+let load_snap (node : node) (s : snap) =
+  List.iter (fun (k, vers) -> chain node k := vers) s.s_chains;
+  node.applied <- s.s_applied;
+  node.site_seq <- s.s_site_seq;
+  List.iter (fun (seq, p) -> Hashtbl.replace node.origin_log seq p) s.s_origin;
+  List.iter (fun txn -> Hashtbl.replace node.committed txn true) s.s_committed;
+  List.iter (fun (txn, p) -> Hashtbl.replace node.prepared txn p) s.s_prepared;
+  List.iter (fun txn -> Hashtbl.replace node.aborted_decides txn ()) s.s_aborted
+
+(* Redo one durable record.  Chains are not touched here: own-site commits
+   past the applied prefix are re-applied (and re-propagated) in a second
+   pass, remote-site writes are pulled from their origins. *)
+let replay_record (node : node) = function
+  | WCommit { txn; seq; start; writes } ->
+      Hashtbl.replace node.origin_log seq (txn, start, writes);
+      Hashtbl.replace node.committed txn true;
+      if seq > node.site_seq then node.site_seq <- seq
+  | WPrepared { txn; prep } -> Hashtbl.replace node.prepared txn prep
+  | WAborted { txn } ->
+      Hashtbl.remove node.prepared txn;
+      Hashtbl.replace node.aborted_decides txn ()
+
+let crash_node t id =
+  if t.config.Sss_kv.Config.durability then begin
+    let old = t.nodes.(id) in
+    old.alive <- false;
+    (match old.wal with Some w -> Sss_storage.Storage.crash w | None -> ());
+    let e = Rpc.Crashed { system = "walter"; node = id } in
+    Rpc.Pending.poison_all t.sim old.pending_reads e;
+    Rpc.Pending.poison_all t.sim old.pending_outcomes e;
+    let zero = Vclock.zero t.config.Sss_kv.Config.nodes in
+    let fresh =
+      {
+        id;
+        chains = Hashtbl.create 256;
+        applied = zero;
+        site_seq = 0;
+        holdback = Hashtbl.create 8;
+        locks = Locks.create t.sim;
+        prepared = Hashtbl.create 64;
+        aborted_decides = Hashtbl.create 64;
+        (* transaction ids name client requests, not node state: the
+           counter persists so a restarted node never re-mints an id *)
+        gen = old.gen;
+        pending_reads = Rpc.Pending.create ();
+        vote_boxes = Hashtbl.create 64;
+        applied_changed = Sim.Cond.create ();
+        alive = false;
+        origin_log = Hashtbl.create 64;
+        committed = Hashtbl.create 64;
+        pending_outcomes = Rpc.Pending.create ();
+        wal = old.wal;
+      }
+    in
+    Array.iter
+      (fun k ->
+        Hashtbl.replace fresh.chains k
+          (ref
+             [
+               {
+                 value = Printf.sprintf "init:%d" k;
+                 writer = Ids.genesis;
+                 site = 0;
+                 seq = 0;
+                 wstart = zero;
+               };
+             ]))
+      (Replication.keys_at t.repl id);
+    t.nodes.(id) <- fresh;
+    Network.set_handler t.net id (fun ~src payload -> dispatch t fresh ~src payload)
+  end
+
+let restart_node t id =
+  let node = t.nodes.(id) in
+  match node.wal with
+  | None -> Network.recover t.net id
+  | Some w ->
+      Sss_storage.Storage.recover w (fun ~recovered ~replay ->
+          Sim.run_fiber (fun () ->
+              (match recovered with Some s -> load_snap node s | None -> ());
+              List.iter (replay_record node) replay;
+              (* redo own-site commits past the applied prefix: a commit
+                 can be durable without its local apply (or its Propagate
+                 fan-out) having happened *)
+              let resend = ref [] in
+              let rec catchup () =
+                let next = Vclock.get node.applied node.id + 1 in
+                if next <= node.site_seq then
+                  match Hashtbl.find_opt node.origin_log next with
+                  | None -> ()
+                  | Some (txn, start, writes) ->
+                      apply_committed t node ~txn ~site:node.id ~seq:next ~start
+                        ~writes;
+                      resend := (txn, next, start, writes) :: !resend;
+                      catchup ()
+              in
+              catchup ();
+              let indoubt = sorted_bindings node.prepared in
+              (* in-doubt transactions held their (exclusive) locks when
+                 the node went down; restore them before admitting new
+                 prepares.  The set is mutually compatible, so acquisition
+                 is immediate. *)
+              List.iter
+                (fun (txn, (p : wprep)) ->
+                  ignore
+                    (Locks.acquire_all node.locks txn ~exclusive:p.keys ~shared:[]
+                       ~timeout:t.config.Sss_kv.Config.lock_timeout
+                      : bool))
+                indoubt;
+              node.alive <- true;
+              Network.recover t.net id;
+              Sss_storage.Storage.start_checkpoints w
+                ~interval:t.config.Sss_kv.Config.checkpoint_interval;
+              List.iter
+                (fun (txn, seq, start, writes) ->
+                  for dst = 0 to t.config.Sss_kv.Config.nodes - 1 do
+                    if dst <> id then
+                      send t ~src:id ~dst
+                        (Propagate { txn; site = id; seq; start; writes })
+                  done)
+                (List.rev !resend);
+              (* fetch remote-site commits this replica missed while down *)
+              for dst = 0 to t.config.Sss_kv.Config.nodes - 1 do
+                if dst <> id then send t ~src:id ~dst (Pull { have = node.applied })
+              done;
+              List.iter
+                (fun (txn, p) ->
+                  Sim.spawn t.sim (fun () -> resolve_indoubt t node txn p))
+                indoubt))
 
 let begin_txn cl ~node ~read_only =
   let home = cl.nodes.(node) in
+  if not home.alive then Rpc.crashed ~system:"walter" ~node;
   let id = Ids.Gen.next home.gen in
   record cl (History.Begin { txn = id; ro = read_only; node });
   obs_begin cl ~txn:id ~node ~ro:read_only;
@@ -370,13 +722,14 @@ let read h key =
       let value, writer =
         if h.cl.config.Sss_kv.Config.fault_tolerance then
           match
-            Sim.Ivar.read_timeout h.cl.sim ivar ~timeout:h.cl.config.Sss_kv.Config.ack_timeout
+            Rpc.Pending.await_timeout h.cl.sim ivar
+              ~timeout:h.cl.config.Sss_kv.Config.ack_timeout
           with
           | Some r -> r
           | None ->
               Rpc.stalled ~system:"walter" ~phase:"read"
                 (Printf.sprintf "key %d in %s" key (Ids.txn_to_string h.id))
-        else Sim.Ivar.read h.cl.sim ivar
+        else Rpc.Pending.await h.cl.sim ivar
       in
       record h.cl (History.Read { txn = h.id; key; writer });
       value
@@ -391,10 +744,32 @@ let write h key value =
    client, and propagate asynchronously. *)
 let commit_at_home h =
   let cl = h.cl in
+  (* the fiber may have suspended (locks, votes) since the handle was
+     made: a stale record must not write to the shared log *)
+  if cl.config.Sss_kv.Config.durability && not (node_live cl h.home) then
+    Rpc.crashed ~system:"walter" ~node:h.home.id;
   h.home.site_seq <- h.home.site_seq + 1;
   let seq = h.home.site_seq in
+  if cl.config.Sss_kv.Config.durability then begin
+    (* Durable decision point: bookkeeping and the log record in one
+       event; the local apply, the client answer and the Propagate
+       fan-out all wait for the flush.  While it is in flight the home
+       answers Query with Vundecided (the [committed] entry is [false]),
+       so a participant cannot presume abort during the window. *)
+    Hashtbl.replace h.home.origin_log seq (h.id, h.start, h.ws);
+    Hashtbl.replace h.home.committed h.id false;
+    let flush_began = Sim.now cl.sim in
+    let lsn = log h.home (WCommit { txn = h.id; seq; start = h.start; writes = h.ws }) in
+    if (not (log_sync h.home lsn)) || not (node_live cl h.home) then
+      Rpc.crashed ~system:"walter" ~node:h.home.id;
+    Hashtbl.replace h.home.committed h.id true;
+    match cl.obs with
+    | Some o ->
+        Sss_obs.Obs.observe o "lat.commit.durable" (Sim.now cl.sim -. flush_began)
+    | None -> ()
+  end;
   apply_committed cl h.home ~txn:h.id ~site:h.home.id ~seq ~start:h.start ~writes:h.ws;
-  record cl (History.Commit { txn = h.id });
+  record cl (History.Commit { txn = h.id; ws = List.map fst h.ws });
   obs_commit cl ~txn:h.id ~node:h.home.id ~ro:false ~began:h.begin_at;
   for dst = 0 to cl.config.Sss_kv.Config.nodes - 1 do
     if dst <> h.home.id then
@@ -409,7 +784,7 @@ let commit h =
   let cl = h.cl in
   if h.ws = [] then begin
     (* read-only (or write-free): purely local, never aborts *)
-    record cl (History.Commit { txn = h.id });
+    record cl (History.Commit { txn = h.id; ws = [] });
     obs_commit cl ~txn:h.id ~node:h.home.id ~ro:h.ro ~began:h.begin_at;
     true
   end

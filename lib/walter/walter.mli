@@ -61,3 +61,23 @@ val message_kind : msg -> string
 (** Stable lowercase kind name ("prepare", "propagate", …) for
     per-message-type fault rules; transport wrappers report their payload's
     kind. *)
+
+(** {1 Crash & recovery} — durability mode (docs/DURABILITY.md)
+
+    Wired to {!Sss_chaos.Chaos.install}'s [on_crash]/[on_restart] hooks.
+    With [Config.durability = false] both are (nearly) no-ops: the NIC
+    fault is all there is, and [restart_node] merely reconnects it. *)
+
+val crash_node : cluster -> Ids.node -> unit
+(** Discard the node's volatile state: wound every parked waiter with
+    {!Sss_net.Rpc.Crashed}, lose the unflushed log tail, and swap in a
+    pristine node record (not yet [alive]).  Bare callback — safe from
+    {!Sss_chaos.Chaos} event position. *)
+
+val restart_node : cluster -> Ids.node -> unit
+(** Redo recovery: reload the last checkpoint, replay the durable log
+    tail, re-apply (and re-propagate) own-site commits past the applied
+    prefix, re-take locks for in-doubt prepared transactions, reconnect
+    the NIC, Pull the remote-site commits missed while down, and spawn
+    termination watchdogs that query each in-doubt transaction's
+    coordinator until its outcome is known. *)

@@ -56,6 +56,9 @@ type counters = {
   mutable aborted : int;
 }
 
+(* pause after an attempt died to a node crash, before trying fresh keys *)
+let crashed_backoff = 1e-3
+
 (* Draw [count] distinct keys for a client on [node]. *)
 let pick_keys rng ~dist ~zipf ~total_keys ~local ~locality ~count =
   let draw () =
@@ -99,7 +102,20 @@ let client_loop sim ~ops ~rng ~node ~profile ~load ~zipf ~total_keys ~local ~sto
       in
       let started = Sim.now sim in
       let rec attempt () =
-        let ok = run_once ~read_only keys in
+        let ok =
+          (* Under [Config.durability] a crash of the client's home node
+             abandons the in-flight transaction: no verdict is recorded
+             (the checker accepts incomplete transactions), and the client
+             backs off and moves on — begin_txn keeps raising until the
+             node finishes recovery. *)
+          try Some (run_once ~read_only keys)
+          with Sss_net.Rpc.Crashed _ ->
+            Sim.sleep sim crashed_backoff;
+            None
+        in
+        match ok with
+        | None -> ()
+        | Some ok ->
         if not ok then begin
           if Sim.now sim >= measure_from then counters.aborted <- counters.aborted + 1;
           if load.retry_aborts && Sim.now sim < stop then attempt () else ()

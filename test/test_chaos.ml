@@ -233,7 +233,7 @@ let test_sss_ro_abort_zero () =
         match s.History.event with
         | History.Begin { txn; ro = true; _ } -> Hashtbl.replace ro_txns txn ()
         | History.Abort { txn } -> if Hashtbl.mem ro_txns txn then incr ro_aborts
-        | History.Commit { txn } -> if Hashtbl.mem ro_txns txn then incr ro_commits
+        | History.Commit { txn; _ } -> if Hashtbl.mem ro_txns txn then incr ro_commits
         | _ -> ())
       (History.events o.history);
     Alcotest.(check int) (Printf.sprintf "seed %d: RO aborts" seed) 0 !ro_aborts;
@@ -286,7 +286,7 @@ let test_partition_heal_liveness () =
   List.iter
     (fun (s : History.stamped) ->
       match s.History.event with
-      | History.Commit { txn } when s.History.at > heal_at ->
+      | History.Commit { txn; _ } when s.History.at > heal_at ->
           Hashtbl.replace nodes_committing txn.Sss_data.Ids.node ()
       | _ -> ())
     (History.events o.history);

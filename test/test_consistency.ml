@@ -32,11 +32,11 @@ let test_serial_history_passes () =
         [
           Begin { txn = t1; ro = false; node = 0 };
           Install { txn = t1; key = 0 };
-          Commit { txn = t1 };
+          Commit { txn = t1; ws = [] };
           Begin { txn = t2; ro = false; node = 1 };
           Read { txn = t2; key = 0; writer = t1 };
           Install { txn = t2; key = 0 };
-          Commit { txn = t2 };
+          Commit { txn = t2; ws = [] };
         ]
   in
   check_ok "external consistency" (Checker.external_consistency h);
@@ -57,10 +57,10 @@ let test_stale_read_after_completion () =
         [
           Begin { txn = t1; ro = false; node = 0 };
           Install { txn = t1; key = 0 };
-          Commit { txn = t1 };
+          Commit { txn = t1; ws = [] };
           Begin { txn = t2; ro = true; node = node2 };
           Read { txn = t2; key = 0; writer = Ids.genesis };
-          Commit { txn = t2 };
+          Commit { txn = t2; ws = [] };
         ]
   in
   check_ok "serializability" (Checker.serializability (h 0));
@@ -81,8 +81,8 @@ let test_write_skew_detected () =
           Read { txn = t2; key = 1; writer = Ids.genesis };
           Install { txn = t1; key = 1 };
           Install { txn = t2; key = 0 };
-          Commit { txn = t1 };
-          Commit { txn = t2 };
+          Commit { txn = t1; ws = [] };
+          Commit { txn = t2; ws = [] };
         ]
   in
   check_err "write skew" (Checker.serializability h);
@@ -101,8 +101,8 @@ let test_lost_update_detected () =
           Read { txn = t2; key = 0; writer = Ids.genesis };
           Install { txn = t1; key = 0 };
           Install { txn = t2; key = 0 };
-          Commit { txn = t1 };
-          Commit { txn = t2 };
+          Commit { txn = t1; ws = [] };
+          Commit { txn = t2; ws = [] };
         ]
   in
   check_err "lost update" (Checker.no_lost_updates h);
@@ -126,10 +126,10 @@ let test_long_fork_detected () =
           Begin { txn = t4; ro = true; node = 3 };
           Read { txn = t4; key = 0; writer = Ids.genesis };
           Read { txn = t4; key = 1; writer = t2 };
-          Commit { txn = t1 };
-          Commit { txn = t2 };
-          Commit { txn = t3 };
-          Commit { txn = t4 };
+          Commit { txn = t1; ws = [] };
+          Commit { txn = t2; ws = [] };
+          Commit { txn = t3; ws = [] };
+          Commit { txn = t4; ws = [] };
         ]
   in
   check_err "long fork" (Checker.serializability h);
@@ -146,7 +146,7 @@ let test_aborted_txns_excluded () =
           Abort { txn = t1 };
           Begin { txn = t2; ro = false; node = 1 };
           Install { txn = t2; key = 0 };
-          Commit { txn = t2 };
+          Commit { txn = t2; ws = [] };
         ]
   in
   (* The aborted read of genesis would be a stale read if counted. *)
@@ -177,7 +177,7 @@ let test_uncommitted_installer_constrains () =
           Install { txn = t1; key = 0 };
           Begin { txn = t2; ro = true; node = 1 };
           Read { txn = t2; key = 0; writer = t1 };
-          Commit { txn = t2 };
+          Commit { txn = t2; ws = [] };
         ]
   in
   check_ok "partial run ok" (Checker.external_consistency h);
@@ -192,14 +192,14 @@ let test_dependency_edge_kinds () =
         [
           Begin { txn = t1; ro = false; node = 0 };
           Install { txn = t1; key = 0 };
-          Commit { txn = t1 };
+          Commit { txn = t1; ws = [] };
           Begin { txn = t2; ro = false; node = 1 };
           Read { txn = t2; key = 0; writer = t1 };
           Install { txn = t2; key = 0 };
-          Commit { txn = t2 };
+          Commit { txn = t2; ws = [] };
           Begin { txn = t3; ro = true; node = 2 };
           Read { txn = t3; key = 0; writer = t1 };
-          Commit { txn = t3 };
+          Commit { txn = t3; ws = [] };
         ]
   in
   let edges = Checker.dependency_edges h in
@@ -218,10 +218,10 @@ let test_to_dot_renders_edges () =
         [
           Begin { txn = t1; ro = false; node = 0 };
           Install { txn = t1; key = 0 };
-          Commit { txn = t1 };
+          Commit { txn = t1; ws = [] };
           Begin { txn = t2; ro = true; node = 1 };
           Read { txn = t2; key = 0; writer = t1 };
-          Commit { txn = t2 };
+          Commit { txn = t2; ws = [] };
         ]
   in
   let dot = Checker.to_dot h in
@@ -246,10 +246,10 @@ let test_strict_vs_session_semantics () =
         [
           Begin { txn = t1; ro = false; node = 0 };
           Install { txn = t1; key = 0 };
-          Commit { txn = t1 };
+          Commit { txn = t1; ws = [] };
           Begin { txn = t2; ro = true; node = 1 };
           Read { txn = t2; key = 0; writer = Ids.genesis };
-          Commit { txn = t2 };
+          Commit { txn = t2; ws = [] };
         ]
   in
   check_ok "session accepts cross-node" (Checker.external_consistency cross);
@@ -262,16 +262,16 @@ let test_strict_vs_session_semantics () =
           Begin { txn = t1; ro = false; node = 0 };
           Begin { txn = t2; ro = true; node = 0 };
           Install { txn = t1; key = 0 };
-          Commit { txn = t1 };
+          Commit { txn = t1; ws = [] };
           Read { txn = t2; key = 0; writer = Ids.genesis };
-          Commit { txn = t2 };
+          Commit { txn = t2; ws = [] };
         ]
   in
   check_ok "overlap fine under strict" (Checker.external_consistency_strict overlapping)
 
 let test_disabled_recorder () =
   let h = History.create ~enabled:false () in
-  History.record h ~at:0.0 (History.Commit { txn = t1 });
+  History.record h ~at:0.0 (History.Commit { txn = t1; ws = [] });
   Alcotest.(check int) "nothing recorded" 0 (History.length h);
   Alcotest.(check int) "no txns" 0 (Checker.txn_count h)
 
@@ -335,7 +335,7 @@ let begin_seq evs txn =
 let commit_seq evs txn =
   find_map_seq evs (fun (s : History.stamped) ->
       match s.event with
-      | History.Commit { txn = t } when Ids.equal_txn t txn -> Some s.seq
+      | History.Commit { txn = t; _ } when Ids.equal_txn t txn -> Some s.seq
       | _ -> None)
 
 let committed evs txn = commit_seq evs txn <> None
@@ -385,7 +385,7 @@ let test_mutation_swapped_commit_order () =
       let is_reader (s : History.stamped) =
         match s.event with
         | History.Begin { txn; _ } | History.Read { txn; _ } | History.Install { txn; _ }
-        | History.Commit { txn } | History.Abort { txn } ->
+        | History.Commit { txn; _ } | History.Abort { txn } ->
             Ids.equal_txn txn reader
       in
       let mine, rest = List.partition is_reader evs in
@@ -431,6 +431,48 @@ let test_mutation_dropped_install () =
       in
       check_err "dropped install rejected" (Checker.no_lost_updates (rebuild mutated))
 
+(* the bug durability mode exists to prevent: a commit acknowledged to the
+   client whose write never reached the store — the log record was lost in
+   a crash but the ack escaped anyway *)
+let test_mutation_torn_commit () =
+  let evs = real_history () in
+  check_ok "unmutated history has no torn commits" (Checker.no_torn_commits (rebuild evs));
+  let target =
+    find_map_seq evs (fun (s : History.stamped) ->
+        match s.event with
+        | History.Commit { txn; ws = key :: _ } -> Some (txn, key)
+        | _ -> None)
+  in
+  match target with
+  | None -> Alcotest.fail "no committed update in the real history"
+  | Some (txn, key) ->
+      let mutated =
+        List.filter
+          (fun (s : History.stamped) ->
+            match s.event with
+            | History.Install { txn = t; key = k } -> not (Ids.equal_txn t txn && k = key)
+            | _ -> true)
+          evs
+      in
+      check_err "torn commit rejected" (Checker.no_torn_commits (rebuild mutated))
+
+(* recovered histories may re-install a version whose apply predated the
+   crash (redo replay of a Decide redelivery): the duplicate must not
+   corrupt the version order *)
+let test_duplicate_install_accepted () =
+  let evs = real_history () in
+  let first_install =
+    find_map_seq evs (fun (s : History.stamped) ->
+        match s.event with History.Install _ -> Some s | _ -> None)
+  in
+  match first_install with
+  | None -> Alcotest.fail "no install in the real history"
+  | Some dup ->
+      let duplicated = evs @ [ { dup with seq = List.length evs } ] in
+      check_ok "duplicate install still clean" (Checker.external_consistency (rebuild duplicated));
+      check_ok "duplicate install keeps updates" (Checker.no_lost_updates (rebuild duplicated));
+      check_ok "duplicate install not torn" (Checker.no_torn_commits (rebuild duplicated))
+
 let () =
   Alcotest.run "consistency"
     [
@@ -456,5 +498,8 @@ let () =
             test_mutation_swapped_commit_order;
           Alcotest.test_case "dropped install in a real history" `Quick
             test_mutation_dropped_install;
+          Alcotest.test_case "torn commit in a real history" `Quick test_mutation_torn_commit;
+          Alcotest.test_case "duplicate install accepted" `Quick
+            test_duplicate_install_accepted;
         ] );
     ]

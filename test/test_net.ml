@@ -132,7 +132,7 @@ let test_pending_first_wins () =
   let p = Rpc.Pending.create () in
   let id, iv = Rpc.Pending.fresh p in
   let got = ref None in
-  Sim.spawn sim (fun () -> got := Some (Sim.Ivar.read sim iv));
+  Sim.spawn sim (fun () -> got := Some (Rpc.Pending.await sim iv));
   Sim.schedule sim ~delay:1.0 (fun () -> Rpc.Pending.resolve sim p id "fast");
   Sim.schedule sim ~delay:2.0 (fun () -> Rpc.Pending.resolve sim p id "slow");
   Sim.run sim;

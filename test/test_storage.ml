@@ -1,0 +1,200 @@
+(* The durable-storage engine in isolation: device timing, group commit,
+   fuzzy checkpoints, crash/recover semantics — all on the virtual clock,
+   no protocol involved.  See docs/DURABILITY.md for the model. *)
+
+open Sss_sim
+module Storage = Sss_storage.Storage
+
+let close_to msg expected actual =
+  if Float.abs (expected -. actual) > 1e-12 then
+    Alcotest.failf "%s: expected %.9f got %.9f" msg expected actual
+
+(* ---------- the device ---------- *)
+
+let test_iodev_serial_fifo () =
+  let sim = Sim.create () in
+  let dev = Iodev.create sim ~op_latency:1e-3 ~bandwidth:1e6 in
+  let completions = ref [] in
+  Sim.spawn sim (fun () ->
+      (* two 1000-byte ops submitted back to back: the second queues behind
+         the first — completions at 2ms and 4ms, strictly FIFO *)
+      Iodev.submit dev ~bytes:1000 (fun () -> completions := ("a", Sim.now sim) :: !completions);
+      Iodev.submit dev ~bytes:1000 (fun () -> completions := ("b", Sim.now sim) :: !completions));
+  Sim.run sim;
+  match List.rev !completions with
+  | [ ("a", ta); ("b", tb) ] ->
+      close_to "first op" 2e-3 ta;
+      close_to "second op queued behind" 4e-3 tb
+  | _ -> Alcotest.fail "expected two completions in order"
+
+let test_iodev_service_time () =
+  let sim = Sim.create () in
+  let dev = Iodev.create sim ~op_latency:5e-5 ~bandwidth:2e9 in
+  close_to "latency + transfer" (5e-5 +. (1024. /. 2e9)) (Iodev.service_time dev ~bytes:1024);
+  Alcotest.(check int) "no ops yet" 0 (Iodev.ops dev)
+
+(* ---------- group commit ---------- *)
+
+let mk_log ?(op_latency = 1e-3) ?(bandwidth = 1e9) sim =
+  let dev = Iodev.create sim ~op_latency ~bandwidth in
+  ( Storage.create sim dev
+      ~record_bytes:(fun (s : string) -> String.length s)
+      ~snapshot:(fun () -> "snap")
+      ~snapshot_bytes:String.length (),
+    dev )
+
+let test_group_commit_batches () =
+  let sim = Sim.create () in
+  let w, dev = mk_log sim in
+  Sim.spawn sim (fun () ->
+      (* the first append opens a flush; the next two arrive while it is in
+         flight and must share the second flush *)
+      let l0 = Storage.append w "r0" in
+      let l1 = Storage.append w "r1" in
+      let l2 = Storage.append w "r2" in
+      Alcotest.(check (list int)) "lsns are dense" [ 0; 1; 2 ] [ l0; l1; l2 ];
+      if not (Storage.await w l2) then Alcotest.fail "no crash, await must succeed";
+      let st = Storage.stats w in
+      Alcotest.(check int) "two device writes for three records" 2 st.Storage.flushes;
+      Alcotest.(check int) "all records durable" 3 st.Storage.flushed_records;
+      Alcotest.(check int) "device saw both flushes" 2 (Iodev.ops dev));
+  Sim.run sim
+
+let test_await_implies_prefix_durable () =
+  let sim = Sim.create () in
+  let w, _ = mk_log sim in
+  Sim.spawn sim (fun () ->
+      ignore (Storage.append w "early" : int);
+      let last = Storage.append w "late" in
+      if not (Storage.await w last) then Alcotest.fail "await failed without a crash";
+      (* serial FIFO device: awaiting the newest record implies every
+         earlier one is durable too *)
+      Alcotest.(check int) "durable through the last lsn" last (Storage.durable_lsn w));
+  Sim.run sim
+
+(* ---------- crash and redo ---------- *)
+
+let test_crash_loses_tail_keeps_prefix () =
+  let sim = Sim.create () in
+  let w, _ = mk_log sim in
+  let replayed = ref None in
+  Sim.spawn sim (fun () ->
+      let l0 = Storage.append w "keep" in
+      if not (Storage.await w l0) then Alcotest.fail "flush failed";
+      (* buffered but never flushed: must vanish at the crash *)
+      ignore (Storage.append w "lost" : int);
+      Storage.crash w;
+      Storage.recover w (fun ~recovered ~replay ->
+          replayed := Some (recovered, replay)));
+  Sim.run sim;
+  match !replayed with
+  | Some (None, [ "keep" ]) -> ()
+  | Some (_, replay) ->
+      Alcotest.failf "wrong replay: [%s]" (String.concat "; " replay)
+  | None -> Alcotest.fail "recovery callback never ran"
+
+let test_await_wakes_false_on_crash () =
+  let sim = Sim.create () in
+  let w, _ = mk_log sim in
+  let woke = ref None in
+  Sim.spawn sim (fun () ->
+      let lsn = Storage.append w "doomed" in
+      woke := Some (Storage.await w lsn));
+  Sim.spawn sim (fun () ->
+      (* crash before the 1ms op latency lets the flush complete *)
+      Sim.sleep sim 1e-4;
+      Storage.crash w);
+  Sim.run sim;
+  match !woke with
+  | Some false -> ()
+  | Some true -> Alcotest.fail "await claimed durability across a crash"
+  | None -> Alcotest.fail "await never woke"
+
+let test_lsns_monotone_across_crashes () =
+  let sim = Sim.create () in
+  let w, _ = mk_log sim in
+  Sim.spawn sim (fun () ->
+      let l0 = Storage.append w "a" in
+      if not (Storage.await w l0) then Alcotest.fail "flush failed";
+      Storage.crash w;
+      Storage.recover w (fun ~recovered:_ ~replay:_ -> ());
+      Sim.sleep sim 5e-3;
+      let l1 = Storage.append w "b" in
+      if not (Storage.await w l1) then Alcotest.fail "second flush failed";
+      if l1 <= l0 then Alcotest.failf "lsn went backwards: %d then %d" l0 l1);
+  Sim.run sim
+
+(* ---------- checkpoints ---------- *)
+
+let test_checkpoint_truncates_replay () =
+  let sim = Sim.create () in
+  let dev = Iodev.create sim ~op_latency:1e-4 ~bandwidth:1e9 in
+  let state = Buffer.create 16 in
+  let w =
+    Storage.create sim dev
+      ~record_bytes:(fun (s : string) -> String.length s)
+        (* copying snapshot of the live state *)
+      ~snapshot:(fun () -> Buffer.contents state)
+      ~snapshot_bytes:String.length ()
+  in
+  let result = ref None in
+  Sim.spawn sim (fun () ->
+      Storage.start_checkpoints w ~interval:1e-3;
+      Buffer.add_string state "x";
+      let l = Storage.append w "covered" in
+      if not (Storage.await w l) then Alcotest.fail "flush failed";
+      (* let the demand-armed checkpoint timer fire and its write finish *)
+      Sim.sleep sim 5e-3;
+      Alcotest.(check int) "one checkpoint taken" 1 (Storage.stats w).Storage.checkpoints;
+      Buffer.add_string state "y";
+      let l2 = Storage.append w "tail" in
+      if not (Storage.await w l2) then Alcotest.fail "tail flush failed";
+      Storage.crash w;
+      Storage.recover w (fun ~recovered ~replay -> result := Some (recovered, replay)));
+  Sim.run sim;
+  match !result with
+  | Some (Some "x", [ "tail" ]) -> ()
+  | Some (snap, replay) ->
+      Alcotest.failf "checkpoint %s + replay [%s]"
+        (match snap with Some s -> Printf.sprintf "%S" s | None -> "none")
+        (String.concat "; " replay)
+  | None -> Alcotest.fail "recovery callback never ran"
+
+let test_checkpoint_timer_quiesces () =
+  (* an idle log must leave the event queue empty: Sim.run returns and no
+     checkpoint fires without new appends *)
+  let sim = Sim.create () in
+  let w, _ = mk_log ~op_latency:1e-4 sim in
+  Sim.spawn sim (fun () ->
+      Storage.start_checkpoints w ~interval:1e-3;
+      let l = Storage.append w "once" in
+      ignore (Storage.await w l : bool));
+  Sim.run sim;
+  (* run returned: the timer did not re-arm forever *)
+  let after = Storage.stats w in
+  Alcotest.(check int) "exactly one checkpoint for one burst" 1 after.Storage.checkpoints;
+  if Sim.now sim > 1.0 then Alcotest.failf "clock ran away: %f" (Sim.now sim)
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "iodev",
+        [
+          Alcotest.test_case "serial fifo" `Quick test_iodev_serial_fifo;
+          Alcotest.test_case "service time" `Quick test_iodev_service_time;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "group commit batches" `Quick test_group_commit_batches;
+          Alcotest.test_case "await implies prefix" `Quick test_await_implies_prefix_durable;
+          Alcotest.test_case "crash keeps durable prefix" `Quick
+            test_crash_loses_tail_keeps_prefix;
+          Alcotest.test_case "await false on crash" `Quick test_await_wakes_false_on_crash;
+          Alcotest.test_case "lsns monotone" `Quick test_lsns_monotone_across_crashes;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "truncates replay" `Quick test_checkpoint_truncates_replay;
+          Alcotest.test_case "timer quiesces" `Quick test_checkpoint_timer_quiesces;
+        ] );
+    ]

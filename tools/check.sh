@@ -10,6 +10,10 @@
 #                             baseline, so any finding fails the gate
 #   4. bench/smoke.sh       — fig3 smoke benchmark + throughput-regression
 #                             gate against the committed BENCH_smoke.json
+#   5. durability smoke     — durability=off must not move the fig3 smoke
+#                             trajectory vs the committed baseline, and the
+#                             durable paths (WAL overhead + crash recovery)
+#                             must run clean at smoke scale
 #
 # Run from the repository root.
 set -eu
@@ -28,5 +32,24 @@ dune exec tools/lint/sss_lint.exe -- lib bin bench tools
 
 echo "check: bench smoke"
 sh bench/smoke.sh
+
+echo "check: durability smoke"
+# Durability is off by default, and off must mean OFF: the fig3 smoke
+# trajectory (deterministic fields of the run smoke.sh just wrote) has to
+# be byte-identical to the committed baseline.  A drift here means the
+# storage engine leaked into the non-durable hot path.
+for key in '"des_events"' '"virtual_seconds"' '"committed_txns"'; do
+  head_line=$(git show HEAD:BENCH_smoke.json 2>/dev/null | grep "$key" | head -1 || true)
+  new_line=$(grep "$key" BENCH_smoke.json | head -1)
+  if [ -n "$head_line" ] && [ "$head_line" != "$new_line" ]; then
+    echo "check FAIL: durability=off trajectory moved ($key: '$head_line' vs '$new_line')" >&2
+    echo "  (commit the refreshed BENCH_smoke.json only if the change is intentional)" >&2
+    exit 1
+  fi
+done
+# And the durable paths themselves must run clean: the WAL overhead table
+# plus the crash-recovery checkpoint sweep, seconds-long at smoke scale.
+dune exec bench/main.exe -- --scale smoke durability >/dev/null
+echo "check: durability gates OK"
 
 echo "check: all gates passed"
