@@ -4,7 +4,8 @@
              [--json FILE] [--observe] [-j N|max] [--speedup] [targets]
 
    Targets are the paper's evaluation artefacts: fig3 fig4a fig4b fig5 fig6
-   fig7 fig8 abort-rate (see DESIGN.md §3 for the mapping), plus `micro`
+   fig7 fig8 abort-rate (see DESIGN.md §3 for the mapping), the extra
+   experiments (ablation skewed durability saturation), plus `micro`
    (Bechamel micro-benchmarks of the core data structures).  With no target,
    everything runs.  Absolute throughput is simulator throughput; the shapes
    (orderings, ratios, crossovers) are what EXPERIMENTS.md compares against
@@ -135,9 +136,9 @@ let config_fingerprint scale =
   Digest.to_hex
     (Digest.string
        (Printf.sprintf
-          "nodes=%d;degree=%d;keys=%d;ro=%g;ro_ops=%d;locality=%g;clients=%d;warmup=%g;duration=%g;seed=%d;strict=%b;prio=%b;compress=%b"
+          "nodes=%d;degree=%d;keys=%d;ro=%g;ro_ops=%d;locality=%g;clients=%d;warmup=%g;duration=%g;seed=%d;strict=%b;prio=%b;compress=%b;queue=%d;workers=%d"
           p.nodes p.degree p.keys p.ro_ratio p.ro_ops p.locality p.clients p.warmup p.duration
-          p.seed p.strict p.priority_network p.compress))
+          p.seed p.strict p.priority_network p.compress p.queue_capacity p.workers))
 
 let write_json file ~scale ~scale_v ~observe ~jobs ~speedup ~metrics reports =
   let buf = Buffer.create 1024 in
@@ -146,7 +147,7 @@ let write_json file ~scale ~scale_v ~observe ~jobs ~speedup ~metrics reports =
        "{\n\
        \  \"scale\": \"%s\",\n\
        \  \"meta\": {\n\
-       \    \"schema\": 4,\n\
+       \    \"schema\": 5,\n\
        \    \"scale\": \"%s\",\n\
        \    \"seed\": %d,\n\
        \    \"config_md5\": \"%s\",\n\
@@ -181,13 +182,19 @@ let write_json file ~scale ~scale_v ~observe ~jobs ~speedup ~metrics reports =
            \      \"committed_txns\": %d,\n\
            \      \"virtual_throughput_txns_per_vsec\": %.1f,\n\
            \      \"runs\": %d,\n\
+           \      \"offered\": %d,\n\
+           \      \"accepted\": %d,\n\
+           \      \"rejected\": %d,\n\
+           \      \"store_versions\": %d,\n\
+           \      \"gc_dropped_versions\": %d,\n\
            \      \"allocated_words\": %.0f,\n\
            \      \"words_per_des_event\": %.2f,\n\
            \      \"minor_collections\": %d,\n\
            \      \"major_collections\": %d\n\
            \    }"
            (json_escape r.target) r.wall_seconds r.m.des_events events_per_sec
-           r.m.virtual_seconds r.m.committed_txns virtual_tput r.m.runs r.alloc_words
+           r.m.virtual_seconds r.m.committed_txns virtual_tput r.m.runs r.m.offered
+           r.m.accepted r.m.rejected r.m.store_versions r.m.gc_dropped r.alloc_words
            words_per_event r.minor_collections r.major_collections))
     reports;
   Buffer.add_string buf "\n  ]";
@@ -231,6 +238,7 @@ let figure_of = function
   | "ablation" -> Some ablation
   | "skewed" -> Some skewed
   | "durability" -> Some durability
+  | "saturation" -> Some saturation
   | "all" -> Some all
   | _ -> None
 
@@ -278,7 +286,7 @@ let () =
   parse args;
   let targets =
     match List.rev !targets with
-    | [] -> [ "fig3"; "fig4a"; "fig4b"; "fig5"; "fig6"; "fig7"; "fig8"; "abort-rate"; "ablation"; "skewed"; "durability"; "micro" ]
+    | [] -> [ "fig3"; "fig4a"; "fig4b"; "fig5"; "fig6"; "fig7"; "fig8"; "abort-rate"; "ablation"; "skewed"; "durability"; "saturation"; "micro" ]
     | ts -> ts
   in
   let scale = !scale in

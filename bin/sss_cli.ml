@@ -59,9 +59,24 @@ let observe_t =
 let durable_t =
   Arg.(value & flag & info [ "durable" ] ~doc:"write-ahead logging on every node")
 
+let rate_t =
+  Arg.(
+    value & opt float 0.0
+    & info [ "rate" ]
+        ~doc:"open-loop Poisson arrivals per second per node (0 = closed loop)")
+
+let queue_t =
+  Arg.(value & opt int 64 & info [ "queue" ] ~doc:"open loop: admission-queue capacity per node")
+
+let workers_t =
+  Arg.(value & opt int 10 & info [ "workers" ] ~doc:"open loop: service fibers per node")
+
+let gc_t =
+  Arg.(value & flag & info [ "gc" ] ~doc:"watermark-driven online version GC (SSS)")
+
 let point_cmd =
   let run_point system nodes degree keys ro ro_ops locality clients duration seed strict observe
-      durable =
+      durable rate queue workers gc =
     let o =
       run
         {
@@ -84,6 +99,10 @@ let point_cmd =
           durability = durable;
           checkpoint_interval = None;
           crash = None;
+          arrival = (if rate > 0.0 then Some (Sss_workload.Driver.Poisson rate) else None);
+          queue_capacity = queue;
+          workers;
+          gc;
         }
     in
     Printf.printf "system      : %s\n" (system_name system);
@@ -102,6 +121,17 @@ let point_cmd =
     | _ -> ());
     if o.wait_covered_timeouts > 0 then
       Printf.printf "  WARNING: %d covered-wait timeouts\n" o.wait_covered_timeouts;
+    if rate > 0.0 then begin
+      Printf.printf "open loop   : offered %d, accepted %d, rejected %d (%.1f%%)\n" o.offered
+        o.accepted o.rejected
+        (100. *. float_of_int o.rejected /. float_of_int (max 1 o.offered));
+      Printf.printf "  sojourn   : mean %.3f ms, p99 %.3f ms (queue wait mean %.3f ms)\n"
+        (o.mean_sojourn *. 1e3) (o.p99_sojourn *. 1e3)
+        (o.mean_queue_wait *. 1e3)
+    end;
+    if gc then
+      Printf.printf "gc          : %d versions retained, %d versions + %d log entries dropped\n"
+        o.store_versions o.gc_dropped_versions o.gc_dropped_entries;
     match o.metrics with
     | Some json -> Printf.printf "metrics     : %s\n" json
     | None -> ()
@@ -109,7 +139,8 @@ let point_cmd =
   let term =
     Term.(
       const run_point $ system_t $ nodes_t $ degree_t $ keys_t $ ro_t $ ro_ops_t $ locality_t
-      $ clients_t $ duration_t $ seed_t $ strict_t $ observe_t $ durable_t)
+      $ clients_t $ duration_t $ seed_t $ strict_t $ observe_t $ durable_t $ rate_t $ queue_t
+      $ workers_t $ gc_t)
   in
   Cmd.v (Cmd.info "point" ~doc:"Run a single experiment point") term
 
@@ -119,7 +150,9 @@ let figure_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"FIGURE"
-          ~doc:"fig3 fig4a fig4b fig5 fig6 fig7 fig8 abort-rate ablation skewed durability all")
+          ~doc:
+            "fig3 fig4a fig4b fig5 fig6 fig7 fig8 abort-rate ablation skewed durability \
+             saturation all")
   in
   let jobs_t =
     let jobs_conv =
@@ -154,6 +187,7 @@ let figure_cmd =
       | "ablation" -> Some ablation
       | "skewed" -> Some skewed
       | "durability" -> Some durability
+      | "saturation" -> Some saturation
       | "all" -> Some all
       | _ -> None
     in

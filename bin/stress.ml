@@ -17,12 +17,12 @@ module Sweep = Sss_par.Sweep
    run's metrics as a section at the end.  The observer-effect contract says
    this must not change any committed count or checker verdict. *)
 
-let run_one ?(strict = true) ?(observe = false) ~nodes ~degree ~keys ~ro ~seed ~duration
-    ~clients () =
+let run_one ?(strict = true) ?(observe = false) ?(gc = false) ~nodes ~degree ~keys ~ro ~seed
+    ~duration ~clients () =
   let sim = Sim.create () in
   let config =
     { Config.default with nodes; replication_degree = degree; total_keys = keys; seed;
-      strict_order = strict; observe }
+      strict_order = strict; observe; gc }
   in
   let cl = Kv.create sim config in
   let ops =
@@ -416,9 +416,86 @@ let chaos_sweep pool plan_text =
     !failures;
   exit (if !failures > 0 then 1 else 0)
 
+(* --open: the large open-loop target — 100 nodes, 1M keys, Poisson
+   arrivals, online version GC on.  The store starts at keys x degree
+   versions; GC must keep retention flat, so the end-of-run count may
+   exceed that baseline only by the in-flight margin (versions newer than
+   the cluster watermark).  Exits non-zero if retention grew by more than
+   half of what the run installed, or if the GC never reclaimed anything. *)
+let open_loop_target () =
+  let nodes = 100 and keys = 1_000_000 and degree = 2 in
+  let sim = Sim.create () in
+  let config =
+    { Config.default with nodes; replication_degree = degree; total_keys = keys; seed = 42;
+      gc = true }
+  in
+  let cl = Kv.create sim config in
+  let ops =
+    {
+      Sss_workload.Driver.begin_txn = (fun ~node ~read_only -> Kv.begin_txn cl ~node ~read_only);
+      read = Kv.read;
+      write = Kv.write;
+      commit = Kv.commit;
+    }
+  in
+  let baseline = Kv.version_count cl in
+  let result =
+    Sss_workload.Driver.run sim ~nodes ~total_keys:keys
+      ~local_keys:(fun n -> Replication.keys_at cl.State.repl n)
+      ~profile:(Sss_workload.Driver.paper_profile ~read_only_ratio:0.5)
+      ~load:
+        {
+          Sss_workload.Driver.default_load with
+          warmup = 0.002;
+          duration = 0.03;
+          seed = 42;
+          open_loop =
+            Some
+              {
+                Sss_workload.Driver.arrival = Sss_workload.Driver.Poisson 2000.0;
+                queue_capacity = 64;
+                workers_per_node = 4;
+              };
+        }
+      ~ops
+  in
+  let retained = Kv.version_count cl in
+  let refreshes, dropped_v, dropped_e = Kv.gc_stats cl in
+  let slack = retained - baseline in
+  let installed = slack + dropped_v in
+  Printf.printf
+    "open-loop target: %d nodes, %dk keys: %d offered, %d accepted, %d committed\n"
+    nodes (keys / 1000) result.Sss_workload.Driver.offered result.Sss_workload.Driver.accepted
+    result.Sss_workload.Driver.committed;
+  Printf.printf
+    "  versions: baseline %d, installed %d, dropped %d, retained %+d (%d watermark refreshes, %d log entries dropped)\n"
+    baseline installed dropped_v slack refreshes dropped_e;
+  let failures = ref 0 in
+  if result.Sss_workload.Driver.committed = 0 then begin
+    incr failures;
+    Printf.printf "FAIL open-loop: nothing committed\n"
+  end;
+  if dropped_v = 0 then begin
+    incr failures;
+    Printf.printf "FAIL open-loop: GC reclaimed no versions\n"
+  end;
+  if slack * 2 > installed then begin
+    incr failures;
+    Printf.printf "FAIL open-loop: version retention not flat (%d of %d installed remain)\n"
+      slack installed
+  end;
+  (match Kv.quiescent cl with
+  | Ok () -> ()
+  | Error msg ->
+      incr failures;
+      Printf.printf "FAIL open-loop quiescent: %s\n" msg);
+  Printf.printf "open-loop target: %d failures\n" !failures;
+  !failures
+
 let () =
   let chaos_plan = ref None in
   let observe = ref false in
+  let open_target = ref false in
   let jobs = ref 1 in
   Arg.parse
     [
@@ -428,6 +505,9 @@ let () =
       ( "--observe",
         Arg.Set observe,
         " trace the SSS runs with sss_obs and print a metrics section (docs/OBSERVABILITY.md)" );
+      ( "--open",
+        Arg.Set open_target,
+        " run only the 100-node/1M-key open-loop GC target (flat version retention)" );
       ( "-j",
         Arg.String
           (fun s ->
@@ -440,9 +520,10 @@ let () =
         "N  fan sweep runs across N domains (\"max\" = all cores; default 1)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "stress [--chaos PLAN] [--observe] [-j N]";
+    "stress [--chaos PLAN] [--observe] [--open] [-j N]";
   (* Resize the minor heap while the runtime is still single-domain. *)
   Sim.tune_gc ();
+  if !open_target then exit (if open_loop_target () > 0 then 1 else 0);
   let pool = Pool.create ~jobs:!jobs in
   let observe = !observe in
   Option.iter (chaos_sweep pool) !chaos_plan;
@@ -550,6 +631,33 @@ let () =
   Printf.printf
     "paper mode: %d runs, %d committed, %d divergence reports (the documented §8 finding)\n"
     (List.length pm_grid) !pm_committed !pm_div;
+  (* GC-on sweep: the online watermark GC must never change a checker
+     verdict — the full strict matrix again with Config.gc on, all
+     properties asserted. *)
+  let gc_grid = Sweep.cross configs (Sweep.seeds 6) in
+  let gc_results =
+    Pool.map_list pool
+      (fun ((nodes, degree, keys, ro, clients), seed) ->
+        run_one ~gc:true ~observe ~nodes ~degree ~keys ~ro ~seed ~duration:0.04 ~clients ())
+      gc_grid
+  in
+  let gc_committed = ref 0 in
+  List.iter2
+    (fun ((nodes, degree, keys, ro, _clients), seed) (committed, checks, _metrics) ->
+      gc_committed := !gc_committed + committed;
+      List.iter
+        (fun (name, res) ->
+          match res with
+          | Ok () -> ()
+          | Error msg ->
+              incr failures;
+              Printf.printf
+                "FAIL gc-on %s: nodes=%d degree=%d keys=%d ro=%.1f seed=%d: %s\n%!" name
+                nodes degree keys ro seed msg)
+        checks)
+    gc_grid gc_results;
+  Printf.printf "gc-on sweep: %d runs, %d committed, all properties asserted\n%!"
+    (List.length gc_grid) !gc_committed;
   failures := !failures + baseline_sweep pool;
   failures := !failures + durability_sweep pool;
   (match !first_metrics with

@@ -77,7 +77,11 @@ let read h key =
           (if h.ro && h.cl.config.Config.strict_order then
              Vclock.max h.home.stable_vc h.home.coordinated_max
            else Vclock.max (Nlog.most_recent_vc h.home.nlog) h.home.coordinated_max);
-        h.started <- true
+        h.started <- true;
+        (* the bound is now fixed-then-growing, so this is the moment the
+           snapshot can pin the GC watermark (registering at begin would be
+           wrong: the paper-mode refresh is not entry-wise monotone) *)
+        if h.ro then State.gc_register_ro h.cl h.id h.vc
       end;
       let req, ivar = Sss_net.Rpc.Pending.fresh h.home.pending_reads in
       let msg =
@@ -370,6 +374,7 @@ let commit h =
   if h.finished then invalid_arg "Sss_kv: commit on a finished transaction";
   h.finished <- true;
   Hashtbl.remove h.home.active h.id;
+  if h.ro then State.gc_unregister_ro h.cl h.id;
   if h.ws = [] then commit_read_only h else commit_update h
 
 (* Voluntary abort before commit: nothing distributed is held yet except
@@ -379,6 +384,7 @@ let abort h =
   if h.finished then invalid_arg "Sss_kv: abort on a finished transaction";
   h.finished <- true;
   Hashtbl.remove h.home.active h.id;
+  if h.ro then State.gc_unregister_ro h.cl h.id;
   let cl = h.cl in
   cl.stats.aborted <- cl.stats.aborted + 1;
   record cl (History.Abort { txn = h.id });

@@ -52,6 +52,15 @@ let wal_stats (t : cluster) =
       | Some w -> Sss_storage.Storage.add_stats acc (Sss_storage.Storage.stats w))
     Sss_storage.Storage.zero_stats t.State.nodes
 
+let version_count = State.version_count
+
+let nlog_entries = State.nlog_entries
+
+let gc_stats (t : cluster) =
+  match t.State.gc with
+  | None -> (0, 0, 0)
+  | Some g -> (g.State.refreshes, g.State.versions_dropped, g.State.entries_dropped)
+
 let network (t : cluster) = t.State.net
 
 let obs (t : cluster) = t.State.obs

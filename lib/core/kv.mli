@@ -95,6 +95,17 @@ val wal_stats : cluster -> Sss_storage.Storage.stats
 (** Cluster-wide write-ahead-log telemetry, summed over nodes — all zeros
     unless {!Config.t.durability} is on. *)
 
+val version_count : cluster -> int
+(** Total stored versions across every node's MV-store (O(nodes): the
+    per-store counters are maintained incrementally). *)
+
+val nlog_entries : cluster -> int
+(** Total retained node-log entries across the cluster. *)
+
+val gc_stats : cluster -> int * int * int
+(** [(watermark refreshes, versions dropped, log entries dropped)] by the
+    online GC — all zeros unless {!Config.t.gc} is on. *)
+
 val network : cluster -> Message.payload Sss_net.Network.t
 (** The cluster's simulated network — exposed so fault plans
     ([Sss_chaos.Chaos.install]) can be attached to it.  Message kinds for

@@ -339,12 +339,18 @@ let rec try_drain t node =
             prep.prop_set)
         prep.ws_local;
       Nlog.add node.nlog ~txn ~vc ~ws:(List.map fst prep.ws_local) ~at:(now t);
-      (* inline garbage collection, amortized over applies *)
-      if Nlog.size node.nlog land 1023 = 0 then
-        Nlog.prune node.nlog ~before:(now t -. t.config.Config.gc_horizon);
-      List.iter
-        (fun (k, _) -> Mvstore.truncate node.store k ~keep:t.config.Config.chain_keep)
-        prep.ws_local;
+      (match t.gc with
+      | Some g ->
+          (* watermark-driven collection: drop only state no live or future
+             read-only snapshot can still reach (State.gc_after_apply) *)
+          gc_after_apply t g node ~ws:prep.ws_local
+      | None ->
+          (* inline garbage collection, amortized over applies *)
+          if Nlog.size node.nlog land 1023 = 0 then
+            Nlog.prune node.nlog ~before:(now t -. t.config.Config.gc_horizon);
+          List.iter
+            (fun (k, _) -> Mvstore.truncate node.store k ~keep:t.config.Config.chain_keep)
+            prep.ws_local);
       Commitq.remove node.commitq txn;
       Locks.release_txn node.locks txn;
       (match t.obs with
@@ -711,6 +717,7 @@ let load_snap t node (s : snap) =
         (List.map (fun (value, vc, writer) -> { Mvstore.value; vc; writer }) vers))
     s.s_chains;
   List.iter (fun (txn, vc, ws, at) -> Nlog.add node.nlog ~txn ~vc ~ws ~at) s.s_nlog;
+  Nlog.restore_floor node.nlog s.s_nlog_floor;
   node.node_vc <- Vclock.copy s.s_node_vc;
   node.coordinated_max <- s.s_coordinated_max;
   node.stable_vc <- s.s_stable_vc;
@@ -773,9 +780,15 @@ let replay_record t node = function
           Nlog.add node.nlog ~txn:ap_txn ~vc:ap_vc
             ~ws:(List.map fst prep.ws_local)
             ~at:(now t);
-          List.iter
-            (fun (k, _) -> Mvstore.truncate node.store k ~keep:t.config.Config.chain_keep)
-            prep.ws_local;
+          (* legacy chain-keep trimming only: watermark GC waits for the
+             next live apply (replay must not consult a watermark computed
+             against the pre-crash registry) *)
+          (match t.gc with
+          | None ->
+              List.iter
+                (fun (k, _) -> Mvstore.truncate node.store k ~keep:t.config.Config.chain_keep)
+                prep.ws_local
+          | Some _ -> ());
           Commitq.remove node.commitq ap_txn)
   | SFinalized { f_txn } -> (
       match Hashtbl.find_opt node.prepared f_txn with
@@ -817,6 +830,13 @@ let crash_node t id =
       (sorted_bindings old.ack_boxes);
     Sim.Cond.broadcast t.sim old.nlog_changed;
     Sim.Cond.broadcast t.sim old.squeue_changed;
+    (* Read-only transactions homed here die with the node (their clients
+       observe Crashed and abandon them): release their watermark pins, or
+       the GC floor would stay anchored to a snapshot nobody can use. *)
+    (match t.gc with
+    | Some g ->
+        List.iter (fun (txn, ()) -> Hashtbl.remove g.ro_bounds txn) (sorted_bindings old.active)
+    | None -> ());
     (* Fresh volatile state; the generator is carried over (transaction ids
        name client requests, not node state) and the log survives on its
        device.  The genesis versions are re-created exactly as at boot —
@@ -862,6 +882,13 @@ let restart_node t id =
                         (fun (k, _) -> Squeue.insert_write (squeue node k) ~txn ~sid)
                         p.ws_local)
                 indoubt;
+              (* The checkpoint may predate read-only completions whose
+                 bounds fed past watermarks; folding the GC floor into the
+                 reborn node's visibility floor guarantees its future
+                 readers start at or above everything already collected. *)
+              (match t.gc with
+              | Some g -> node.coordinated_max <- Vclock.max node.coordinated_max g.floor_used
+              | None -> ());
               node.alive <- true;
               Sss_net.Network.recover t.net id;
               Sss_storage.Storage.start_checkpoints w

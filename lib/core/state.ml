@@ -100,6 +100,9 @@ type sprep = {
 type snap = {
   s_chains : (Ids.key * (string * Vclock.t * Ids.txn) list) list;
   s_nlog : (Ids.txn * Vclock.t * Ids.key list * float) list;
+  (* the NLog's covered-prune floor: recovery rebuilds the log entry by
+     entry and would otherwise lose the pruned contributions (Config.gc) *)
+  s_nlog_floor : Vclock.t;
   s_node_vc : Vclock.t;
   s_coordinated_max : Vclock.t;
   s_stable_vc : Vclock.t;
@@ -193,6 +196,26 @@ type stats = {
   mutable collect_latencies : bool;
 }
 
+(* Online GC bookkeeping ([None] unless [Config.gc]).  [ro_bounds] holds
+   the visibility bound of every live read-only transaction, registered at
+   its first read (where the bound is refreshed and then only grows) and
+   removed at commit/abort/crash; the cluster low-watermark is the
+   entry-wise minimum over these and every node's [coordinated_max] — the
+   floor below which no live or future reader can look. *)
+type gc_state = {
+  ro_bounds : (Ids.txn, Vclock.t) Hashtbl.t;
+  (* cached cluster watermark: every input is monotone (given first-read
+     registration), so a stale cache is merely conservative *)
+  mutable wm_cache : Vclock.t;
+  (* running max over watermarks ever applied; folded into a reborn node's
+     [coordinated_max] so recovery can never re-expose collected state *)
+  mutable floor_used : Vclock.t;
+  mutable applies_since_refresh : int;
+  mutable refreshes : int;
+  mutable versions_dropped : int;
+  mutable entries_dropped : int;
+}
+
 type t = {
   sim : Sim.t;
   config : Config.t;
@@ -204,6 +227,7 @@ type t = {
   nodes : node array;
   history : History.t;
   stats : stats;
+  gc : gc_state option;
   (* observability sink; [None] unless [config.observe] — every emit site
      matches on this, so a disabled run executes no observation code *)
   obs : Sss_obs.Obs.t option;
@@ -287,6 +311,7 @@ let snap_bytes s =
   + List.fold_left
       (fun acc (_, c, ws, _) -> acc + 24 + vc c + (4 * List.length ws))
       0 s.s_nlog
+  + vc s.s_nlog_floor
   + vc s.s_node_vc + vc s.s_coordinated_max + vc s.s_stable_vc
   + List.fold_left (fun acc sp -> acc + sprep_bytes sp) 0 s.s_prepared
   + List.fold_left (fun acc (_, c) -> acc + 8 + vc c) 0 s.s_decided
@@ -318,6 +343,7 @@ let snap_of (node : node) =
         (fun (e : Nlog.entry) ->
           if Ids.equal_txn e.txn Ids.genesis then None else Some (e.txn, e.vc, e.ws, e.at))
         (Nlog.entries node.nlog);
+    s_nlog_floor = Nlog.floor node.nlog;
     s_node_vc = Vclock.copy node.node_vc;
     s_coordinated_max = node.coordinated_max;
     s_stable_vc = node.stable_vc;
@@ -392,7 +418,14 @@ let create sim (config : Config.t) =
                for i = 0 to config.nodes - 1 do
                  Sss_obs.Obs.gauge_set o
                    ("net.queue.node" ^ string_of_int i)
-                   (Network.queue_depth net i)
+                   (Network.queue_depth net i);
+                 (* storage-retention gauges (GC telemetry; O(1) counters) *)
+                 Sss_obs.Obs.gauge_set o
+                   ("store.versions.node" ^ string_of_int i)
+                   (Mvstore.version_count nodes.(i).store);
+                 Sss_obs.Obs.gauge_set o
+                   ("nlog.entries.node" ^ string_of_int i)
+                   (Nlog.size nodes.(i).nlog)
                done))
   | None -> ());
   (* Pre-populate every key on its replicas with a genesis version. *)
@@ -431,6 +464,19 @@ let create sim (config : Config.t) =
           latencies = [];
           collect_latencies = false;
         };
+      gc =
+        (if config.gc then
+           Some
+             {
+               ro_bounds = Hashtbl.create 256;
+               wm_cache = Vclock.zero config.nodes;
+               floor_used = Vclock.zero config.nodes;
+               applies_since_refresh = 0;
+               refreshes = 0;
+               versions_dropped = 0;
+               entries_dropped = 0;
+             }
+         else None);
       obs;
     }
   in
@@ -553,6 +599,93 @@ let drop_parked_stamp t node txn =
 let unpark_writer t node txn =
   drop_parked_stamp t node txn;
   Hashtbl.remove node.writer_since txn
+
+(* ---- online version GC (Config.gc) ----
+
+   The cluster low-watermark is the entry-wise minimum over (a) every
+   node's [coordinated_max] and (b) every registered live read-only bound.
+   Every future read-only bound dominates its home's [coordinated_max]
+   (both the strict and the paper-mode first-read refresh fold it in), and
+   registered bounds only grow after registration, so the watermark is
+   non-decreasing and a cached value stays valid.  GC passes add no events
+   and draw no randomness: with the policy on, trajectories are identical
+   to GC-off (verified by a test_consistency property test). *)
+
+let cluster_watermark t g =
+  let n = t.config.Config.nodes in
+  let wm = Array.make n max_int in
+  Array.iter
+    (fun node ->
+      for w = 0 to n - 1 do
+        let c = Vclock.get node.coordinated_max w in
+        if c < wm.(w) then wm.(w) <- c
+      done)
+    t.nodes;
+  (Hashtbl.fold
+     (fun _ b () ->
+       for w = 0 to n - 1 do
+         let c = Vclock.get b w in
+         if c < wm.(w) then wm.(w) <- c
+       done)
+     g.ro_bounds () [@order_ok]);
+  (* [wm] is never written after adoption *)
+  (Vclock.unsafe_of_array wm [@owned])
+
+(* A read-only transaction enters the watermark at its first read — the
+   moment its bound is refreshed and becomes monotone (a paper-mode bound
+   registered at begin could still shrink at the refresh). *)
+let gc_register_ro t txn bound =
+  match t.gc with Some g -> Hashtbl.replace g.ro_bounds txn bound | None -> ()
+
+let gc_unregister_ro t txn =
+  match t.gc with Some g -> Hashtbl.remove g.ro_bounds txn | None -> ()
+
+(* The watermark as applicable to [node]'s own store and log: the local
+   component additionally capped below the minimum parked apply stamp, so
+   the kept covered version and the pruned log entries sit under every
+   present — and, stamps being released in order, every future —
+   snapshot-queue cutoff at this node. *)
+let node_watermark g (node : node) =
+  let wm = g.wm_cache in
+  match Stampset.min_elt node.parked with
+  | Some s when Vclock.get wm node.id > s - 1 -> Vclock.set wm node.id (s - 1)
+  | _ -> wm
+
+(* Hook run by the CommitQ drain after each apply when [Config.gc] is on:
+   refresh the cached watermark every 256 applies, collect the chains the
+   apply just extended, advance the node's round-robin chain sweep (what
+   reclaims keys written once and never touched again), and prune the node
+   log on an amortized cadence. *)
+let gc_after_apply t g (node : node) ~ws =
+  g.applies_since_refresh <- g.applies_since_refresh + 1;
+  let refreshed = g.applies_since_refresh >= 256 in
+  if refreshed then begin
+    g.applies_since_refresh <- 0;
+    let wm = cluster_watermark t g in
+    g.wm_cache <- wm;
+    g.floor_used <- Vclock.max g.floor_used wm;
+    g.refreshes <- g.refreshes + 1
+  end;
+  let wm = node_watermark g node in
+  List.iter
+    (fun (k, _) ->
+      g.versions_dropped <-
+        g.versions_dropped + Mvstore.truncate_covered node.store k ~watermark:wm)
+    ws;
+  (* Budget scales with store size so a full pass completes within a small
+     constant number of applies per chain, yet stays O(1)-ish per apply. *)
+  let budget = 32 + (Mvstore.chains node.store / 32) in
+  g.versions_dropped <-
+    g.versions_dropped + Mvstore.sweep_covered node.store ~watermark:wm ~budget;
+  if refreshed || Nlog.size node.nlog land 255 = 0 then
+    g.entries_dropped <- g.entries_dropped + Nlog.prune_covered node.nlog ~watermark:wm
+
+(* Cluster-wide storage gauges (O(nodes): both counters are maintained
+   incrementally). *)
+let version_count t =
+  Array.fold_left (fun acc node -> acc + Mvstore.version_count node.store) 0 t.nodes
+
+let nlog_entries t = Array.fold_left (fun acc node -> acc + Nlog.size node.nlog) 0 t.nodes
 
 (* ---- tombstones and recent write-set GC ---- *)
 

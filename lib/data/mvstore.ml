@@ -1,15 +1,36 @@
 type version = { value : string; vc : Vclock.t; writer : Ids.txn }
 
-type t = { nodes : int; table : (Ids.key, version list ref) Hashtbl.t }
+(* [zero] is shared by every genesis version (clocks are immutable once
+   shared, and at 100+ nodes x 1M keys per-key zero clocks dominate the
+   heap).  [total] maintains the cluster's version count incrementally so
+   GC telemetry is O(1) instead of a table scan. *)
+type t = {
+  nodes : int;
+  zero : Vclock.t;
+  table : (Ids.key, version list ref) Hashtbl.t;
+  mutable total : int;
+  (* GC sweep cursor: chains are revisited round-robin in creation order —
+     a deterministic order, so the online GC's coverage never depends on
+     Hashtbl internals.  [key_seq] holds every chain's key (reverse creation
+     order); [sweep_arr]/[sweep_pos] are the in-progress pass. *)
+  mutable key_seq : Ids.key list;
+  mutable sweep_arr : Ids.key array;
+  mutable sweep_pos : int;
+}
 
-let create ~nodes = { nodes; table = Hashtbl.create 1024 }
+let create ~nodes =
+  { nodes; zero = Vclock.zero nodes; table = Hashtbl.create 1024; total = 0;
+    key_seq = []; sweep_arr = [||]; sweep_pos = 0 }
 
 let mem t k = Hashtbl.mem t.table k
 
 let init_key t k ~value =
-  if not (mem t k) then
-    let genesis = { value; vc = Vclock.zero t.nodes; writer = Ids.genesis } in
-    Hashtbl.replace t.table k (ref [ genesis ])
+  if not (mem t k) then begin
+    let genesis = { value; vc = t.zero; writer = Ids.genesis } in
+    Hashtbl.replace t.table k (ref [ genesis ]);
+    t.total <- t.total + 1;
+    t.key_seq <- k :: t.key_seq
+  end
 
 let chain_ref t k =
   match Hashtbl.find_opt t.table k with
@@ -23,7 +44,8 @@ let last t k =
 
 let install t k ~value ~vc ~writer =
   let r = chain_ref t k in
-  r := { value; vc; writer } :: !r
+  r := { value; vc; writer } :: !r;
+  t.total <- t.total + 1
 
 let chain t k = !(chain_ref t k)
 
@@ -42,15 +64,72 @@ let truncate t k ~keep =
     | [] -> []
     | v :: rest -> if n = 0 then [] else v :: take (n - 1) rest
   in
-  if List.length !r > keep then r := take keep !r
+  let len = List.length !r in
+  if len > keep then begin
+    r := take keep !r;
+    t.total <- t.total - (len - keep)
+  end
+
+let truncate_covered t k ~watermark =
+  let r = chain_ref t k in
+  (* The newest version with vc <= watermark is visible to (and sufficient
+     for) every live and future read-only snapshot whose bound dominates the
+     watermark; [select] walks newest-first and can never need anything
+     older, so everything behind it is garbage.  If no version is covered,
+     keep the whole chain. *)
+  let rec walk newer = function
+    | [] -> 0
+    | v :: older ->
+        if Vclock.leq v.vc watermark then begin
+          let dropped = List.length older in
+          if dropped > 0 then begin
+            r := List.rev_append newer [ v ];
+            t.total <- t.total - dropped
+          end;
+          dropped
+        end
+        else walk (v :: newer) older
+  in
+  walk [] !r
+
+(* One increment of the round-robin chain sweep: visit up to [budget]
+   chains from the cursor, reclaiming everything older than each chain's
+   newest watermark-covered version.  Keys written once and never again are
+   only ever reclaimed here — their superseded version becomes covered long
+   after the writing transaction's apply hook last saw the key. *)
+let sweep_covered t ~watermark ~budget =
+  let dropped = ref 0 in
+  let n = ref budget in
+  while !n > 0 do
+    if t.sweep_pos >= Array.length t.sweep_arr then begin
+      t.sweep_arr <- Array.of_list t.key_seq;
+      t.sweep_pos <- 0;
+      if Array.length t.sweep_arr = 0 then n := 0
+    end;
+    if !n > 0 then begin
+      dropped := !dropped + truncate_covered t t.sweep_arr.(t.sweep_pos) ~watermark;
+      t.sweep_pos <- t.sweep_pos + 1;
+      decr n
+    end
+  done;
+  !dropped
+
+let chains t = Hashtbl.length t.table
 
 let restore_chain t k versions =
-  match versions with [] -> () | _ -> Hashtbl.replace t.table k (ref versions)
+  match versions with
+  | [] -> ()
+  | _ ->
+      let before =
+        match Hashtbl.find_opt t.table k with Some r -> List.length !r | None -> 0
+      in
+      if before = 0 then t.key_seq <- k :: t.key_seq;
+      Hashtbl.replace t.table k (ref versions);
+      t.total <- t.total - before + List.length versions
 
 (* Sorted, so callers observe an order independent of Hashtbl internals. *)
 let keys t =
   List.sort Int.compare
     (Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] [@order_ok])
 
-let version_count t =
-  (Hashtbl.fold (fun _ r acc -> acc + List.length !r) t.table 0 [@order_ok])
+let version_count t = t.total

@@ -45,6 +45,28 @@ val truncate : t -> Ids.key -> keep:int -> unit
 (** Garbage-collect a chain down to its [keep] newest versions (but never
     dropping the last one). *)
 
+val truncate_covered : t -> Ids.key -> watermark:Vclock.t -> int
+(** Watermark-driven collection: keep the newest version whose clock is
+    entry-wise [<= watermark] together with everything newer, and drop the
+    rest, returning how many versions were dropped.  If no version is
+    covered the chain is untouched.  Safe whenever [watermark] is dominated
+    by every live (and, being monotone, every future) read-only snapshot
+    bound: {!select} walks newest-first and stops at the kept covered
+    version at the latest. *)
+
+val sweep_covered : t -> watermark:Vclock.t -> budget:int -> int
+(** Advance the store's round-robin sweep cursor by up to [budget] chains,
+    applying {!truncate_covered} to each; returns the versions dropped.
+    Chains are visited in creation order (deterministic — never Hashtbl
+    order), wrapping around once the pass completes, so repeated calls
+    amortize full-store coverage.  This is what reclaims keys written once
+    and never again: their superseded version only becomes
+    watermark-covered long after any apply-time hook last saw the key. *)
+
+val chains : t -> int
+(** Number of version chains (initialised keys) — O(1); sizes the sweep
+    budget. *)
+
 val restore_chain : t -> Ids.key -> version list -> unit
 (** Replace [key]'s whole chain with [versions] (newest first; a no-op when
     empty).  Used by redo recovery to reload a checkpointed store — normal

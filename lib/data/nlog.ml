@@ -12,6 +12,13 @@ type t = {
   mutable len : int;
   mutable most_recent : Vclock.t;
   mutable committed_max : Vclock.t;
+  mutable floor_max : int array;
+      (* entrywise max over entries dropped by prune_covered: those entries
+         were below the cluster low-watermark, hence admissible for every
+         live and future visibility query, so constrained queries seed
+         their accumulator here instead of losing the pruned contributions.
+         All-zero until the first covered prune, keeping legacy behaviour
+         byte-identical.  Rows are write-once (replaced wholesale). *)
 }
 
 let create ~nodes ~node =
@@ -25,6 +32,7 @@ let create ~nodes ~node =
     len = 1;
     most_recent = zero;
     committed_max = zero;
+    floor_max = Array.make nodes 0;
   }
 
 let node t = t.node
@@ -85,7 +93,13 @@ let visible_max t ~has_read ~bound ~cutoff =
     let rec go w = w >= n || ((not has_read.(w)) && go (w + 1)) in
     go 0
   in
-  if top < 0 then Vclock.zero n
+  if top < 0 then
+    (* even with every retained entry excluded by the cutoff, entries
+       dropped by a covered prune stay visible: they were below the
+       low-watermark, so both admissible and (via the watermark's parked
+       cap) below every present or future cutoff.  The floor row is
+       write-once, so it can be shared like a pmax row. *)
+    (Vclock.unsafe_of_array t.floor_max [@owned])
   else if unconstrained then
     (* rows are write-once: share, don't copy (this is the common
        first-contact read) *)
@@ -100,7 +114,10 @@ let visible_max t ~has_read ~bound ~cutoff =
       Array.unsafe_set ceiling w
         (if has_read.(w) then Stdlib.min (Vclock.get bound w) r else r)
     done;
-    let acc = Array.make n 0 in
+    (* seed with the covered-prune floor (all-zero unless prune_covered
+       ran), so constrained queries keep the pruned entries' contributions
+       exactly as if they were still in the log *)
+    let acc = Array.copy t.floor_max in
     let reached () =
       let rec go w = w >= n || (acc.(w) >= ceiling.(w) && go (w + 1)) in
       go 0
@@ -129,7 +146,28 @@ let visible_max t ~has_read ~bound ~cutoff =
 
 let size t = t.len
 
-let prune t ~before =
+(* Drop entries [0, from): shift the suffix down and rebuild prefix maxima,
+   seeding with the dropped prefix's maximum so visibility bounds never
+   regress because of garbage collection (the pruned transactions stay
+   inside every later snapshot). *)
+let drop_prefix t ~from =
+  let new_len = t.len - from in
+  let entries = Array.make (Array.length t.entries) t.entries.(0) in
+  Array.blit t.entries from entries 0 new_len;
+  t.entries <- entries;
+  t.len <- new_len;
+  let seed = t.pmax.(from - 1) in
+  let pmax = Array.make (Array.length t.pmax) t.pmax.(0) in
+  let prev = ref seed in
+  for i = 0 to new_len - 1 do
+    let vc = t.entries.(i).vc in
+    let m = Array.init t.nodes (fun w -> Stdlib.max !prev.(w) (Vclock.get vc w)) in
+    pmax.(i) <- m;
+    prev := m
+  done;
+  t.pmax <- pmax
+
+let prune ?watermark t ~before =
   (* Keep a contiguous suffix of entries with [at >= before], always keeping
      at least one entry as the floor. *)
   let rec first_kept i =
@@ -139,26 +177,41 @@ let prune t ~before =
   in
   (* keep one older entry as the floor, matching the documented contract *)
   let from = Stdlib.max 0 (first_kept 0 - 1) in
+  (match watermark with
+  | None -> ()
+  | Some wm ->
+      (* the "no active transaction still needs pruned entries" contract,
+         checked: every dropped entry must sit below the caller's cluster
+         low-watermark (debug builds only; compiled out under -noassert) *)
+      for i = 0 to from - 1 do
+        assert (Vclock.leq t.entries.(i).vc wm)
+      done);
+  if from > 0 then drop_prefix t ~from
+
+let prune_covered t ~watermark =
+  (* Drop the longest prefix of entries entry-wise covered by [watermark]
+     (coveredness is not prefix-closed along the log, so later covered
+     entries may survive — that is only a missed opportunity, never an
+     error), always keeping at least one entry. *)
+  let rec scan i =
+    if i >= t.len - 1 then i
+    else if Vclock.leq t.entries.(i).vc watermark then scan (i + 1)
+    else i
+  in
+  let from = scan 0 in
   if from > 0 then begin
-    let new_len = t.len - from in
-    let entries = Array.make (Array.length t.entries) t.entries.(0) in
-    Array.blit t.entries from entries 0 new_len;
-    t.entries <- entries;
-    t.len <- new_len;
-    (* Rebuild prefix maxima, seeding with the dropped prefix's maximum so
-       visibility bounds never regress because of garbage collection (the
-       pruned transactions stay inside every later snapshot). *)
-    let seed = t.pmax.(from - 1) in
-    let pmax = Array.make (Array.length t.pmax) t.pmax.(0) in
-    let prev = ref seed in
-    for i = 0 to new_len - 1 do
-      let vc = t.entries.(i).vc in
-      let m = Array.init t.nodes (fun w -> Stdlib.max !prev.(w) (Vclock.get vc w)) in
-      pmax.(i) <- m;
-      prev := m
-    done;
-    t.pmax <- pmax
-  end
+    (* fold the dropped contributions into the floor BEFORE the rebuild;
+       pmax rows are cumulative (and already >= the current floor), so the
+       last dropped row is exactly the new floor.  Fresh array: floor rows
+       are shared with readers and must stay write-once. *)
+    t.floor_max <- Array.copy t.pmax.(from - 1);
+    drop_prefix t ~from
+  end;
+  from
+
+let floor t = Vclock.of_array t.floor_max
+
+let restore_floor t f = t.floor_max <- Array.init t.nodes (fun w -> Vclock.get f w)
 
 let entries t =
   let rec go i acc = if i < 0 then acc else go (i - 1) (t.entries.(i) :: acc) in

@@ -61,11 +61,33 @@ val visible_max :
 val size : t -> int
 (** Number of retained entries (shrinks under {!prune}). *)
 
-val prune : t -> before:float -> unit
+val prune : ?watermark:Vclock.t -> t -> before:float -> unit
 (** Drop entries applied strictly before [before], always keeping at least
     one.  Callers must guarantee no active transaction still needs pruned
     entries (the experiment harness uses a horizon far larger than any
-    transaction lifetime). *)
+    transaction lifetime).  Passing [watermark] checks that contract in
+    debug builds: an assertion fires if any dropped entry's clock is not
+    entry-wise [<=] the cluster low-watermark (compiled out under
+    [-noassert]). *)
+
+val prune_covered : t -> watermark:Vclock.t -> int
+(** Watermark-driven pruning: drop the longest prefix of entries whose
+    clocks are entry-wise [<= watermark] (always keeping at least one
+    entry) and return how many were dropped.  The dropped contributions are
+    folded into an internal floor that seeds every later {!visible_max},
+    so — provided [watermark] is dominated by every live read-only bound
+    and below every present or future snapshot-queue cutoff — query results
+    are exactly what they would have been without pruning. *)
+
+val floor : t -> Vclock.t
+(** Entry-wise maximum over every entry dropped by {!prune_covered} (the
+    all-zero clock before the first covered prune).  Exposed so durability
+    checkpoints can persist it. *)
+
+val restore_floor : t -> Vclock.t -> unit
+(** Reinstall a {!floor} captured by a checkpoint (redo recovery rebuilds
+    the log from scratch and would otherwise lose the pruned entries'
+    contributions). *)
 
 val entries : t -> entry list
 (** Newest first (tests only). *)

@@ -34,6 +34,12 @@ type params = {
       (* fail-stop-recover one node at (crash, restart) virtual seconds; the
          run wires Chaos crash/restart hooks so durable protocols replay
          their log *)
+  arrival : Sss_workload.Driver.arrival option;
+      (* open-loop arrival process per node; [None] = the paper's closed
+         loop (byte-identical to builds without the open-loop engine) *)
+  queue_capacity : int;  (* open loop: max waiting arrivals per node *)
+  workers : int;  (* open loop: service fibers per node *)
+  gc : bool;  (* watermark-driven online GC (SSS; Config.gc) *)
 }
 
 let default_params =
@@ -57,6 +63,10 @@ let default_params =
     durability = false;
     checkpoint_interval = None;
     crash = None;
+    arrival = None;
+    queue_capacity = 64;
+    workers = 10;
+    gc = false;
   }
 
 type outcome = {
@@ -78,6 +88,18 @@ type outcome = {
   wal : Sss_storage.Storage.stats;
       (* SSS only: cluster-wide write-ahead-log telemetry; zeros when
          durability is off or the system does not expose it *)
+  (* open-loop admission telemetry (zeros under the closed loop) *)
+  offered : int;
+  accepted : int;
+  rejected : int;
+  p99_sojourn : float;  (* completion - arrival, committed txns *)
+  mean_sojourn : float;
+  mean_queue_wait : float;
+  (* storage-retention gauges at end of run (SSS only; zeros elsewhere) *)
+  store_versions : int;
+  nlog_entries : int;
+  gc_dropped_versions : int;
+  gc_dropped_entries : int;
 }
 
 (* ---------- execution context ----------
@@ -105,6 +127,7 @@ let config_of (p : params) : Sss_kv.Config.t =
     record_history = false;
     seed = p.seed;
     strict_order = p.strict;
+    gc = p.gc;
     priority_network = p.priority_network;
     compress_metadata = p.compress;
     observe = p.observe;
@@ -141,6 +164,16 @@ let run (p : params) =
         | None -> Sss_workload.Driver.Uniform
         | Some theta -> Sss_workload.Driver.Zipfian theta);
       retry_aborts = false;
+      open_loop =
+        (match p.arrival with
+        | None -> None
+        | Some arrival ->
+            Some
+              {
+                Sss_workload.Driver.arrival;
+                queue_capacity = p.queue_capacity;
+                workers_per_node = p.workers;
+              });
     }
   in
   let drive ~ops ~local_keys =
@@ -281,6 +314,28 @@ let run (p : params) =
       (match sss_cluster with
       | Some cl -> Sss_kv.Kv.wal_stats cl
       | None -> Sss_storage.Storage.zero_stats);
+    offered = result.Sss_workload.Driver.offered;
+    accepted = result.Sss_workload.Driver.accepted;
+    rejected = result.Sss_workload.Driver.rejected;
+    p99_sojourn = Sss_workload.Stats.percentile result.Sss_workload.Driver.sojourn 0.99;
+    mean_sojourn = Sss_workload.Stats.mean result.Sss_workload.Driver.sojourn;
+    mean_queue_wait = Sss_workload.Stats.mean result.Sss_workload.Driver.queue_wait;
+    store_versions =
+      (match sss_cluster with Some cl -> Sss_kv.Kv.version_count cl | None -> 0);
+    nlog_entries =
+      (match sss_cluster with Some cl -> Sss_kv.Kv.nlog_entries cl | None -> 0);
+    gc_dropped_versions =
+      (match sss_cluster with
+      | Some cl ->
+          let _, v, _ = Sss_kv.Kv.gc_stats cl in
+          v
+      | None -> 0);
+    gc_dropped_entries =
+      (match sss_cluster with
+      | Some cl ->
+          let _, _, e = Sss_kv.Kv.gc_stats cl in
+          e
+      | None -> 0);
   }
 
 let run_in ctx p = run (if ctx.observe_all then { p with observe = true } else p)
@@ -300,9 +355,28 @@ type meters = {
   virtual_seconds : float;  (* virtual time simulated *)
   committed_txns : int;
   runs : int;
+  (* open-loop admission totals (zeros for closed-loop figures) *)
+  offered : int;
+  accepted : int;
+  rejected : int;
+  (* GC totals: end-of-run retained versions (summed over runs) and
+     versions dropped by the online policy *)
+  store_versions : int;
+  gc_dropped : int;
 }
 
-let meters_zero = { des_events = 0; virtual_seconds = 0.0; committed_txns = 0; runs = 0 }
+let meters_zero =
+  {
+    des_events = 0;
+    virtual_seconds = 0.0;
+    committed_txns = 0;
+    runs = 0;
+    offered = 0;
+    accepted = 0;
+    rejected = 0;
+    store_versions = 0;
+    gc_dropped = 0;
+  }
 
 let meters_add m (o : outcome) =
   {
@@ -310,6 +384,11 @@ let meters_add m (o : outcome) =
     virtual_seconds = m.virtual_seconds +. o.virtual_seconds;
     committed_txns = m.committed_txns + o.committed;
     runs = m.runs + 1;
+    offered = m.offered + o.offered;
+    accepted = m.accepted + o.accepted;
+    rejected = m.rejected + o.rejected;
+    store_versions = m.store_versions + o.store_versions;
+    gc_dropped = m.gc_dropped + o.gc_dropped_versions;
   }
 
 let meters_sum a b =
@@ -318,6 +397,11 @@ let meters_sum a b =
     virtual_seconds = a.virtual_seconds +. b.virtual_seconds;
     committed_txns = a.committed_txns + b.committed_txns;
     runs = a.runs + b.runs;
+    offered = a.offered + b.offered;
+    accepted = a.accepted + b.accepted;
+    rejected = a.rejected + b.rejected;
+    store_versions = a.store_versions + b.store_versions;
+    gc_dropped = a.gc_dropped + b.gc_dropped;
   }
 
 (* ---------- staged (two-phase) figure evaluation ----------
@@ -356,6 +440,16 @@ let placeholder_outcome =
     des_events = 0;
     virtual_seconds = 0.0;
     wal = Sss_storage.Storage.zero_stats;
+    offered = 0;
+    accepted = 0;
+    rejected = 0;
+    p99_sojourn = 0.0;
+    mean_sojourn = 0.0;
+    mean_queue_wait = 0.0;
+    store_versions = 0;
+    nlog_entries = 0;
+    gc_dropped_versions = 0;
+    gc_dropped_entries = 0;
   }
 
 let staged ctx body =
@@ -710,6 +804,74 @@ let durability_body scale ~run ~out =
 
 let durability ctx scale = staged ctx (durability_body scale)
 
+(* offered arrivals per second per node; the ladder must cross each
+   protocol's service capacity so the knee and the post-knee sojourn
+   blow-up are both visible *)
+let saturation_rates = function
+  | Full -> [ 10_000.; 20_000.; 40_000.; 80_000.; 160_000. ]
+  | Quick -> [ 10_000.; 20_000.; 40_000.; 80_000. ]
+  | Smoke -> [ 5_000.; 20_000.; 80_000. ]
+
+let saturation_body scale ~run ~out =
+  header out "Saturation: open-loop throughput and p99 sojourn vs offered load";
+  let base = base_params scale in
+  let keys = List.hd (keyspaces scale) in
+  let nodes = match scale with Full -> 10 | Quick -> 5 | Smoke -> 3 in
+  (* An open-loop client observes at minimum the protocol's blocking
+     structure: a read round plus a commit round, each a request/reply
+     exchange — about 2 RTTs plus message service, independent of load.
+     Didona & Zwaenepoel (ATC'19) use this floor to anchor saturation
+     plots; points near it are uncontended, points far above it are
+     queueing. *)
+  let nc = Sss_net.Network.default_config in
+  let floor_s =
+    4.0 *. (nc.Sss_net.Network.latency_base +. nc.Sss_net.Network.cpu_per_message)
+  in
+  pr out
+    "(nodes = %d, %d keys, 50%% read-only, Poisson arrivals per node,\n\
+    \ admission queue %d, %d workers/node, GC on)\n"
+    nodes keys base.queue_capacity base.workers;
+  pr out "latency floor (~2 RTTs, cf. Didona et al.): %.3f ms\n" (floor_s *. 1e3);
+  List.iter
+    (fun sys ->
+      pr out "-- %s --\n" (system_name sys);
+      pr out "%-11s%10s%10s%10s%9s%12s%8s%10s%9s\n" "offered/s" "offered" "accepted"
+        "committed" "KTxs/s" "p99soj ms" "rej%" "versions" "dropped";
+      List.iter
+        (fun rate ->
+          let (o : outcome) =
+            run
+              { base with system = sys; nodes; keys; ro_ratio = 0.5; gc = true;
+                arrival = Some (Sss_workload.Driver.Poisson rate) }
+          in
+          pr out "%-11.0f%10d%10d%10d%9.1f%12.3f%7.1f%%%10d%9d\n" rate o.offered
+            o.accepted o.committed (ktxs o) (o.p99_sojourn *. 1e3)
+            (100. *. float_of_int o.rejected /. float_of_int (max 1 o.offered))
+            o.store_versions o.gc_dropped_versions)
+        (saturation_rates scale))
+    [ Sss; Twopc ];
+  (* one ramp run per system: the arrival rate climbs through the knee
+     within a single trajectory, so the aggregate mixes the uncontended
+     and saturated regimes — a cheap smoke of the Ramp process itself *)
+  let rates = saturation_rates scale in
+  let lo = List.hd rates and hi = List.fold_left Float.max 0.0 rates in
+  pr out "-- ramp %.0f -> %.0f arrivals/s per node --\n" lo hi;
+  pr out "%-8s%10s%10s%10s%9s%12s%8s\n" "system" "offered" "accepted" "committed"
+    "KTxs/s" "p99soj ms" "rej%";
+  List.iter
+    (fun sys ->
+      let (o : outcome) =
+        run
+          { base with system = sys; nodes; keys; ro_ratio = 0.5; gc = true;
+            arrival = Some (Sss_workload.Driver.Ramp { from_rate = lo; to_rate = hi }) }
+      in
+      pr out "%-8s%10d%10d%10d%9.1f%12.3f%7.1f%%\n" (system_name sys) o.offered
+        o.accepted o.committed (ktxs o) (o.p99_sojourn *. 1e3)
+        (100. *. float_of_int o.rejected /. float_of_int (max 1 o.offered)))
+    [ Sss; Twopc ]
+
+let saturation ctx scale = staged ctx (saturation_body scale)
+
 let observed_metrics scale =
   let base = base_params scale in
   let keys = List.hd (keyspaces scale) in
@@ -721,4 +883,5 @@ let all ctx scale =
   List.fold_left
     (fun m fig -> meters_sum m (fig ctx scale))
     meters_zero
-    [ fig3; fig4a; fig4b; fig5; fig6; fig7; fig8; abort_rate; ablation; skewed; durability ]
+    [ fig3; fig4a; fig4b; fig5; fig6; fig7; fig8; abort_rate; ablation; skewed; durability;
+      saturation ]

@@ -53,6 +53,18 @@ type params = {
           it, with {!Sss_chaos.Chaos} crash/restart hooks wired so durable
           protocols discard volatile state and replay their log.  Enables
           the fault-tolerant transport for the run. *)
+  arrival : Sss_workload.Driver.arrival option;
+      (** [Some process]: drive the run open-loop — arrivals from the given
+          process instead of [clients] think-free loops.  [None] (default)
+          keeps the paper's closed loop, byte-identical to builds without
+          the open-loop engine. *)
+  queue_capacity : int;
+      (** open loop: bounded admission queue per node; arrivals beyond it
+          are rejected (counted, not queued) *)
+  workers : int;  (** open loop: service fibers per node *)
+  gc : bool;
+      (** watermark-driven online version GC ({!Sss_kv.Config.t.gc});
+          default off, which is trajectory-identical to builds without it *)
 }
 
 val default_params : params
@@ -83,6 +95,20 @@ type outcome = {
       (** SSS only: cluster-wide write-ahead-log telemetry —
           {!Sss_storage.Storage.zero_stats} when [durability] is off or
           the system does not expose it *)
+  offered : int;  (** open loop: arrivals in the measured window *)
+  accepted : int;  (** open loop: arrivals admitted to a queue *)
+  rejected : int;  (** open loop: arrivals refused (queue at capacity) *)
+  p99_sojourn : float;
+      (** open loop: 99th-percentile completion - arrival over committed
+          transactions (queueing delay + service) *)
+  mean_sojourn : float;
+  mean_queue_wait : float;  (** open loop: mean dequeue - arrival *)
+  store_versions : int;
+      (** SSS only: versions retained across every node's MV-store at end
+          of run *)
+  nlog_entries : int;  (** SSS only: node-log entries retained at end of run *)
+  gc_dropped_versions : int;  (** SSS only: versions reclaimed by online GC *)
+  gc_dropped_entries : int;  (** SSS only: log entries reclaimed by online GC *)
 }
 
 val run : params -> outcome
@@ -125,6 +151,11 @@ type meters = {
   virtual_seconds : float;  (** virtual time simulated *)
   committed_txns : int;
   runs : int;  (** number of {!run} calls banked *)
+  offered : int;  (** open-loop arrivals (0 for closed-loop figures) *)
+  accepted : int;
+  rejected : int;
+  store_versions : int;  (** end-of-run retained versions, summed over runs *)
+  gc_dropped : int;  (** versions reclaimed by the online GC *)
 }
 
 val meters_zero : meters
@@ -193,6 +224,16 @@ val durability : ctx -> scale -> meters
     intervals shrink the replayed log tail (faster recovery) at the price
     of more checkpoint write traffic.  EXPERIMENTS.md records the
     measured table. *)
+
+val saturation : ctx -> scale -> meters
+(** Extra experiment (not in the paper): open-loop saturation sweep.  A
+    Poisson offered-load ladder per node is swept through each protocol's
+    capacity knee (SSS and 2PC-baseline, online GC on), reporting accepted
+    vs committed load, the 99th-percentile sojourn time, the admission
+    rejection rate, and the version-retention gauges; a closing section
+    drives one [Ramp] trajectory per system through the same range.  The
+    printed latency floor (~2 request/reply rounds) anchors the sojourn
+    axis the way Didona et al. anchor their saturation plots. *)
 
 val observed_metrics : scale -> string
 (** Run one traced SSS cell (the fig4b/fig5 configuration with

@@ -20,6 +20,14 @@ type profile = {
 let paper_profile ~read_only_ratio =
   { read_only_ratio; update_ops = 2; ro_ops = 2; locality = 0.0 }
 
+type arrival = Poisson of float | Ramp of { from_rate : float; to_rate : float }
+
+type open_loop = {
+  arrival : arrival;
+  queue_capacity : int;
+  workers_per_node : int;
+}
+
 type load = {
   clients_per_node : int;
   warmup : float;
@@ -27,6 +35,7 @@ type load = {
   seed : int;
   dist : key_dist;
   retry_aborts : bool;
+  open_loop : open_loop option;
 }
 
 let default_load =
@@ -37,6 +46,7 @@ let default_load =
     seed = 42;
     dist = Uniform;
     retry_aborts = false;
+    open_loop = None;
   }
 
 type result = {
@@ -48,6 +58,12 @@ type result = {
   latency : Stats.t;
   ro_latency : Stats.t;
   update_latency : Stats.t;
+  offered : int;
+  accepted : int;
+  rejected : int;
+  sojourn : Stats.t;
+  service : Stats.t;
+  queue_wait : Stats.t;
 }
 
 type counters = {
@@ -55,6 +71,29 @@ type counters = {
   mutable committed_ro : int;
   mutable aborted : int;
 }
+
+type open_counters = {
+  mutable offered : int;
+  mutable accepted : int;
+  mutable rejected : int;
+}
+
+(* The instantaneous arrival rate: constant for Poisson, linearly
+   interpolated from [from_rate] to [to_rate] over [0, horizon] for Ramp
+   (clamped outside the sweep window). *)
+let arrival_rate arrival ~at ~horizon =
+  match arrival with
+  | Poisson rate -> rate
+  | Ramp { from_rate; to_rate } ->
+      let frac =
+        if horizon <= 0.0 then 1.0 else Float.max 0.0 (Float.min 1.0 (at /. horizon))
+      in
+      from_rate +. ((to_rate -. from_rate) *. frac)
+
+let arrival_gap arrival rng ~at ~horizon =
+  let rate = arrival_rate arrival ~at ~horizon in
+  if rate <= 0.0 then invalid_arg "Driver.arrival_gap: arrival rate must be positive";
+  Prng.exponential rng ~mean:(1.0 /. rate)
 
 (* pause after an attempt died to a node crash, before trying fresh keys *)
 let crashed_backoff = 1e-3
@@ -134,6 +173,109 @@ let client_loop sim ~ops ~rng ~node ~profile ~load ~zipf ~total_keys ~local ~sto
   in
   txn_loop ()
 
+(* ---------- open loop: seeded arrival process + bounded admission ---------- *)
+
+(* One node's admission queue: arrival timestamps waiting for a worker.
+   The generator pushes (or rejects, when full); workers drain. *)
+type lane = {
+  queue : float Queue.t;
+  mutable gen_done : bool;
+  nonempty : Sim.Cond.t;
+}
+
+let open_generator sim ~arng ~arrival ~lane ~capacity ~stop ~measure_from ~ocounters =
+  let rec gen () =
+    let at = Sim.now sim in
+    let gap = arrival_gap arrival arng ~at ~horizon:stop in
+    if at +. gap < stop then begin
+      Sim.sleep sim gap;
+      let now = Sim.now sim in
+      let measured = now >= measure_from in
+      if measured then ocounters.offered <- ocounters.offered + 1;
+      (* capacity bounds WAITING requests: a full queue rejects the arrival
+         even while workers are busy elsewhere, and capacity 0 rejects
+         everything (pure loss system) *)
+      if Queue.length lane.queue >= capacity then begin
+        if measured then ocounters.rejected <- ocounters.rejected + 1
+      end
+      else begin
+        Queue.push now lane.queue;
+        if measured then ocounters.accepted <- ocounters.accepted + 1;
+        Sim.Cond.broadcast sim lane.nonempty
+      end;
+      gen ()
+    end
+  in
+  gen ();
+  lane.gen_done <- true;
+  Sim.Cond.broadcast sim lane.nonempty
+
+let open_worker sim ~ops ~rng ~node ~profile ~load ~zipf ~total_keys ~local ~measure_from
+    ~counters ~lane ~latency ~ro_latency ~update_latency ~sojourn ~service ~queue_wait =
+  let value_counter = ref 0 in
+  let run_once ~read_only keys =
+    let h = ops.begin_txn ~node ~read_only in
+    if read_only then List.iter (fun k -> ignore (ops.read h k)) keys
+    else
+      List.iter
+        (fun k ->
+          let v = ops.read h k in
+          incr value_counter;
+          ops.write h k (Printf.sprintf "%d:%d.%d (was %s)" node !value_counter k v))
+        keys;
+    ops.commit h
+  in
+  let rec serve () =
+    match Queue.take_opt lane.queue with
+    | Some arrived ->
+        let dequeued = Sim.now sim in
+        let read_only = Prng.float rng 1.0 < profile.read_only_ratio in
+        let count = if read_only then profile.ro_ops else profile.update_ops in
+        let keys =
+          pick_keys rng ~dist:load.dist ~zipf ~total_keys ~local ~locality:profile.locality
+            ~count
+        in
+        (* the measurement window is keyed on ARRIVAL time: a request that
+           arrived during warmup but finished inside the window would bias
+           the sojourn distribution low (its queueing happened off-window) *)
+        let measured = arrived >= measure_from in
+        let rec attempt () =
+          let ok =
+            try Some (run_once ~read_only keys)
+            with Sss_net.Rpc.Crashed _ ->
+              Sim.sleep sim crashed_backoff;
+              None
+          in
+          match ok with
+          | None -> ()
+          | Some ok ->
+              if not ok then begin
+                if measured then counters.aborted <- counters.aborted + 1;
+                if load.retry_aborts then attempt ()
+              end
+              else if measured then begin
+                counters.committed <- counters.committed + 1;
+                if read_only then counters.committed_ro <- counters.committed_ro + 1;
+                let finished = Sim.now sim in
+                let svc = finished -. dequeued in
+                Stats.add latency svc;
+                if read_only then Stats.add ro_latency svc else Stats.add update_latency svc;
+                Stats.add service svc;
+                Stats.add sojourn (finished -. arrived);
+                Stats.add queue_wait (dequeued -. arrived)
+              end
+        in
+        attempt ();
+        serve ()
+    | None ->
+        if not lane.gen_done then begin
+          Sim.Cond.await sim lane.nonempty (fun () ->
+              (not (Queue.is_empty lane.queue)) || lane.gen_done);
+          serve ()
+        end
+  in
+  serve ()
+
 let run sim ~nodes ~total_keys ~local_keys ~profile ~load ~ops =
   let zipf =
     match load.dist with
@@ -142,20 +284,49 @@ let run sim ~nodes ~total_keys ~local_keys ~profile ~load ~ops =
   in
   let base_rng = Prng.create ~seed:load.seed in
   let counters = { committed = 0; committed_ro = 0; aborted = 0 } in
+  let ocounters = { offered = 0; accepted = 0; rejected = 0 } in
   let latency = Stats.create () in
   let ro_latency = Stats.create () in
   let update_latency = Stats.create () in
+  let sojourn = Stats.create () in
+  let service = Stats.create () in
+  let queue_wait = Stats.create () in
   let measure_from = load.warmup in
   let stop = load.warmup +. load.duration in
-  for node = 0 to nodes - 1 do
-    let local = local_keys node in
-    for _ = 1 to load.clients_per_node do
-      let rng = Prng.split base_rng in
-      Sim.spawn sim (fun () ->
-          client_loop sim ~ops ~rng ~node ~profile ~load ~zipf ~total_keys ~local ~stop
-            ~measure_from ~counters ~latency ~ro_latency ~update_latency)
-    done
-  done;
+  (match load.open_loop with
+  | None ->
+      for node = 0 to nodes - 1 do
+        let local = local_keys node in
+        for _ = 1 to load.clients_per_node do
+          let rng = Prng.split base_rng in
+          Sim.spawn sim (fun () ->
+              client_loop sim ~ops ~rng ~node ~profile ~load ~zipf ~total_keys ~local ~stop
+                ~measure_from ~counters ~latency ~ro_latency ~update_latency)
+        done
+      done
+  | Some ol ->
+      (* The arrival processes draw from a private splitmix stream (seed
+         perturbed by a fixed tag), so arrival randomness never interleaves
+         with the workers' key/mix draws — mirroring how sss_chaos keeps
+         fault injection off the workload's stream. *)
+      let arrival_base = Prng.create ~seed:(load.seed lxor 0x6f70656e) in
+      for node = 0 to nodes - 1 do
+        let local = local_keys node in
+        let lane =
+          { queue = Queue.create (); gen_done = false; nonempty = Sim.Cond.create () }
+        in
+        let arng = Prng.split arrival_base in
+        Sim.spawn sim (fun () ->
+            open_generator sim ~arng ~arrival:ol.arrival ~lane ~capacity:ol.queue_capacity
+              ~stop ~measure_from ~ocounters);
+        for _ = 1 to ol.workers_per_node do
+          let rng = Prng.split base_rng in
+          Sim.spawn sim (fun () ->
+              open_worker sim ~ops ~rng ~node ~profile ~load ~zipf ~total_keys ~local
+                ~measure_from ~counters ~lane ~latency ~ro_latency ~update_latency ~sojourn
+                ~service ~queue_wait)
+        done
+      done);
   Sim.run sim;
   {
     committed = counters.committed;
@@ -168,4 +339,10 @@ let run sim ~nodes ~total_keys ~local_keys ~profile ~load ~ops =
     latency;
     ro_latency;
     update_latency;
+    offered = ocounters.offered;
+    accepted = ocounters.accepted;
+    rejected = ocounters.rejected;
+    sojourn;
+    service;
+    queue_wait;
   }

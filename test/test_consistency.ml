@@ -473,6 +473,131 @@ let test_duplicate_install_accepted () =
       check_ok "duplicate install keeps updates" (Checker.no_lost_updates (rebuild duplicated));
       check_ok "duplicate install not torn" (Checker.no_torn_commits (rebuild duplicated))
 
+(* ---------- GC safety ----------
+
+   Online version GC must be invisible: it may only drop versions no live
+   (or future) read-only snapshot can still select.  The first test mutates
+   the STORE rather than the history — an over-eager truncate mid-run — and
+   shows the checker catches the resulting anomalies, i.e. the safety net
+   under which the real watermark GC runs is live.  The second shows the
+   real GC is indeed invisible: the full committed history is byte-identical
+   with GC on and off. *)
+
+let gc_run ?(sabotage = false) ~gc ~seed () =
+  let sim = Sss_sim.Sim.create () in
+  let config =
+    {
+      Sss_kv.Config.default with
+      nodes = 3;
+      replication_degree = 1;
+      total_keys = 18;
+      seed;
+      gc;
+    }
+  in
+  let cl = Sss_kv.Kv.create sim config in
+  if sabotage then
+    (* the modelled bug: a GC that ignores the snapshot low-watermark and
+       slashes every chain to its newest version, repeatedly, mid-run *)
+    Sss_sim.Sim.spawn sim (fun () ->
+        for _ = 1 to 30 do
+          Sss_sim.Sim.sleep sim 0.002;
+          Array.iter
+            (fun (n : Sss_kv.State.node) ->
+              List.iter
+                (fun k -> Mvstore.truncate n.Sss_kv.State.store k ~keep:1)
+                (Mvstore.keys n.Sss_kv.State.store))
+            cl.Sss_kv.State.nodes
+        done);
+  let ops =
+    {
+      Sss_workload.Driver.begin_txn =
+        (fun ~node ~read_only -> Sss_kv.Kv.begin_txn cl ~node ~read_only);
+      read = Sss_kv.Kv.read;
+      write = Sss_kv.Kv.write;
+      commit = Sss_kv.Kv.commit;
+    }
+  in
+  ignore
+    (Sss_workload.Driver.run sim ~nodes:3 ~total_keys:18
+       ~local_keys:(fun n -> Replication.keys_at cl.Sss_kv.State.repl n)
+       ~profile:(Sss_workload.Driver.paper_profile ~read_only_ratio:0.5)
+       ~load:
+         {
+           Sss_workload.Driver.default_load with
+           clients_per_node = 4;
+           warmup = 0.005;
+           duration = 0.08;
+           seed;
+         }
+       ~ops);
+  cl
+
+let checker_verdict cl =
+  let h = Sss_kv.Kv.history cl in
+  match
+    ( Checker.external_consistency h,
+      Checker.serializability h,
+      Checker.no_lost_updates h )
+  with
+  | Ok (), Ok (), Ok () -> Ok ()
+  | Error m, _, _ | _, Error m, _ | _, _, Error m -> Error m
+
+let test_over_eager_truncate_caught () =
+  (* same run without the sabotage fiber is checker-clean... *)
+  check_ok "un-sabotaged run is clean" (checker_verdict (gc_run ~gc:false ~seed:21 ()));
+  (* ...and with it, paused read-only transactions are served versions
+     newer than their snapshot bound, which the checker flags *)
+  check_err "over-eager truncate caught"
+    (checker_verdict (gc_run ~sabotage:true ~gc:false ~seed:21 ()))
+
+(* A printable fingerprint of the full event history: every begin, read
+   (with the version's writer), install, commit and abort, in recorded
+   order with sequence numbers and timestamps.  Byte-equality of two
+   fingerprints is byte-equality of the two executions. *)
+let history_fingerprint cl =
+  let b = Buffer.create 65536 in
+  List.iter
+    (fun (s : History.stamped) ->
+      let e =
+        match s.event with
+        | History.Begin { txn; ro; node } ->
+            Printf.sprintf "B %s %b %d" (Ids.txn_to_string txn) ro node
+        | History.Read { txn; key; writer } ->
+            Printf.sprintf "R %s %d %s" (Ids.txn_to_string txn) key
+              (Ids.txn_to_string writer)
+        | History.Install { txn; key } ->
+            Printf.sprintf "I %s %d" (Ids.txn_to_string txn) key
+        | History.Commit { txn; ws } ->
+            Printf.sprintf "C %s [%s]" (Ids.txn_to_string txn)
+              (String.concat "," (List.map string_of_int ws))
+        | History.Abort { txn } -> Printf.sprintf "A %s" (Ids.txn_to_string txn)
+      in
+      Buffer.add_string b (Printf.sprintf "%d %.9f %s\n" s.seq s.at e))
+    (History.events (Sss_kv.Kv.history cl));
+  Buffer.contents b
+
+let test_gc_does_not_change_history () =
+  let off = gc_run ~gc:false ~seed:23 () in
+  let on = gc_run ~gc:true ~seed:23 () in
+  (* the GC-on run must have actually collected something, or this test
+     proves nothing *)
+  let _, dropped_versions, _ = Sss_kv.Kv.gc_stats on in
+  Alcotest.(check bool)
+    (Printf.sprintf "GC dropped versions (%d)" dropped_versions)
+    true (dropped_versions > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "GC-on retains fewer versions (%d < %d)"
+       (Sss_kv.Kv.version_count on) (Sss_kv.Kv.version_count off))
+    true
+    (Sss_kv.Kv.version_count on < Sss_kv.Kv.version_count off);
+  check_ok "GC-on run is checker-clean" (checker_verdict on);
+  check_ok "GC-on run is quiescent" (Sss_kv.Kv.quiescent on);
+  (* and the committed history — every event, timestamp and version read —
+     is byte-identical: the GC was invisible *)
+  Alcotest.(check string) "histories byte-identical" (history_fingerprint off)
+    (history_fingerprint on)
+
 let () =
   Alcotest.run "consistency"
     [
@@ -501,5 +626,12 @@ let () =
           Alcotest.test_case "torn commit in a real history" `Quick test_mutation_torn_commit;
           Alcotest.test_case "duplicate install accepted" `Quick
             test_duplicate_install_accepted;
+        ] );
+      ( "gc-safety",
+        [
+          Alcotest.test_case "over-eager truncate caught" `Quick
+            test_over_eager_truncate_caught;
+          Alcotest.test_case "GC never changes committed history" `Quick
+            test_gc_does_not_change_history;
         ] );
     ]

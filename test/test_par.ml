@@ -141,6 +141,51 @@ let test_chaos_sweep_determinism () =
   Alcotest.(check (list (pair int int)))
     "chaos sweep identical at -j1 and -j4" (at 1) (at 4)
 
+(* the open-loop arrival engine and the online GC through the pool: the
+   saturation figure (Poisson + Ramp arrivals, admission rejection,
+   watermark GC, for two protocols) must be byte-identical at -j1 and -j4 *)
+let test_saturation_determinism () =
+  let capture jobs =
+    let buf = Buffer.create 4096 in
+    let c = E.ctx ~jobs ~out:(Buffer.add_string buf) () in
+    let m = E.saturation c E.Smoke in
+    (Buffer.contents buf, m)
+  in
+  let text1, m1 = capture 1 in
+  let text4, m4 = capture 4 in
+  Alcotest.(check string) "saturation text identical at -j1 and -j4" text1 text4;
+  Alcotest.(check bool) "saturation prints something" true (String.length text1 > 0);
+  Alcotest.(check (pair (pair int (float 0.)) (pair int int)))
+    "saturation meters identical" (meters_tuple m1) (meters_tuple m4);
+  Alcotest.(check bool) "saturation sweeps admitted traffic" true (m1.E.accepted > 0);
+  Alcotest.(check bool) "saturation GC collected versions" true (m1.E.gc_dropped > 0)
+
+(* a single open-loop + GC point, digested down to its admission counters
+   and the DES event total: identical through the pool at any jobs count *)
+let test_open_loop_run_determinism () =
+  let p =
+    {
+      E.default_params with
+      nodes = 3;
+      keys = 24;
+      duration = 0.02;
+      arrival = Some (Sss_workload.Driver.Poisson 4_000.0);
+      queue_capacity = 8;
+      workers = 4;
+      gc = true;
+    }
+  in
+  let digest outs =
+    List.map
+      (fun (o : E.outcome) ->
+        ((o.E.offered, o.E.accepted, o.E.rejected), (o.E.committed, o.E.des_events)))
+      outs
+  in
+  let at jobs = digest (E.run_seeds (E.ctx ~jobs ()) p ~seeds:(Sweep.seeds 6)) in
+  Alcotest.(check
+      (list (pair (triple int int int) (pair int int))))
+    "open-loop run_seeds identical at -j1 and -j4" (at 1) (at 4)
+
 let () =
   Alcotest.run "par"
     [
@@ -160,5 +205,7 @@ let () =
           Alcotest.test_case "figure -j1 = -j4" `Slow test_figure_determinism;
           Alcotest.test_case "run_seeds -j1 = -j4" `Quick test_run_seeds_determinism;
           Alcotest.test_case "chaos sweep -j1 = -j4" `Quick test_chaos_sweep_determinism;
+          Alcotest.test_case "saturation -j1 = -j4" `Slow test_saturation_determinism;
+          Alcotest.test_case "open-loop run -j1 = -j4" `Quick test_open_loop_run_determinism;
         ] );
     ]

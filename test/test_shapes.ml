@@ -105,29 +105,36 @@ let test_hardening_overhead_bounded_at_standard_profile () =
     true
     (hard >= 0.6 *. paper)
 
-(* Fig. 3 at smoke scale, pinned byte-for-byte.  The figure's text and the
+(* Smoke-scale figures pinned byte-for-byte.  The figure's text and the
    run's simulator totals are a complete fingerprint of the DES trajectory:
    an engine change that reorders even two equal-time events shifts commit
    counts and shows up here.  Intentional trajectory changes (new event
    types, protocol edits) must regenerate the fixture:
 
-     dune exec bin/sss_cli.exe -- figure fig3 --scale smoke \
-       > test/golden/fig3_smoke.txt
-   then append the meter lines in the format below. *)
-let test_fig3_smoke_golden () =
+     dune exec bin/golden.exe -- fig3       > test/golden/fig3_smoke.txt
+     dune exec bin/golden.exe -- saturation > test/golden/saturation_smoke.txt *)
+let check_golden what fig fixture_name =
   let buf = Buffer.create 4096 in
   let c = ctx ~jobs:1 ~out:(Buffer.add_string buf) () in
-  let m = fig3 c Smoke in
+  let m = fig c Smoke in
   Buffer.add_string buf
     (Printf.sprintf "des_events %d\nvirtual_seconds %.6f\ncommitted_txns %d\nruns %d\n"
        m.des_events m.virtual_seconds m.committed_txns m.runs);
   let fixture =
     (* cwd is test/ under [dune runtest], the repo root under [dune exec] *)
-    if Sys.file_exists "golden/fig3_smoke.txt" then "golden/fig3_smoke.txt"
-    else "test/golden/fig3_smoke.txt"
+    if Sys.file_exists ("golden/" ^ fixture_name) then "golden/" ^ fixture_name
+    else "test/golden/" ^ fixture_name
   in
   let expected = In_channel.with_open_text fixture In_channel.input_all in
-  Alcotest.(check string) "fig3 smoke trajectory" expected (Buffer.contents buf)
+  Alcotest.(check string) what expected (Buffer.contents buf)
+
+let test_fig3_smoke_golden () = check_golden "fig3 smoke trajectory" fig3 "fig3_smoke.txt"
+
+(* The open-loop engine and online GC under the same byte-level pin: the
+   saturation smoke sweep covers Poisson and Ramp arrivals, admission
+   rejection, and watermark GC for both SSS and the 2PC baseline. *)
+let test_saturation_smoke_golden () =
+  check_golden "saturation smoke trajectory" saturation "saturation_smoke.txt"
 
 let () =
   Alcotest.run "shapes"
@@ -146,5 +153,7 @@ let () =
           Alcotest.test_case "hardening overhead bounded" `Slow
             test_hardening_overhead_bounded_at_standard_profile;
           Alcotest.test_case "fig3 smoke golden trajectory" `Slow test_fig3_smoke_golden;
+          Alcotest.test_case "saturation smoke golden trajectory" `Slow
+            test_saturation_smoke_golden;
         ] );
     ]

@@ -14,6 +14,11 @@
 #                             trajectory vs the committed baseline, and the
 #                             durable paths (WAL overhead + crash recovery)
 #                             must run clean at smoke scale
+#   6. saturation smoke     — the open-loop engine + online GC: the smoke
+#                             sweep must replay the committed golden
+#                             byte-for-byte, and the bench JSON must show
+#                             admission rejection and GC drops actually
+#                             happened
 #
 # Run from the repository root.
 set -eu
@@ -51,5 +56,31 @@ done
 # plus the crash-recovery checkpoint sweep, seconds-long at smoke scale.
 dune exec bench/main.exe -- --scale smoke durability >/dev/null
 echo "check: durability gates OK"
+
+echo "check: saturation smoke"
+# Open-loop + GC trajectory gate: the saturation smoke sweep (Poisson and
+# Ramp arrivals, admission queues, watermark GC, SSS + 2PC) regenerated
+# from scratch must equal the committed golden byte-for-byte.
+dune exec bin/golden.exe -- saturation > BENCH_sat_check.txt
+if ! cmp -s BENCH_sat_check.txt test/golden/saturation_smoke.txt; then
+  diff BENCH_sat_check.txt test/golden/saturation_smoke.txt >&2 || true
+  echo "check FAIL: saturation smoke trajectory diverged from test/golden/saturation_smoke.txt" >&2
+  echo "  (regenerate with 'dune exec bin/golden.exe -- saturation' only if intentional)" >&2
+  exit 1
+fi
+rm -f BENCH_sat_check.txt
+# And the open-loop engine must be doing real work: the bench target's
+# JSON counters have to show arrivals were rejected (the knee was crossed)
+# and the online GC collected versions.
+dune exec bench/main.exe -- --scale smoke saturation --json BENCH_sat_check.json >/dev/null
+for key in rejected gc_dropped_versions; do
+  val=$(grep -o "\"$key\": [0-9]*" BENCH_sat_check.json | head -1 | tr -cd '0-9')
+  if [ -z "$val" ] || [ "$val" -eq 0 ]; then
+    echo "check FAIL: saturation smoke JSON has $key = '${val:-missing}', expected > 0" >&2
+    exit 1
+  fi
+done
+rm -f BENCH_sat_check.json
+echo "check: saturation gates OK"
 
 echo "check: all gates passed"
