@@ -1,7 +1,8 @@
 (* Benchmark harness.
 
    Usage:  dune exec bench/main.exe -- [--scale full|quick|smoke]
-             [--json FILE] [--observe] [-j N|max] [--speedup] [targets]
+             [--json FILE] [--observe] [-j N|max] [--speedup] [--slo MS]
+             [targets]
 
    Targets are the paper's evaluation artefacts: fig3 fig4a fig4b fig5 fig6
    fig7 fig8 abort-rate (see DESIGN.md §3 for the mapping), the extra
@@ -29,7 +30,11 @@
    and every deterministic JSON field — is byte-identical at any N; only
    wall-clock fields change.  The smoke.sh parallel gate pins this.
    [--speedup] additionally times a quiet -j1 baseline per figure target
-   and records jobs + per-target speedup in a "parallel" JSON block. *)
+   and records jobs + per-target speedup in a "parallel" JSON block.
+
+   [--slo MS] sets the saturation figure's p99 sojourn SLO bound (default
+   5 ms): each protocol reports the highest offered rate whose p99 still
+   meets it, echoed as "slo_sustained_rates" in the JSON target. *)
 
 open Sss_experiments.Experiments
 
@@ -75,7 +80,7 @@ let micro_tests () =
       (Staged.stage (fun () -> Nlog.visible_max nlog ~has_read ~bound ~cutoff:max_int));
     Test.make ~name:"mvstore.select"
       (Staged.stage (fun () ->
-           Mvstore.select store 1 ~skip:(fun v -> Vclock.get v.Mvstore.vc 0 > 16)));
+           Mvstore.select store 1 ~skip:(fun cvc -> Vclock.get cvc 0 > 16)));
   ]
 
 let run_micro () =
@@ -147,7 +152,7 @@ let write_json file ~scale ~scale_v ~observe ~jobs ~speedup ~metrics reports =
        "{\n\
        \  \"scale\": \"%s\",\n\
        \  \"meta\": {\n\
-       \    \"schema\": 5,\n\
+       \    \"schema\": 6,\n\
        \    \"scale\": \"%s\",\n\
        \    \"seed\": %d,\n\
        \    \"config_md5\": \"%s\",\n\
@@ -171,6 +176,26 @@ let write_json file ~scale ~scale_v ~observe ~jobs ~speedup ~metrics reports =
       let words_per_event =
         if r.m.des_events > 0 then r.alloc_words /. float_of_int r.m.des_events else 0.0
       in
+      let words_per_version =
+        if r.m.store_versions > 0 then
+          float_of_int r.m.store_words /. float_of_int r.m.store_versions
+        else 0.0
+      in
+      let slo_json =
+        match r.m.slo_rates with
+        | [] -> ""
+        | rates ->
+            let cells =
+              List.map
+                (fun (sys, rate) ->
+                  match rate with
+                  | Some v -> Printf.sprintf "\"%s\": %.0f" (json_escape sys) v
+                  | None -> Printf.sprintf "\"%s\": null" (json_escape sys))
+                rates
+            in
+            Printf.sprintf "\n      \"slo_sustained_rates\": { %s },"
+              (String.concat ", " cells)
+      in
       Buffer.add_string buf
         (Printf.sprintf
            "\n    {\n\
@@ -186,7 +211,9 @@ let write_json file ~scale ~scale_v ~observe ~jobs ~speedup ~metrics reports =
            \      \"accepted\": %d,\n\
            \      \"rejected\": %d,\n\
            \      \"store_versions\": %d,\n\
-           \      \"gc_dropped_versions\": %d,\n\
+           \      \"store_words\": %d,\n\
+           \      \"words_per_version\": %.2f,\n\
+           \      \"gc_dropped_versions\": %d,%s\n\
            \      \"allocated_words\": %.0f,\n\
            \      \"words_per_des_event\": %.2f,\n\
            \      \"minor_collections\": %d,\n\
@@ -194,8 +221,9 @@ let write_json file ~scale ~scale_v ~observe ~jobs ~speedup ~metrics reports =
            \    }"
            (json_escape r.target) r.wall_seconds r.m.des_events events_per_sec
            r.m.virtual_seconds r.m.committed_txns virtual_tput r.m.runs r.m.offered
-           r.m.accepted r.m.rejected r.m.store_versions r.m.gc_dropped r.alloc_words
-           words_per_event r.minor_collections r.major_collections))
+           r.m.accepted r.m.rejected r.m.store_versions r.m.store_words words_per_version
+           r.m.gc_dropped slo_json r.alloc_words words_per_event r.minor_collections
+           r.major_collections))
     reports;
   Buffer.add_string buf "\n  ]";
   if speedup then begin
@@ -226,7 +254,7 @@ let write_json file ~scale ~scale_v ~observe ~jobs ~speedup ~metrics reports =
 
 (* ---------- dispatch ---------- *)
 
-let figure_of = function
+let figure_of ~slo_ms = function
   | "fig3" -> Some fig3
   | "fig4a" -> Some fig4a
   | "fig4b" -> Some fig4b
@@ -238,7 +266,7 @@ let figure_of = function
   | "ablation" -> Some ablation
   | "skewed" -> Some skewed
   | "durability" -> Some durability
-  | "saturation" -> Some saturation
+  | "saturation" -> Some (fun ctx scale -> saturation ?slo_ms ctx scale)
   | "all" -> Some all
   | _ -> None
 
@@ -249,6 +277,7 @@ let () =
   let observe = ref false in
   let jobs = ref 1 in
   let speedup = ref false in
+  let slo_ms = ref None in
   let targets = ref [] in
   let parse_jobs = function
     | "max" -> Sss_par.Pool.default_jobs ()
@@ -278,6 +307,11 @@ let () =
         parse rest
     | "--speedup" :: rest ->
         speedup := true;
+        parse rest
+    | "--slo" :: ms :: rest ->
+        (match float_of_string_opt ms with
+        | Some v when v > 0.0 -> slo_ms := Some v
+        | _ -> failwith ("bad --slo value " ^ ms));
         parse rest
     | t :: rest ->
         targets := t :: !targets;
@@ -319,7 +353,7 @@ let () =
   in
   List.iter
     (fun t ->
-      match figure_of t with
+      match figure_of ~slo_ms:!slo_ms t with
       | Some fig ->
           let baseline_wall =
             if speedup then begin

@@ -9,6 +9,9 @@ set -eu
 # BENCH_smoke.json (HEAD copy, so a previous local run can't move the bar).
 baseline_eps=$(git show HEAD:BENCH_smoke.json 2>/dev/null \
   | grep '"des_events_per_sec"' | head -1 | tr -cd '0-9' || true)
+# Resident-store baseline for the footprint gate (absent before schema 6).
+baseline_wpv=$(git show HEAD:BENCH_smoke.json 2>/dev/null \
+  | grep '"words_per_version"' | head -1 | sed -n 's/.*: *\([0-9.]*\).*/\1/p' || true)
 
 dune build
 dune runtest
@@ -34,6 +37,22 @@ if [ -n "$baseline_eps" ] && [ -n "$new_eps" ]; then
   echo "smoke: throughput gate OK ($new_eps ev/s vs baseline $baseline_eps)"
 else
   echo "smoke: throughput gate skipped (no committed baseline)"
+fi
+
+# Storage-regression gate: resident words per retained version must stay
+# within 10% of the committed baseline.  This is deterministic (arena
+# accounting, not wall clock), so a trip is a genuine layout regression —
+# or an intentional change, in which case commit the refreshed baseline.
+new_wpv=$(grep '"words_per_version"' BENCH_smoke.json | head -1 \
+  | sed -n 's/.*: *\([0-9.]*\).*/\1/p')
+if [ -n "$baseline_wpv" ] && [ -n "$new_wpv" ]; then
+  if awk "BEGIN { exit !($new_wpv > 1.1 * $baseline_wpv) }"; then
+    echo "smoke FAIL: words_per_version $new_wpv > 110% of baseline $baseline_wpv" >&2
+    exit 1
+  fi
+  echo "smoke: storage gate OK ($new_wpv words/version vs baseline $baseline_wpv)"
+else
+  echo "smoke: storage gate skipped (no words_per_version baseline)"
 fi
 
 # Observer-effect gate: the same fig3 smoke run traced (--observe) must

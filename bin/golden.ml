@@ -15,7 +15,7 @@ let () =
   let fig =
     match name with
     | "fig3" -> fig3
-    | "saturation" -> saturation
+    | "saturation" -> fun c scale -> saturation c scale
     | _ ->
         prerr_endline "usage: golden (fig3|saturation)";
         exit 2

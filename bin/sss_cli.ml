@@ -132,6 +132,17 @@ let point_cmd =
     if gc then
       Printf.printf "gc          : %d versions retained, %d versions + %d log entries dropped\n"
         o.store_versions o.gc_dropped_versions o.gc_dropped_entries;
+    (let m = o.store_mem in
+     if m.Sss_data.Mvstore.versions > 0 then
+       Printf.printf
+         "store       : %d words resident (%.2f words/version; slots %d, clocks %d, index \
+          %d, values %d)\n"
+         (Sss_data.Mvstore.mem_total m)
+         (Sss_data.Mvstore.words_per_version m)
+         m.Sss_data.Mvstore.slot_words m.Sss_data.Mvstore.clock_words
+         m.Sss_data.Mvstore.index_words m.Sss_data.Mvstore.value_words
+     else if o.store_words > 0 then
+       Printf.printf "store       : %d words resident (modelled)\n" o.store_words);
     match o.metrics with
     | Some json -> Printf.printf "metrics     : %s\n" json
     | None -> ()
@@ -171,7 +182,7 @@ let figure_cmd =
           ~doc:"Fan the figure's runs across $(docv) domains (\"max\" = all cores)."
           ~docv:"N")
   in
-  let run_figure name scale jobs =
+  let run_figure name scale jobs slo_ms =
     Sss_sim.Sim.tune_gc ();
     let c = ctx ~jobs () in
     let fig =
@@ -187,7 +198,7 @@ let figure_cmd =
       | "ablation" -> Some ablation
       | "skewed" -> Some skewed
       | "durability" -> Some durability
-      | "saturation" -> Some saturation
+      | "saturation" -> Some (fun c scale -> saturation ?slo_ms c scale)
       | "all" -> Some all
       | _ -> None
     in
@@ -195,7 +206,14 @@ let figure_cmd =
     | Some fig -> ignore (fig c scale)
     | None -> Printf.eprintf "unknown figure %s\n" name
   in
-  let term = Term.(const run_figure $ figure_t $ scale_t $ jobs_t) in
+  let slo_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slo" ] ~docv:"MS"
+          ~doc:"Saturation figure: p99 sojourn SLO bound in milliseconds (default 5).")
+  in
+  let term = Term.(const run_figure $ figure_t $ scale_t $ jobs_t $ slo_t) in
   Cmd.v (Cmd.info "figure" ~doc:"Regenerate one of the paper's figures") term
 
 let verify_cmd =

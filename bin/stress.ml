@@ -416,14 +416,20 @@ let chaos_sweep pool plan_text =
     !failures;
   exit (if !failures > 0 then 1 else 0)
 
-(* --open: the large open-loop target — 100 nodes, 1M keys, Poisson
-   arrivals, online version GC on.  The store starts at keys x degree
-   versions; GC must keep retention flat, so the end-of-run count may
-   exceed that baseline only by the in-flight margin (versions newer than
-   the cluster watermark).  Exits non-zero if retention grew by more than
-   half of what the run installed, or if the GC never reclaimed anything. *)
-let open_loop_target () =
-  let nodes = 100 and keys = 1_000_000 and degree = 2 in
+(* --open: the large open-loop ladder — 100 then 200 nodes, 1M keys each,
+   Poisson arrivals, online version GC on.  The store starts at keys x
+   degree versions; GC must keep retention flat, so the end-of-run count
+   may exceed that baseline only by the in-flight margin (versions newer
+   than the cluster watermark).  Each rung exits non-zero if retention
+   grew by more than half of what the run installed, or if the GC never
+   reclaimed anything.  A sampler fiber records peak resident store words
+   ([Kv.mem_words]) across the run, and the 100-node rung asserts the
+   compact store's per-version footprint: the pre-arena layout priced a
+   version at ~109 words there (list cons 3 + boxed record 4 + private
+   101-entry clock array 102, before the value), so <= 36 words/version
+   certifies the >= 3x reduction the arena store is gated on. *)
+let open_rung ~nodes ~keys ~assert_footprint () =
+  let degree = 2 in
   let sim = Sim.create () in
   let config =
     { Config.default with nodes; replication_degree = degree; total_keys = keys; seed = 42;
@@ -439,6 +445,14 @@ let open_loop_target () =
     }
   in
   let baseline = Kv.version_count cl in
+  let warmup = 0.002 and duration = 0.03 in
+  let peak = ref 0 in
+  Sim.spawn sim (fun () ->
+      let deadline = warmup +. duration in
+      while Sim.now sim < deadline do
+        peak := Stdlib.max !peak (Mvstore.mem_total (Kv.mem_words cl));
+        Sim.sleep sim 0.001
+      done);
   let result =
     Sss_workload.Driver.run sim ~nodes ~total_keys:keys
       ~local_keys:(fun n -> Replication.keys_at cl.State.repl n)
@@ -446,8 +460,8 @@ let open_loop_target () =
       ~load:
         {
           Sss_workload.Driver.default_load with
-          warmup = 0.002;
-          duration = 0.03;
+          warmup;
+          duration;
           seed = 42;
           open_loop =
             Some
@@ -463,6 +477,9 @@ let open_loop_target () =
   let refreshes, dropped_v, dropped_e = Kv.gc_stats cl in
   let slack = retained - baseline in
   let installed = slack + dropped_v in
+  let mem = Kv.mem_words cl in
+  peak := Stdlib.max !peak (Mvstore.mem_total mem);
+  let wpv = Mvstore.words_per_version mem in
   Printf.printf
     "open-loop target: %d nodes, %dk keys: %d offered, %d accepted, %d committed\n"
     nodes (keys / 1000) result.Sss_workload.Driver.offered result.Sss_workload.Driver.accepted
@@ -470,6 +487,8 @@ let open_loop_target () =
   Printf.printf
     "  versions: baseline %d, installed %d, dropped %d, retained %+d (%d watermark refreshes, %d log entries dropped)\n"
     baseline installed dropped_v slack refreshes dropped_e;
+  Printf.printf "  store: %d resident words (peak %d), %.2f words/version\n"
+    (Mvstore.mem_total mem) !peak wpv;
   let failures = ref 0 in
   if result.Sss_workload.Driver.committed = 0 then begin
     incr failures;
@@ -484,6 +503,12 @@ let open_loop_target () =
     Printf.printf "FAIL open-loop: version retention not flat (%d of %d installed remain)\n"
       slack installed
   end;
+  if assert_footprint && wpv > 36.0 then begin
+    incr failures;
+    Printf.printf
+      "FAIL open-loop: %.2f words/version exceeds the 36.0 bound (3x of the pre-arena ~109)\n"
+      wpv
+  end;
   (match Kv.quiescent cl with
   | Ok () -> ()
   | Error msg ->
@@ -491,6 +516,11 @@ let open_loop_target () =
       Printf.printf "FAIL open-loop quiescent: %s\n" msg);
   Printf.printf "open-loop target: %d failures\n" !failures;
   !failures
+
+let open_loop_target () =
+  let f100 = open_rung ~nodes:100 ~keys:1_000_000 ~assert_footprint:true () in
+  let f200 = open_rung ~nodes:200 ~keys:1_000_000 ~assert_footprint:false () in
+  f100 + f200
 
 let () =
   let chaos_plan = ref None in

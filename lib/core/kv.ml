@@ -54,6 +54,11 @@ let wal_stats (t : cluster) =
 
 let version_count = State.version_count
 
+let mem_words (t : cluster) =
+  Array.fold_left
+    (fun acc (n : State.node) -> Mvstore.mem_add acc (Mvstore.mem_words n.State.store))
+    Mvstore.mem_zero t.State.nodes
+
 let nlog_entries = State.nlog_entries
 
 let gc_stats (t : cluster) =

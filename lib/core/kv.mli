@@ -99,6 +99,11 @@ val version_count : cluster -> int
 (** Total stored versions across every node's MV-store (O(nodes): the
     per-store counters are maintained incrementally). *)
 
+val mem_words : cluster -> Sss_data.Mvstore.mem
+(** Resident-storage accounting summed over every node's MV-store
+    ({!Sss_data.Mvstore.mem_words}): the words/version figure gated by
+    bench/smoke.sh and asserted by [stress --open]. *)
+
 val nlog_entries : cluster -> int
 (** Total retained node-log entries across the cluster. *)
 

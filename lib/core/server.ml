@@ -18,7 +18,7 @@ let validate node rs =
   List.for_all
     (fun (k, observed_writer) ->
       let last = Mvstore.last node.store k in
-      Ids.equal_txn last.Mvstore.writer observed_writer)
+      Mvstore.slot_writer_is node.store last observed_writer)
     rs
 
 (* Admission control (§III-E): if an update transaction has been parked in
@@ -50,14 +50,16 @@ let admission_control t node key ~bound_local =
   if cfg.starvation_threshold > 0.0 then
     loop cfg.backoff_initial (4.0 *. cfg.backoff_max)
 
-let version_skipper ~has_read ~maxvc ~me ~cutoff v =
+(* The candidate clock [cvc] is the store's scratch decode, borrowed for the
+   duration of the call (see [Mvstore.select]). *)
+let version_skipper ~has_read ~maxvc ~me ~cutoff cvc =
   let n = Array.length has_read in
   let rec over_bound w =
     w < n
-    && ((has_read.(w) && Vclock.get v.Mvstore.vc w > Vclock.get maxvc w)
+    && ((has_read.(w) && Vclock.get cvc w > Vclock.get maxvc w)
        || over_bound (w + 1))
   in
-  over_bound 0 || Vclock.get v.Mvstore.vc me >= cutoff
+  over_bound 0 || Vclock.get cvc me >= cutoff
 
 (* Visibility cutoff for read-only transactions at this node.
 
@@ -111,16 +113,18 @@ let handle_read t node ~src ~req ~txn ~key ~vc ~has_read ~is_update =
     let props = List.map (fun e -> (e.Squeue.txn, e.Squeue.sid)) (Squeue.readers q) in
     List.iter (fun (r, _) -> add_forward node ~reader:r ~writer:txn ~coord:src) props;
     let ver = Mvstore.last node.store key in
+    let writer = Mvstore.slot_writer node.store ver in
     (* If the version read is still parked (its writer not yet externally
        committed), this update transaction must not reply to its own client
        before that writer does: report the writer's coordinator. *)
     let parked_coord =
-      match Hashtbl.find_opt node.prepared ver.Mvstore.writer with
-      | Some p when Hashtbl.mem node.writer_since ver.Mvstore.writer -> Some p.coord
+      match Hashtbl.find_opt node.prepared writer with
+      | Some p when Hashtbl.mem node.writer_since writer -> Some p.coord
       | _ -> None
     in
-    reply ?parked_coord ver.Mvstore.value (Nlog.most_recent_vc node.nlog) ver.Mvstore.writer
-      props
+    reply ?parked_coord
+      (Mvstore.slot_value node.store ver)
+      (Nlog.most_recent_vc node.nlog) writer props
   end
   else begin
     let me = node.id in
@@ -173,7 +177,11 @@ let handle_read t node ~src ~req ~txn ~key ~vc ~has_read ~is_update =
       end;
       let skip = version_skipper ~has_read ~maxvc ~me ~cutoff in
       let ver = Mvstore.select node.store key ~skip in
-      reply ver.Mvstore.value maxvc ver.Mvstore.writer []
+      reply
+        (Mvstore.slot_value node.store ver)
+        maxvc
+        (Mvstore.slot_writer node.store ver)
+        []
     end
     else begin
       (* Repeat contact (Alg. 6 lines 15-21): the visibility bound is the
@@ -191,7 +199,11 @@ let handle_read t node ~src ~req ~txn ~key ~vc ~has_read ~is_update =
       end;
       let skip = version_skipper ~has_read ~maxvc ~me ~cutoff in
       let ver = Mvstore.select node.store key ~skip in
-      reply ver.Mvstore.value maxvc ver.Mvstore.writer []
+      reply
+        (Mvstore.slot_value node.store ver)
+        maxvc
+        (Mvstore.slot_writer node.store ver)
+        []
     end
   end
 
@@ -711,11 +723,7 @@ let install t =
 (* ---- crash & redo recovery (durability mode; docs/DURABILITY.md) ---- *)
 
 let load_snap t node (s : snap) =
-  List.iter
-    (fun (k, vers) ->
-      Mvstore.restore_chain node.store k
-        (List.map (fun (value, vc, writer) -> { Mvstore.value; vc; writer }) vers))
-    s.s_chains;
+  Mvstore.restore node.store s.s_store;
   List.iter (fun (txn, vc, ws, at) -> Nlog.add node.nlog ~txn ~vc ~ws ~at) s.s_nlog;
   Nlog.restore_floor node.nlog s.s_nlog_floor;
   node.node_vc <- Vclock.copy s.s_node_vc;
@@ -844,9 +852,11 @@ let crash_node t id =
     let fresh = make_node ~gen:old.gen t.sim ~nodes:t.config.Config.nodes ~id in
     fresh.alive <- false;
     fresh.wal <- old.wal;
+    let ks = Replication.keys_at t.repl id in
+    Mvstore.reserve fresh.store (Array.length ks);
     Array.iter
       (fun k -> Mvstore.init_key fresh.store k ~value:(Printf.sprintf "init:%d" k))
-      (Replication.keys_at t.repl id);
+      ks;
     t.nodes.(id) <- fresh;
     Sss_net.Network.set_handler t.net id (fun ~src payload -> dispatch t fresh ~src payload)
   end

@@ -98,7 +98,7 @@ type sprep = {
 }
 
 type snap = {
-  s_chains : (Ids.key * (string * Vclock.t * Ids.txn) list) list;
+  s_store : Mvstore.image;
   s_nlog : (Ids.txn * Vclock.t * Ids.key list * float) list;
   (* the NLog's covered-prune floor: recovery rebuilds the log entry by
      entry and would otherwise lose the pruned contributions (Config.gc) *)
@@ -303,11 +303,7 @@ let snap_bytes s =
     + (16 * List.length sp.sp_prop)
   in
   64
-  + List.fold_left
-      (fun acc (_, chain) ->
-        acc + 4
-        + List.fold_left (fun a (v, c, _) -> a + 8 + String.length v + vc c) 0 chain)
-      0 s.s_chains
+  + Mvstore.image_bytes s.s_store
   + List.fold_left
       (fun acc (_, c, ws, _) -> acc + 24 + vc c + (4 * List.length ws))
       0 s.s_nlog
@@ -330,14 +326,7 @@ let snap_bytes s =
    stale read — docs/DURABILITY.md). *)
 let snap_of (node : node) =
   {
-    s_chains =
-      List.map
-        (fun k ->
-          ( k,
-            List.map
-              (fun v -> (v.Mvstore.value, v.Mvstore.vc, v.Mvstore.writer))
-              (Mvstore.chain node.store k) ))
-        (Mvstore.keys node.store);
+    s_store = Mvstore.image_of node.store;
     s_nlog =
       List.filter_map
         (fun (e : Nlog.entry) ->
@@ -431,9 +420,11 @@ let create sim (config : Config.t) =
   (* Pre-populate every key on its replicas with a genesis version. *)
   Array.iter
     (fun node ->
+      let ks = Replication.keys_at repl node.id in
+      Mvstore.reserve node.store (Array.length ks);
       Array.iter
         (fun k -> Mvstore.init_key node.store k ~value:(Printf.sprintf "init:%d" k))
-        (Replication.keys_at repl node.id))
+        ks)
     nodes;
   let rel =
     Reliable.create sim net

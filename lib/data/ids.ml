@@ -18,6 +18,17 @@ let txn_to_string t =
 
 let pp_txn fmt t = Format.pp_print_string fmt (txn_to_string t)
 
+(* Dense single-word encoding for flat storage (Mvstore slot arrays).
+   [node + 1] so that {!genesis} packs to 0; node ids fit comfortably above
+   bit 40 and node-local counters never approach 2^40 in any run the
+   simulator can finish. *)
+let local_bits = 40
+
+let pack { node; local } = ((node + 1) lsl local_bits) lor local
+
+let unpack p =
+  { node = (p lsr local_bits) - 1; local = p land ((1 lsl local_bits) - 1) }
+
 module Gen = struct
   type nonrec t = { node : node; mutable counter : int }
 

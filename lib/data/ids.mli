@@ -25,6 +25,14 @@ val txn_to_string : txn -> string
 
 val pp_txn : Format.formatter -> txn -> unit
 
+val pack : txn -> int
+(** Single-word encoding ([(node + 1) lsl 40 lor local]) for flat int-array
+    storage; {!genesis} packs to [0].  Requires [local < 2^40] and
+    [node < 2^22], both far beyond any simulated run. *)
+
+val unpack : int -> txn
+(** Inverse of {!pack} (allocates the record). *)
+
 (** Mint node-local transaction identifiers. *)
 module Gen : sig
   type t

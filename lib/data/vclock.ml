@@ -67,6 +67,13 @@ let[@hot] max_into (dst : t) (src : t) =
 
 let[@hot] blit ~src ~dst = Array.blit src 0 dst 0 (Array.length src)
 
+let blit_into ~src ~dst ~pos = Array.blit src 0 dst pos (Array.length src)
+
+let is_zero (t : t) =
+  let n = Array.length t in
+  let rec loop i = i >= n || (Array.unsafe_get t i = 0 && loop (i + 1)) in
+  loop 0
+
 let leq (a : t) (b : t) =
   assert (Array.length a = Array.length b);
   let n = Array.length a in

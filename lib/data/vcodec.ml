@@ -7,6 +7,10 @@ let zigzag n = if n >= 0 then 2 * n else (-2 * n) - 1
 
 let unzigzag z = if z land 1 = 0 then z / 2 else -((z + 1) / 2)
 
+let varint_size n =
+  let rec go z acc = if z < 0x80 then acc else go (z lsr 7) (acc + 1) in
+  go (zigzag n) 1
+
 let write_varint buf n =
   assert (n >= 0);
   let rec go n =

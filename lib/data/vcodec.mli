@@ -30,3 +30,8 @@ val size : encoded -> int
 
 val bytes : encoded -> string
 (** The actual wire bytes (for tests). *)
+
+val varint_size : int -> int
+(** Bytes one entry delta occupies under the zig-zag LEB128 encoding.
+    Shared with {!Mvstore}'s checkpoint-image size model, which prices
+    at-rest delta clocks with the same codec the wire uses. *)

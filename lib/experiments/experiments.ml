@@ -97,6 +97,8 @@ type outcome = {
   mean_queue_wait : float;
   (* storage-retention gauges at end of run (SSS only; zeros elsewhere) *)
   store_versions : int;
+  store_words : int;
+  store_mem : Mvstore.mem;
   nlog_entries : int;
   gc_dropped_versions : int;
   gc_dropped_entries : int;
@@ -201,7 +203,7 @@ let run (p : params) =
         ()
   in
   let metrics_of obs = Option.map Sss_obs.Obs.metrics_json obs in
-  let result, sss_cluster, metrics =
+  let result, sss_cluster, metrics, other_store_words =
     match p.system with
     | Sss ->
         let cl = Sss_kv.Kv.create sim config in
@@ -219,7 +221,7 @@ let run (p : params) =
           }
         in
         let r = drive ~ops ~local_keys:(fun n -> Replication.keys_at cl.Sss_kv.State.repl n) in
-        (r, Some cl, Sss_kv.Kv.metrics_json cl)
+        (r, Some cl, Sss_kv.Kv.metrics_json cl, 0)
     | Walter ->
         let cl = Walter_kv.Walter.create sim config in
         wire_chaos (Walter_kv.Walter.network cl) ~kind_of:Walter_kv.Walter.message_kind
@@ -235,7 +237,7 @@ let run (p : params) =
           }
         in
         let r = drive ~ops ~local_keys:(fun n -> Replication.keys_at (Walter_kv.Walter.repl cl) n) in
-        (r, None, metrics_of (Walter_kv.Walter.obs cl))
+        (r, None, metrics_of (Walter_kv.Walter.obs cl), Walter_kv.Walter.store_words cl)
     | Twopc ->
         let cl = Twopc_kv.Twopc.create sim config in
         wire_chaos (Twopc_kv.Twopc.network cl) ~kind_of:Twopc_kv.Twopc.message_kind
@@ -251,7 +253,7 @@ let run (p : params) =
           }
         in
         let r = drive ~ops ~local_keys:(Twopc_kv.Twopc.local_keys cl) in
-        (r, None, metrics_of (Twopc_kv.Twopc.obs cl))
+        (r, None, metrics_of (Twopc_kv.Twopc.obs cl), Twopc_kv.Twopc.store_words cl)
     | Rococo ->
         let cl = Rococo_kv.Rococo.create sim config in
         wire_chaos (Rococo_kv.Rococo.network cl) ~kind_of:Rococo_kv.Rococo.message_kind
@@ -267,7 +269,7 @@ let run (p : params) =
           }
         in
         let r = drive ~ops ~local_keys:(fun n -> Replication.keys_at (Rococo_kv.Rococo.repl cl) n) in
-        (r, None, metrics_of (Rococo_kv.Rococo.obs cl))
+        (r, None, metrics_of (Rococo_kv.Rococo.obs cl), Rococo_kv.Rococo.store_words cl)
   in
   let wire_bytes =
     match sss_cluster with
@@ -322,6 +324,14 @@ let run (p : params) =
     mean_queue_wait = Sss_workload.Stats.mean result.Sss_workload.Driver.queue_wait;
     store_versions =
       (match sss_cluster with Some cl -> Sss_kv.Kv.version_count cl | None -> 0);
+    store_words =
+      (match sss_cluster with
+      | Some cl -> Mvstore.mem_total (Sss_kv.Kv.mem_words cl)
+      | None -> other_store_words);
+    store_mem =
+      (match sss_cluster with
+      | Some cl -> Sss_kv.Kv.mem_words cl
+      | None -> Mvstore.mem_zero);
     nlog_entries =
       (match sss_cluster with Some cl -> Sss_kv.Kv.nlog_entries cl | None -> 0);
     gc_dropped_versions =
@@ -363,6 +373,10 @@ type meters = {
      versions dropped by the online policy *)
   store_versions : int;
   gc_dropped : int;
+  store_words : int;
+  (* per-protocol highest offered rate meeting the saturation figure's p99
+     SLO, [None] when no rung met it; empty for every other figure *)
+  slo_rates : (string * float option) list;
 }
 
 let meters_zero =
@@ -376,6 +390,8 @@ let meters_zero =
     rejected = 0;
     store_versions = 0;
     gc_dropped = 0;
+    store_words = 0;
+    slo_rates = [];
   }
 
 let meters_add m (o : outcome) =
@@ -389,6 +405,8 @@ let meters_add m (o : outcome) =
     rejected = m.rejected + o.rejected;
     store_versions = m.store_versions + o.store_versions;
     gc_dropped = m.gc_dropped + o.gc_dropped_versions;
+    store_words = m.store_words + o.store_words;
+    slo_rates = m.slo_rates;
   }
 
 let meters_sum a b =
@@ -402,6 +420,8 @@ let meters_sum a b =
     rejected = a.rejected + b.rejected;
     store_versions = a.store_versions + b.store_versions;
     gc_dropped = a.gc_dropped + b.gc_dropped;
+    store_words = a.store_words + b.store_words;
+    slo_rates = a.slo_rates @ b.slo_rates;
   }
 
 (* ---------- staged (two-phase) figure evaluation ----------
@@ -447,6 +467,8 @@ let placeholder_outcome =
     mean_sojourn = 0.0;
     mean_queue_wait = 0.0;
     store_versions = 0;
+    store_words = 0;
+    store_mem = Mvstore.mem_zero;
     nlog_entries = 0;
     gc_dropped_versions = 0;
     gc_dropped_entries = 0;
@@ -812,7 +834,10 @@ let saturation_rates = function
   | Quick -> [ 10_000.; 20_000.; 40_000.; 80_000. ]
   | Smoke -> [ 5_000.; 20_000.; 80_000. ]
 
-let saturation_body scale ~run ~out =
+let saturation_body scale ~slo_ms ~slo ~run ~out =
+  (* the body is interpreted twice (record + replay); only the replay
+     pass's SLO verdicts survive *)
+  slo := [];
   header out "Saturation: open-loop throughput and p99 sojourn vs offered load";
   let base = base_params scale in
   let keys = List.hd (keyspaces scale) in
@@ -835,20 +860,47 @@ let saturation_body scale ~run ~out =
   List.iter
     (fun sys ->
       pr out "-- %s --\n" (system_name sys);
-      pr out "%-11s%10s%10s%10s%9s%12s%8s%10s%9s\n" "offered/s" "offered" "accepted"
-        "committed" "KTxs/s" "p99soj ms" "rej%" "versions" "dropped";
-      List.iter
-        (fun rate ->
-          let (o : outcome) =
-            run
-              { base with system = sys; nodes; keys; ro_ratio = 0.5; gc = true;
-                arrival = Some (Sss_workload.Driver.Poisson rate) }
-          in
-          pr out "%-11.0f%10d%10d%10d%9.1f%12.3f%7.1f%%%10d%9d\n" rate o.offered
-            o.accepted o.committed (ktxs o) (o.p99_sojourn *. 1e3)
-            (100. *. float_of_int o.rejected /. float_of_int (max 1 o.offered))
-            o.store_versions o.gc_dropped_versions)
-        (saturation_rates scale))
+      pr out "%-11s%10s%10s%10s%9s%12s%8s%10s%9s%10s\n" "offered/s" "offered" "accepted"
+        "committed" "KTxs/s" "p99soj ms" "rej%" "versions" "dropped" "st.words";
+      let rungs =
+        List.map
+          (fun rate ->
+            let (o : outcome) =
+              run
+                { base with system = sys; nodes; keys; ro_ratio = 0.5; gc = true;
+                  arrival = Some (Sss_workload.Driver.Poisson rate) }
+            in
+            pr out "%-11.0f%10d%10d%10d%9.1f%12.3f%7.1f%%%10d%9d%10d\n" rate o.offered
+              o.accepted o.committed (ktxs o) (o.p99_sojourn *. 1e3)
+              (100. *. float_of_int o.rejected /. float_of_int (max 1 o.offered))
+              o.store_versions o.gc_dropped_versions o.store_words;
+            (rate, o))
+          (saturation_rates scale)
+      in
+      (* end-of-run resident storage at the hottest rung: versions are per
+         SSS's exact accounting ([Mvstore.mem_words]); the other systems
+         report their modelled store words *)
+      (match List.rev rungs with
+      | (_, (last : outcome)) :: _ ->
+          if last.store_versions > 0 then
+            pr out "   store: %d resident words, %.2f words/version\n" last.store_words
+              (float_of_int last.store_words /. float_of_int last.store_versions)
+          else pr out "   store: %d resident words\n" last.store_words
+      | [] -> ());
+      (* SLO verdict (ROADMAP item 1): the highest offered rate whose p99
+         sojourn still meets the bound *)
+      let met =
+        List.fold_left
+          (fun acc (rate, (o : outcome)) ->
+            if o.p99_sojourn <= slo_ms /. 1e3 then Some rate else acc)
+          None rungs
+      in
+      (match met with
+      | Some rate ->
+          pr out "   SLO p99 <= %.3f ms: sustained up to %.0f arrivals/s per node\n" slo_ms
+            rate
+      | None -> pr out "   SLO p99 <= %.3f ms: no rung met the bound\n" slo_ms);
+      slo := (system_name sys, met) :: !slo)
     [ Sss; Twopc ];
   (* one ramp run per system: the arrival rate climbs through the knee
      within a single trajectory, so the aggregate mixes the uncontended
@@ -870,7 +922,10 @@ let saturation_body scale ~run ~out =
         (100. *. float_of_int o.rejected /. float_of_int (max 1 o.offered)))
     [ Sss; Twopc ]
 
-let saturation ctx scale = staged ctx (saturation_body scale)
+let saturation ?(slo_ms = 5.0) ctx scale =
+  let slo = ref [] in
+  let m = staged ctx (saturation_body scale ~slo_ms ~slo) in
+  { m with slo_rates = List.rev !slo }
 
 let observed_metrics scale =
   let base = base_params scale in
@@ -884,4 +939,4 @@ let all ctx scale =
     (fun m fig -> meters_sum m (fig ctx scale))
     meters_zero
     [ fig3; fig4a; fig4b; fig5; fig6; fig7; fig8; abort_rate; ablation; skewed; durability;
-      saturation ]
+      (fun ctx scale -> saturation ctx scale) ]

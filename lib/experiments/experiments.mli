@@ -106,6 +106,14 @@ type outcome = {
   store_versions : int;
       (** SSS only: versions retained across every node's MV-store at end
           of run *)
+  store_words : int;
+      (** end-of-run resident store words: SSS reports the exact
+          arena accounting ({!Sss_kv.Kv.mem_words}); the other systems a
+          per-protocol heap model of their stores ([store_words] in each
+          facade) — comparable across protocols in the saturation figure *)
+  store_mem : Sss_data.Mvstore.mem;
+      (** SSS only: the full accounting breakdown behind [store_words]
+          ({!Sss_data.Mvstore.mem_zero} for the other systems) *)
   nlog_entries : int;  (** SSS only: node-log entries retained at end of run *)
   gc_dropped_versions : int;  (** SSS only: versions reclaimed by online GC *)
   gc_dropped_entries : int;  (** SSS only: log entries reclaimed by online GC *)
@@ -156,6 +164,12 @@ type meters = {
   rejected : int;
   store_versions : int;  (** end-of-run retained versions, summed over runs *)
   gc_dropped : int;  (** versions reclaimed by the online GC *)
+  store_words : int;
+      (** end-of-run resident store words, summed over runs (words/version
+          = store_words / store_versions is the bench-gated metric) *)
+  slo_rates : (string * float option) list;
+      (** saturation figure only: per protocol, the highest offered rate
+          whose p99 sojourn met the SLO bound ([None]: no rung did) *)
 }
 
 val meters_zero : meters
@@ -225,7 +239,7 @@ val durability : ctx -> scale -> meters
     of more checkpoint write traffic.  EXPERIMENTS.md records the
     measured table. *)
 
-val saturation : ctx -> scale -> meters
+val saturation : ?slo_ms:float -> ctx -> scale -> meters
 (** Extra experiment (not in the paper): open-loop saturation sweep.  A
     Poisson offered-load ladder per node is swept through each protocol's
     capacity knee (SSS and 2PC-baseline, online GC on), reporting accepted
@@ -233,7 +247,11 @@ val saturation : ctx -> scale -> meters
     rejection rate, and the version-retention gauges; a closing section
     drives one [Ramp] trajectory per system through the same range.  The
     printed latency floor (~2 request/reply rounds) anchors the sojourn
-    axis the way Didona et al. anchor their saturation plots. *)
+    axis the way Didona et al. anchor their saturation plots.  Each ladder
+    closes with the protocol's resident store words (cross-protocol, same
+    heap model) and its SLO verdict: the highest offered rate whose p99
+    sojourn meets [slo_ms] (default 5 ms; bench [--slo]), also returned in
+    [meters.slo_rates] for the [--json] report. *)
 
 val observed_metrics : scale -> string
 (** Run one traced SSS cell (the fig4b/fig5 configuration with

@@ -887,6 +887,28 @@ let repl t = t.repl
 
 let network t = t.net
 
+(* Resident words of every node's store, under the same heap model as
+   [Sss_data.Mvstore.mem_words]: hash buckets + binding boxes, the cell
+   record with its [pending] counter table and [ready] piece list, and the
+   boxed value strings.  Cold path (end-of-run gauge); the sum is
+   bucket-order-insensitive. *)
+let store_words t =
+  let str_words len = 1 + ((len + 8) / 8) in
+  Array.fold_left
+    (fun acc (n : node) ->
+      let st = (Hashtbl.stats n.store [@order_ok]) in
+      (Hashtbl.fold
+         (fun _ (c : cell) a ->
+           let a = a + 6 + str_words (String.length c.value) in
+           let a = a + 16 + (6 * Hashtbl.length c.pending) in
+           List.fold_left
+             (fun a (_, piece) -> a + 3 + 3 + str_words (String.length piece))
+             a c.ready)
+         n.store
+         (acc + st.Hashtbl.num_buckets + (4 * st.Hashtbl.num_bindings))
+       [@order_ok]))
+    0 t.nodes
+
 let quiescent t =
   let problems = ref [] in
   Array.iter

@@ -677,6 +677,22 @@ let local_keys t n = Replication.keys_at t.repl n
 
 let network t = t.net
 
+(* Resident words of every node's store, under the same heap model as
+   [Sss_data.Mvstore.mem_words]: hash buckets + binding boxes, one cell
+   record per key, and the boxed value strings (headers included).  Cold
+   path (end-of-run gauge); the sum is bucket-order-insensitive. *)
+let store_words t =
+  let str_words len = 1 + ((len + 8) / 8) in
+  Array.fold_left
+    (fun acc (n : node) ->
+      let st = (Hashtbl.stats n.store [@order_ok]) in
+      (Hashtbl.fold
+         (fun _ (c : cell) a -> a + 4 + str_words (String.length c.value))
+         n.store
+         (acc + st.Hashtbl.num_buckets + (4 * st.Hashtbl.num_bindings))
+       [@order_ok]))
+    0 t.nodes
+
 let quiescent t =
   let problems = ref [] in
   Array.iter

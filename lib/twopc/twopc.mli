@@ -55,6 +55,11 @@ val message_kind : msg -> string
 
 val quiescent : cluster -> (unit, string) result
 
+val store_words : cluster -> int
+(** Resident words of every node's store, under the heap model of
+    [Sss_data.Mvstore.mem_words] — the cross-protocol storage-footprint
+    gauge of the saturation figure. *)
+
 (** {1 Crash & recovery} — durability mode (docs/DURABILITY.md)
 
     Wired to {!Sss_chaos.Chaos.install}'s [on_crash]/[on_restart] hooks.

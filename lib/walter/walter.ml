@@ -864,6 +864,29 @@ let repl t = t.repl
 
 let network t = t.net
 
+(* Resident words of every node's version chains, under the same heap
+   model as [Sss_data.Mvstore.mem_words]: hash buckets + binding boxes and
+   the chain ref per key, then one list cons + boxed version record + the
+   private [wstart] clock array per version, plus the value strings.  Cold
+   path (end-of-run gauge); the sum is bucket-order-insensitive. *)
+let store_words t =
+  let str_words len = 1 + ((len + 8) / 8) in
+  Array.fold_left
+    (fun acc (n : node) ->
+      let st = (Hashtbl.stats n.chains [@order_ok]) in
+      (Hashtbl.fold
+         (fun _ chain a ->
+           List.fold_left
+             (fun a (v : version) ->
+               a + 3 + 6
+               + (Vclock.size v.wstart + 1)
+               + str_words (String.length v.value))
+             (a + 2) !chain)
+         n.chains
+         (acc + st.Hashtbl.num_buckets + (4 * st.Hashtbl.num_bindings))
+       [@order_ok]))
+    0 t.nodes
+
 let quiescent t =
   let problems = ref [] in
   Array.iter

@@ -50,6 +50,11 @@ val obs : cluster -> Sss_obs.Obs.t option
 
 val quiescent : cluster -> (unit, string) result
 
+val store_words : cluster -> int
+(** Resident words of every node's store, under the heap model of
+    [Sss_data.Mvstore.mem_words] — the cross-protocol storage-footprint
+    gauge of the saturation figure. *)
+
 (** Exposed for the experiment harness. *)
 
 val repl : cluster -> Replication.t

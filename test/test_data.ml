@@ -65,17 +65,26 @@ let test_mvstore_genesis () =
   let s = Mvstore.create ~nodes:2 in
   Mvstore.init_key s 7 ~value:"init";
   let v = Mvstore.last s 7 in
-  Alcotest.(check string) "genesis value" "init" v.Mvstore.value;
-  Alcotest.(check bool) "genesis writer" true (Ids.equal_txn v.Mvstore.writer Ids.genesis);
+  Alcotest.(check string) "genesis value" "init" (Mvstore.slot_value s v);
+  Alcotest.(check bool) "genesis writer" true
+    (Ids.equal_txn (Mvstore.slot_writer s v) Ids.genesis);
   Mvstore.init_key s 7 ~value:"other";
-  Alcotest.(check string) "init idempotent" "init" (Mvstore.last s 7).Mvstore.value
+  Alcotest.(check string) "init idempotent" "init"
+    (Mvstore.slot_value s (Mvstore.last s 7));
+  (* the boot default is derived, not stored *)
+  let d = Mvstore.create ~nodes:2 in
+  Mvstore.init_key d 7 ~value:"init:7";
+  Alcotest.(check string) "derived genesis" "init:7"
+    (Mvstore.slot_value d (Mvstore.last d 7));
+  Alcotest.(check bool) "derived genesis writer" true
+    (Mvstore.slot_writer_is d (Mvstore.last d 7) Ids.genesis)
 
 let test_mvstore_install_order () =
   let s = Mvstore.create ~nodes:2 in
   Mvstore.init_key s 1 ~value:"v0";
   Mvstore.install s 1 ~value:"v1" ~vc:(vc [ 1; 0 ]) ~writer:(tx 0 1);
   Mvstore.install s 1 ~value:"v2" ~vc:(vc [ 2; 0 ]) ~writer:(tx 0 2);
-  Alcotest.(check string) "last is newest" "v2" (Mvstore.last s 1).Mvstore.value;
+  Alcotest.(check string) "last is newest" "v2" (Mvstore.slot_value s (Mvstore.last s 1));
   Alcotest.(check int) "chain length" 3 (List.length (Mvstore.chain s 1))
 
 let test_mvstore_select () =
@@ -84,13 +93,11 @@ let test_mvstore_select () =
   Mvstore.install s 1 ~value:"v1" ~vc:(vc [ 1; 0 ]) ~writer:(tx 0 1);
   Mvstore.install s 1 ~value:"v2" ~vc:(vc [ 2; 0 ]) ~writer:(tx 0 2);
   let bound = vc [ 1; 5 ] in
-  let chosen =
-    Mvstore.select s 1 ~skip:(fun v -> not (Vclock.leq v.Mvstore.vc bound))
-  in
-  Alcotest.(check string) "bounded select" "v1" chosen.Mvstore.value;
+  let chosen = Mvstore.select s 1 ~skip:(fun cvc -> not (Vclock.leq cvc bound)) in
+  Alcotest.(check string) "bounded select" "v1" (Mvstore.slot_value s chosen);
   (* Everything skipped: falls back to oldest. *)
   let oldest = Mvstore.select s 1 ~skip:(fun _ -> true) in
-  Alcotest.(check string) "fallback to oldest" "v0" oldest.Mvstore.value
+  Alcotest.(check string) "fallback to oldest" "v0" (Mvstore.slot_value s oldest)
 
 let test_mvstore_truncate () =
   let s = Mvstore.create ~nodes:1 in
@@ -100,9 +107,262 @@ let test_mvstore_truncate () =
   done;
   Mvstore.truncate s 1 ~keep:3;
   Alcotest.(check int) "kept 3" 3 (List.length (Mvstore.chain s 1));
-  Alcotest.(check string) "newest survives" "v10" (Mvstore.last s 1).Mvstore.value;
+  Alcotest.(check string) "newest survives" "v10" (Mvstore.slot_value s (Mvstore.last s 1));
   Mvstore.truncate s 1 ~keep:0;
   Alcotest.(check int) "never below 1" 1 (List.length (Mvstore.chain s 1))
+
+(* A 200k-version tail freed in one truncate: the arena walks the chain
+   iteratively, so this must not blow the stack (the pre-arena list store
+   used a non-tail-recursive take here). *)
+let test_mvstore_long_chain_truncate () =
+  let s = Mvstore.create ~nodes:1 in
+  Mvstore.init_key s 0 ~value:"init:0";
+  let n = 200_000 in
+  for i = 1 to n do
+    Mvstore.install s 0 ~value:"x" ~vc:(vc [ i ]) ~writer:(tx 0 i)
+  done;
+  Alcotest.(check int) "all installed" (n + 1) (Mvstore.version_count s);
+  Mvstore.truncate s 0 ~keep:2;
+  Alcotest.(check int) "kept 2" 2 (Mvstore.version_count s);
+  Alcotest.(check string) "newest survives" "x" (Mvstore.slot_value s (Mvstore.last s 0));
+  Mvstore.truncate s 0 ~keep:1;
+  Alcotest.(check int) "kept 1" 1 (Mvstore.version_count s)
+
+(* Clock-arena recycling: drive identical install/GC cycles and require the
+   resident footprint and the free-list occupancy to sit exactly where they
+   were once steady state is reached.  A refcount leak (a cell freed never
+   or twice) shows up as arena growth or free-list drift. *)
+let test_mvstore_arena_recycling () =
+  let nodes = 4 and nk = 8 in
+  let s = Mvstore.create ~nodes in
+  for k = 0 to nk - 1 do
+    Mvstore.init_key s k ~value:("init:" ^ string_of_int k)
+  done;
+  let cycle c =
+    for j = 0 to 2 do
+      let t = (3 * c) + j in
+      (* one physical clock per commit, shared across the whole write set *)
+      let cvc = vc [ t; 0; 0; 0 ] in
+      for k = 0 to nk - 1 do
+        Mvstore.install s k ~value:(Printf.sprintf "v%06d" t) ~vc:cvc
+          ~writer:(tx (t mod nodes) t)
+      done
+    done;
+    (* the middle install is covered: every chain shrinks back to 2 *)
+    let w = vc [ (3 * c) + 1; 0; 0; 0 ] in
+    ignore (Mvstore.sweep_covered s ~watermark:w ~budget:(Mvstore.chains s))
+  in
+  for c = 1 to 8 do
+    cycle c
+  done;
+  let m0 = Mvstore.mem_words s in
+  for c = 9 to 60 do
+    cycle c
+  done;
+  let m1 = Mvstore.mem_words s in
+  Alcotest.(check int) "chains hold two versions" (2 * nk) m1.Mvstore.versions;
+  Alcotest.(check int) "footprint flat across cycles" (Mvstore.mem_total m0)
+    (Mvstore.mem_total m1);
+  Alcotest.(check int) "free lists back to baseline" m0.Mvstore.clock_free_words
+    m1.Mvstore.clock_free_words;
+  Alcotest.(check int) "slot free list back to baseline" m0.Mvstore.free_slots
+    m1.Mvstore.free_slots
+
+(* Model-based battery: random op interleavings replayed against both the
+   arena store and a boxed list-of-records reference, comparing every chain
+   (values, clocks, writers) after each step.  This pins the whole decode
+   path — delta chains, interned zeros, implicit genesis, slot reuse, the
+   sweep cursor — to the specification the pre-arena store implemented
+   directly. *)
+
+type mver = { mvalue : string; mvc : int array; mwriter : Ids.txn }
+
+type mop =
+  | MInstall of int * int array * (int * int)
+  | MInstall2 of int * int * int array * (int * int)  (* shared-clock write set *)
+  | MSelect of int * int array
+  | MTruncate of int * int
+  | MCovered of int * int array
+  | MSweep of int array * int
+  | MRestore of int * (int * int array * (int * int)) list * int
+  | MRoundtrip
+
+let mop_to_string op =
+  let arr a = "[" ^ String.concat ";" (Array.to_list (Array.map string_of_int a)) ^ "]" in
+  match op with
+  | MInstall (k, c, (w, l)) -> Printf.sprintf "install k%d %s T<%d.%d>" k (arr c) w l
+  | MInstall2 (k1, k2, c, (w, l)) ->
+      Printf.sprintf "install2 k%d k%d %s T<%d.%d>" k1 k2 (arr c) w l
+  | MSelect (k, b) -> Printf.sprintf "select k%d %s" k (arr b)
+  | MTruncate (k, n) -> Printf.sprintf "truncate k%d keep:%d" k n
+  | MCovered (k, w) -> Printf.sprintf "covered k%d %s" k (arr w)
+  | MSweep (w, b) -> Printf.sprintf "sweep %s budget:%d" (arr w) b
+  | MRestore (k, vs, tail) ->
+      Printf.sprintf "restore k%d %d-versions tail:%d" k (List.length vs) tail
+  | MRoundtrip -> "roundtrip"
+
+let mvstore_matches_model =
+  let nodes = 3 and nkeys = 4 in
+  let key i = (2 * i) + 1 in
+  let zeros () = Array.make nodes 0 in
+  let arr_leq a b =
+    let ok = ref true in
+    Array.iteri (fun i x -> if x > b.(i) then ok := false) a;
+    !ok
+  in
+  let gen =
+    let open QCheck.Gen in
+    let clock = array_size (return nodes) (int_bound 6) in
+    let writer = pair (int_bound (nodes - 1)) (int_range 1 99) in
+    let k = int_bound (nkeys - 1) in
+    let ver = triple (int_bound 99) clock writer in
+    let op =
+      frequency
+        [
+          (6, map3 (fun k c w -> MInstall (k, c, w)) k clock writer);
+          (2, map3 (fun (k1, k2) c w -> MInstall2 (k1, k2, c, w)) (pair k k) clock writer);
+          (4, map2 (fun k b -> MSelect (k, b)) k clock);
+          (2, map2 (fun k n -> MTruncate (k, n)) k (int_bound 4));
+          (2, map2 (fun k w -> MCovered (k, w)) k clock);
+          (2, map2 (fun w b -> MSweep (w, b)) clock (int_range 1 6));
+          (1, map3 (fun k vs tail -> MRestore (k, vs, tail)) k (list_size (int_bound 4) ver) (int_bound 2));
+          (1, return MRoundtrip);
+        ]
+    in
+    list_size (int_bound 50) op
+  in
+  let print ops = String.concat "; " (List.map mop_to_string ops) in
+  let run ops =
+    let s = Mvstore.create ~nodes in
+    let model = Array.make nkeys [] in
+    (* creation order fixes the handle order the sweep cursor walks *)
+    for i = 0 to nkeys - 1 do
+      let v = if i = 0 then "boot" else "init:" ^ string_of_int (key i) in
+      Mvstore.init_key s (key i) ~value:v;
+      model.(i) <- [ { mvalue = v; mvc = zeros (); mwriter = Ids.genesis } ]
+    done;
+    let m_hi = ref 0 and m_pos = ref 0 in
+    let m_covered i w =
+      let rec walk kept = function
+        | [] -> 0 (* genesis gone, nothing covered: untouched *)
+        | v :: older ->
+            if arr_leq v.mvc w then begin
+              model.(i) <- List.rev_append kept [ v ];
+              List.length older
+            end
+            else walk (v :: kept) older
+      in
+      walk [] model.(i)
+    in
+    let m_sweep w budget =
+      let dropped = ref 0 in
+      for _ = 1 to budget do
+        if !m_pos >= !m_hi then begin
+          m_hi := nkeys;
+          m_pos := 0
+        end;
+        dropped := !dropped + m_covered (!m_hi - 1 - !m_pos) w;
+        incr m_pos
+      done;
+      !dropped
+    in
+    let agree () =
+      let ok = ref true in
+      for i = 0 to nkeys - 1 do
+        let mch = model.(i) and ach = Mvstore.chain s (key i) in
+        if List.length mch <> List.length ach then ok := false
+        else
+          List.iter2
+            (fun m a ->
+              if
+                not
+                  (String.equal m.mvalue a.Mvstore.value
+                  && m.mvc = Vclock.to_array a.Mvstore.vc
+                  && Ids.equal_txn m.mwriter a.Mvstore.writer)
+              then ok := false)
+            mch ach
+      done;
+      let total = Array.fold_left (fun acc l -> acc + List.length l) 0 model in
+      !ok
+      && Mvstore.version_count s = total
+      && (Mvstore.mem_words s).Mvstore.versions = total
+    in
+    let step op =
+      match op with
+      | MInstall (i, c, (w, l)) ->
+          let value = Printf.sprintf "w%d.%d" w l in
+          Mvstore.install s (key i) ~value ~vc:(Vclock.of_array c)
+            ~writer:(tx w l);
+          model.(i) <- { mvalue = value; mvc = Array.copy c; mwriter = tx w l } :: model.(i);
+          true
+      | MInstall2 (i1, i2, c, (w, l)) ->
+          (* one commit touching two keys: the same physical clock is
+             installed twice, exercising the refcount-shared memo cell *)
+          let cvc = Vclock.of_array c in
+          let value = Printf.sprintf "w%d.%d" w l in
+          Mvstore.install s (key i1) ~value ~vc:cvc ~writer:(tx w l);
+          Mvstore.install s (key i2) ~value ~vc:cvc ~writer:(tx w l);
+          model.(i1) <- { mvalue = value; mvc = Array.copy c; mwriter = tx w l } :: model.(i1);
+          model.(i2) <- { mvalue = value; mvc = Array.copy c; mwriter = tx w l } :: model.(i2);
+          true
+      | MSelect (i, b) ->
+          let bound = Vclock.of_array b in
+          let got =
+            Mvstore.select s (key i) ~skip:(fun cvc -> not (Vclock.leq cvc bound))
+          in
+          let rec walk = function
+            | [] -> assert false
+            | [ oldest ] -> oldest
+            | v :: rest -> if not (arr_leq v.mvc b) then walk rest else v
+          in
+          let want = walk model.(i) in
+          String.equal want.mvalue (Mvstore.slot_value s got)
+          && Mvstore.slot_writer_is s got want.mwriter
+      | MTruncate (i, n) ->
+          Mvstore.truncate s (key i) ~keep:n;
+          let keep = Stdlib.max n 1 in
+          let rec take n = function
+            | [] -> []
+            | v :: rest -> if n = 0 then [] else v :: take (n - 1) rest
+          in
+          model.(i) <- take keep model.(i);
+          true
+      | MCovered (i, w) ->
+          let got = Mvstore.truncate_covered s (key i) ~watermark:(Vclock.of_array w) in
+          got = m_covered i w
+      | MSweep (w, b) ->
+          let got = Mvstore.sweep_covered s ~watermark:(Vclock.of_array w) ~budget:b in
+          got = m_sweep w b
+      | MRestore (i, vs, tail) ->
+          let expl =
+            List.map
+              (fun (v, c, (w, l)) ->
+                { mvalue = "r" ^ string_of_int v; mvc = Array.copy c; mwriter = tx w l })
+              vs
+          in
+          let g =
+            match tail with
+            | 0 -> []
+            | 1 ->
+                [ { mvalue = "init:" ^ string_of_int (key i); mvc = zeros (); mwriter = Ids.genesis } ]
+            | _ -> [ { mvalue = "boot"; mvc = zeros (); mwriter = Ids.genesis } ]
+          in
+          let full = expl @ g in
+          Mvstore.restore_chain s (key i)
+            (List.map
+               (fun m -> { Mvstore.value = m.mvalue; vc = Vclock.of_array m.mvc; writer = m.mwriter })
+               full);
+          if full <> [] then model.(i) <- full;
+          true
+      | MRoundtrip ->
+          let im = Mvstore.image_of s in
+          Mvstore.restore s im;
+          Mvstore.image_bytes im > 0
+    in
+    List.for_all (fun op -> step op && agree ()) ops
+  in
+  QCheck.Test.make ~name:"mvstore agrees with list model" ~count:150
+    (QCheck.make gen ~print) run
 
 (* ---------- Squeue ---------- *)
 
@@ -407,6 +667,9 @@ let () =
           Alcotest.test_case "install order" `Quick test_mvstore_install_order;
           Alcotest.test_case "select" `Quick test_mvstore_select;
           Alcotest.test_case "truncate" `Quick test_mvstore_truncate;
+          Alcotest.test_case "long-chain truncate" `Quick test_mvstore_long_chain_truncate;
+          Alcotest.test_case "arena recycling" `Quick test_mvstore_arena_recycling;
+          QCheck_alcotest.to_alcotest mvstore_matches_model;
         ] );
       ( "squeue",
         [
